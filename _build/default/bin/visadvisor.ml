@@ -1,0 +1,260 @@
+(* visadvisor — command-line front end for the VIS optimizer.
+
+   Subcommands:
+     optimize     A* optimal view/index selection
+     exhaustive   exhaustive baseline (small schemas only)
+     greedy       greedy heuristic
+     advise       Section-5 rules of thumb with per-decision explanations
+     space        space-constrained sweep (Figures 10/11)
+     sensitivity  delta-rate sensitivity (Figure 12)
+     validate     execute one refresh on the storage engine
+     dag          print the expression DAG
+     example      print a sample schema description
+
+   Schemas are read from a file in the vis_catalog DSL, or one of the
+   built-ins (--builtin schema1|schema2|validation). *)
+
+open Cmdliner
+
+module Schema = Vis_catalog.Schema
+module Config = Vis_costmodel.Config
+module Cost = Vis_costmodel.Cost
+module Element = Vis_costmodel.Element
+module Problem = Vis_core.Problem
+
+let load_schema file builtin =
+  match (file, builtin) with
+  | Some path, _ -> Vis_catalog.Dsl.parse_file path
+  | None, "schema1" -> Vis_workload.Schemas.schema1 ()
+  | None, "schema2" -> Vis_workload.Schemas.schema2 ()
+  | None, "validation" -> Vis_workload.Schemas.validation ()
+  | None, other ->
+      Printf.ksprintf failwith "unknown builtin schema %s (try schema1)" other
+
+let file_arg =
+  let doc = "Schema description file (vis DSL); see $(b,visadvisor example)." in
+  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+let builtin_arg =
+  let doc = "Built-in schema: schema1, schema2 or validation." in
+  Arg.(value & opt string "schema1" & info [ "builtin" ] ~docv:"NAME" ~doc)
+
+let report_config schema config cost =
+  Printf.printf "total maintenance cost: %.1f page I/Os\n" cost;
+  Printf.printf "%s\n" (Config.describe schema config)
+
+let optimize_cmd =
+  let run file builtin =
+    let schema = load_schema file builtin in
+    let p = Problem.make schema in
+    let r = Vis_core.Astar.search p in
+    Printf.printf "A* expanded %d states (exhaustive space: %.0f, pruning %.2f%%)\n"
+      r.Vis_core.Astar.stats.Vis_core.Astar.expanded
+      r.Vis_core.Astar.stats.Vis_core.Astar.exhaustive_states
+      (100.
+      *. (1.
+         -. float_of_int r.Vis_core.Astar.stats.Vis_core.Astar.expanded
+            /. Float.max 1. r.Vis_core.Astar.stats.Vis_core.Astar.exhaustive_states));
+    report_config schema r.Vis_core.Astar.best r.Vis_core.Astar.best_cost
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Optimal view/index selection with A*")
+    Term.(const run $ file_arg $ builtin_arg)
+
+let exhaustive_cmd =
+  let run file builtin =
+    let schema = load_schema file builtin in
+    let p = Problem.make schema in
+    let r = Vis_core.Exhaustive.search p in
+    Printf.printf "exhaustive enumerated %d states\n" r.Vis_core.Exhaustive.states;
+    report_config schema r.Vis_core.Exhaustive.best r.Vis_core.Exhaustive.best_cost
+  in
+  Cmd.v
+    (Cmd.info "exhaustive" ~doc:"Exhaustive baseline (small schemas only)")
+    Term.(const run $ file_arg $ builtin_arg)
+
+let greedy_cmd =
+  let run file builtin =
+    let schema = load_schema file builtin in
+    let p = Problem.make schema in
+    let r = Vis_core.Greedy.search p in
+    Printf.printf "greedy evaluated %d configurations\n"
+      r.Vis_core.Greedy.evaluations;
+    List.iter
+      (fun s ->
+        Printf.printf "  + %s -> %.1f\n"
+          (Problem.feature_name p s.Vis_core.Greedy.s_feature)
+          s.Vis_core.Greedy.s_cost_after)
+      r.Vis_core.Greedy.steps;
+    report_config schema r.Vis_core.Greedy.best r.Vis_core.Greedy.best_cost
+  in
+  Cmd.v
+    (Cmd.info "greedy" ~doc:"Greedy heuristic")
+    Term.(const run $ file_arg $ builtin_arg)
+
+let advise_cmd =
+  let run file builtin =
+    let schema = load_schema file builtin in
+    let p = Problem.make schema in
+    let a = Vis_core.Rules.advise p in
+    List.iter
+      (fun d ->
+        Printf.printf "%s %-22s rule %-8s benefit %10.0f cost %10.0f  %s\n"
+          (if d.Vis_core.Rules.d_chosen then "+" else "-")
+          (Problem.feature_name p d.Vis_core.Rules.d_feature)
+          d.Vis_core.Rules.d_rule d.Vis_core.Rules.d_benefit
+          d.Vis_core.Rules.d_cost d.Vis_core.Rules.d_why)
+      a.Vis_core.Rules.a_decisions;
+    let cost = Problem.total p a.Vis_core.Rules.a_config in
+    report_config schema a.Vis_core.Rules.a_config cost
+  in
+  Cmd.v
+    (Cmd.info "advise" ~doc:"Rules-of-thumb advisor (Section 5)")
+    Term.(const run $ file_arg $ builtin_arg)
+
+let explain_cmd =
+  let run file builtin algorithm =
+    let schema = load_schema file builtin in
+    let p = Problem.make schema in
+    let config =
+      match algorithm with
+      | "optimal" -> (Vis_core.Astar.search p).Vis_core.Astar.best
+      | "greedy" -> (Vis_core.Greedy.search p).Vis_core.Greedy.best
+      | "local" -> (Vis_core.Local_search.search p).Vis_core.Local_search.best
+      | "rules" -> (Vis_core.Rules.advise p).Vis_core.Rules.a_config
+      | "none" -> Config.empty
+      | other -> Printf.ksprintf failwith "unknown algorithm %s" other
+    in
+    print_string (Vis_core.Explain.render (Vis_core.Explain.explain p config));
+    print_newline ();
+    print_string
+      (Vis_core.Explain.compare_designs p
+         [ ("bare", Config.empty); ("chosen", config) ])
+  in
+  let algorithm =
+    Arg.(
+      value & opt string "optimal"
+      & info [ "algorithm" ] ~docv:"ALG"
+          ~doc:"Design to explain: optimal, greedy, local, rules or none.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show every update path and cost component of a design")
+    Term.(const run $ file_arg $ builtin_arg $ algorithm)
+
+let space_cmd =
+  let run file builtin =
+    let schema = load_schema file builtin in
+    let p = Problem.make schema in
+    let sw = Vis_core.Space.sweep p in
+    Printf.printf
+      "base relations: %.0f pages; unconstrained optimum: %.1f I/Os\n"
+      sw.Vis_core.Space.sw_base_pages sw.Vis_core.Space.sw_unconstrained_cost;
+    List.iter
+      (fun st ->
+        Printf.printf "space %8.0f (%.3f of base)  cost %10.1f  +[%s] -[%s]\n"
+          st.Vis_core.Space.st_space
+          (st.Vis_core.Space.st_space /. sw.Vis_core.Space.sw_base_pages)
+          st.Vis_core.Space.st_cost
+          (String.concat ", " st.Vis_core.Space.st_added)
+          (String.concat ", " st.Vis_core.Space.st_dropped))
+      sw.Vis_core.Space.sw_steps
+  in
+  Cmd.v
+    (Cmd.info "space" ~doc:"Space-constrained sweep (Section 6.1)")
+    Term.(const run $ file_arg $ builtin_arg)
+
+let sensitivity_cmd =
+  let run () =
+    let rates = [ 0.001; 0.00316; 0.01; 0.0316; 0.1 ] in
+    let make rate =
+      Vis_workload.Schemas.schema1 ~ins_frac:(rate /. 2.) ~del_frac:(rate /. 2.) ()
+    in
+    let series =
+      Vis_core.Sensitivity.sweep ~make_schema:make ~values:rates
+    in
+    List.iter
+      (fun s ->
+        Printf.printf "estimated %-8g:" s.Vis_core.Sensitivity.se_estimate;
+        List.iter
+          (fun (actual, ratio) -> Printf.printf "  %g->%.2f" actual ratio)
+          s.Vis_core.Sensitivity.se_ratios;
+        print_newline ())
+      series
+  in
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"Sensitivity of the optimum to the insertion-deletion rate (Section 6.2)")
+    Term.(const run $ const ())
+
+let validate_cmd =
+  let run seed =
+    let schema = Vis_workload.Schemas.validation () in
+    let p = Problem.make schema in
+    let r = Vis_core.Astar.search p in
+    let report, checks =
+      Vis_maintenance.Validate.run_cycle ~seed schema r.Vis_core.Astar.best
+    in
+    Printf.printf "config: %s\n" (Config.describe schema r.Vis_core.Astar.best);
+    Printf.printf "predicted I/O: %.0f, measured: %d (reads %d, writes %d)\n"
+      report.Vis_maintenance.Refresh.rp_predicted
+      (Vis_maintenance.Refresh.total_io report)
+      report.Vis_maintenance.Refresh.rp_reads
+      report.Vis_maintenance.Refresh.rp_writes;
+    List.iter
+      (fun c ->
+        Printf.printf "view %-8s expected %6d stored %6d %s\n"
+          c.Vis_maintenance.Validate.vc_view c.Vis_maintenance.Validate.vc_expected
+          c.Vis_maintenance.Validate.vc_actual
+          (if c.Vis_maintenance.Validate.vc_ok then "OK" else "MISMATCH"))
+      checks;
+    if not (Vis_maintenance.Validate.all_ok checks) then exit 1
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Execute one refresh on the storage engine and check correctness")
+    Term.(const run $ seed)
+
+let dag_cmd =
+  let run file builtin =
+    let schema = load_schema file builtin in
+    let p = Problem.make schema in
+    Format.printf "%a@." (fun ppf () -> Vis_core.Dag.pp p ppf ()) ()
+  in
+  Cmd.v
+    (Cmd.info "dag" ~doc:"Print the primary view's expression DAG (Figure 3)")
+    Term.(const run $ file_arg $ builtin_arg)
+
+let example_cmd =
+  let run () =
+    print_string (Vis_catalog.Dsl.to_string (Vis_workload.Schemas.schema1 ()))
+  in
+  Cmd.v
+    (Cmd.info "example" ~doc:"Print a sample schema description (Schema 1)")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "visadvisor" ~version:"1.0.0"
+      ~doc:
+        "View and index selection for data warehouse maintenance (Labio, \
+         Quass & Adelberg, ICDE 1997)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            optimize_cmd;
+            exhaustive_cmd;
+            greedy_cmd;
+            advise_cmd;
+            explain_cmd;
+            space_cmd;
+            sensitivity_cmd;
+            validate_cmd;
+            dag_cmd;
+            example_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Printf String Vis_catalog Vis_core Vis_costmodel

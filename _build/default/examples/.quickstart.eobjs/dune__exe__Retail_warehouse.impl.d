@@ -1,0 +1,1 @@
+examples/retail_warehouse.ml: Format List Printf Vis_catalog Vis_core Vis_costmodel

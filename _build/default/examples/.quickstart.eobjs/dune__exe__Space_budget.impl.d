@@ -1,0 +1,1 @@
+examples/space_budget.ml: List Printf String Vis_core Vis_workload

@@ -1,0 +1,1 @@
+examples/validate_costmodel.ml: List Printf Vis_core Vis_costmodel Vis_maintenance Vis_workload

@@ -1,0 +1,62 @@
+(* Quickstart: describe a warehouse, run the optimal A* view/index selection,
+   and print what to materialize.
+
+     dune exec examples/quickstart.exe *)
+
+let schema_text =
+  {|
+# A warehouse replicating three source relations, with the primary view
+#   V = R |><| S |><| sigma(T)
+# maintained nightly from the shipped deltas.
+memory_pages 100
+
+relation R key R0 attrs R0,R1 cardinality 90000 tuple_bytes 40
+relation S key S0 attrs S0,S1 cardinality 30000 tuple_bytes 40
+relation T key T0 attrs T0,T1 cardinality 10000 tuple_bytes 40
+
+join R.R1 = S.S1 fk
+join S.S0 = T.T0 fk
+select T.T1 selectivity 0.1
+
+delta R insert 1% delete 0.1% update 0
+delta S insert 1% delete 0.1% update 0
+delta T insert 1% delete 0.1% update 0
+|}
+
+let () =
+  let schema = Vis_catalog.Dsl.parse_string schema_text in
+  let problem = Vis_core.Problem.make schema in
+  Printf.printf "Candidate supporting views: %s\n"
+    (String.concat ", "
+       (List.map
+          (fun w ->
+            Vis_costmodel.Element.name schema (Vis_costmodel.Element.View w))
+          problem.Vis_core.Problem.candidate_views));
+
+  (* Cost of maintaining the warehouse with no supporting structures. *)
+  let baseline = Vis_core.Problem.total problem Vis_costmodel.Config.empty in
+  Printf.printf "Maintenance cost with nothing extra: %.0f page I/Os\n" baseline;
+
+  (* Optimal selection. *)
+  let result = Vis_core.Astar.search problem in
+  Printf.printf "Optimal cost:                        %.0f page I/Os (%.1fx better)\n"
+    result.Vis_core.Astar.best_cost
+    (baseline /. result.Vis_core.Astar.best_cost);
+  Printf.printf "Materialize: %s\n"
+    (Vis_costmodel.Config.describe schema result.Vis_core.Astar.best);
+  Printf.printf
+    "A* considered %d partial states out of an exhaustive space of %.0f (%.2f%% pruned)\n"
+    result.Vis_core.Astar.stats.Vis_core.Astar.expanded
+    result.Vis_core.Astar.stats.Vis_core.Astar.exhaustive_states
+    (100.
+    *. (1.
+       -. float_of_int result.Vis_core.Astar.stats.Vis_core.Astar.expanded
+          /. result.Vis_core.Astar.stats.Vis_core.Astar.exhaustive_states));
+
+  (* How the optimizer would propagate insertions to R onto the view. *)
+  let eval = Vis_core.Problem.evaluator problem result.Vis_core.Astar.best in
+  let target = Vis_costmodel.Element.View (Vis_catalog.Schema.all_relations schema) in
+  let _, plan = Vis_costmodel.Cost.prop_ins eval ~target ~rel:0 in
+  Format.printf "Update path for insertions to R: %a@."
+    (Vis_costmodel.Cost.pp_ins_plan schema ~target ~rel:0)
+    plan

@@ -1,0 +1,1 @@
+lib/catalog/derived.ml: Array Float Hashtbl List Schema Vis_util

@@ -1,0 +1,1 @@
+lib/catalog/derived.mli: Schema Vis_util

@@ -1,0 +1,1 @@
+lib/catalog/dsl.ml: Array Buffer Hashtbl List Printf Schema String

@@ -1,0 +1,1 @@
+lib/catalog/dsl.mli: Schema

@@ -1,0 +1,1 @@
+lib/catalog/schema.ml: Array Format Hashtbl List Printf String Vis_util

@@ -1,0 +1,114 @@
+module Bitset = Vis_util.Bitset
+
+type cached = { c_card : float; c_width : int; c_pages : float }
+
+type t = {
+  schema : Schema.t;
+  by_set : (int, cached) Hashtbl.t;
+  eff : float array;  (* σ_i · T_i *)
+  sel : float array;  (* combined selectivity per relation *)
+}
+
+let create schema =
+  let n = Schema.n_relations schema in
+  let sel = Array.init n (Schema.combined_selectivity schema) in
+  let eff =
+    Array.init n (fun i -> sel.(i) *. (Schema.relation schema i).Schema.card)
+  in
+  { schema; by_set = Hashtbl.create 64; eff; sel }
+
+let schema t = t.schema
+
+let tuples_per_page t i =
+  let r = Schema.relation t.schema i in
+  Float.max 1. (float_of_int (t.schema.Schema.page_bytes / r.Schema.tuple_bytes))
+
+let base_card t i = (Schema.relation t.schema i).Schema.card
+
+let base_pages t i =
+  Float.max 1. (Vis_util.Num.fceil (base_card t i /. tuples_per_page t i))
+
+let eff_card t i = t.eff.(i)
+
+let compute_set t set =
+  let card =
+    Bitset.fold (fun i acc -> acc *. t.eff.(i)) set 1.0
+    *. List.fold_left
+         (fun acc j -> acc *. j.Schema.join_sel)
+         1.0
+         (Schema.joins_within t.schema set)
+  in
+  let width =
+    Bitset.fold
+      (fun i acc -> acc + (Schema.relation t.schema i).Schema.tuple_bytes)
+      set 0
+  in
+  let tpp =
+    Float.max 1. (float_of_int (t.schema.Schema.page_bytes / max 1 width))
+  in
+  let pages =
+    if card <= 0. then 0. else Float.max 1. (Vis_util.Num.fceil (card /. tpp))
+  in
+  { c_card = card; c_width = width; c_pages = pages }
+
+let get t set =
+  let key = Bitset.to_int set in
+  match Hashtbl.find_opt t.by_set key with
+  | Some c -> c
+  | None ->
+      let c = compute_set t set in
+      Hashtbl.add t.by_set key c;
+      c
+
+let view_card t set = (get t set).c_card
+
+let view_width t set = (get t set).c_width
+
+let view_pages t set = (get t set).c_pages
+
+let pages_of_tuples t ~set ~tuples =
+  if tuples <= 0. then 0.
+  else
+    let width = max 1 (view_width t set) in
+    let tpp =
+      Float.max 1. (float_of_int (t.schema.Schema.page_bytes / width))
+    in
+    Float.max 1. (Vis_util.Num.fceil (tuples /. tpp))
+
+let matches_per_join_probe t ~view ~join =
+  view_card t view *. join.Schema.join_sel
+
+let matches_per_key t ~view ~rel =
+  if not (Bitset.mem rel view) then
+    invalid_arg "Derived.matches_per_key: relation not in view";
+  view_card t view /. base_card t rel
+
+let delta_pages t ~rel ~count =
+  if count <= 0. then 0.
+  else Float.max 1. (Vis_util.Num.fceil (count /. tuples_per_page t rel))
+
+type index_shape = {
+  ix_entries : float;
+  ix_leaf_pages : float;
+  ix_pages : float;
+  ix_height : int;
+}
+
+let index_shape t ~entries =
+  let epp =
+    Float.max 2.
+      (float_of_int (t.schema.Schema.page_bytes / t.schema.Schema.index_entry_bytes))
+  in
+  if entries <= 0. then
+    { ix_entries = 0.; ix_leaf_pages = 1.; ix_pages = 1.; ix_height = 1 }
+  else begin
+    let leaf = Float.max 1. (Vis_util.Num.fceil (entries /. epp)) in
+    let rec levels pages height total =
+      if pages <= 1. then (height, total)
+      else
+        let above = Vis_util.Num.fceil (pages /. epp) in
+        levels above (height + 1) (total +. above)
+    in
+    let height, total = levels leaf 1 leaf in
+    { ix_entries = entries; ix_leaf_pages = leaf; ix_pages = total; ix_height = height }
+  end

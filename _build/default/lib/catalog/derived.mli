@@ -1,0 +1,70 @@
+(** Derived statistics: cardinalities, widths and page counts of views
+    (relation subsets with all local selections pushed down), expected match
+    counts per probe, and B+-tree index shapes.  All results are memoized per
+    relation subset, so repeated queries during search are cheap.
+
+    Conventions, following Table 3 of the paper:
+    - [T(V)]: tuples; [P(V)]: pages; both as floats.
+    - A {e view} over set [S] applies each relation's local selections;
+      the {e stored base relation} [R] does not (it is a full replica), so
+      [base_pages] ≠ [view_pages (singleton i)] when [i] has a selection.
+    - A materialized view occupies at least one page when non-empty. *)
+
+type t
+
+val create : Schema.t -> t
+
+val schema : t -> Schema.t
+
+(** [tuples_per_page d i] for base relation [i]'s tuple width. *)
+val tuples_per_page : t -> int -> float
+
+(** [base_card d i] is [T(R_i)] (no selection applied). *)
+val base_card : t -> int -> float
+
+(** [base_pages d i] is [P(R_i)] of the stored replica. *)
+val base_pages : t -> int -> float
+
+(** [eff_card d i] is [σ_i·T(R_i)] — the cardinality after local
+    selections. *)
+val eff_card : t -> int -> float
+
+(** [view_card d set] is [T(V_set)]: the product of effective cardinalities
+    times the selectivities of all joins internal to [set].  Disconnected
+    sets are cross products. *)
+val view_card : t -> Vis_util.Bitset.t -> float
+
+(** [view_width d set] is the tuple width of the view, in bytes. *)
+val view_width : t -> Vis_util.Bitset.t -> int
+
+(** [view_pages d set] is [P(V_set)]; at least 1.0 when the view has any
+    tuples. *)
+val view_pages : t -> Vis_util.Bitset.t -> float
+
+(** [pages_of_tuples d ~set ~tuples] sizes an intermediate result with the
+    width of [set]; may be 0 when [tuples = 0]. *)
+val pages_of_tuples : t -> set:Vis_util.Bitset.t -> tuples:float -> float
+
+(** [matches_per_join_probe d ~view ~join] is [S(V, C)] for a join condition
+    [C] linking [view] to an external relation: the expected number of view
+    tuples joining one tuple of the other side, [T(V)·f]. *)
+val matches_per_join_probe : t -> view:Vis_util.Bitset.t -> join:Schema.join -> float
+
+(** [matches_per_key d ~view ~rel] is [S(V, key of rel)] — the expected view
+    tuples derived from one (arbitrary) tuple of base relation [rel ∈ view]:
+    [T(V)/T(rel)]. *)
+val matches_per_key : t -> view:Vis_util.Bitset.t -> rel:int -> float
+
+(** [delta_pages d ~rel ~count] is the pages occupied by a source delta of
+    [count] tuples of relation [rel]. *)
+val delta_pages : t -> rel:int -> count:float -> float
+
+(** B+-tree shape for an index holding [entries] (key, rid) pairs. *)
+type index_shape = {
+  ix_entries : float;
+  ix_leaf_pages : float;
+  ix_pages : float;  (** total pages, [P(V, R.A)] *)
+  ix_height : int;  (** levels including the leaf level, [H(V, R.A)] ≥ 1 *)
+}
+
+val index_shape : t -> entries:float -> index_shape

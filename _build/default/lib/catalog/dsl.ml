@@ -1,0 +1,208 @@
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+type building = {
+  mutable rels : Schema.relation list;  (* reversed *)
+  mutable sels : Schema.selection list;
+  mutable joins : Schema.join list;
+  deltas : (string, Schema.delta) Hashtbl.t;
+  mutable page_bytes : int;
+  mutable mem_pages : int;
+  mutable index_entry_bytes : int;
+}
+
+let split_words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let rel_index b line name =
+  let rec loop i = function
+    | [] -> fail line "unknown relation %s" name
+    | r :: rest ->
+        if r.Schema.rel_name = name then i else loop (i + 1) rest
+  in
+  loop 0 (List.rev b.rels)
+
+let find_rel b line name =
+  List.nth (List.rev b.rels) (rel_index b line name)
+
+let parse_qualified line s =
+  match String.split_on_char '.' s with
+  | [ r; a ] when r <> "" && a <> "" -> (r, a)
+  | _ -> fail line "expected REL.ATTR, got %s" s
+
+let parse_float line s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> fail line "expected a number, got %s" s
+
+let parse_int line s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> fail line "expected an integer, got %s" s
+
+(* A delta count is either an absolute number or a percentage of T(R). *)
+let parse_count line card s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '%' then
+    parse_float line (String.sub s 0 (n - 1)) /. 100. *. card
+  else parse_float line s
+
+let parse_relation b line = function
+  | [ name; "key"; key; "attrs"; attrs; "cardinality"; card; "tuple_bytes"; tb ]
+    ->
+      let attrs = String.split_on_char ',' attrs in
+      if List.exists (fun a -> a = "") attrs then fail line "empty attribute name";
+      b.rels <-
+        {
+          Schema.rel_name = name;
+          card = parse_float line card;
+          tuple_bytes = parse_int line tb;
+          key_attr = key;
+          attrs;
+        }
+        :: b.rels
+  | _ ->
+      fail line
+        "expected: relation NAME key K attrs A,B cardinality N tuple_bytes W"
+
+let parse_join b line = function
+  | [ lhs; "="; rhs; "selectivity"; f ] ->
+      let lr, la = parse_qualified line lhs in
+      let rr, ra = parse_qualified line rhs in
+      b.joins <-
+        {
+          Schema.left_rel = rel_index b line lr;
+          left_attr = la;
+          right_rel = rel_index b line rr;
+          right_attr = ra;
+          join_sel = parse_float line f;
+        }
+        :: b.joins
+  | [ lhs; "="; rhs; "fk" ] ->
+      (* Foreign-key join: selectivity 1 / T(key side), the right side. *)
+      let lr, la = parse_qualified line lhs in
+      let rr, ra = parse_qualified line rhs in
+      let key_side = find_rel b line rr in
+      b.joins <-
+        {
+          Schema.left_rel = rel_index b line lr;
+          left_attr = la;
+          right_rel = rel_index b line rr;
+          right_attr = ra;
+          join_sel = 1. /. key_side.Schema.card;
+        }
+        :: b.joins
+  | _ -> fail line "expected: join R.A = S.B selectivity F | join R.A = S.B fk"
+
+let parse_select b line = function
+  | [ qattr; "selectivity"; f ] ->
+      let r, a = parse_qualified line qattr in
+      b.sels <-
+        {
+          Schema.sel_rel = rel_index b line r;
+          sel_attr = a;
+          selectivity = parse_float line f;
+        }
+        :: b.sels
+  | _ -> fail line "expected: select R.A selectivity F"
+
+let parse_delta b line = function
+  | [ name; "insert"; i; "delete"; d; "update"; u ] ->
+      let rel = find_rel b line name in
+      let card = rel.Schema.card in
+      Hashtbl.replace b.deltas name
+        {
+          Schema.n_ins = parse_count line card i;
+          n_del = parse_count line card d;
+          n_upd = parse_count line card u;
+        }
+  | _ -> fail line "expected: delta R insert I delete D update U"
+
+let parse_string text =
+  let b =
+    {
+      rels = [];
+      sels = [];
+      joins = [];
+      deltas = Hashtbl.create 8;
+      page_bytes = 4096;
+      mem_pages = 1000;
+      index_entry_bytes = 16;
+    }
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      let content =
+        match String.index_opt raw '#' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw
+      in
+      match split_words content with
+      | [] -> ()
+      | "relation" :: rest -> parse_relation b line rest
+      | "join" :: rest -> parse_join b line rest
+      | "select" :: rest -> parse_select b line rest
+      | "delta" :: rest -> parse_delta b line rest
+      | [ "page_bytes"; v ] -> b.page_bytes <- parse_int line v
+      | [ "memory_pages"; v ] -> b.mem_pages <- parse_int line v
+      | [ "index_entry_bytes"; v ] -> b.index_entry_bytes <- parse_int line v
+      | word :: _ -> fail line "unknown directive %s" word)
+    lines;
+  let relations = List.rev b.rels in
+  let deltas =
+    List.map
+      (fun r ->
+        match Hashtbl.find_opt b.deltas r.Schema.rel_name with
+        | Some d -> d
+        | None -> { Schema.n_ins = 0.; n_del = 0.; n_upd = 0. })
+      relations
+  in
+  try
+    Schema.make ~page_bytes:b.page_bytes ~mem_pages:b.mem_pages
+      ~index_entry_bytes:b.index_entry_bytes ~relations
+      ~selections:(List.rev b.sels) ~joins:(List.rev b.joins) ~deltas ()
+  with Schema.Invalid msg -> raise (Parse_error (0, msg))
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text
+
+let to_string (s : Schema.t) =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "page_bytes %d\n" s.Schema.page_bytes;
+  add "memory_pages %d\n" s.Schema.mem_pages;
+  add "index_entry_bytes %d\n" s.Schema.index_entry_bytes;
+  Array.iter
+    (fun r ->
+      add "relation %s key %s attrs %s cardinality %.17g tuple_bytes %d\n"
+        r.Schema.rel_name r.Schema.key_attr
+        (String.concat "," r.Schema.attrs)
+        r.Schema.card r.Schema.tuple_bytes)
+    s.Schema.relations;
+  let rel_name i = (Schema.relation s i).Schema.rel_name in
+  List.iter
+    (fun j ->
+      add "join %s.%s = %s.%s selectivity %.17g\n" (rel_name j.Schema.left_rel)
+        j.Schema.left_attr (rel_name j.Schema.right_rel) j.Schema.right_attr
+        j.Schema.join_sel)
+    s.Schema.joins;
+  List.iter
+    (fun sel ->
+      add "select %s.%s selectivity %.17g\n" (rel_name sel.Schema.sel_rel)
+        sel.Schema.sel_attr sel.Schema.selectivity)
+    s.Schema.selections;
+  Array.iteri
+    (fun i d ->
+      add "delta %s insert %.17g delete %.17g update %.17g\n" (rel_name i)
+        d.Schema.n_ins d.Schema.n_del d.Schema.n_upd)
+    s.Schema.deltas;
+  Buffer.contents buf

@@ -1,0 +1,30 @@
+(** A small line-oriented description language for warehouse schemas, used by
+    the [visadvisor] command-line tool and the examples.
+
+    Grammar (one directive per line, [#] starts a comment):
+    {v
+    page_bytes 4096
+    memory_pages 1000
+    index_entry_bytes 16
+    relation R key R0 attrs R0,R1 cardinality 90000 tuple_bytes 40
+    join R.R1 = S.S1 selectivity 3.3e-6
+    join R.R1 = S.S1 fk          # foreign key join: f = 1/T(key side)
+    select T.T1 selectivity 0.1
+    delta R insert 900 delete 90 update 0
+    delta R insert 1% delete 0.1% update 0   # percentages of T(R)
+    v}
+    Relations must be declared before they are referenced.  Relations without
+    a [delta] line default to no changes. *)
+
+exception Parse_error of int * string
+(** [(line_number, message)] *)
+
+(** [parse_string text] parses a schema description. *)
+val parse_string : string -> Schema.t
+
+(** [parse_file path] reads and parses [path]. *)
+val parse_file : string -> Schema.t
+
+(** [to_string schema] renders a schema back into the DSL; the result parses
+    to an equivalent schema. *)
+val to_string : Schema.t -> string

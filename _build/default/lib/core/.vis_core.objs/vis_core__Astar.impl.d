@@ -1,0 +1,1 @@
+lib/core/astar.ml: Array Exhaustive Float Greedy Hashtbl List Option Problem Vis_catalog Vis_costmodel Vis_util

@@ -1,0 +1,1 @@
+lib/core/astar.mli: Problem Vis_costmodel

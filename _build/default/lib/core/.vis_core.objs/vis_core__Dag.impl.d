@@ -1,0 +1,1 @@
+lib/core/dag.ml: Format List Problem Vis_catalog Vis_costmodel Vis_util

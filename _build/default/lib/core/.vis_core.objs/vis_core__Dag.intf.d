@@ -1,0 +1,1 @@
+lib/core/dag.mli: Format Problem Vis_util

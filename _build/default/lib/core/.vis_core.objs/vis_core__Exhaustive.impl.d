@@ -1,0 +1,1 @@
+lib/core/exhaustive.ml: Array Float List Problem Vis_costmodel Vis_util

@@ -1,0 +1,1 @@
+lib/core/exhaustive.mli: Problem Vis_costmodel Vis_util

@@ -1,0 +1,1 @@
+lib/core/explain.ml: Buffer Format List Printf Problem Vis_catalog Vis_costmodel Vis_util

@@ -1,0 +1,1 @@
+lib/core/greedy.ml: List Problem Vis_catalog Vis_costmodel Vis_util

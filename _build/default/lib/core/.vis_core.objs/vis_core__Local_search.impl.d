@@ -1,0 +1,1 @@
+lib/core/local_search.ml: Greedy List Problem Vis_catalog Vis_costmodel Vis_util

@@ -1,0 +1,1 @@
+lib/core/problem.ml: Fun Int List Vis_catalog Vis_costmodel Vis_util

@@ -1,0 +1,1 @@
+lib/core/problem.mli: Vis_catalog Vis_costmodel Vis_util

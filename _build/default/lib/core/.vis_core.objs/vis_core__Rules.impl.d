@@ -1,0 +1,1 @@
+lib/core/rules.ml: Float Hashtbl List Printf Problem String Vis_catalog Vis_costmodel Vis_util

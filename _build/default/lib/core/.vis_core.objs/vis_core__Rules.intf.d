@@ -1,0 +1,1 @@
+lib/core/rules.mli: Problem Vis_costmodel Vis_util

@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: Astar List Problem Vis_costmodel

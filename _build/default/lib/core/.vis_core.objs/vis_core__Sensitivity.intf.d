@@ -1,0 +1,1 @@
+lib/core/sensitivity.mli: Vis_catalog Vis_costmodel

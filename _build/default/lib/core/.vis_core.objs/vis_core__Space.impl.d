@@ -1,0 +1,1 @@
+lib/core/space.ml: Exhaustive Float Fun Hashtbl Int List Problem Vis_catalog Vis_costmodel Vis_util

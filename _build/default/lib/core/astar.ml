@@ -1,0 +1,446 @@
+module Bitset = Vis_util.Bitset
+module Pqueue = Vis_util.Pqueue
+module Schema = Vis_catalog.Schema
+module Element = Vis_costmodel.Element
+module Config = Vis_costmodel.Config
+module Cost = Vis_costmodel.Cost
+
+type stats = { expanded : int; generated : int; exhaustive_states : float }
+
+type result = { best : Config.t; best_cost : float; stats : stats }
+
+exception Budget_exceeded of stats
+
+(* ------------------------------------------------------------------ *)
+(* Per-problem precomputation.
+
+   For every feature we know, independently of the search state:
+   - [lb_cost]: a lower bound on its own maintenance in any completion (its
+     cost with *every* candidate structure materialized, which is the
+     richest plan space a completion can offer; for views, index maintenance
+     is excluded because indexes carry their own cost);
+   - [key_benefit]: the configuration-independent saving of a key index for
+     locating deleted/updated tuples;
+   - [affected]: the insertion expressions (target view, delta relation)
+     whose evaluation the feature can make cheaper;
+   - the full-configuration *floors* of every expression: no completion can
+     push an evaluation below its cost with everything materialized.
+
+   Features whose [lb_cost] exceeds their largest possible benefit (taken
+   under the empty configuration, where evaluations are most expensive) can
+   never reduce the total and are dropped outright — a sound dominance rule
+   that shrinks the search space before A* starts. *)
+
+type prep = {
+  features : Problem.feature array;
+  view_pos : (int, int) Hashtbl.t;  (* candidate view -> feature position *)
+  lb_cost : float array;
+  key_benefit : float array;
+  affected : (int * int) list array;  (* (target index, delta relation) *)
+  targets : Element.t array;  (* target 0 is the primary view *)
+  target_view_pos : int array;  (* feature position of the target's view; -1 for the primary *)
+  full_ins : float array array;  (* ins eval floor per [target][rel] *)
+  full_del : float array array;  (* del eval+apply floor *)
+  full_upd : float array array;
+  full_base_del : float array;  (* per base relation *)
+  full_base_upd : float array;
+  dropped : Problem.feature list;  (* dominance-pruned features *)
+}
+
+let lb_view_cost full_eval w =
+  let elem = Element.View w in
+  Bitset.fold
+    (fun r acc ->
+      let pi, _ = Cost.prop_ins full_eval ~target:elem ~rel:r in
+      let pd, _ = Cost.prop_del full_eval ~target:elem ~rel:r in
+      let pu, _ = Cost.prop_upd full_eval ~target:elem ~rel:r in
+      acc
+      +. (pi.Cost.p_eval +. pi.Cost.p_apply +. pi.Cost.p_save)
+      +. (pd.Cost.p_eval +. pd.Cost.p_apply)
+      +. (pu.Cost.p_eval +. pu.Cost.p_apply))
+    w 0.
+
+(* Saving of a key index on [elem] for deletions and updates; it does not
+   depend on what else is materialized. *)
+let key_index_benefit p ix =
+  let elem = ix.Element.ix_elem in
+  let r = ix.Element.ix_attr.Element.a_rel in
+  let key = (Schema.relation p.Problem.schema r).Schema.key_attr in
+  if ix.Element.ix_attr.Element.a_name <> key || not (Bitset.mem r (Element.rels elem))
+  then 0.
+  else begin
+    let cost config =
+      let eval = Problem.evaluator p config in
+      let pd, _ = Cost.prop_del eval ~target:elem ~rel:r in
+      let pu, _ = Cost.prop_upd eval ~target:elem ~rel:r in
+      pd.Cost.p_eval +. pd.Cost.p_apply +. pu.Cost.p_eval +. pu.Cost.p_apply
+    in
+    let without = cost Config.empty in
+    let with_ix = cost (Config.make ~views:[] ~indexes:[ ix ]) in
+    Float.max 0. (without -. with_ix)
+  end
+
+(* Insertion expressions the feature can make cheaper, as indices into
+   [targets]. *)
+let affected_triples p targets feature =
+  let schema = p.Problem.schema in
+  let add acc (t, r) = if List.mem (t, r) acc then acc else (t, r) :: acc in
+  let fold_targets f acc =
+    snd
+      (Array.fold_left
+         (fun (i, acc) elem -> (i + 1, f acc i elem))
+         (0, acc) targets)
+  in
+  let triples_over ~must_contain ~strict ~delta_outside =
+    fold_targets
+      (fun acc ti elem ->
+        let rels = Element.rels elem in
+        let contains =
+          if strict then Bitset.proper_subset must_contain rels
+          else Bitset.subset must_contain rels
+        in
+        if contains then
+          let srels = if delta_outside then Bitset.diff rels must_contain else rels in
+          Bitset.fold (fun r acc -> add acc (ti, r)) srels acc
+        else acc)
+      []
+  in
+  match feature with
+  | Problem.F_view w -> triples_over ~must_contain:w ~strict:true ~delta_outside:false
+  | Problem.F_index ix ->
+      let e_rels = Element.rels ix.Element.ix_elem in
+      let attr = ix.Element.ix_attr in
+      let join_part =
+        List.fold_left
+          (fun acc (j : Schema.join) ->
+            let outside =
+              if
+                j.Schema.left_rel = attr.Element.a_rel
+                && j.Schema.left_attr = attr.Element.a_name
+                && not (Bitset.mem j.Schema.right_rel e_rels)
+              then Some j.Schema.right_rel
+              else if
+                j.Schema.right_rel = attr.Element.a_rel
+                && j.Schema.right_attr = attr.Element.a_name
+                && not (Bitset.mem j.Schema.left_rel e_rels)
+              then Some j.Schema.left_rel
+              else None
+            in
+            match outside with
+            | None -> acc
+            | Some x ->
+                List.fold_left add acc
+                  (triples_over
+                     ~must_contain:(Bitset.add x e_rels)
+                     ~strict:false ~delta_outside:false))
+          [] schema.Schema.joins
+      in
+      let sel_part =
+        match ix.Element.ix_elem with
+        | Element.Base i
+          when List.mem attr.Element.a_name (Schema.selection_attrs schema i) ->
+            triples_over ~must_contain:(Bitset.singleton i) ~strict:false
+              ~delta_outside:true
+        | Element.Base _ | Element.View _ -> []
+      in
+      List.fold_left add join_part sel_part
+
+let ins_eval_of eval elem r =
+  (fst (Cost.prop_ins eval ~target:elem ~rel:r)).Cost.p_eval
+
+let delupd_of eval elem r =
+  let pd, _ = Cost.prop_del eval ~target:elem ~rel:r in
+  let pu, _ = Cost.prop_upd eval ~target:elem ~rel:r in
+  ( pd.Cost.p_eval +. pd.Cost.p_apply,
+    pu.Cost.p_eval +. pu.Cost.p_apply )
+
+let prepare p =
+  let schema = p.Problem.schema in
+  let n_rels = Schema.n_relations schema in
+  let full_config =
+    Config.make ~views:p.Problem.candidate_views
+      ~indexes:(Problem.indexes_for_views p p.Problem.candidate_views)
+  in
+  let full_eval = Problem.evaluator p full_config in
+  let empty_eval = Problem.evaluator p Config.empty in
+  let lb_of = function
+    | Problem.F_view w -> lb_view_cost full_eval w
+    | Problem.F_index ix -> Cost.index_maint_cost full_eval ix
+  in
+  (* Dominance fixpoint: drop features that can never pay for themselves,
+     re-evaluating as dropped views stop being benefit targets. *)
+  let rec fixpoint features views =
+    let targets =
+      Array.of_list
+        (Element.View (Schema.all_relations schema)
+        :: List.map (fun w -> Element.View w) views)
+    in
+    let keep feature =
+      let lb = lb_of feature in
+      let benefit =
+        key_index_benefit_or_zero p feature
+        +. List.fold_left
+             (fun acc (ti, r) ->
+               let elem = targets.(ti) in
+               let gap =
+                 ins_eval_of empty_eval elem r -. ins_eval_of full_eval elem r
+               in
+               acc +. Float.max 0. gap)
+             0.
+             (affected_triples p targets feature)
+      in
+      lb < benefit -. 1e-9
+    in
+    let kept = List.filter keep features in
+    let kept_views =
+      List.filter_map
+        (function Problem.F_view w -> Some w | Problem.F_index _ -> None)
+        kept
+    in
+    (* Indexes on dropped candidate views can never apply. *)
+    let kept =
+      List.filter
+        (function
+          | Problem.F_view _ -> true
+          | Problem.F_index ix -> (
+              match ix.Element.ix_elem with
+              | Element.Base _ -> true
+              | Element.View w ->
+                  Bitset.equal w (Schema.all_relations schema)
+                  || List.exists (Bitset.equal w) kept_views))
+        kept
+    in
+    if List.length kept = List.length features then (kept, kept_views)
+    else fixpoint kept kept_views
+  and key_index_benefit_or_zero p = function
+    | Problem.F_view _ -> 0.
+    | Problem.F_index ix -> key_index_benefit p ix
+  in
+  let kept, kept_views = fixpoint p.Problem.features p.Problem.candidate_views in
+  let dropped =
+    List.filter
+      (fun f -> not (List.exists (Problem.equal_feature f) kept))
+      p.Problem.features
+  in
+  let features = Array.of_list kept in
+  let view_pos = Hashtbl.create 16 in
+  Array.iteri
+    (fun i f ->
+      match f with
+      | Problem.F_view w -> Hashtbl.replace view_pos (Bitset.to_int w) i
+      | Problem.F_index _ -> ())
+    features;
+  let targets =
+    Array.of_list
+      (Element.View (Schema.all_relations schema)
+      :: List.map (fun w -> Element.View w) kept_views)
+  in
+  let target_view_pos =
+    Array.map
+      (fun elem ->
+        match elem with
+        | Element.View w when not (Bitset.equal w (Schema.all_relations schema))
+          -> (
+            match Hashtbl.find_opt view_pos (Bitset.to_int w) with
+            | Some pos -> pos
+            | None -> -1)
+        | Element.View _ | Element.Base _ -> -1)
+      targets
+  in
+  let per_target f =
+    Array.map
+      (fun elem ->
+        Array.init n_rels (fun r ->
+            if Bitset.mem r (Element.rels elem) then f elem r else 0.))
+      targets
+  in
+  let full_ins = per_target (fun elem r -> ins_eval_of full_eval elem r) in
+  let full_del = per_target (fun elem r -> fst (delupd_of full_eval elem r)) in
+  let full_upd = per_target (fun elem r -> snd (delupd_of full_eval elem r)) in
+  let full_base_del =
+    Array.init n_rels (fun r -> fst (delupd_of full_eval (Element.Base r) r))
+  in
+  let full_base_upd =
+    Array.init n_rels (fun r -> snd (delupd_of full_eval (Element.Base r) r))
+  in
+  {
+    features;
+    view_pos;
+    lb_cost = Array.map lb_of features;
+    key_benefit =
+      Array.map
+        (function
+          | Problem.F_view _ -> 0.
+          | Problem.F_index ix -> key_index_benefit p ix)
+        features;
+    affected = Array.map (affected_triples p targets) features;
+    targets;
+    target_view_pos;
+    full_ins;
+    full_del;
+    full_upd;
+    full_base_del;
+    full_base_upd;
+    dropped;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let search_internal ~max_expanded ~on_budget p =
+  let schema = p.Problem.schema in
+  let prep = prepare p in
+  let n = Array.length prep.features in
+  let n_targets = Array.length prep.targets in
+  let n_rels = Schema.n_relations schema in
+  let exhaustive_states = Exhaustive.count_states p in
+  let expanded = ref 0 and generated = ref 0 in
+  let stats () =
+    { expanded = !expanded; generated = !generated; exhaustive_states }
+  in
+  let eligible config pos k =
+    match prep.features.(k) with
+    | Problem.F_view _ -> true
+    | Problem.F_index ix -> (
+        match ix.Element.ix_elem with
+        | Element.Base _ -> true
+        | Element.View w ->
+            Bitset.equal w (Schema.all_relations schema)
+            || Config.has_view config w
+            ||
+            (match Hashtbl.find_opt prep.view_pos (Bitset.to_int w) with
+            | Some vp -> vp >= pos
+            | None -> false))
+  in
+  (* A target still matters at (config, pos) when it is the primary view,
+     already materialized, or not yet decided. *)
+  let target_alive config pos ti =
+    let vp = prep.target_view_pos.(ti) in
+    vp < 0 || vp >= pos
+    ||
+    match prep.targets.(ti) with
+    | Element.View w -> Config.has_view config w
+    | Element.Base _ -> true
+  in
+  let h_hat eval config pos =
+
+    (* Gap tables: how far each expression's current cost sits above its
+       full-configuration floor — an upper bound on what future features can
+       still save on it. *)
+    let ins_gap = Array.make_matrix n_targets n_rels 0. in
+    for ti = 0 to n_targets - 1 do
+      let elem = prep.targets.(ti) in
+      if target_alive config pos ti then
+        Bitset.iter
+          (fun r ->
+            let gap = ins_eval_of eval elem r -. prep.full_ins.(ti).(r) in
+            if gap > 0. then ins_gap.(ti).(r) <- gap)
+          (Element.rels elem)
+    done;
+    (* Bound 1 (per-feature): each remaining feature nets at least
+       lb_cost − its capped benefit. *)
+    let h1 = ref 0. in
+    for k = pos to n - 1 do
+      if eligible config pos k then begin
+        let benefit =
+          List.fold_left
+            (fun acc (ti, r) -> acc +. ins_gap.(ti).(r))
+            prep.key_benefit.(k) prep.affected.(k)
+        in
+        let term = prep.lb_cost.(k) -. benefit in
+        if term < 0. then h1 := !h1 +. term
+      end
+    done;
+    (* Bound 2 (per-expression): the cost already counted in g can drop at
+       most to its floor, and future features' own maintenance is >= 0. *)
+    let h2 = ref 0. in
+    for ti = 0 to n_targets - 1 do
+      let elem = prep.targets.(ti) in
+      let maintained =
+        match elem with
+        | Element.View w ->
+            Bitset.equal w (Schema.all_relations schema) || Config.has_view config w
+        | Element.Base _ -> true
+      in
+      if maintained then
+        Bitset.iter
+          (fun r ->
+            let d, u = delupd_of eval elem r in
+            let dgap = Float.max 0. (d -. prep.full_del.(ti).(r)) in
+            let ugap = Float.max 0. (u -. prep.full_upd.(ti).(r)) in
+            h2 := !h2 -. ins_gap.(ti).(r) -. dgap -. ugap)
+          (Element.rels elem)
+    done;
+    for r = 0 to n_rels - 1 do
+      let d, u = delupd_of eval (Element.Base r) r in
+      h2 := !h2 -. Float.max 0. (d -. prep.full_base_del.(r));
+      h2 := !h2 -. Float.max 0. (u -. prep.full_base_upd.(r))
+    done;
+    Float.max !h1 !h2
+  in
+  let queue = Pqueue.create () in
+  (* A known complete solution bounds the search from above: states that
+     cannot beat it are never enqueued, which keeps the frontier small.
+     The greedy heuristic provides a good initial bound cheaply. *)
+  let seed = Greedy.search p in
+  let upper_bound = ref seed.Greedy.best_cost in
+  let incumbent = ref seed.Greedy.best in
+  let push pos config =
+    let eval = Problem.evaluator p config in
+    let g = Cost.total eval in
+    let c_hat = g +. h_hat eval config pos in
+    if c_hat <= !upper_bound +. 1e-9 then begin
+      if pos = n && g < !upper_bound then begin
+        upper_bound := g;
+        incumbent := config
+      end;
+      incr generated;
+      (* Among equal bounds, prefer the deeper state: it completes sooner. *)
+      Pqueue.push ~tie:(n - pos) queue c_hat (pos, config, g)
+    end
+  in
+  push 0 Config.empty;
+  let rec loop () =
+    match Pqueue.pop_min queue with
+    | None ->
+        (* The frontier emptied without a complete state being popped: every
+           remaining completion was pruned by the incumbent bound, so the
+           incumbent is optimal. *)
+        ({ best = !incumbent; best_cost = !upper_bound; stats = stats () }, true)
+    | Some (_, (pos, config, g)) ->
+        if pos = n then
+          ({ best = config; best_cost = g; stats = stats () }, true)
+        else begin
+          incr expanded;
+          if !expanded > max_expanded then
+            on_budget
+              { best = !incumbent; best_cost = !upper_bound; stats = stats () }
+          else begin
+            push (pos + 1) config;
+            (match prep.features.(pos) with
+            | Problem.F_view w -> push (pos + 1) (Config.add_view config w)
+            | Problem.F_index ix ->
+                if eligible config pos pos then
+                  push (pos + 1) (Config.add_index config ix));
+            loop ()
+          end
+        end
+  in
+  loop ()
+
+let search ?(max_expanded = 5_000_000) p =
+  fst
+    (search_internal ~max_expanded
+       ~on_budget:(fun r -> raise (Budget_exceeded r.stats))
+       p)
+
+let search_anytime ?(max_expanded = 5_000_000) p =
+  let result = ref None in
+  match
+    search_internal ~max_expanded
+      ~on_budget:(fun r ->
+        result := Some r;
+        raise Exit)
+      p
+  with
+  | r, optimal -> (r, optimal)
+  | exception Exit -> (Option.get !result, false)

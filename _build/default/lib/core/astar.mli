@@ -1,0 +1,52 @@
+(** The optimal A*-based algorithm of Section 4.
+
+    Partial states consider the problem's features in one fixed topological
+    order consistent with the paper's partial order ≺ (subviews before
+    superviews, elements before their indexes); each expansion branches on
+    materializing or rejecting the next feature.  A state's priority is
+    [ĉ = g + ĥ]:
+
+    - [g] is the exact total maintenance cost of the configuration chosen so
+      far (bases and the primary view included);
+    - [ĥ ≤ 0] lower-bounds the effect of the remaining features:
+      [Σ min(0, lb_cost(m) − max_benefit(m, M'))] over the not-yet-considered
+      features still eligible.  [lb_cost(m)] is [m]'s maintenance cost with
+      {e every} candidate structure materialized (the cheapest any completion
+      can make it, index-maintenance excluded for views since indexes carry
+      their own cost).  [max_benefit(m, M')] bounds the reduction [m] can
+      bring to other views' maintenance: for each affected maintenance
+      expression it charges that expression's {e current} evaluation cost
+      under [M'] (a true upper bound because costs only decrease as features
+      are added), plus the closed-form key-index saving of Section 4.1.
+
+    This [ĥ] differs from the paper's in one respect recorded in DESIGN.md:
+    each term is clamped at zero, which restores admissibility when a
+    feature's cost exceeds its maximum benefit.  Optimality against
+    exhaustive search is verified in the test suite. *)
+
+type stats = {
+  expanded : int;  (** partial states popped from the queue *)
+  generated : int;  (** partial states pushed onto the queue *)
+  exhaustive_states : float;
+      (** size of the exhaustive search space, for pruning ratios *)
+}
+
+type result = {
+  best : Vis_costmodel.Config.t;
+  best_cost : float;
+  stats : stats;
+}
+
+exception Budget_exceeded of stats
+
+(** [search ?max_expanded p] runs A* to optimality.  Raises
+    {!Budget_exceeded} after popping more than [max_expanded] states
+    (default 5,000,000). *)
+val search : ?max_expanded:int -> Problem.t -> result
+
+(** [search_anytime ?max_expanded p] is [search] that degrades gracefully:
+    the search is seeded with the greedy solution and keeps the best
+    complete configuration met; when the budget runs out it returns that
+    incumbent with [false] instead of raising.  [(result, true)] means the
+    result is proven optimal. *)
+val search_anytime : ?max_expanded:int -> Problem.t -> result * bool

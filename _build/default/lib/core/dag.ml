@@ -1,0 +1,61 @@
+module Bitset = Vis_util.Bitset
+module Schema = Vis_catalog.Schema
+module Element = Vis_costmodel.Element
+
+type node = {
+  n_rels : Bitset.t;
+  n_name : string;
+  n_derivations : (Bitset.t * Bitset.t) list;
+}
+
+let build p =
+  let schema = p.Problem.schema in
+  let is_node s =
+    List.exists (Bitset.equal s) p.Problem.candidate_views
+    || Bitset.equal s (Schema.all_relations schema)
+    || Bitset.cardinal s = 1
+  in
+  let node_sets =
+    p.Problem.candidate_views @ [ Schema.all_relations schema ]
+  in
+  List.map
+    (fun s ->
+      let derivations =
+        if Bitset.cardinal s < 2 then []
+        else
+          List.filter_map
+            (fun a ->
+              let b = Bitset.diff s a in
+              (* Keep each unordered pair once and only split into parts
+                 that are themselves nodes of the DAG. *)
+              if
+                Bitset.to_int a < Bitset.to_int b
+                && is_node a && is_node b
+              then Some (a, b)
+              else None)
+            (Bitset.proper_nonempty_subsets s)
+      in
+      {
+        n_rels = s;
+        n_name = Element.name schema (Element.View s);
+        n_derivations = derivations;
+      })
+    node_sets
+
+let pp p ppf () =
+  let schema = p.Problem.schema in
+  let name s = Element.name schema (Element.View s) in
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun n ->
+      Format.fprintf ppf "%s" n.n_name;
+      if n.n_derivations <> [] then begin
+        Format.fprintf ppf " <- ";
+        Format.pp_print_list
+          ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ")
+          (fun ppf (a, b) -> Format.fprintf ppf "%s \xe2\x8b\x88 %s" (name a) (name b))
+          ppf n.n_derivations
+      end;
+      Format.fprintf ppf "@,")
+    (build p);
+  Format.fprintf ppf "@]"

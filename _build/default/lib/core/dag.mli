@@ -1,0 +1,19 @@
+(** The expression DAG of the primary view (the paper's Figure 3): every
+    candidate node together with the ways it can be derived by joining two
+    smaller disjoint nodes.  Used for explanation output and to illustrate
+    update paths. *)
+
+type node = {
+  n_rels : Vis_util.Bitset.t;
+  n_name : string;
+  n_derivations : (Vis_util.Bitset.t * Vis_util.Bitset.t) list;
+      (** unordered pairs of disjoint nodes whose join yields this node *)
+}
+
+(** [build p] lists all nodes (candidate views plus the primary view), in
+    increasing size. *)
+val build : Problem.t -> node list
+
+(** [pp p ppf ()] renders the DAG, one node per line with its
+    derivations. *)
+val pp : Problem.t -> Format.formatter -> unit -> unit

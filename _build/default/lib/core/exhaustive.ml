@@ -1,0 +1,106 @@
+module Bitset = Vis_util.Bitset
+module Config = Vis_costmodel.Config
+
+exception Too_large of float
+
+type result = {
+  best : Config.t;
+  best_cost : float;
+  states : int;
+  view_states : int;
+}
+
+(* Subsets of a list, driven by an integer mask; [n] must stay small. *)
+let list_subsets items ~f =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  if n > 24 then invalid_arg "Exhaustive: too many items to enumerate";
+  for mask = 0 to (1 lsl n) - 1 do
+    let subset = ref [] in
+    for i = n - 1 downto 0 do
+      if mask land (1 lsl i) <> 0 then subset := arr.(i) :: !subset
+    done;
+    f !subset
+  done
+
+(* Σ over view subsets S of 2^(always-on + Σ_{v∈S} per-view candidates)
+   = 2^always-on · Π_v (1 + 2^candidates(v)) — closed form, since each
+   view contributes its candidate indexes independently. *)
+let count_states p =
+  let always = List.length (Problem.indexes_for_views p []) in
+  List.fold_left
+    (fun acc v ->
+      let c =
+        List.length
+          (Problem.candidate_indexes_on p (Vis_costmodel.Element.View v))
+      in
+      acc *. (1. +. (2. ** float_of_int c)))
+    (2. ** float_of_int always)
+    p.Problem.candidate_views
+
+let enumerate p ~f =
+  let states = ref 0 in
+  list_subsets p.Problem.candidate_views ~f:(fun views ->
+      let indexes = Problem.indexes_for_views p views in
+      list_subsets indexes ~f:(fun ixs ->
+          let config = Config.make ~views ~indexes:ixs in
+          let cost = Problem.total p config in
+          let space = Config.space p.Problem.derived config in
+          incr states;
+          f config ~cost ~space));
+  !states
+
+let search ?(max_states = 2_000_000) p =
+  let expected = count_states p in
+  if expected > float_of_int max_states then raise (Too_large expected);
+  let best = ref Config.empty in
+  let best_cost = ref infinity in
+  let view_states = ref 0 in
+  list_subsets p.Problem.candidate_views ~f:(fun _ -> incr view_states);
+  let states =
+    enumerate p ~f:(fun config ~cost ~space:_ ->
+        if cost < !best_cost then begin
+          best_cost := cost;
+          best := config
+        end)
+  in
+  { best = !best; best_cost = !best_cost; states; view_states = !view_states }
+
+let fold_index_subsets p views ~init ~f =
+  let indexes = Problem.indexes_for_views p views in
+  let acc = ref init in
+  let states = ref 0 in
+  list_subsets indexes ~f:(fun ixs ->
+      let config = Config.make ~views ~indexes:ixs in
+      let cost = Problem.total p config in
+      incr states;
+      acc := f !acc config cost);
+  (!acc, !states)
+
+let best_indexes_for_views p views =
+  let (config, cost), states =
+    fold_index_subsets p views
+      ~init:(Config.empty, infinity)
+      ~f:(fun (bc, bcost) config cost ->
+        if cost < bcost then (config, cost) else (bc, bcost))
+  in
+  (config, cost, states)
+
+let worst_indexes_for_views p views =
+  let (config, cost), states =
+    fold_index_subsets p views
+      ~init:(Config.empty, neg_infinity)
+      ~f:(fun (bc, bcost) config cost ->
+        if cost > bcost then (config, cost) else (bc, bcost))
+  in
+  (config, cost, states)
+
+let per_view_set p =
+  let results = ref [] in
+  list_subsets p.Problem.candidate_views ~f:(fun views ->
+      let (lo, hi), _ =
+        fold_index_subsets p views ~init:(infinity, neg_infinity)
+          ~f:(fun (lo, hi) _ cost -> (Float.min lo cost, Float.max hi cost))
+      in
+      results := (views, lo, hi) :: !results);
+  List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b) !results

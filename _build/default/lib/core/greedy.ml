@@ -1,0 +1,75 @@
+module Bitset = Vis_util.Bitset
+module Schema = Vis_catalog.Schema
+module Element = Vis_costmodel.Element
+module Config = Vis_costmodel.Config
+
+type step = { s_feature : Problem.feature; s_cost_after : float }
+
+type result = {
+  best : Config.t;
+  best_cost : float;
+  steps : step list;
+  evaluations : int;
+}
+
+let feature_in_config config = function
+  | Problem.F_view w -> Config.has_view config w
+  | Problem.F_index ix ->
+      Config.has_index config ix.Element.ix_elem ix.Element.ix_attr
+
+let feature_applicable p config = function
+  | Problem.F_view _ -> true
+  | Problem.F_index ix -> (
+      match ix.Element.ix_elem with
+      | Element.Base _ -> true
+      | Element.View w ->
+          Bitset.equal w (Schema.all_relations p.Problem.schema)
+          || Config.has_view config w)
+
+let apply config = function
+  | Problem.F_view w -> Config.add_view config w
+  | Problem.F_index ix -> Config.add_index config ix
+
+let search ?space_budget p =
+  let evaluations = ref 0 in
+  let cost config =
+    incr evaluations;
+    Problem.total p config
+  in
+  let within_budget config =
+    match space_budget with
+    | None -> true
+    | Some b -> Config.space p.Problem.derived config <= b
+  in
+  let rec loop config current steps =
+    let candidates =
+      List.filter
+        (fun f ->
+          (not (feature_in_config config f)) && feature_applicable p config f)
+        p.Problem.features
+    in
+    let best =
+      List.fold_left
+        (fun acc f ->
+          let config' = apply config f in
+          if not (within_budget config') then acc
+          else
+            let c = cost config' in
+            match acc with
+            | Some (_, _, best_c) when best_c <= c -> acc
+            | _ when c < current -> Some (f, config', c)
+            | _ -> acc)
+        None candidates
+    in
+    match best with
+    | None ->
+        {
+          best = config;
+          best_cost = current;
+          steps = List.rev steps;
+          evaluations = !evaluations;
+        }
+    | Some (f, config', c) ->
+        loop config' c ({ s_feature = f; s_cost_after = c } :: steps)
+  in
+  loop Config.empty (cost Config.empty) []

@@ -1,0 +1,25 @@
+(** A greedy heuristic for the VIS problem — the "limited search" direction
+    the paper's conclusion proposes for future work, included here as an
+    ablation baseline against A*.
+
+    Starting from the empty configuration, repeatedly add the single feature
+    (supporting view or index) whose materialization lowers the total
+    maintenance cost the most; stop when no feature helps.  Runs in
+    O(features² · cost evaluations) and is not optimal in general. *)
+
+type step = {
+  s_feature : Problem.feature;
+  s_cost_after : float;  (** total cost once the feature is added *)
+}
+
+type result = {
+  best : Vis_costmodel.Config.t;
+  best_cost : float;
+  steps : step list;  (** in the order chosen *)
+  evaluations : int;  (** configurations costed *)
+}
+
+(** [search ?space_budget p] runs the greedy loop; with [space_budget] only
+    features that keep the configuration within the given page budget are
+    considered (used by the space-constrained experiments). *)
+val search : ?space_budget:float -> Problem.t -> result

@@ -1,0 +1,101 @@
+module Bitset = Vis_util.Bitset
+module Schema = Vis_catalog.Schema
+module Element = Vis_costmodel.Element
+module Config = Vis_costmodel.Config
+
+type result = {
+  best : Config.t;
+  best_cost : float;
+  moves : int;
+  evaluations : int;
+}
+
+let feature_in config = function
+  | Problem.F_view w -> Config.has_view config w
+  | Problem.F_index ix ->
+      Config.has_index config ix.Element.ix_elem ix.Element.ix_attr
+
+let applicable p config = function
+  | Problem.F_view _ -> true
+  | Problem.F_index ix -> (
+      match ix.Element.ix_elem with
+      | Element.Base _ -> true
+      | Element.View w ->
+          Bitset.equal w (Schema.all_relations p.Problem.schema)
+          || Config.has_view config w)
+
+let add config = function
+  | Problem.F_view w -> Config.add_view config w
+  | Problem.F_index ix -> Config.add_index config ix
+
+(* Dropping a view also drops the indexes living on it. *)
+let drop config = function
+  | Problem.F_view w ->
+      let config = Config.remove_view config w in
+      List.fold_left
+        (fun c ix ->
+          if Element.equal ix.Element.ix_elem (Element.View w) then
+            Config.remove_index c ix
+          else c)
+        config (Config.indexes config)
+  | Problem.F_index ix -> Config.remove_index config ix
+
+let search ?seed ?space_budget ?(max_moves = 1000) p =
+  let evaluations = ref 0 in
+  let cost config =
+    incr evaluations;
+    Problem.total p config
+  in
+  let within config =
+    match space_budget with
+    | None -> true
+    | Some b -> Config.space p.Problem.derived config <= b
+  in
+  let start =
+    match seed with
+    | Some c -> c
+    | None -> (Greedy.search ?space_budget p).Greedy.best
+  in
+  let rec climb config current moves =
+    if moves >= max_moves then (config, current, moves)
+    else begin
+      let candidates_in =
+        List.filter (fun f -> feature_in config f) p.Problem.features
+      in
+      let candidates_out =
+        List.filter
+          (fun f -> (not (feature_in config f)) && applicable p config f)
+          p.Problem.features
+      in
+      let consider best config' =
+        if not (within config') then best
+        else
+          let c = cost config' in
+          match best with
+          | Some (_, bc) when bc <= c -> best
+          | _ when c < current -> Some (config', c)
+          | _ -> best
+      in
+      let best = List.fold_left (fun b f -> consider b (add config f)) None candidates_out in
+      let best = List.fold_left (fun b f -> consider b (drop config f)) best candidates_in in
+      let best =
+        List.fold_left
+          (fun b f_out ->
+            List.fold_left
+              (fun b f_in ->
+                let config' = drop config f_in in
+                (* The added feature must still be applicable after the drop
+                   (e.g. not an index on the dropped view). *)
+                if applicable p config' f_out then consider b (add config' f_out)
+                else b)
+              b candidates_in)
+          best candidates_out
+      in
+      match best with
+      | None -> (config, current, moves)
+      | Some (config', c) -> climb config' c (moves + 1)
+    end
+  in
+  let seed_cost = cost start in
+  let best, best_cost, moves = climb start seed_cost 0 in
+  { best; best_cost; moves; evaluations = !evaluations }

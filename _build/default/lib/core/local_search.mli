@@ -1,0 +1,26 @@
+(** A hill-climbing heuristic with add / drop / swap moves — one of the
+    "heuristics for pruning the exhaustive search space" the paper's
+    conclusion proposes to develop, included as a baseline between pure
+    greedy and optimal A*.
+
+    Starting from a seed configuration (the greedy solution by default),
+    repeatedly apply the best cost-improving move among:
+    - adding one applicable feature,
+    - dropping one materialized feature (dropping a view also drops its
+      indexes),
+    - swapping one materialized feature for one absent feature.
+    Stops at a local optimum or after [max_moves]. *)
+
+type result = {
+  best : Vis_costmodel.Config.t;
+  best_cost : float;
+  moves : int;  (** improving moves applied *)
+  evaluations : int;  (** configurations costed *)
+}
+
+val search :
+  ?seed:Vis_costmodel.Config.t ->
+  ?space_budget:float ->
+  ?max_moves:int ->
+  Problem.t ->
+  result

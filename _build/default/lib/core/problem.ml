@@ -1,0 +1,144 @@
+module Bitset = Vis_util.Bitset
+module Schema = Vis_catalog.Schema
+module Derived = Vis_catalog.Derived
+module Element = Vis_costmodel.Element
+module Config = Vis_costmodel.Config
+module Cost = Vis_costmodel.Cost
+
+type feature = F_view of Bitset.t | F_index of Element.index
+
+type t = {
+  schema : Schema.t;
+  derived : Derived.t;
+  cache : Cost.cache;
+  candidate_views : Bitset.t list;
+  features : feature list;
+}
+
+let receives_delupd schema i =
+  let d = Schema.delta schema i in
+  d.Schema.n_del +. d.Schema.n_upd > 0.
+
+(* Candidate index attributes for an element, per FST88 / Section 3.1. *)
+let candidate_attrs schema elem =
+  let add acc a = if List.exists (Element.equal_attr a) acc then acc else a :: acc in
+  let attrs =
+    match elem with
+    | Element.Base i ->
+        let acc =
+          if receives_delupd schema i then
+            [ { Element.a_rel = i; a_name = (Schema.relation schema i).Schema.key_attr } ]
+          else []
+        in
+        let acc =
+          List.fold_left
+            (fun acc name -> add acc { Element.a_rel = i; a_name = name })
+            acc (Schema.join_attrs schema i)
+        in
+        List.fold_left
+          (fun acc name -> add acc { Element.a_rel = i; a_name = name })
+          acc
+          (Schema.selection_attrs schema i)
+    | Element.View w ->
+        let acc =
+          Bitset.fold
+            (fun i acc ->
+              if receives_delupd schema i then
+                add acc
+                  { Element.a_rel = i; a_name = (Schema.relation schema i).Schema.key_attr }
+              else acc)
+            w []
+        in
+        List.fold_left
+          (fun acc (j : Schema.join) ->
+            if Bitset.mem j.Schema.left_rel w && not (Bitset.mem j.Schema.right_rel w)
+            then add acc { Element.a_rel = j.Schema.left_rel; a_name = j.Schema.left_attr }
+            else if
+              Bitset.mem j.Schema.right_rel w && not (Bitset.mem j.Schema.left_rel w)
+            then add acc { Element.a_rel = j.Schema.right_rel; a_name = j.Schema.right_attr }
+            else acc)
+          acc schema.Schema.joins
+  in
+  List.rev attrs
+
+let candidate_views_of schema ~connected_only =
+  let full = Schema.all_relations schema in
+  Bitset.proper_nonempty_subsets full
+  |> List.filter (fun s ->
+         (if connected_only then Schema.connected schema s else true)
+         &&
+         match Bitset.elements s with
+         | [ i ] -> Schema.has_selection schema i
+         | _ -> true)
+  |> List.sort (fun a b ->
+         match Int.compare (Bitset.cardinal a) (Bitset.cardinal b) with
+         | 0 -> Bitset.compare a b
+         | c -> c)
+
+let make ?(connected_only = false) schema =
+  let derived = Derived.create schema in
+  let candidate_views = candidate_views_of schema ~connected_only in
+  let indexes_of elem =
+    List.map
+      (fun a -> { Element.ix_elem = elem; ix_attr = a })
+      (candidate_attrs schema elem)
+  in
+  let n = Schema.n_relations schema in
+  let base_ix = List.concat_map (fun i -> indexes_of (Element.Base i)) (List.init n Fun.id) in
+  let primary_ix = indexes_of (Element.View (Schema.all_relations schema)) in
+  let features =
+    List.map (fun ix -> F_index ix) (base_ix @ primary_ix)
+    @ List.concat_map
+        (fun w ->
+          F_view w :: List.map (fun ix -> F_index ix) (indexes_of (Element.View w)))
+        candidate_views
+  in
+  { schema; derived; cache = Cost.new_cache (); candidate_views; features }
+
+let candidate_indexes_on p elem =
+  List.map
+    (fun a -> { Element.ix_elem = elem; ix_attr = a })
+    (candidate_attrs p.schema elem)
+
+let always_on_indexes p =
+  let n = Schema.n_relations p.schema in
+  List.concat_map (fun i -> candidate_indexes_on p (Element.Base i)) (List.init n Fun.id)
+  @ candidate_indexes_on p (Element.View (Schema.all_relations p.schema))
+
+let indexes_for_views p views =
+  always_on_indexes p
+  @ List.concat_map (fun w -> candidate_indexes_on p (Element.View w)) views
+
+let evaluator p config = Cost.create ~cache:p.cache p.derived config
+
+let total p config = Cost.total (evaluator p config)
+
+let feature_space p = function
+  | F_view w -> Derived.view_pages p.derived w
+  | F_index ix -> (Element.index_shape p.derived ix).Derived.ix_pages
+
+let feature_name p = function
+  | F_view w -> Element.name p.schema (Element.View w)
+  | F_index ix -> Element.index_name p.schema ix
+
+let equal_feature a b =
+  match (a, b) with
+  | F_view v, F_view w -> Bitset.equal v w
+  | F_index i, F_index j -> Element.equal_index i j
+  | F_view _, F_index _ | F_index _, F_view _ -> false
+
+let valid_config p config =
+  let view_ok w = List.exists (Bitset.equal w) p.candidate_views in
+  let index_ok ix =
+    let elem_materialized =
+      match ix.Element.ix_elem with
+      | Element.Base _ -> true
+      | Element.View w ->
+          Bitset.equal w (Schema.all_relations p.schema)
+          || List.exists (Bitset.equal w) (Config.views config)
+    in
+    elem_materialized
+    && List.exists (Element.equal_index ix) (indexes_for_views p (Config.views config))
+  in
+  List.for_all view_ok (Config.views config)
+  && List.for_all index_ok (Config.indexes config)

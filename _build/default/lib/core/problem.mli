@@ -1,0 +1,65 @@
+(** A VIS problem instance: the schema plus the enumerated candidate
+    supporting views and candidate indexes (Sections 2.1.1–2.1.2), and the
+    feature order used by the search algorithms.
+
+    Candidate views are the nodes of the primary view's expression DAG: every
+    proper non-empty subset of the base relations (each with its local
+    selections pushed down), except bare single relations without a selection
+    — those are already stored.  With [connected_only] the cross-product
+    nodes (e.g. [RT'] in the paper's Figure 3) are excluded; the paper keeps
+    them, so the default is [false].
+
+    Candidate indexes follow [FST88] as restricted by Section 3.1:
+    - on a base relation: its key (when it receives deletions or updates),
+      its attributes with join predicates, and its attributes with local
+      selection predicates;
+    - on the primary view or a supporting view [w]: the keys of base
+      relations in [w] that receive deletions or updates, and attributes of
+      relations in [w] joined to relations outside [w]. *)
+
+type feature = F_view of Vis_util.Bitset.t | F_index of Vis_costmodel.Element.index
+
+type t = {
+  schema : Vis_catalog.Schema.t;
+  derived : Vis_catalog.Derived.t;
+  cache : Vis_costmodel.Cost.cache;
+  candidate_views : Vis_util.Bitset.t list;  (** sorted by cardinality *)
+  features : feature list;
+      (** every candidate view and index, topologically ordered for the
+          paper's partial order ≺: subviews before superviews, every element
+          before its indexes, base-relation and primary-view indexes
+          first *)
+}
+
+val make : ?connected_only:bool -> Vis_catalog.Schema.t -> t
+
+(** [candidate_indexes_on p elem] enumerates candidate indexes for one
+    element ([Base _], a candidate view, or the primary view). *)
+val candidate_indexes_on : t -> Vis_costmodel.Element.t -> Vis_costmodel.Element.index list
+
+(** [always_on_indexes p] is the candidate indexes on elements that are
+    always materialized: the base relations and the primary view. *)
+val always_on_indexes : t -> Vis_costmodel.Element.index list
+
+(** [indexes_for_views p views] is [always_on_indexes] plus the candidate
+    indexes of each view in [views] — the index search space of a given view
+    state. *)
+val indexes_for_views : t -> Vis_util.Bitset.t list -> Vis_costmodel.Element.index list
+
+(** [evaluator p config] is a cost evaluator sharing the problem's cache. *)
+val evaluator : t -> Vis_costmodel.Config.t -> Vis_costmodel.Cost.t
+
+(** [total p config] is the total maintenance cost of [config]. *)
+val total : t -> Vis_costmodel.Config.t -> float
+
+(** [feature_space p f] is the storage footprint of a feature, in pages. *)
+val feature_space : t -> feature -> float
+
+val feature_name : t -> feature -> string
+
+val equal_feature : feature -> feature -> bool
+
+(** [valid_config p config] checks that a configuration only uses candidate
+    views and candidate indexes, and that each index's element is
+    materialized. *)
+val valid_config : t -> Vis_costmodel.Config.t -> bool

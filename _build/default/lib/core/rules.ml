@@ -1,0 +1,330 @@
+module Bitset = Vis_util.Bitset
+module Schema = Vis_catalog.Schema
+module Derived = Vis_catalog.Derived
+module Element = Vis_costmodel.Element
+module Config = Vis_costmodel.Config
+
+type decision = {
+  d_feature : Problem.feature;
+  d_benefit : float;
+  d_cost : float;
+  d_chosen : bool;
+  d_rule : string;
+  d_why : string;
+}
+
+type advice = { a_config : Config.t; a_decisions : decision list }
+
+(* ------------------------------------------------------------------ *)
+(* Table 3 statistics. *)
+
+let sum_over_rels schema set f =
+  Bitset.fold (fun i acc -> acc +. f (Schema.delta schema i)) set 0.
+
+let ins_outside p w =
+  let schema = p.Problem.schema in
+  let outside = Bitset.diff (Schema.all_relations schema) w in
+  sum_over_rels schema outside (fun d -> d.Schema.n_ins)
+
+let del_within p w =
+  sum_over_rels p.Problem.schema w (fun d -> d.Schema.n_del)
+
+let upd_within p w =
+  sum_over_rels p.Problem.schema w (fun d -> d.Schema.n_upd)
+
+(* E(V): fewest-element cover of [w] by chosen views and base relations,
+   ties broken towards fewer pages.  Exact DP over the subsets of [w]. *)
+let elements p ~chosen w =
+  let d = p.Problem.derived in
+  let units =
+    Bitset.fold (fun i acc -> Element.Base i :: acc) w []
+    @ List.filter_map
+        (fun v -> if Bitset.subset v w then Some (Element.View v) else None)
+        chosen
+  in
+  let best : (int, int * float * Element.t list) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.replace best (Bitset.to_int Bitset.empty) (0, 0., []);
+  let subsets = Bitset.subsets w in
+  List.iter
+    (fun set ->
+      match Hashtbl.find_opt best (Bitset.to_int set) with
+      | None -> ()
+      | Some (n, pages, cover) ->
+          List.iter
+            (fun u ->
+              let urels = Element.rels u in
+              if Bitset.disjoint urels set then begin
+                let next = Bitset.union set urels in
+                let cand = (n + 1, pages +. Element.pages d u, u :: cover) in
+                match Hashtbl.find_opt best (Bitset.to_int next) with
+                | Some (n', pages', _)
+                  when n' < n + 1 || (n' = n + 1 && pages' <= pages +. Element.pages d u)
+                  ->
+                    ()
+                | _ -> Hashtbl.replace best (Bitset.to_int next) cand
+              end)
+            units)
+    subsets;
+  match Hashtbl.find_opt best (Bitset.to_int w) with
+  | Some (_, _, cover) -> List.rev cover
+  | None -> assert false
+
+let element_pages p ~chosen w =
+  List.fold_left
+    (fun acc e -> acc +. Element.pages p.Problem.derived e)
+    0. (elements p ~chosen w)
+
+(* ------------------------------------------------------------------ *)
+(* Section 5.2.1 formulas. *)
+
+let benefit_view p ~chosen ~indexed w =
+  let d = p.Problem.derived in
+  if indexed then begin
+    (* The index-join branch of Benefit_v only applies when probing the view
+       is actually cheaper than scanning it: every join linking the view to
+       an outside relation must fetch fewer pages than P(V) over the whole
+       insertion batch (the same condition as Rule 5.6). *)
+    let pages = Derived.view_pages d w in
+    let probe_friendly =
+      List.for_all
+        (fun (j : Schema.join) ->
+          let crossing =
+            Bitset.mem j.Schema.left_rel w <> Bitset.mem j.Schema.right_rel w
+          in
+          (not crossing)
+          || Derived.matches_per_join_probe d ~view:w ~join:j *. ins_outside p w
+             < pages)
+        p.Problem.schema.Schema.joins
+    in
+    if not probe_friendly then 0.
+    else
+      let n_elems = List.length (elements p ~chosen w) in
+      float_of_int (max 0 (n_elems - 1)) *. ins_outside p w
+  end
+  else element_pages p ~chosen w -. Derived.view_pages d w
+
+let cost_view p ~keys_indexed w =
+  let d = p.Problem.derived in
+  let pages = Derived.view_pages d w in
+  let scans = pages *. float_of_int (Bitset.cardinal w) in
+  if keys_indexed then Float.min (del_within p w +. upd_within p w) scans
+  else scans
+
+(* ------------------------------------------------------------------ *)
+(* Section 5.3 formulas. *)
+
+let shape_of p ix = Element.index_shape p.Problem.derived ix
+
+let cost_index p ix =
+  let shape = shape_of p ix in
+  let pm = float_of_int p.Problem.schema.Schema.mem_pages in
+  if shape.Derived.ix_pages < pm then shape.Derived.ix_pages
+  else
+    let rels = Element.rels ix.Element.ix_elem in
+    sum_over_rels p.Problem.schema rels (fun dl ->
+        dl.Schema.n_ins +. dl.Schema.n_del)
+
+let benefit_index_key p ix =
+  let schema = p.Problem.schema in
+  let elem = ix.Element.ix_elem in
+  let r = ix.Element.ix_attr.Element.a_rel in
+  let key = (Schema.relation schema r).Schema.key_attr in
+  if
+    ix.Element.ix_attr.Element.a_name <> key
+    || not (Bitset.mem r (Element.rels elem))
+  then 0.
+  else begin
+    let pages = Element.pages p.Problem.derived elem in
+    let dl = Schema.delta schema r in
+    let term x = if x > 0. && x < pages then pages -. x else 0. in
+    term dl.Schema.n_del +. term dl.Schema.n_upd
+  end
+
+let benefit_index_join p ix =
+  let schema = p.Problem.schema in
+  let elem = ix.Element.ix_elem in
+  let rels = Element.rels elem in
+  let pages = Element.pages p.Problem.derived elem in
+  let attr = ix.Element.ix_attr in
+  List.fold_left
+    (fun best (j : Schema.join) ->
+      let qualifies other_rel this_rel this_attr =
+        this_rel = attr.Element.a_rel
+        && this_attr = attr.Element.a_name
+        && Bitset.mem this_rel rels
+        && not (Bitset.mem other_rel rels)
+      in
+      let other =
+        if qualifies j.Schema.right_rel j.Schema.left_rel j.Schema.left_attr then
+          Some j.Schema.right_rel
+        else if qualifies j.Schema.left_rel j.Schema.right_rel j.Schema.right_attr
+        then Some j.Schema.left_rel
+        else None
+      in
+      match other with
+      | None -> best
+      | Some _ ->
+          let matches =
+            Derived.matches_per_join_probe p.Problem.derived ~view:rels ~join:j
+          in
+          let probes = matches *. ins_outside p rels in
+          if probes < pages then Float.max best (pages -. probes) else best)
+    0. schema.Schema.joins
+
+let benefit_index_sel p ~chosen ix =
+  let schema = p.Problem.schema in
+  match ix.Element.ix_elem with
+  | Element.View _ -> 0.
+  | Element.Base i ->
+      if not (List.mem ix.Element.ix_attr.Element.a_name (Schema.selection_attrs schema i))
+      then 0.
+      else if List.exists (Bitset.equal (Bitset.singleton i)) chosen then 0.
+        (* condition (4): σR already materialized *)
+      else begin
+        let pages = Derived.base_pages p.Problem.derived i in
+        let matching = Derived.eff_card p.Problem.derived i in
+        if matching < pages then pages -. matching else 0.
+      end
+
+(* ------------------------------------------------------------------ *)
+(* The advisor. *)
+
+let overlapping a b =
+  (not (Bitset.disjoint a b)) && (not (Bitset.subset a b)) && not (Bitset.subset b a)
+
+let key_indexes_of p w =
+  List.filter
+    (fun ix -> benefit_index_key p ix > 0.)
+    (Problem.candidate_indexes_on p (Element.View w))
+
+let view_surplus p ~chosen w =
+  let benefit =
+    Float.max
+      (benefit_view p ~chosen ~indexed:false w)
+      (benefit_view p ~chosen ~indexed:true w)
+  in
+  let plain = cost_view p ~keys_indexed:false w in
+  let with_keys =
+    cost_view p ~keys_indexed:true w
+    +. List.fold_left (fun acc ix -> acc +. cost_index p ix) 0. (key_indexes_of p w)
+  in
+  (benefit, Float.min plain with_keys)
+
+let view_rule p w =
+  let no_delupd = del_within p w +. upd_within p w = 0. in
+  let selective =
+    Derived.view_pages p.Problem.derived w
+    <= 0.5 *. element_pages p ~chosen:[] w
+  in
+  match (selective, no_delupd) with
+  | true, true -> "5.1+5.2"
+  | true, false -> "5.1"
+  | false, true -> "5.2"
+  | false, false -> "-"
+
+let advise p =
+  let decisions = ref [] in
+  let log d = decisions := d :: !decisions in
+  (* Phase 1: supporting views, best surplus first, non-overlapping. *)
+  let rec pick_views chosen remaining =
+    let scored =
+      List.filter_map
+        (fun w ->
+          if List.exists (overlapping w) chosen then None
+          else
+            let benefit, cost = view_surplus p ~chosen w in
+            if benefit > cost then Some (w, benefit, cost) else None)
+        remaining
+    in
+    match
+      List.sort
+        (fun (_, b1, c1) (_, b2, c2) -> Float.compare (b2 -. c2) (b1 -. c1))
+        scored
+    with
+    | [] -> chosen
+    | (w, benefit, cost) :: _ ->
+        log
+          {
+            d_feature = Problem.F_view w;
+            d_benefit = benefit;
+            d_cost = cost;
+            d_chosen = true;
+            d_rule = view_rule p w;
+            d_why =
+              Printf.sprintf "P(V)=%.0f vs P(E(V))=%.0f, D+U(R(V))=%.0f"
+                (Derived.view_pages p.Problem.derived w)
+                (element_pages p ~chosen w)
+                (del_within p w +. upd_within p w);
+          };
+        pick_views (w :: chosen)
+          (List.filter (fun v -> not (Bitset.equal v w)) remaining)
+  in
+  let chosen = pick_views [] p.Problem.candidate_views in
+  (* Log the rejected views too. *)
+  List.iter
+    (fun w ->
+      if not (List.exists (Bitset.equal w) chosen) then begin
+        let benefit, cost = view_surplus p ~chosen w in
+        log
+          {
+            d_feature = Problem.F_view w;
+            d_benefit = benefit;
+            d_cost = cost;
+            d_chosen = false;
+            d_rule = view_rule p w;
+            d_why =
+              (if List.exists (overlapping w) chosen then
+                 "overlaps a chosen supporting view"
+               else "estimated cost exceeds benefit");
+          }
+      end)
+    p.Problem.candidate_views;
+  (* Phase 2: indexes on every materialized element. *)
+  let pm = float_of_int p.Problem.schema.Schema.mem_pages in
+  let indexes = ref [] in
+  let decide_index ix =
+    let b_key = benefit_index_key p ix in
+    let b_join = benefit_index_join p ix in
+    let b_sel =
+      (* Rule 5.7 condition (1): only when no join-attribute index was
+         already accepted on this element. *)
+      if
+        List.exists
+          (fun ix' ->
+            Element.equal ix'.Element.ix_elem ix.Element.ix_elem
+            && benefit_index_join p ix' > 0.)
+          !indexes
+      then 0.
+      else benefit_index_sel p ~chosen ix
+    in
+    let benefit = b_key +. b_join +. b_sel in
+    let cost = cost_index p ix in
+    let chosen_ix = benefit > cost in
+    let shape = shape_of p ix in
+    let rule =
+      let parts =
+        (if b_key > 0. then [ "5.5" ] else [])
+        @ (if b_join > 0. then [ "5.6" ] else [])
+        @ (if b_sel > 0. then [ "5.7" ] else [])
+        @ if chosen_ix && shape.Derived.ix_pages < pm then [ "5.8" ] else []
+      in
+      if parts = [] then "-" else String.concat "+" parts
+    in
+    if chosen_ix then indexes := ix :: !indexes;
+    log
+      {
+        d_feature = Problem.F_index ix;
+        d_benefit = benefit;
+        d_cost = cost;
+        d_chosen = chosen_ix;
+        d_rule = rule;
+        d_why =
+          Printf.sprintf "key=%.0f join=%.0f sel=%.0f vs cost=%.0f (P(ix)=%.0f, Pm=%.0f)"
+            b_key b_join b_sel cost shape.Derived.ix_pages pm;
+      }
+  in
+  List.iter decide_index (Problem.indexes_for_views p chosen);
+  {
+    a_config = Config.make ~views:chosen ~indexes:!indexes;
+    a_decisions = List.rev !decisions;
+  }

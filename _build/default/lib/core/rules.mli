@@ -1,0 +1,68 @@
+(** The rules of thumb of Section 5, as an advisor a warehouse administrator
+    can run instead of the full search.
+
+    The advisor follows the paper's approximate benefit/cost formulas
+    (Sections 5.2.1 and 5.3): materialize a feature when its estimated
+    benefit (I/O reduction) exceeds its estimated cost (extra I/O to keep it
+    maintained).  Supporting views are considered first, largest benefit
+    surplus first, keeping the chosen set non-overlapping (the Section 5.2
+    assumption); indexes are then decided per element.  Every decision cites
+    the rule(s) that drove it:
+
+    - Rule 5.1: materialize selective supporting views ([P(V) ≪ P(E(V))]);
+    - Rule 5.2: materialize views with no deletions or updates;
+    - Rule 5.5: build indexes on keys;
+    - Rule 5.6: build indexes on join attributes — sometimes;
+    - Rule 5.7: do not build indexes on local selection attributes (unless…);
+    - Rule 5.8: build indexes that fit in memory. *)
+
+type decision = {
+  d_feature : Problem.feature;
+  d_benefit : float;
+  d_cost : float;
+  d_chosen : bool;
+  d_rule : string;  (** e.g. "5.1", "5.5+5.6" *)
+  d_why : string;  (** human-readable justification *)
+}
+
+type advice = {
+  a_config : Vis_costmodel.Config.t;
+  a_decisions : decision list;  (** in the order considered *)
+}
+
+(** [advise p] runs the advisor. *)
+val advise : Problem.t -> advice
+
+(** {1 The underlying formulas, exposed for tests and experiments} *)
+
+(** [elements p ~chosen w] is [E(w)]: a fewest-element cover of [w] by the
+    chosen supporting views and base relations (ties broken towards fewer
+    pages). *)
+val elements :
+  Problem.t -> chosen:Vis_util.Bitset.t list -> Vis_util.Bitset.t -> Vis_costmodel.Element.t list
+
+(** [benefit_view p ~chosen ~indexed w] — [Benefit_v(V)] of Section 5.2.1.
+    With [indexed] the index-join branch [(|E(V)|−1)·I(R̄(V))] is used,
+    otherwise [P(E(V)) − P(V)]. *)
+val benefit_view :
+  Problem.t -> chosen:Vis_util.Bitset.t list -> indexed:bool -> Vis_util.Bitset.t -> float
+
+(** [cost_view p ~keys_indexed w] — [Cost_v(V)] (excluding [Cost_i] of its
+    indexes, which the advisor accounts per index). *)
+val cost_view : Problem.t -> keys_indexed:bool -> Vis_util.Bitset.t -> float
+
+(** [cost_index p ix] — [Cost_i(V, R.A)]. *)
+val cost_index : Problem.t -> Vis_costmodel.Element.index -> float
+
+(** [benefit_index_key p ix] — [Benefit_i^key]; 0 when the attribute is not
+    the key of a relation of the element. *)
+val benefit_index_key : Problem.t -> Vis_costmodel.Element.index -> float
+
+(** [benefit_index_join p ix] — [Benefit_i^jc]; 0 when the attribute joins
+    nothing outside the element. *)
+val benefit_index_join : Problem.t -> Vis_costmodel.Element.index -> float
+
+(** [benefit_index_sel p ~chosen ix] — [Benefit_i^sc]; nonzero only on base
+    relations, per Rule 5.7's conditions. *)
+val benefit_index_sel :
+  Problem.t -> chosen:Vis_util.Bitset.t list -> Vis_costmodel.Element.index -> float

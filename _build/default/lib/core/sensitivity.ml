@@ -1,0 +1,26 @@
+type series = {
+  se_estimate : float;
+  se_config : Vis_costmodel.Config.t;
+  se_ratios : (float * float) list;
+}
+
+let sweep ~make_schema ~values =
+  let problems = List.map (fun v -> (v, Problem.make (make_schema v))) values in
+  let optima =
+    List.map
+      (fun (v, p) ->
+        let r = Astar.search p in
+        (v, p, r.Astar.best, r.Astar.best_cost))
+      problems
+  in
+  List.map
+    (fun (est, _, config, _) ->
+      let ratios =
+        List.map
+          (fun (actual, p, _, opt_cost) ->
+            let cost = Problem.total p config in
+            (actual, cost /. opt_cost))
+          optima
+      in
+      { se_estimate = est; se_config = config; se_ratios = ratios })
+    optima

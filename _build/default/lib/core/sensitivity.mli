@@ -1,0 +1,23 @@
+(** The sensitivity analysis of Section 6.2 (Figure 12): how much does an
+    optimal design degrade when the administrator's estimates of the delta
+    rates are wrong?
+
+    For each {e estimated} parameter value the optimizer (A-star) picks a
+    configuration; that fixed configuration is then costed across the whole
+    range of {e actual} parameter values and compared with the optimum at
+    each actual value.  A ratio of 1.0 means the estimate was harmless. *)
+
+type series = {
+  se_estimate : float;  (** the parameter value the optimizer believed *)
+  se_config : Vis_costmodel.Config.t;  (** the design it chose *)
+  se_ratios : (float * float) list;
+      (** (actual value, cost of the design / optimal cost at that value) *)
+}
+
+(** [sweep ~make_schema ~values] builds a schema per parameter value with
+    [make_schema], optimizes at every value, and cross-evaluates every design
+    at every value.  [make_schema] must keep relations, joins and selections
+    identical across values (only statistics may change), so that a
+    configuration chosen under one schema is meaningful under another. *)
+val sweep :
+  make_schema:(float -> Vis_catalog.Schema.t) -> values:float list -> series list

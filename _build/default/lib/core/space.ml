@@ -1,0 +1,105 @@
+module Bitset = Vis_util.Bitset
+module Derived = Vis_catalog.Derived
+module Config = Vis_costmodel.Config
+module Element = Vis_costmodel.Element
+
+type step = {
+  st_space : float;
+  st_cost : float;
+  st_config : Config.t;
+  st_added : string list;
+  st_dropped : string list;
+}
+
+type sweep = {
+  sw_base_pages : float;
+  sw_unconstrained_cost : float;
+  sw_steps : step list;
+}
+
+let feature_names p config =
+  List.map
+    (fun w -> Problem.feature_name p (Problem.F_view w))
+    (Config.views config)
+  @ List.map
+      (fun ix -> Problem.feature_name p (Problem.F_index ix))
+      (Config.indexes config)
+
+let sweep ?(max_states = 2_000_000) p =
+  let expected = Exhaustive.count_states p in
+  if expected > float_of_int max_states then
+    raise (Exhaustive.Too_large expected);
+  (* Cheapest configuration per (rounded) footprint. *)
+  let by_space : (int, float * Config.t) Hashtbl.t = Hashtbl.create 1024 in
+  ignore
+    (Exhaustive.enumerate p ~f:(fun config ~cost ~space ->
+         let key = int_of_float (Float.round space) in
+         match Hashtbl.find_opt by_space key with
+         | Some (c, _) when c <= cost -> ()
+         | _ -> Hashtbl.replace by_space key (cost, config)));
+  let entries =
+    Hashtbl.fold (fun space (cost, config) acc -> (space, cost, config) :: acc)
+      by_space []
+    |> List.sort (fun (s1, _, _) (s2, _, _) -> Int.compare s1 s2)
+  in
+  (* Prefix minimum: keep entries that improve on every smaller footprint. *)
+  let steps_rev, _ =
+    List.fold_left
+      (fun (acc, best) (space, cost, config) ->
+        if cost < best then
+          (( float_of_int space, cost, config) :: acc, cost)
+        else (acc, best))
+      ([], infinity) entries
+  in
+  let steps = List.rev steps_rev in
+  let with_diffs =
+    let rec annotate prev = function
+      | [] -> []
+      | (space, cost, config) :: rest ->
+          let names = feature_names p config in
+          let prev_names = match prev with None -> [] | Some c -> feature_names p c in
+          let added = List.filter (fun n -> not (List.mem n prev_names)) names in
+          let dropped = List.filter (fun n -> not (List.mem n names)) prev_names in
+          {
+            st_space = space;
+            st_cost = cost;
+            st_config = config;
+            st_added = added;
+            st_dropped = dropped;
+          }
+          :: annotate (Some config) rest
+    in
+    annotate None steps
+  in
+  let schema = p.Problem.schema in
+  let n = Vis_catalog.Schema.n_relations schema in
+  let base_pages =
+    List.fold_left
+      (fun acc i -> acc +. Derived.base_pages p.Problem.derived i)
+      0. (List.init n Fun.id)
+  in
+  let unconstrained =
+    match List.rev with_diffs with
+    | last :: _ -> last.st_cost
+    | [] -> invalid_arg "Space.sweep: empty enumeration"
+  in
+  {
+    sw_base_pages = base_pages;
+    sw_unconstrained_cost = unconstrained;
+    sw_steps = with_diffs;
+  }
+
+let cost_at sweep ~budget =
+  List.fold_left
+    (fun best st -> if st.st_space <= budget then st.st_cost else best)
+    infinity sweep.sw_steps
+
+let feature_order sweep =
+  List.fold_left
+    (fun acc st ->
+      List.fold_left
+        (fun acc name ->
+          if List.mem_assoc name acc then acc else (name, st.st_space) :: acc)
+        acc st.st_added)
+    [] sweep.sw_steps
+  |> List.rev

@@ -1,0 +1,36 @@
+(** The space-constrained study of Section 6.1 (Figures 10 and 11): how does
+    the best achievable maintenance cost evolve as the storage available for
+    supporting views and indexes grows, and in which order do features enter
+    the physical design?
+
+    The sweep enumerates the full exhaustive space once, keeps the cheapest
+    configuration per storage footprint, and derives the staircase of
+    configurations where increasing the budget changes the optimum. *)
+
+type step = {
+  st_space : float;  (** additional pages the configuration occupies *)
+  st_cost : float;  (** its total maintenance cost *)
+  st_config : Vis_costmodel.Config.t;
+  st_added : string list;  (** features gained versus the previous step *)
+  st_dropped : string list;  (** features given up versus the previous step *)
+}
+
+type sweep = {
+  sw_base_pages : float;  (** Σ pages of the base relations, for the x-axis *)
+  sw_unconstrained_cost : float;  (** cost of the space-unlimited optimum *)
+  sw_steps : step list;  (** by increasing space; first is the empty design *)
+}
+
+(** [sweep p] runs the full enumeration.  Raises
+    {!Exhaustive.Too_large} when the space is beyond [max_states]
+    (default 2,000,000). *)
+val sweep : ?max_states:int -> Problem.t -> sweep
+
+(** [cost_at sweep ~budget] is the best cost achievable within [budget]
+    additional pages (staircase lookup). *)
+val cost_at : sweep -> budget:float -> float
+
+(** [feature_order sweep] lists features in the order they {e first} appear
+    as the budget grows — the numbering of Figure 11. *)
+val feature_order : sweep -> (string * float) list
+(** (feature name, budget at which it first appears) *)

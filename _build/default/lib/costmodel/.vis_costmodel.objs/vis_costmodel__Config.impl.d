@@ -1,0 +1,1 @@
+lib/costmodel/config.ml: Buffer Element List String Vis_catalog Vis_util

@@ -1,0 +1,1 @@
+lib/costmodel/config.mli: Element Vis_catalog Vis_util

@@ -1,0 +1,1 @@
+lib/costmodel/cost.ml: Array Char Config Element Float Format Hashtbl List Vis_catalog Vis_util Yao

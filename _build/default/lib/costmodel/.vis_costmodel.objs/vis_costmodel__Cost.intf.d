@@ -1,0 +1,1 @@
+lib/costmodel/cost.mli: Config Element Format Vis_catalog Vis_util

@@ -1,0 +1,1 @@
+lib/costmodel/element.ml: Int List Printf String Vis_catalog Vis_util

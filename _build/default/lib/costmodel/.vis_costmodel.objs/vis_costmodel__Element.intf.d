@@ -1,0 +1,1 @@
+lib/costmodel/element.mli: Vis_catalog Vis_util

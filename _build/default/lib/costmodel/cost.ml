@@ -1,0 +1,562 @@
+module Bitset = Vis_util.Bitset
+module Num = Vis_util.Num
+module Schema = Vis_catalog.Schema
+module Derived = Vis_catalog.Derived
+
+type join_method = Nbj | Index_join of Element.index
+
+type ins_start = From_delta | From_saved of Bitset.t
+
+type ins_plan = { ip_start : ins_start; ip_steps : (Element.t * join_method) list }
+
+type locate_method = Loc_scan | Loc_key_index of Element.index
+
+type prop = {
+  p_eval : float;
+  p_apply : float;
+  p_save : float;
+  p_index : float;
+  p_result_tuples : float;
+}
+
+let prop_total p = p.p_eval +. p.p_apply +. p.p_save +. p.p_index
+
+let zero_prop =
+  { p_eval = 0.; p_apply = 0.; p_save = 0.; p_index = 0.; p_result_tuples = 0. }
+
+type memo_value =
+  | M_ins of prop * ins_plan
+  | M_loc of prop * locate_method
+  | M_elem of float
+
+(* Memoization keys: (element code, kind, relation, restricted-configuration
+   signature).  A custom hash mixes the whole signature — the polymorphic
+   hash only samples a prefix, which collides badly when enumerating index
+   subsets. *)
+module Key = struct
+  type t = int * int * int * int list
+
+  let equal (a1, b1, c1, l1) (a2, b2, c2, l2) =
+    a1 = a2 && b1 = b2 && c1 = c2
+    &&
+    let rec eq l1 l2 =
+      match (l1, l2) with
+      | [], [] -> true
+      | (x : int) :: r1, y :: r2 -> x = y && eq r1 r2
+      | [], _ :: _ | _ :: _, [] -> false
+    in
+    eq l1 l2
+
+  let hash (a, b, c, l) =
+    let mix h x = (h * 0x01000193) lxor (x land 0xffffffff) in
+    let h = mix (mix (mix 0x811c9dc5 a) b) c in
+    List.fold_left mix h l land max_int
+end
+
+module Ktbl = Hashtbl.Make (Key)
+
+type cache = memo_value Ktbl.t
+
+let new_cache () : cache = Ktbl.create 4096
+
+let cache_size = Ktbl.length
+
+type t = {
+  derived : Derived.t;
+  config : Config.t;
+  cache : cache;
+  (* The configuration's features paired with their relation sets and
+     signature codes, precomputed so that per-element restriction is a
+     cheap filter. *)
+  enc_views : (Bitset.t * int) list;
+  enc_indexes : (Bitset.t * int) list;
+  (* Per-element restricted signature, memoized per evaluator. *)
+  mutable prefixes : (int * int list) list;
+}
+
+let elem_sig_code schema = function
+  | Element.Base i -> (2 * i) + 1
+  | Element.View s ->
+      ignore schema;
+      2 * Bitset.to_int s
+
+let index_sig_code schema ix =
+  let attr =
+    (64 * ix.Element.ix_attr.Element.a_rel)
+    + Schema.attr_pos schema ix.Element.ix_attr.Element.a_rel
+        ix.Element.ix_attr.Element.a_name
+  in
+  lnot ((elem_sig_code schema ix.Element.ix_elem * 4096) + attr)
+
+let create ?cache derived config =
+  let cache = match cache with Some c -> c | None -> new_cache () in
+  let schema = Derived.schema derived in
+  let enc_views =
+    List.map (fun v -> (v, 2 * Bitset.to_int v)) (Config.views config)
+  in
+  let enc_indexes =
+    List.map
+      (fun ix -> (Element.rels ix.Element.ix_elem, index_sig_code schema ix))
+      (Config.indexes config)
+  in
+  { derived; config; cache; enc_views; enc_indexes; prefixes = [] }
+
+let config t = t.config
+
+let derived t = t.derived
+
+let schema t = Derived.schema t.derived
+
+let mem_pages t = float_of_int (schema t).Schema.mem_pages
+
+let elem_code = function
+  | Element.Base i -> (2 * i) + 1
+  | Element.View s -> 2 * Bitset.to_int s
+
+let elem_prefix t target =
+  let code = elem_code target in
+  match List.assq_opt code t.prefixes with
+  | Some p -> p
+  | None ->
+      let rels = Element.rels target in
+      let keep (frels, c) = if Bitset.subset frels rels then Some c else None in
+      let p =
+        List.filter_map keep t.enc_views @ List.filter_map keep t.enc_indexes
+      in
+      t.prefixes <- (code, p) :: t.prefixes;
+      p
+
+let memo_key t ~target ~rel ~kind : Key.t =
+  (elem_code target, Char.code kind, rel, elem_prefix t target)
+
+(* ------------------------------------------------------------------ *)
+(* Index maintenance: Apply_ix of Table 4.  [k] is the number of delta
+   tuples applied to [elem]; per index we charge the internal-page reads
+   (root cached, hence H-1 levels) estimated with Y_WAP plus the leaf
+   pages written estimated with yao (entries of one batch are applied in
+   sorted order). *)
+
+let apply_one_index t elem attr k =
+  ignore attr;
+  if k <= 0. then 0.
+  else begin
+    let card = Element.card t.derived elem in
+    let shape = Derived.index_shape t.derived ~entries:card in
+    let reads =
+      Yao.y_wap ~n:card ~p:shape.Derived.ix_pages
+        ~k:(k *. float_of_int (shape.Derived.ix_height - 1))
+        ~m:(mem_pages t)
+    in
+    let writes = Yao.yao ~n:card ~p:shape.Derived.ix_leaf_pages ~k in
+    reads +. writes
+  end
+
+let apply_ix t elem k =
+  List.fold_left
+    (fun acc attr -> acc +. apply_one_index t elem attr k)
+    0.
+    (Config.indexes_on t.config elem)
+
+(* ------------------------------------------------------------------ *)
+
+let nbj_cost t ~outer_pages ~inner_pages =
+  Float.ceil (outer_pages /. mem_pages t) *. inner_pages
+
+(* Accessing the inner side of a nested-block join.  A stored view or a
+   replica is scanned; a base relation carrying a local selection may
+   instead be read through an index on the selection attribute (Table 5's
+   index scan), when such an index is materialized. *)
+let inner_access_cost t unit =
+  let scan = Element.pages t.derived unit in
+  match unit with
+  | Element.View _ -> scan
+  | Element.Base i ->
+      let s = schema t in
+      let sel_attrs = Schema.selection_attrs s i in
+      if sel_attrs = [] then scan
+      else begin
+        let card = Derived.base_card t.derived i in
+        let pages = Derived.base_pages t.derived i in
+        let shape = Derived.index_shape t.derived ~entries:card in
+        let matching = Derived.eff_card t.derived i in
+        let via_index attr_name =
+          let attr = { Element.a_rel = i; a_name = attr_name } in
+          if Config.has_index t.config unit attr then
+            Some
+              (float_of_int (shape.Derived.ix_height - 1)
+              +. Num.fceil (shape.Derived.ix_pages *. matching /. Float.max card 1e-9)
+              +. Yao.y_wap ~n:card ~p:pages ~k:matching ~m:(mem_pages t))
+          else None
+        in
+        List.fold_left
+          (fun best a ->
+            match via_index a with Some c -> Float.min best c | None -> best)
+          scan sel_attrs
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Propagating insertions: Eval(ΔR ⋈ ...) by dynamic programming over the
+   covered relation subsets, starting from the shipped delta or from a
+   saved delta of a materialized subview, and extending with base
+   relations or materialized views via nested-block or index joins. *)
+
+(* A join unit available for covering part of the target, with its costs
+   precomputed for the inner loop. *)
+type unit_info = {
+  u_elem : Element.t;
+  u_mask : int;  (* dense mask of the relations it covers *)
+  u_inner_access : float;  (* per-block cost of the nested-block inner side *)
+  u_probes : (int * float * float * float * float * Element.attr) list;
+      (* per indexed join attribute reachable from outside the unit:
+         (dense bit of the outside relation, matches per probe,
+          index pages, per-probe index pages, data pages, probed attr) *)
+}
+
+let eval_ins t target_set r =
+  let d = t.derived in
+  let s = schema t in
+  let i_r = (Schema.delta s r).Schema.n_ins in
+  let scale = i_r /. Derived.base_card d r in
+  let pm = mem_pages t in
+  let half_mem = pm /. 2. in
+  (* Dense encoding of the subsets of [target_set]. *)
+  let positions = Array.of_list (Bitset.elements target_set) in
+  let k = Array.length positions in
+  let nstates = 1 lsl k in
+  let dense_bit_of_rel = Array.make (Schema.n_relations s) (-1) in
+  Array.iteri (fun bit rel -> dense_bit_of_rel.(rel) <- bit) positions;
+  let dense_of_set set =
+    Bitset.fold (fun rel acc -> acc lor (1 lsl dense_bit_of_rel.(rel))) set 0
+  in
+  (* sets.(code) is the Bitset for a dense code; built incrementally. *)
+  let sets = Array.make nstates Bitset.empty in
+  for code = 1 to nstates - 1 do
+    let low = code land -code in
+    let bit = ref 0 and v = ref low in
+    while !v > 1 do
+      incr bit;
+      v := !v lsr 1
+    done;
+    sets.(code) <- Bitset.add positions.(!bit) sets.(code land (code - 1))
+  done;
+  let count code = Derived.view_card d sets.(code) *. scale in
+  let result_pages code =
+    Derived.pages_of_tuples d ~set:sets.(code) ~tuples:(count code)
+  in
+  let r_bit = 1 lsl dense_bit_of_rel.(r) in
+  (* Units: base relations of the target and materialized views inside the
+     target that avoid the delta relation. *)
+  let make_unit elem =
+    let urels = Element.rels elem in
+    let probes =
+      List.filter_map
+        (fun (j : Schema.join) ->
+          let inside_attr =
+            if
+              Bitset.mem j.Schema.left_rel urels
+              && (not (Bitset.mem j.Schema.right_rel urels))
+              && Bitset.mem j.Schema.right_rel target_set
+            then
+              Some
+                ( { Element.a_rel = j.Schema.left_rel; a_name = j.Schema.left_attr },
+                  j.Schema.right_rel )
+            else if
+              Bitset.mem j.Schema.right_rel urels
+              && (not (Bitset.mem j.Schema.left_rel urels))
+              && Bitset.mem j.Schema.left_rel target_set
+            then
+              Some
+                ( { Element.a_rel = j.Schema.right_rel; a_name = j.Schema.right_attr },
+                  j.Schema.left_rel )
+            else None
+          in
+          match inside_attr with
+          | Some (attr, outside_rel) when Config.has_index t.config elem attr ->
+              let card = Element.card d elem in
+              let pages = Element.pages d elem in
+              let shape = Derived.index_shape d ~entries:card in
+              let matches = card *. j.Schema.join_sel in
+              let per_probe =
+                float_of_int (max 0 (shape.Derived.ix_height - 2))
+                +. Num.fceil
+                     (shape.Derived.ix_pages *. matches /. Float.max card 1e-9)
+              in
+              Some
+                ( 1 lsl dense_bit_of_rel.(outside_rel),
+                  matches,
+                  shape.Derived.ix_pages,
+                  per_probe,
+                  pages,
+                  attr )
+          | _ -> None)
+        s.Schema.joins
+    in
+    {
+      u_elem = elem;
+      u_mask = dense_of_set urels;
+      u_inner_access = inner_access_cost t elem;
+      u_probes = probes;
+    }
+  in
+  let units =
+    Bitset.fold
+      (fun i acc -> if i = r then acc else make_unit (Element.Base i) :: acc)
+      target_set []
+    @ List.filter_map
+        (fun w ->
+          if Bitset.subset w target_set && not (Bitset.mem r w) then
+            Some (make_unit (Element.View w))
+          else None)
+        (Config.views t.config)
+  in
+  (* DP tables. *)
+  let cost = Array.make nstates infinity in
+  let from = Array.make nstates (-1) in
+  let step = Array.make nstates None in
+  let start = Array.make nstates From_delta in
+  let relax code c prev st sstart =
+    if c < cost.(code) then begin
+      cost.(code) <- c;
+      from.(code) <- prev;
+      step.(code) <- st;
+      start.(code) <- sstart
+    end
+  in
+  relax r_bit (Derived.delta_pages d ~rel:r ~count:i_r) (-1) None From_delta;
+  List.iter
+    (fun w ->
+      if Bitset.mem r w && Bitset.proper_subset w target_set then begin
+        let code = dense_of_set w in
+        relax code (result_pages code) (-1) None (From_saved w)
+      end)
+    (Config.views t.config);
+  for code = r_bit to nstates - 1 do
+    if code land r_bit <> 0 && cost.(code) < infinity then begin
+      let outer_tuples = count code in
+      let outer_pages = result_pages code in
+      let blocks = Float.ceil (outer_pages /. pm) in
+      List.iter
+        (fun u ->
+          if code land u.u_mask = 0 then begin
+            let next = code lor u.u_mask in
+            let base = cost.(code) in
+            relax next
+              (base +. (blocks *. u.u_inner_access))
+              code
+              (Some (u.u_elem, Nbj))
+              start.(code);
+            List.iter
+              (fun (outside_bit, matches, ix_pages, per_probe, pages, attr) ->
+                if code land outside_bit <> 0 then begin
+                  let card = Element.card d u.u_elem in
+                  let c =
+                    Yao.y_wap ~n:card ~p:ix_pages
+                      ~k:(outer_tuples *. per_probe) ~m:half_mem
+                    +. Yao.y_wap ~n:card ~p:pages ~k:(outer_tuples *. matches)
+                         ~m:half_mem
+                  in
+                  let ix = { Element.ix_elem = u.u_elem; ix_attr = attr } in
+                  relax next (base +. c) code
+                    (Some (u.u_elem, Index_join ix))
+                    start.(code)
+                end)
+              u.u_probes
+          end)
+        units
+    end
+  done;
+  let final = nstates - 1 in
+  assert (cost.(final) < infinity);
+  (* Reconstruct the winning update path. *)
+  let rec walk code acc =
+    match (from.(code), step.(code)) with
+    | prev, Some st when prev >= 0 -> walk prev (st :: acc)
+    | _ -> (start.(code), acc)
+  in
+  let st, steps = walk final [] in
+  (cost.(final), { ip_start = st; ip_steps = steps })
+
+let prop_ins_uncached t ~target ~rel =
+  let d = t.derived in
+  let s = schema t in
+  let i_r = (Schema.delta s rel).Schema.n_ins in
+  if i_r <= 0. then (zero_prop, { ip_start = From_delta; ip_steps = [] })
+  else
+    match target with
+    | Element.Base i ->
+        assert (i = rel);
+        let dp = Derived.delta_pages d ~rel ~count:i_r in
+        ( {
+            p_eval = dp;
+            p_apply = dp;
+            p_save = 0.;
+            p_index = apply_ix t target i_r;
+            p_result_tuples = i_r;
+          },
+          { ip_start = From_delta; ip_steps = [] } )
+    | Element.View set ->
+        let eval, plan = eval_ins t set rel in
+        let tuples =
+          Derived.view_card d set *. i_r /. Derived.base_card d rel
+        in
+        let result_pages = Derived.pages_of_tuples d ~set ~tuples in
+        let is_supporting =
+          not (Bitset.equal set (Schema.all_relations s))
+        in
+        ( {
+            p_eval = eval;
+            p_apply = result_pages;
+            p_save = (if is_supporting then result_pages else 0.);
+            p_index = apply_ix t target tuples;
+            p_result_tuples = tuples;
+          },
+          plan )
+
+(* ------------------------------------------------------------------ *)
+(* Propagating deletions and protected updates: locate the affected target
+   tuples by key (index semijoin or scan), then rewrite them. *)
+
+let prop_delupd_uncached t ~target ~rel ~kind =
+  let d = t.derived in
+  let s = schema t in
+  let delta = Schema.delta s rel in
+  let count_src =
+    match kind with `Del -> delta.Schema.n_del | `Upd -> delta.Schema.n_upd
+  in
+  if count_src <= 0. then (zero_prop, Loc_scan)
+  else begin
+    let card_v = Element.card d target in
+    let pages_v = Element.pages d target in
+    let s_key =
+      match target with
+      | Element.Base i ->
+          assert (i = rel);
+          1.
+      | Element.View set -> Derived.matches_per_key d ~view:set ~rel
+    in
+    let affected = count_src *. s_key in
+    let delta_pages = Derived.delta_pages d ~rel ~count:count_src in
+    let pm = mem_pages t in
+    (* Option 1: scan the target with the delta keys in memory. *)
+    let scan_eval = delta_pages +. nbj_cost t ~outer_pages:delta_pages ~inner_pages:pages_v in
+    let scan_apply = Yao.yao ~n:card_v ~p:pages_v ~k:affected in
+    let best = ref (scan_eval, scan_apply, Loc_scan) in
+    (* Option 2: probe an index on the key attribute of [rel]. *)
+    let key_attr =
+      { Element.a_rel = rel; a_name = (Schema.relation s rel).Schema.key_attr }
+    in
+    if Config.has_index t.config target key_attr then begin
+      let shape = Derived.index_shape d ~entries:card_v in
+      let per_probe =
+        float_of_int (max 0 (shape.Derived.ix_height - 2))
+        +. Num.fceil (shape.Derived.ix_pages *. s_key /. Float.max card_v 1e-9)
+      in
+      let ix_eval =
+        delta_pages
+        +. Yao.y_wap ~n:card_v ~p:shape.Derived.ix_pages
+             ~k:(count_src *. per_probe) ~m:(pm /. 2.)
+        +. Yao.y_wap ~n:card_v ~p:pages_v ~k:affected ~m:(pm /. 2.)
+      in
+      let ix_apply = Yao.y_wap ~n:card_v ~p:pages_v ~k:affected ~m:pm in
+      let ix = { Element.ix_elem = target; ix_attr = key_attr } in
+      let scan_total = scan_eval +. scan_apply in
+      if ix_eval +. ix_apply < scan_total then
+        best := (ix_eval, ix_apply, Loc_key_index ix)
+    end;
+    let eval, apply, how = !best in
+    let p_index = match kind with `Del -> apply_ix t target affected | `Upd -> 0. in
+    ( {
+        p_eval = eval;
+        p_apply = apply;
+        p_save = 0.;
+        p_index;
+        p_result_tuples = affected;
+      },
+      how )
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Memoized entry points. *)
+
+let prop_ins t ~target ~rel =
+  let key = memo_key t ~target ~rel ~kind:'i' in
+  match Ktbl.find_opt t.cache key with
+  | Some (M_ins (p, plan)) -> (p, plan)
+  | Some (M_loc _ | M_elem _) -> assert false
+  | None ->
+      let p, plan = prop_ins_uncached t ~target ~rel in
+      Ktbl.replace t.cache key (M_ins (p, plan));
+      (p, plan)
+
+let prop_loc t ~target ~rel ~kind =
+  let tag = match kind with `Del -> 'd' | `Upd -> 'u' in
+  let key = memo_key t ~target ~rel ~kind:tag in
+  match Ktbl.find_opt t.cache key with
+  | Some (M_loc (p, how)) -> (p, how)
+  | Some (M_ins _ | M_elem _) -> assert false
+  | None ->
+      let p, how = prop_delupd_uncached t ~target ~rel ~kind in
+      Ktbl.replace t.cache key (M_loc (p, how));
+      (p, how)
+
+let prop_del t ~target ~rel = prop_loc t ~target ~rel ~kind:`Del
+
+let prop_upd t ~target ~rel = prop_loc t ~target ~rel ~kind:`Upd
+
+let element_cost t elem =
+  let key = memo_key t ~target:elem ~rel:(-1) ~kind:'E' in
+  match Ktbl.find_opt t.cache key with
+  | Some (M_elem c) -> c
+  | Some (M_ins _ | M_loc _) -> assert false
+  | None ->
+      let c =
+        Bitset.fold
+          (fun r acc ->
+            let pi, _ = prop_ins t ~target:elem ~rel:r in
+            let pd, _ = prop_del t ~target:elem ~rel:r in
+            let pu, _ = prop_upd t ~target:elem ~rel:r in
+            acc +. prop_total pi +. prop_total pd +. prop_total pu)
+          (Element.rels elem) 0.
+      in
+      Ktbl.replace t.cache key (M_elem c);
+      c
+
+let index_maint_cost t ix =
+  let elem = ix.Element.ix_elem in
+  Bitset.fold
+    (fun r acc ->
+      let pi, _ = prop_ins t ~target:elem ~rel:r in
+      let pd, _ = prop_del t ~target:elem ~rel:r in
+      acc
+      +. apply_one_index t elem ix.Element.ix_attr pi.p_result_tuples
+      +. apply_one_index t elem ix.Element.ix_attr pd.p_result_tuples)
+    (Element.rels elem) 0.
+
+let maintained_elements t =
+  let s = schema t in
+  let n = Schema.n_relations s in
+  List.init n (fun i -> Element.Base i)
+  @ List.map (fun w -> Element.View w) (Config.views t.config)
+  @ [ Element.View (Schema.all_relations s) ]
+
+let total t =
+  List.fold_left (fun acc e -> acc +. element_cost t e) 0. (maintained_elements t)
+
+let total_of ?cache derived config = total (create ?cache derived config)
+
+let pp_ins_plan s ~target ~rel ppf plan =
+  ignore target;
+  let rel_name = (Schema.relation s rel).Schema.rel_name in
+  (match plan.ip_start with
+  | From_delta -> Format.fprintf ppf "\xce\x94%s" rel_name
+  | From_saved w ->
+      Format.fprintf ppf "\xce\x94%s^save(%s)" rel_name
+        (Element.name s (Element.View w)));
+  List.iter
+    (fun (unit, how) ->
+      match how with
+      | Nbj -> Format.fprintf ppf " \xe2\x8b\x88nbj %s" (Element.name s unit)
+      | Index_join ix ->
+          Format.fprintf ppf " \xe2\x8b\x88ix[%s] %s"
+            (Element.index_name s ix) (Element.name s unit))
+    plan.ip_steps

@@ -1,0 +1,116 @@
+(** The Appendix-A maintenance cost model.
+
+    Costs are estimated page I/Os for one refresh batch.  The evaluator binds
+    a schema's derived statistics to a physical configuration; the total cost
+    [C(M')] of the paper is {!total}: the sum of maintaining every base
+    relation, the primary view, every supporting view, and every index.
+
+    Maintenance of a view [V] for deltas of a base relation [R ∈ R(V)]
+    follows Table 4:
+    - insertions: [Eval(ΔR ⋈ …)] over the best update path (answering the
+      maintenance expression from base relations, materialized subviews, and
+      saved deltas of materialized subviews — the paper's limited
+      multiple-query optimization) + appending the result + saving it for
+      reuse (supporting views only) + updating [V]'s indexes;
+    - deletions: locating the affected tuples by a key-attribute index
+      semijoin or by scanning [V], + deleting them + updating indexes;
+    - protected updates: like deletions but without index maintenance.
+
+    The plan space of [Eval] is searched exhaustively by dynamic programming
+    over covered relation subsets with left-deep joins, costing nested-block
+    and index joins per Table 5.  Evaluations are memoized in a {!cache}
+    keyed by the configuration restricted to the features that can influence
+    the expression (see {!Config.restrict}), so search algorithms evaluating
+    many configurations share work. *)
+
+type cache
+
+val new_cache : unit -> cache
+
+(** Number of distinct (target, delta, restricted-configuration) evaluations
+    stored — a measure of optimizer work. *)
+val cache_size : cache -> int
+
+type t
+
+(** [create ?cache derived config] binds the evaluator.  Without [cache] a
+    private one is created. *)
+val create : ?cache:cache -> Vis_catalog.Derived.t -> Config.t -> t
+
+val config : t -> Config.t
+
+val derived : t -> Vis_catalog.Derived.t
+
+(** {1 Plans} *)
+
+type join_method =
+  | Nbj  (** nested-block join with the (small) delta as the outer *)
+  | Index_join of Element.index
+      (** probe [ix] on the inner element per outer tuple *)
+
+type ins_start =
+  | From_delta  (** start from the shipped delta [ΔR] *)
+  | From_saved of Vis_util.Bitset.t
+      (** reuse the saved insertion delta [ΔV'^save_R] of materialized
+          subview [V'] *)
+
+type ins_plan = {
+  ip_start : ins_start;
+  ip_steps : (Element.t * join_method) list;  (** in join order *)
+}
+
+type locate_method =
+  | Loc_scan  (** scan the view, semijoin in memory *)
+  | Loc_key_index of Element.index  (** probe the key index per delta tuple *)
+
+(** Cost breakdown of propagating one delta type of one relation onto one
+    element (Table 4's [Prop_*]). *)
+type prop = {
+  p_eval : float;  (** computing the delta result *)
+  p_apply : float;  (** applying it to the stored element *)
+  p_save : float;  (** saving [ΔV^save] for reuse (insertions only) *)
+  p_index : float;  (** maintaining the element's indexes *)
+  p_result_tuples : float;  (** size of the delta result *)
+}
+
+val prop_total : prop -> float
+
+(** {1 Costs} *)
+
+(** [prop_ins t ~target ~rel] is the cost of propagating insertions of
+    [rel] onto [target], with the winning update path.  Zero-cost with an
+    empty plan when the relation has no insertions. *)
+val prop_ins : t -> target:Element.t -> rel:int -> prop * ins_plan
+
+(** [prop_del t ~target ~rel] — deletions, with the winning locate method. *)
+val prop_del : t -> target:Element.t -> rel:int -> prop * locate_method
+
+(** [prop_upd t ~target ~rel] — protected updates. *)
+val prop_upd : t -> target:Element.t -> rel:int -> prop * locate_method
+
+(** [element_cost t elem] sums [Prop_ins + Prop_del + Prop_upd] over the base
+    relations of [elem] (Table 4's [Cost_v(V)]). *)
+val element_cost : t -> Element.t -> float
+
+(** [index_maint_cost t ix] is the index's own share of the maintenance cost:
+    the [Apply_ix] terms it contributes for insertions and deletions
+    propagated to its element. *)
+val index_maint_cost : t -> Element.index -> float
+
+(** [maintained_elements t] is every element whose maintenance [total]
+    charges: all base relations, all supporting views of the configuration,
+    and the primary view. *)
+val maintained_elements : t -> Element.t list
+
+(** [total t] is [C(M')]: the total maintenance cost of the warehouse under
+    the evaluator's configuration. *)
+val total : t -> float
+
+(** [total_of ?cache derived config] is a convenience for
+    [total (create ?cache derived config)]. *)
+val total_of : ?cache:cache -> Vis_catalog.Derived.t -> Config.t -> float
+
+(** {1 Rendering} *)
+
+val pp_ins_plan :
+  Vis_catalog.Schema.t -> target:Element.t -> rel:int -> Format.formatter -> ins_plan -> unit

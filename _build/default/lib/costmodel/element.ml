@@ -1,0 +1,65 @@
+module Bitset = Vis_util.Bitset
+module Schema = Vis_catalog.Schema
+module Derived = Vis_catalog.Derived
+
+type t = Base of int | View of Bitset.t
+
+type attr = { a_rel : int; a_name : string }
+
+type index = { ix_elem : t; ix_attr : attr }
+
+let equal a b =
+  match (a, b) with
+  | Base i, Base j -> i = j
+  | View s, View t -> Bitset.equal s t
+  | Base _, View _ | View _, Base _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Base i, Base j -> Int.compare i j
+  | View s, View t -> Bitset.compare s t
+  | Base _, View _ -> -1
+  | View _, Base _ -> 1
+
+let equal_attr a b = a.a_rel = b.a_rel && String.equal a.a_name b.a_name
+
+let compare_attr a b =
+  match Int.compare a.a_rel b.a_rel with
+  | 0 -> String.compare a.a_name b.a_name
+  | c -> c
+
+let equal_index a b = equal a.ix_elem b.ix_elem && equal_attr a.ix_attr b.ix_attr
+
+let compare_index a b =
+  match compare a.ix_elem b.ix_elem with
+  | 0 -> compare_attr a.ix_attr b.ix_attr
+  | c -> c
+
+let rels = function Base i -> Bitset.singleton i | View s -> s
+
+let card d = function
+  | Base i -> Derived.base_card d i
+  | View s -> Derived.view_card d s
+
+let pages d = function
+  | Base i -> Derived.base_pages d i
+  | View s -> Derived.view_pages d s
+
+let index_shape d ix = Derived.index_shape d ~entries:(card d ix.ix_elem)
+
+let name schema = function
+  | Base i -> (Schema.relation schema i).Schema.rel_name
+  | View s ->
+      if Bitset.equal s (Schema.all_relations schema) then "V"
+      else
+        String.concat ""
+          (List.map
+             (fun i ->
+               let base = (Schema.relation schema i).Schema.rel_name in
+               if Schema.has_selection schema i then "\xcf\x83" ^ base else base)
+             (Bitset.elements s))
+
+let index_name schema ix =
+  Printf.sprintf "ix(%s, %s.%s)" (name schema ix.ix_elem)
+    (Schema.relation schema ix.ix_attr.a_rel).Schema.rel_name
+    ix.ix_attr.a_name

@@ -1,0 +1,49 @@
+(** Materializable elements of the physical design: stored base-relation
+    replicas and (sub)views of the primary view, plus indexes on them.
+
+    [View set] always means the join of the relations in [set] with every
+    local selection pushed down; [View (full set)] is the primary view and
+    [View {i}] is a σR-style selection view.  [Base i] is the unfiltered
+    replica of relation [i]; its statistics differ from [View {i}] exactly
+    when relation [i] carries a selection. *)
+
+type t =
+  | Base of int
+  | View of Vis_util.Bitset.t
+
+(** A qualified attribute: relation index and attribute name. *)
+type attr = { a_rel : int; a_name : string }
+
+(** An index is a B+-tree on a single attribute of an element (Section
+    3.1). *)
+type index = { ix_elem : t; ix_attr : attr }
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val equal_attr : attr -> attr -> bool
+
+val equal_index : index -> index -> bool
+
+val compare_index : index -> index -> int
+
+(** [rels elem] is the set of base relations the element covers. *)
+val rels : t -> Vis_util.Bitset.t
+
+(** [card d elem] is [T(elem)]: full cardinality for [Base], selected and
+    joined cardinality for [View]. *)
+val card : Vis_catalog.Derived.t -> t -> float
+
+(** [pages d elem] is [P(elem)]. *)
+val pages : Vis_catalog.Derived.t -> t -> float
+
+(** [index_shape d ix] sizes the B+-tree of [ix] over [card] entries. *)
+val index_shape : Vis_catalog.Derived.t -> index -> Vis_catalog.Derived.index_shape
+
+(** [name schema elem] renders an element, e.g. ["R"], ["σT"], ["RST"],
+    [V] for the primary view. *)
+val name : Vis_catalog.Schema.t -> t -> string
+
+(** [index_name schema ix] renders e.g. ["ix(RST, T.T0)"]. *)
+val index_name : Vis_catalog.Schema.t -> index -> string

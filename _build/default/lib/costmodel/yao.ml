@@ -1,0 +1,15 @@
+let yao ~n:_ ~p ~k =
+  if k <= 0. || p <= 0. then 0.
+  else
+    let est =
+      if k < p /. 2. then k
+      else if k <= 2. *. p then (k +. p) /. 3.
+      else p
+    in
+    Float.min est p
+
+let y_wap ~n:_ ~p ~k ~m =
+  if k <= 0. || p <= 0. then 0.
+  else if p <= m then Float.min k p
+  else if k <= m then k
+  else m +. ((k -. m) *. (p -. m) /. p)

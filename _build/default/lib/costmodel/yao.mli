@@ -1,0 +1,21 @@
+(** Page-access estimators used throughout the Appendix-A cost model.
+
+    [yao] is Yao's classical estimate of page reads when [k] of [n] tuples
+    are fetched from a relation of [p] pages, assuming accesses are sorted
+    (or the relation fits in memory).  The paper uses the piecewise
+    approximation of its Section A rather than the exact formula.
+
+    [y_wap] is the estimator of Mackert & Lohman [ML89] for the number of
+    page {e read operations} when [k] tuple fetches hit a relation of [p]
+    pages through an [m]-page LRU buffer, with accesses in random order. *)
+
+(** [yao ~n ~p ~k] — piecewise, per the paper:
+    [k] when [k < p/2]; [(k + p)/3] when [p/2 ≤ k ≤ 2p]; [p] when [k > 2p].
+    [n] (total tuples) is accepted for signature fidelity but unused by the
+    approximation.  Results are clamped to [0, p] and to [0] when [k ≤ 0]. *)
+val yao : n:float -> p:float -> k:float -> float
+
+(** [y_wap ~n ~p ~k ~m]:
+    [min(k, p)] when [p ≤ m]; [k] when [p > m] and [k ≤ m];
+    [m + (k−m)·(p−m)/p] otherwise.  [0] when [k ≤ 0]. *)
+val y_wap : n:float -> p:float -> k:float -> m:float -> float

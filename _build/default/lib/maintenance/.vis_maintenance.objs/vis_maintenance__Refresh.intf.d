@@ -1,0 +1,1 @@
+lib/maintenance/refresh.mli: Vis_workload Warehouse

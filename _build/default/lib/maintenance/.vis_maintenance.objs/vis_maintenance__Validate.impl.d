@@ -1,0 +1,1 @@
+lib/maintenance/validate.ml: Array Hashtbl List Option Random Refresh Vis_catalog Vis_costmodel Vis_relalg Vis_util Vis_workload Warehouse

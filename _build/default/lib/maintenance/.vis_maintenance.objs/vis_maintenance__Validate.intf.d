@@ -1,0 +1,1 @@
+lib/maintenance/validate.mli: Refresh Vis_catalog Vis_costmodel Warehouse

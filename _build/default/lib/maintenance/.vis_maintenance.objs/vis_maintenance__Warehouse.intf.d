@@ -1,0 +1,1 @@
+lib/maintenance/warehouse.mli: Vis_catalog Vis_costmodel Vis_relalg Vis_storage Vis_util Vis_workload

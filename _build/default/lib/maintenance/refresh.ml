@@ -1,0 +1,306 @@
+module Bitset = Vis_util.Bitset
+module Schema = Vis_catalog.Schema
+module Element = Vis_costmodel.Element
+module Cost = Vis_costmodel.Cost
+module Table = Vis_relalg.Table
+module Reldesc = Vis_relalg.Reldesc
+module Exec = Vis_relalg.Exec
+module Datagen = Vis_workload.Datagen
+
+type report = {
+  rp_reads : int;
+  rp_writes : int;
+  rp_accesses : int;
+  rp_predicted : float;
+}
+
+let total_io r = r.rp_reads + r.rp_writes
+
+let rels_of_desc desc =
+  List.fold_left
+    (fun acc (r, _) -> Bitset.add r acc)
+    Bitset.empty (Reldesc.attrs desc)
+
+(* Equality conditions linking the rows described by [desc] with a join
+   unit, as (outer offset, inner offset) pairs. *)
+let equalities schema desc unit_desc =
+  let left = rels_of_desc desc in
+  let right = rels_of_desc unit_desc in
+  List.filter_map
+    (fun (j : Schema.join) ->
+      if Bitset.mem j.Schema.left_rel left && Bitset.mem j.Schema.right_rel right
+      then
+        Some
+          ( Reldesc.offset desc ~rel:j.Schema.left_rel ~attr:j.Schema.left_attr,
+            Reldesc.offset unit_desc ~rel:j.Schema.right_rel
+              ~attr:j.Schema.right_attr )
+      else if
+        Bitset.mem j.Schema.right_rel left && Bitset.mem j.Schema.left_rel right
+      then
+        Some
+          ( Reldesc.offset desc ~rel:j.Schema.right_rel ~attr:j.Schema.right_attr,
+            Reldesc.offset unit_desc ~rel:j.Schema.left_rel ~attr:j.Schema.left_attr
+          )
+      else None)
+    schema.Schema.joins
+
+(* Residual predicate on combined tuples: remaining equalities plus the
+   pushed-down selections of a base-relation unit. *)
+let residual_filter schema ~outer_arity ~eqs ~elem ~unit_desc =
+  let sel_checks =
+    match elem with
+    | Element.View _ -> []
+    | Element.Base i ->
+        List.filter_map
+          (fun (s : Schema.selection) ->
+            if s.Schema.sel_rel <> i then None
+            else
+              let off =
+                outer_arity
+                + Reldesc.offset unit_desc ~rel:i ~attr:s.Schema.sel_attr
+              in
+              let bound =
+                int_of_float
+                  (s.Schema.selectivity *. float_of_int Datagen.sel_resolution)
+              in
+              Some (fun (t : int array) -> t.(off) < bound))
+          schema.Schema.selections
+  in
+  let eq_checks =
+    List.map
+      (fun (oo, io) -> fun (t : int array) -> t.(oo) = t.(outer_arity + io))
+      eqs
+  in
+  match sel_checks @ eq_checks with
+  | [] -> None
+  | checks -> Some (fun t -> List.for_all (fun c -> c t) checks)
+
+let block_tuples_for schema desc =
+  let bytes = max 1 (Reldesc.arity desc) * Warehouse.attr_bytes in
+  let tpp = max 1 (schema.Schema.page_bytes / bytes) in
+  max 1 (schema.Schema.mem_pages * tpp)
+
+(* Reorder a tuple produced with layout [from_desc] into [to_desc]. *)
+let permutation ~from_desc ~to_desc =
+  Array.of_list
+    (List.map
+       (fun (rel, attr) -> Reldesc.offset from_desc ~rel ~attr)
+       (Reldesc.attrs to_desc))
+
+let temp_table pool schema desc =
+  Table.create pool ~desc ~page_bytes:schema.Schema.page_bytes
+    ~attr_bytes:Warehouse.attr_bytes
+
+(* Execute the optimizer's insertion update path for one (view, relation)
+   pair, returning rows in the view's canonical layout. *)
+let exec_ins_plan w ~saved ~ins_temp ~rel ~target_set (plan : Cost.ins_plan) =
+  let schema = w.Warehouse.w_schema in
+  let start_desc, start_rows =
+    match plan.Cost.ip_start with
+    | Cost.From_delta ->
+        let raw = Exec.scan ins_temp () in
+        ( Reldesc.of_relation schema rel,
+          List.filter (Datagen.passes_selections schema ~rel) raw )
+    | Cost.From_saved wset ->
+        let temp : Table.t = Hashtbl.find saved (rel, Bitset.to_int wset) in
+        (Warehouse.view_desc schema wset, Exec.scan temp ())
+  in
+  let step (desc, rows) (elem, how) =
+    let table = Warehouse.element_table w elem in
+    let unit_desc = Table.desc table in
+    let eqs = equalities schema desc unit_desc in
+    let outer_arity = Reldesc.arity desc in
+    let joined =
+      match how with
+      | Cost.Nbj -> (
+          let block_tuples = block_tuples_for schema desc in
+          match eqs with
+          | [] ->
+              let filter =
+                residual_filter schema ~outer_arity ~eqs:[] ~elem ~unit_desc
+              in
+              Exec.block_cross_join ~outer:rows ~block_tuples ~inner:table
+                ?filter ()
+          | (oo, io) :: residual ->
+              let filter =
+                residual_filter schema ~outer_arity ~eqs:residual ~elem
+                  ~unit_desc
+              in
+              Exec.nested_block_join ~outer:rows ~outer_offset:oo ~block_tuples
+                ~inner:table ~inner_offset:io ?filter ())
+      | Cost.Index_join ix -> (
+          let inner_offset =
+            Reldesc.offset unit_desc ~rel:ix.Element.ix_attr.Element.a_rel
+              ~attr:ix.Element.ix_attr.Element.a_name
+          in
+          match List.partition (fun (_, io) -> io = inner_offset) eqs with
+          | (oo, io) :: extra_same, residual ->
+              let filter =
+                residual_filter schema ~outer_arity ~eqs:(extra_same @ residual)
+                  ~elem ~unit_desc
+              in
+              Exec.index_join ~outer:rows ~outer_offset:oo ~inner:table
+                ~inner_offset:io ?filter ()
+          | [], _ ->
+              invalid_arg "Refresh: index join without a matching equality")
+    in
+    (Reldesc.concat desc unit_desc, joined)
+  in
+  let desc, rows = List.fold_left step (start_desc, start_rows) plan.Cost.ip_steps in
+  let canonical = Warehouse.view_desc schema target_set in
+  if Reldesc.equal desc canonical then rows
+  else begin
+    let perm = permutation ~from_desc:desc ~to_desc:canonical in
+    List.map (fun row -> Array.map (fun o -> row.(o)) perm) rows
+  end
+
+(* Locate the target tuples carrying one of [keys] in relation [rel]'s key
+   attribute, by the optimizer's chosen method. *)
+let locate w table ~rel ~keys how =
+  let schema = w.Warehouse.w_schema in
+  let key_attr = (Schema.relation schema rel).Schema.key_attr in
+  let offset = Reldesc.offset (Table.desc table) ~rel ~attr:key_attr in
+  match how with
+  | Cost.Loc_scan -> Exec.locate_by_scan table ~offset ~keys
+  | Cost.Loc_key_index _ -> Exec.locate_by_index table ~offset ~keys
+
+let run w (batch : Datagen.batch) =
+  let schema = w.Warehouse.w_schema in
+  let pool = w.Warehouse.w_pool in
+  let eval = Cost.create w.Warehouse.w_derived w.Warehouse.w_config in
+  let predicted = Cost.total eval in
+  let n = Schema.n_relations schema in
+  (* Stage the shipped deltas in temporary tables, then reset the counters:
+     maintenance starts with the deltas on disk. *)
+  let ins_temp =
+    Array.init n (fun r ->
+        let t = temp_table pool schema (Reldesc.of_relation schema r) in
+        List.iter (fun row -> ignore (Table.insert t row)) batch.Datagen.b_ins.(r);
+        t)
+  in
+  (* Deletions ship as key-only tuples; we stage them at full relation width
+     (zero-padded), matching the cost model's page estimate for ∇R. *)
+  let key_offset r =
+    let key_attr = (Schema.relation schema r).Schema.key_attr in
+    Schema.attr_pos schema r key_attr
+  in
+  let del_temp =
+    Array.init n (fun r ->
+        let desc = Reldesc.of_relation schema r in
+        let t = temp_table pool schema desc in
+        let arity = Reldesc.arity desc in
+        let ko = key_offset r in
+        List.iter
+          (fun key ->
+            let row = Array.make arity 0 in
+            row.(ko) <- key;
+            ignore (Table.insert t row))
+          batch.Datagen.b_del.(r);
+        t)
+  in
+  let upd_temp =
+    Array.init n (fun r ->
+        let t = temp_table pool schema (Reldesc.of_relation schema r) in
+        List.iter
+          (fun (_, row) -> ignore (Table.insert t row))
+          batch.Datagen.b_upd.(r);
+        t)
+  in
+  Warehouse.reset_stats w;
+  let saved : (int * int, Table.t) Hashtbl.t = Hashtbl.create 16 in
+  for r = 0 to n - 1 do
+    (* Insertions: views smallest-first, then the base replica. *)
+    if batch.Datagen.b_ins.(r) <> [] then begin
+      List.iter
+        (fun (set, vtable) ->
+          if Bitset.mem r set then begin
+            let _, plan = Cost.prop_ins eval ~target:(Element.View set) ~rel:r in
+            let rows =
+              exec_ins_plan w ~saved ~ins_temp:ins_temp.(r) ~rel:r
+                ~target_set:set plan
+            in
+            List.iter (fun row -> ignore (Table.insert vtable row)) rows;
+            if not (Bitset.equal set (Schema.all_relations schema)) then begin
+              let save = temp_table pool schema (Warehouse.view_desc schema set) in
+              List.iter (fun row -> ignore (Table.insert save row)) rows;
+              Hashtbl.replace saved (r, Bitset.to_int set) save
+            end
+          end)
+        w.Warehouse.w_views;
+      let raw = Exec.scan ins_temp.(r) () in
+      List.iter
+        (fun row -> ignore (Table.insert w.Warehouse.w_bases.(r) row))
+        raw
+    end;
+    (* Deletions: read the shipped keys, then locate and remove. *)
+    if batch.Datagen.b_del.(r) <> [] then begin
+      let ko = key_offset r in
+      let read_keys () =
+        List.map (fun row -> row.(ko)) (Exec.scan del_temp.(r) ())
+      in
+      List.iter
+        (fun (set, vtable) ->
+          if Bitset.mem r set then begin
+            let _, how = Cost.prop_del eval ~target:(Element.View set) ~rel:r in
+            let located = locate w vtable ~rel:r ~keys:(read_keys ()) how in
+            List.iter (fun (rid, _) -> ignore (Table.delete vtable rid)) located
+          end)
+        w.Warehouse.w_views;
+      let _, how = Cost.prop_del eval ~target:(Element.Base r) ~rel:r in
+      let located =
+        locate w w.Warehouse.w_bases.(r) ~rel:r ~keys:(read_keys ()) how
+      in
+      List.iter
+        (fun (rid, _) -> ignore (Table.delete w.Warehouse.w_bases.(r) rid))
+        located
+    end;
+    (* Protected updates: read the shipped replacement rows, then locate
+       and overwrite in place. *)
+    if batch.Datagen.b_upd.(r) <> [] then begin
+      let ko = key_offset r in
+      let shipped = Exec.scan upd_temp.(r) () in
+      let keys = List.map (fun row -> row.(ko)) shipped in
+      let replacement = Hashtbl.create (2 * List.length shipped) in
+      List.iter (fun row -> Hashtbl.replace replacement row.(ko) row) shipped;
+      List.iter
+        (fun (set, vtable) ->
+          if Bitset.mem r set then begin
+            let _, how = Cost.prop_upd eval ~target:(Element.View set) ~rel:r in
+            let located = locate w vtable ~rel:r ~keys how in
+            let desc = Table.desc vtable in
+            let key_attr = (Schema.relation schema r).Schema.key_attr in
+            let key_off = Reldesc.offset desc ~rel:r ~attr:key_attr in
+            List.iter
+              (fun (rid, old_row) ->
+                match Hashtbl.find_opt replacement old_row.(key_off) with
+                | None -> ()
+                | Some fresh ->
+                    let updated = Array.copy old_row in
+                    List.iteri
+                      (fun pos (drel, dattr) ->
+                        if drel = r then
+                          updated.(pos) <-
+                            fresh.(Schema.attr_pos schema r dattr))
+                      (Reldesc.attrs desc);
+                    ignore (Table.update vtable rid updated))
+              located
+          end)
+        w.Warehouse.w_views;
+      let _, how = Cost.prop_upd eval ~target:(Element.Base r) ~rel:r in
+      let located = locate w w.Warehouse.w_bases.(r) ~rel:r ~keys how in
+      List.iter
+        (fun (rid, old_row) ->
+          match Hashtbl.find_opt replacement old_row.(ko) with
+          | None -> ()
+          | Some fresh -> ignore (Table.update w.Warehouse.w_bases.(r) rid fresh))
+        located
+    end
+  done;
+  Vis_storage.Buffer_pool.flush pool;
+  let stats = w.Warehouse.w_stats in
+  {
+    rp_reads = Vis_storage.Iostats.reads stats;
+    rp_writes = Vis_storage.Iostats.writes stats;
+    rp_accesses = Vis_storage.Iostats.accesses stats;
+    rp_predicted = predicted;
+  }

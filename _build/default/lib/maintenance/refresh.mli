@@ -1,0 +1,28 @@
+(** Execution of one refresh cycle: the shipped deltas of every base relation
+    are propagated, relation by relation, onto the base replicas, the
+    supporting views, and the primary view, following exactly the update
+    paths the cost model's optimizer chose (nested-block vs. index joins,
+    saved-delta reuse, key-index vs. scan locating).  The buffer pool records
+    the physical I/O, which {!Validate} compares with the cost model's
+    prediction.
+
+    Relations are processed in index order; within a relation, insertions
+    are propagated to views smallest-first (so saved deltas exist when a
+    superview's plan reuses them), then applied to the base replica, then
+    deletions, then protected updates.  This sequential discipline makes the
+    incremental result exact: each maintenance expression runs against
+    states already consistent with the previously processed deltas. *)
+
+type report = {
+  rp_reads : int;
+  rp_writes : int;
+  rp_accesses : int;
+  rp_predicted : float;  (** the cost model's [C(M')] for the same batch *)
+}
+
+val total_io : report -> int
+
+(** [run warehouse batch] executes the refresh and reports measured vs.
+    predicted I/O.  The warehouse's counters are reset first; on return they
+    hold just this refresh (pool flushed into the counts). *)
+val run : Warehouse.t -> Vis_workload.Datagen.batch -> report

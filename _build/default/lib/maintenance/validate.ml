@@ -1,0 +1,57 @@
+module Bitset = Vis_util.Bitset
+module Schema = Vis_catalog.Schema
+module Element = Vis_costmodel.Element
+module Table = Vis_relalg.Table
+module Exec = Vis_relalg.Exec
+module Datagen = Vis_workload.Datagen
+
+type view_check = {
+  vc_view : string;
+  vc_expected : int;
+  vc_actual : int;
+  vc_ok : bool;
+}
+
+let multiset_of rows =
+  let t = Hashtbl.create 256 in
+  List.iter
+    (fun row ->
+      let key = Array.to_list row in
+      Hashtbl.replace t key (1 + Option.value ~default:0 (Hashtbl.find_opt t key)))
+    rows;
+  t
+
+let multiset_equal a b =
+  Hashtbl.length a = Hashtbl.length b
+  && Hashtbl.fold
+       (fun k v acc -> acc && Hashtbl.find_opt b k = Some v)
+       a true
+
+let check_views w =
+  let schema = w.Warehouse.w_schema in
+  let n = Schema.n_relations schema in
+  (* Current base contents, straight from the replicas. *)
+  let tuples = Array.init n (fun r -> Exec.scan w.Warehouse.w_bases.(r) ()) in
+  List.map
+    (fun (set, table) ->
+      let expected = Warehouse.compute_view_in_memory schema ~tuples set in
+      let actual = Exec.scan table () in
+      let ok = multiset_equal (multiset_of expected) (multiset_of actual) in
+      {
+        vc_view = Element.name schema (Element.View set);
+        vc_expected = List.length expected;
+        vc_actual = List.length actual;
+        vc_ok = ok;
+      })
+    w.Warehouse.w_views
+
+let all_ok checks = List.for_all (fun c -> c.vc_ok) checks
+
+let run_cycle ?(seed = 42) schema config =
+  let rng = Random.State.make [| seed |] in
+  let dataset = Datagen.generate ~rng schema in
+  let warehouse = Warehouse.build schema config dataset in
+  let batch = Datagen.deltas ~rng schema dataset in
+  let report = Refresh.run warehouse batch in
+  let checks = check_views warehouse in
+  (report, checks)

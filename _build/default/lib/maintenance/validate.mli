@@ -1,0 +1,30 @@
+(** Cross-checks between the executed warehouse and ground truth:
+
+    - {e correctness}: after a refresh, every materialized view must equal
+      the view recomputed from scratch over the refreshed base replicas;
+    - {e cost-model accuracy}: the measured physical I/O of a refresh should
+      track the cost model's prediction (the experiments report the ratio;
+      the paper's conclusions depend on relative costs, so a stable ratio
+      across configurations is what matters). *)
+
+type view_check = {
+  vc_view : string;
+  vc_expected : int;  (** tuples in the recomputed view *)
+  vc_actual : int;  (** tuples stored *)
+  vc_ok : bool;  (** multiset equality, not just counts *)
+}
+
+(** [check_views w] recomputes every materialized view from the current base
+    replicas and compares contents. *)
+val check_views : Warehouse.t -> view_check list
+
+val all_ok : view_check list -> bool
+
+(** [run_cycle ?seed schema config] generates data, builds the warehouse,
+    runs one refresh, and returns the refresh report together with the view
+    checks — the complete validation experiment for one configuration. *)
+val run_cycle :
+  ?seed:int ->
+  Vis_catalog.Schema.t ->
+  Vis_costmodel.Config.t ->
+  Refresh.report * view_check list

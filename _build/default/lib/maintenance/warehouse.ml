@@ -1,0 +1,172 @@
+module Bitset = Vis_util.Bitset
+module Schema = Vis_catalog.Schema
+module Derived = Vis_catalog.Derived
+module Element = Vis_costmodel.Element
+module Config = Vis_costmodel.Config
+module Table = Vis_relalg.Table
+module Reldesc = Vis_relalg.Reldesc
+module Datagen = Vis_workload.Datagen
+
+type t = {
+  w_schema : Schema.t;
+  w_derived : Derived.t;
+  w_config : Config.t;
+  w_pool : Vis_storage.Buffer_pool.t;
+  w_stats : Vis_storage.Iostats.t;
+  w_bases : Table.t array;
+  w_views : (Bitset.t * Table.t) list;
+}
+
+let attr_bytes = 8
+
+let view_desc schema set =
+  Bitset.fold
+    (fun i acc ->
+      let d = Reldesc.of_relation schema i in
+      match acc with None -> Some d | Some prev -> Some (Reldesc.concat prev d))
+    set None
+  |> function
+  | Some d -> d
+  | None -> invalid_arg "Warehouse.view_desc: empty set"
+
+(* In-memory hash join of the view's relations, selections applied, in
+   canonical relation order. *)
+let compute_view_in_memory schema ~tuples set =
+  let rels = Bitset.elements set in
+  match rels with
+  | [] -> invalid_arg "Warehouse.compute_view_in_memory: empty set"
+  | first :: rest ->
+      let filtered rel =
+        List.filter
+          (Datagen.passes_selections schema ~rel)
+          tuples.(rel)
+      in
+      let init =
+        (Reldesc.of_relation schema first, filtered first)
+      in
+      let step (desc, rows) rel =
+        let rdesc = Reldesc.of_relation schema rel in
+        let conds =
+          List.filter_map
+            (fun (j : Schema.join) ->
+              if
+                j.Schema.left_rel = rel
+                && Reldesc.mem desc ~rel:j.Schema.right_rel ~attr:j.Schema.right_attr
+              then
+                Some
+                  ( Reldesc.offset desc ~rel:j.Schema.right_rel ~attr:j.Schema.right_attr,
+                    Schema.attr_pos schema rel j.Schema.left_attr )
+              else if
+                j.Schema.right_rel = rel
+                && Reldesc.mem desc ~rel:j.Schema.left_rel ~attr:j.Schema.left_attr
+              then
+                Some
+                  ( Reldesc.offset desc ~rel:j.Schema.left_rel ~attr:j.Schema.left_attr,
+                    Schema.attr_pos schema rel j.Schema.right_attr )
+              else None)
+            schema.Schema.joins
+        in
+        let new_rows = filtered rel in
+        let combined =
+          match conds with
+          | [] ->
+              (* Cross product. *)
+              List.concat_map
+                (fun a -> List.map (fun b -> Array.append a b) new_rows)
+                rows
+          | (lo, ro) :: residual ->
+              let hash = Hashtbl.create (2 * List.length new_rows) in
+              List.iter (fun b -> Hashtbl.add hash b.(ro) b) new_rows;
+              List.concat_map
+                (fun a ->
+                  List.filter_map
+                    (fun b ->
+                      if
+                        List.for_all
+                          (fun (lo', ro') -> a.(lo') = b.(ro'))
+                          residual
+                      then Some (Array.append a b)
+                      else None)
+                    (Hashtbl.find_all hash a.(lo)))
+                rows
+        in
+        (Reldesc.concat desc rdesc, combined)
+      in
+      let _, rows = List.fold_left step init rest in
+      rows
+
+let build schema config dataset =
+  let stats = Vis_storage.Iostats.create () in
+  let pool =
+    Vis_storage.Buffer_pool.create ~capacity:schema.Schema.mem_pages ~stats
+  in
+  let n = Schema.n_relations schema in
+  let bases =
+    Array.init n (fun i ->
+        let table =
+          Table.create pool
+            ~desc:(Reldesc.of_relation schema i)
+            ~page_bytes:schema.Schema.page_bytes ~attr_bytes
+        in
+        List.iter
+          (fun tuple -> ignore (Table.insert table tuple))
+          dataset.Datagen.ds_tuples.(i);
+        table)
+  in
+  let view_sets =
+    (Config.views config @ [ Schema.all_relations schema ])
+    |> List.sort_uniq (fun a b ->
+           match Int.compare (Bitset.cardinal a) (Bitset.cardinal b) with
+           | 0 -> Bitset.compare a b
+           | c -> c)
+  in
+  let views =
+    List.map
+      (fun set ->
+        let table =
+          Table.create pool ~desc:(view_desc schema set)
+            ~page_bytes:schema.Schema.page_bytes ~attr_bytes
+        in
+        List.iter
+          (fun tuple -> ignore (Table.insert table tuple))
+          (compute_view_in_memory schema ~tuples:dataset.Datagen.ds_tuples set);
+        (set, table))
+      view_sets
+  in
+  let element_table = function
+    | Element.Base i -> bases.(i)
+    | Element.View set -> List.assoc set views
+  in
+  List.iter
+    (fun (ix : Element.index) ->
+      let table = element_table ix.Element.ix_elem in
+      let offset =
+        Reldesc.offset (Table.desc table) ~rel:ix.Element.ix_attr.Element.a_rel
+          ~attr:ix.Element.ix_attr.Element.a_name
+      in
+      ignore (Table.add_index table ~offset))
+    (Config.indexes config);
+  Vis_storage.Buffer_pool.flush pool;
+  Vis_storage.Iostats.reset stats;
+  {
+    w_schema = schema;
+    w_derived = Derived.create schema;
+    w_config = config;
+    w_pool = pool;
+    w_stats = stats;
+    w_bases = bases;
+    w_views = views;
+  }
+
+let element_table w = function
+  | Element.Base i -> w.w_bases.(i)
+  | Element.View set -> (
+      match
+        List.find_opt (fun (s, _) -> Bitset.equal s set) w.w_views
+      with
+      | Some (_, table) -> table
+      | None -> raise Not_found)
+
+let reset_stats w =
+  Vis_storage.Buffer_pool.flush w.w_pool;
+  Vis_storage.Iostats.reset w.w_stats

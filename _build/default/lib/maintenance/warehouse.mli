@@ -1,0 +1,44 @@
+(** An executable warehouse: base-relation replicas, the primary view and the
+    configuration's supporting views and indexes, all stored on the simulated
+    storage engine behind one buffer pool.  Building loads synthetic data and
+    materializes every view; the I/O counters are reset afterwards so a
+    subsequent {!Refresh.run} measures only maintenance work. *)
+
+type t = {
+  w_schema : Vis_catalog.Schema.t;
+  w_derived : Vis_catalog.Derived.t;
+  w_config : Vis_costmodel.Config.t;
+  w_pool : Vis_storage.Buffer_pool.t;
+  w_stats : Vis_storage.Iostats.t;
+  w_bases : Vis_relalg.Table.t array;
+  w_views : (Vis_util.Bitset.t * Vis_relalg.Table.t) list;
+      (** supporting views and the primary view, by increasing size *)
+}
+
+(** Attribute width used to size heap pages; schemas meant for execution
+    should use [tuple_bytes = arity · attr_bytes] so that the cost model and
+    the engine agree on page counts. *)
+val attr_bytes : int
+
+(** [view_desc schema set] — the canonical layout of a view: relations in
+    ascending index order, each with its declared attributes. *)
+val view_desc : Vis_catalog.Schema.t -> Vis_util.Bitset.t -> Vis_relalg.Reldesc.t
+
+(** [build schema config dataset] loads and materializes everything, flushes
+    the pool and resets the counters. *)
+val build :
+  Vis_catalog.Schema.t -> Vis_costmodel.Config.t -> Vis_workload.Datagen.dataset -> t
+
+(** [element_table w elem] — the stored table of a base relation or
+    materialized view.  Raises [Not_found] for views outside the
+    configuration. *)
+val element_table : t -> Vis_costmodel.Element.t -> Vis_relalg.Table.t
+
+(** [compute_view_in_memory schema ~tuples set] joins the given per-relation
+    tuple lists into the canonical view contents (selections applied) —
+    pure, used for materialization and for validation. *)
+val compute_view_in_memory :
+  Vis_catalog.Schema.t -> tuples:int array list array -> Vis_util.Bitset.t -> int array list
+
+(** [reset_stats w] flushes the pool and zeroes the counters. *)
+val reset_stats : t -> unit

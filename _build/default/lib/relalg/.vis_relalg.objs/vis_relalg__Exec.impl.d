@@ -1,0 +1,1 @@
+lib/relalg/exec.ml: Array Hashtbl List Table Vis_storage

@@ -1,0 +1,1 @@
+lib/relalg/exec.mli: Table Vis_storage

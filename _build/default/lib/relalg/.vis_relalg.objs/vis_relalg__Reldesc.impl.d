@@ -1,0 +1,1 @@
+lib/relalg/reldesc.ml: List String Vis_catalog

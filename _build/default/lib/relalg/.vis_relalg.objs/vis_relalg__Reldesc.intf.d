@@ -1,0 +1,1 @@
+lib/relalg/reldesc.mli: Vis_catalog

@@ -1,0 +1,1 @@
+lib/relalg/table.ml: Array List Reldesc Vis_storage

@@ -1,0 +1,32 @@
+type t = (int * string) list
+
+let of_relation schema i =
+  List.map
+    (fun a -> (i, a))
+    (Vis_catalog.Schema.relation schema i).Vis_catalog.Schema.attrs
+
+let concat a b =
+  List.iter
+    (fun qa ->
+      if List.mem qa a then
+        invalid_arg "Reldesc.concat: overlapping attribute")
+    b;
+  a @ b
+
+let arity = List.length
+
+let offset t ~rel ~attr =
+  let rec loop i = function
+    | [] -> raise Not_found
+    | (r, a) :: rest ->
+        if r = rel && String.equal a attr then i else loop (i + 1) rest
+  in
+  loop 0 t
+
+let mem t ~rel ~attr = List.exists (fun (r, a) -> r = rel && String.equal a attr) t
+
+let attrs t = t
+
+let equal a b =
+  List.length a = List.length b
+  && List.for_all2 (fun (r1, a1) (r2, a2) -> r1 = r2 && String.equal a1 a2) a b

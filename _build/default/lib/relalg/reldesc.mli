@@ -1,0 +1,27 @@
+(** Tuple layout of a stored table: an ordered list of qualified attributes
+    (base-relation index, attribute name) mapping to offsets in the int-array
+    tuples.  A join result's descriptor is the concatenation of its inputs'
+    descriptors. *)
+
+type t
+
+(** [of_relation schema i] — the layout of base relation [i], attributes in
+    declaration order. *)
+val of_relation : Vis_catalog.Schema.t -> int -> t
+
+(** [concat a b] — the layout of [a ⋈ b] results ([a]'s attributes first).
+    Raises [Invalid_argument] when the two share an attribute. *)
+val concat : t -> t -> t
+
+val arity : t -> int
+
+(** [offset t ~rel ~attr] — position of the attribute.  Raises
+    [Not_found]. *)
+val offset : t -> rel:int -> attr:string -> int
+
+val mem : t -> rel:int -> attr:string -> bool
+
+(** Qualified attributes in layout order. *)
+val attrs : t -> (int * string) list
+
+val equal : t -> t -> bool

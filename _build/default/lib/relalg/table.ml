@@ -1,0 +1,76 @@
+module Heap_file = Vis_storage.Heap_file
+module Btree = Vis_storage.Btree
+
+type t = {
+  pool : Vis_storage.Buffer_pool.t;
+  tdesc : Reldesc.t;
+  theap : Heap_file.t;
+  ix_fanout : int;
+  mutable tindexes : (int * Btree.t) list;
+}
+
+let index_entry_bytes = 16
+
+let create pool ~desc ~page_bytes ~attr_bytes =
+  let tuple_bytes = max 1 (Reldesc.arity desc) * attr_bytes in
+  let tpp = max 1 (page_bytes / tuple_bytes) in
+  {
+    pool;
+    tdesc = desc;
+    theap = Heap_file.create pool ~tuples_per_page:tpp;
+    ix_fanout = max 4 (page_bytes / index_entry_bytes);
+    tindexes = [];
+  }
+
+let desc t = t.tdesc
+
+let heap t = t.theap
+
+let insert t tuple =
+  if Array.length tuple <> Reldesc.arity t.tdesc then
+    invalid_arg "Table.insert: arity mismatch";
+  let rid = Heap_file.append t.theap tuple in
+  List.iter
+    (fun (offset, ix) -> Btree.insert ix ~key:tuple.(offset) rid)
+    t.tindexes;
+  rid
+
+let delete t rid =
+  match Heap_file.get t.theap rid with
+  | None -> false
+  | Some tuple ->
+      List.iter
+        (fun (offset, ix) -> ignore (Btree.remove ix ~key:tuple.(offset) rid))
+        t.tindexes;
+      Heap_file.delete t.theap rid
+
+let update t rid tuple =
+  match Heap_file.get t.theap rid with
+  | None -> false
+  | Some old ->
+      List.iter
+        (fun (offset, _) ->
+          if old.(offset) <> tuple.(offset) then
+            invalid_arg "Table.update: protected update touches an indexed attribute")
+        t.tindexes;
+      Heap_file.update t.theap rid tuple
+
+let add_index t ~offset =
+  if offset < 0 || offset >= Reldesc.arity t.tdesc then
+    invalid_arg "Table.add_index: bad offset";
+  match List.assoc_opt offset t.tindexes with
+  | Some ix -> ix
+  | None ->
+      let ix = Btree.create t.pool ~fanout:t.ix_fanout in
+      Heap_file.scan t.theap ~f:(fun rid tuple ->
+          Btree.insert ix ~key:tuple.(offset) rid);
+      t.tindexes <- (offset, ix) :: t.tindexes;
+      ix
+
+let index_on t ~offset = List.assoc_opt offset t.tindexes
+
+let indexes t = t.tindexes
+
+let n_tuples t = Heap_file.n_tuples t.theap
+
+let n_pages t = Heap_file.n_pages t.theap

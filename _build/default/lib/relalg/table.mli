@@ -1,0 +1,46 @@
+(** A stored table: a heap file plus any number of attached B+-tree indexes,
+    kept consistent by the modification operations.  Base-relation replicas,
+    the primary view, and supporting views are all stored as tables. *)
+
+type t
+
+(** [create pool ~desc ~page_bytes ~attr_bytes] sizes the heap so a tuple
+    occupies [arity · attr_bytes] bytes of a [page_bytes] page (at least one
+    tuple per page). *)
+val create :
+  Vis_storage.Buffer_pool.t ->
+  desc:Reldesc.t ->
+  page_bytes:int ->
+  attr_bytes:int ->
+  t
+
+val desc : t -> Reldesc.t
+
+val heap : t -> Vis_storage.Heap_file.t
+
+(** [insert t tuple] appends and maintains every index. *)
+val insert : t -> int array -> Vis_storage.Heap_file.rid
+
+(** [delete t rid] removes the tuple and its index entries; [false] when the
+    slot was already empty. *)
+val delete : t -> Vis_storage.Heap_file.rid -> bool
+
+(** [update t rid tuple] overwrites in place.  Only non-indexed attributes
+    may change (protected updates); raises [Invalid_argument] if an indexed
+    attribute's value differs. *)
+val update : t -> Vis_storage.Heap_file.rid -> int array -> bool
+
+(** [add_index t ~offset] builds a B+-tree on the attribute at [offset] by
+    scanning the heap; fanout is [page_bytes / index_entry_bytes] with 16
+    bytes per entry.  Returns the existing index if one is already
+    attached. *)
+val add_index : t -> offset:int -> Vis_storage.Btree.t
+
+(** [index_on t ~offset] — the index on that attribute, if any. *)
+val index_on : t -> offset:int -> Vis_storage.Btree.t option
+
+val indexes : t -> (int * Vis_storage.Btree.t) list
+
+val n_tuples : t -> int
+
+val n_pages : t -> int

@@ -1,0 +1,1 @@
+lib/storage/iostats.mli: Format

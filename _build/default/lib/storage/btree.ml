@@ -1,0 +1,287 @@
+type rid = Heap_file.rid
+
+(* Entries are totally ordered by (key, rid), which makes every entry unique
+   and lets leaves split anywhere, even inside a run of duplicate keys. *)
+type entry = int * rid
+
+let cmp_entry ((k1, r1) : entry) ((k2, r2) : entry) =
+  match Int.compare k1 k2 with
+  | 0 -> (
+      match Int.compare r1.Heap_file.rid_page r2.Heap_file.rid_page with
+      | 0 -> Int.compare r1.Heap_file.rid_slot r2.Heap_file.rid_slot
+      | c -> c)
+  | c -> c
+
+let min_rid = { Heap_file.rid_page = min_int; rid_slot = min_int }
+
+type node = Leaf of leaf | Inner of inner
+
+and leaf = {
+  lgid : int;
+  mutable entries : entry array;
+  mutable next : leaf option;
+}
+
+and inner = {
+  igid : int;
+  (* seps.(i) bounds the subtrees: everything in kids.(i) is < seps.(i) and
+     everything in kids.(i+1) is >= seps.(i). *)
+  mutable seps : entry array;
+  mutable kids : node array;
+}
+
+type t = {
+  pool : Buffer_pool.t;
+  fanout : int;
+  mutable root : node;
+  mutable count : int;
+  mutable pages : int;
+}
+
+
+let create pool ~fanout =
+  if fanout < 4 then invalid_arg "Btree.create: fanout < 4";
+  let gid = Buffer_pool.fresh_page pool in
+  Buffer_pool.touch_new pool gid;
+  {
+    pool;
+    fanout;
+    root = Leaf { lgid = gid; entries = [||]; next = None };
+    count = 0;
+    pages = 1;
+  }
+
+let length t = t.count
+
+let n_pages t = t.pages
+
+let height t =
+  let rec depth = function
+    | Leaf _ -> 1
+    | Inner n -> 1 + depth n.kids.(0)
+  in
+  depth t.root
+
+(* Index of the child an entry belongs to: the number of separators <= it. *)
+let child_index seps e =
+  let lo = ref 0 and hi = ref (Array.length seps) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp_entry seps.(mid) e <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Position of the first array element >= e. *)
+let lower_bound entries e =
+  let lo = ref 0 and hi = ref (Array.length entries) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp_entry entries.(mid) e < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let array_insert arr pos x =
+  let n = Array.length arr in
+  let out = Array.make (n + 1) x in
+  Array.blit arr 0 out 0 pos;
+  Array.blit arr pos out (pos + 1) (n - pos);
+  out
+
+let array_remove arr pos =
+  let n = Array.length arr in
+  let out = Array.make (n - 1) arr.(0) in
+  Array.blit arr 0 out 0 pos;
+  Array.blit arr (pos + 1) out pos (n - 1 - pos);
+  out
+
+let new_leaf t entries next =
+  let gid = Buffer_pool.fresh_page t.pool in
+  Buffer_pool.touch_new t.pool gid;
+  t.pages <- t.pages + 1;
+  { lgid = gid; entries; next }
+
+let new_inner t seps kids =
+  let gid = Buffer_pool.fresh_page t.pool in
+  Buffer_pool.touch_new t.pool gid;
+  t.pages <- t.pages + 1;
+  { igid = gid; seps; kids }
+
+let insert t ~key rid =
+  let e = (key, rid) in
+  (* Returns the (separator, new right sibling) when the node split. *)
+  let rec ins node =
+    match node with
+    | Leaf l ->
+        Buffer_pool.touch t.pool l.lgid ~dirty:true;
+        let pos = lower_bound l.entries e in
+        if pos < Array.length l.entries && cmp_entry l.entries.(pos) e = 0 then
+          invalid_arg "Btree.insert: duplicate (key, rid) entry";
+        l.entries <- array_insert l.entries pos e;
+        if Array.length l.entries > t.fanout then begin
+          let n = Array.length l.entries in
+          let mid = n / 2 in
+          let right_entries = Array.sub l.entries mid (n - mid) in
+          let right = new_leaf t right_entries l.next in
+          l.entries <- Array.sub l.entries 0 mid;
+          l.next <- Some right;
+          Some (right.entries.(0), Leaf right)
+        end
+        else None
+    | Inner nd -> (
+        Buffer_pool.touch t.pool nd.igid ~dirty:false;
+        let i = child_index nd.seps e in
+        match ins nd.kids.(i) with
+        | None -> None
+        | Some (sep, right) ->
+            Buffer_pool.touch t.pool nd.igid ~dirty:true;
+            nd.seps <- array_insert nd.seps i sep;
+            nd.kids <- array_insert nd.kids (i + 1) right;
+            if Array.length nd.kids > t.fanout then begin
+              let k = Array.length nd.kids in
+              let mid = k / 2 in
+              (* kids mid..k-1 and seps mid..k-2 go right; seps.(mid-1)
+                 becomes the separator pushed up. *)
+              let up = nd.seps.(mid - 1) in
+              let right =
+                new_inner t
+                  (Array.sub nd.seps mid (k - 1 - mid))
+                  (Array.sub nd.kids mid (k - mid))
+              in
+              nd.seps <- Array.sub nd.seps 0 (mid - 1);
+              nd.kids <- Array.sub nd.kids 0 mid;
+              Some (up, Inner right)
+            end
+            else None)
+  in
+  (match ins t.root with
+  | None -> ()
+  | Some (sep, right) ->
+      let root = new_inner t [| sep |] [| t.root; right |] in
+      t.root <- Inner root);
+  t.count <- t.count + 1
+
+let find_leaf t e =
+  let rec descend = function
+    | Leaf l ->
+        Buffer_pool.touch t.pool l.lgid ~dirty:false;
+        l
+    | Inner nd ->
+        Buffer_pool.touch t.pool nd.igid ~dirty:false;
+        descend nd.kids.(child_index nd.seps e)
+  in
+  descend t.root
+
+let remove t ~key rid =
+  let e = (key, rid) in
+  let leaf = find_leaf t e in
+  let pos = lower_bound leaf.entries e in
+  if pos < Array.length leaf.entries && cmp_entry leaf.entries.(pos) e = 0 then begin
+    Buffer_pool.touch t.pool leaf.lgid ~dirty:true;
+    leaf.entries <- array_remove leaf.entries pos;
+    t.count <- t.count - 1;
+    true
+  end
+  else false
+
+let lookup t ~key =
+  let probe = (key, min_rid) in
+  let leaf = find_leaf t probe in
+  let rec collect l pos acc =
+    if pos >= Array.length l.entries then
+      match l.next with
+      | Some next ->
+          Buffer_pool.touch t.pool next.lgid ~dirty:false;
+          collect next 0 acc
+      | None -> acc
+    else
+      let k, rid = l.entries.(pos) in
+      if k = key then collect l (pos + 1) (rid :: acc)
+      else if k > key then acc
+      else collect l (pos + 1) acc
+  in
+  List.rev (collect leaf (lower_bound leaf.entries probe) [])
+
+let range t ~lo ~hi =
+  if lo > hi then []
+  else begin
+    let probe = (lo, min_rid) in
+    let leaf = find_leaf t probe in
+    let rec collect l pos acc =
+      if pos >= Array.length l.entries then
+        match l.next with
+        | Some next ->
+            Buffer_pool.touch t.pool next.lgid ~dirty:false;
+            collect next 0 acc
+        | None -> acc
+      else
+        let ((k, _) as entry) = l.entries.(pos) in
+        if k > hi then acc else collect l (pos + 1) (entry :: acc)
+    in
+    List.rev (collect leaf (lower_bound leaf.entries probe) [])
+  end
+
+let iter t ~f =
+  let rec leftmost = function
+    | Leaf l ->
+        Buffer_pool.touch t.pool l.lgid ~dirty:false;
+        l
+    | Inner nd ->
+        Buffer_pool.touch t.pool nd.igid ~dirty:false;
+        leftmost nd.kids.(0)
+  in
+  let rec walk l =
+    Array.iter (fun (k, rid) -> f k rid) l.entries;
+    match l.next with
+    | Some next ->
+        Buffer_pool.touch t.pool next.lgid ~dirty:false;
+        walk next
+    | None -> ()
+  in
+  walk (leftmost t.root)
+
+let check t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let rec depth = function
+    | Leaf _ -> 1
+    | Inner n -> 1 + depth n.kids.(0)
+  in
+  let d = depth t.root in
+  let counted = ref 0 in
+  (* lo/hi are exclusive/inclusive composite bounds on the subtree. *)
+  let rec walk node level lo hi =
+    (match node with
+    | Leaf l ->
+        if level <> d then fail "leaf at depth %d, expected %d" level d;
+        Array.iteri
+          (fun i e ->
+            incr counted;
+            (match lo with
+            | Some b when cmp_entry e b < 0 -> fail "entry below lower bound"
+            | _ -> ());
+            (match hi with
+            | Some b when cmp_entry e b >= 0 -> fail "entry above upper bound"
+            | _ -> ());
+            if i > 0 && cmp_entry l.entries.(i - 1) e >= 0 then
+              fail "leaf entries not strictly sorted")
+          l.entries;
+        if Array.length l.entries > t.fanout then fail "leaf overflow"
+    | Inner n ->
+        let nk = Array.length n.kids in
+        if nk <> Array.length n.seps + 1 then fail "inner arity mismatch";
+        if nk > t.fanout then fail "inner overflow";
+        if nk < 2 then fail "inner underflow";
+        Array.iteri
+          (fun i s ->
+            if i > 0 && cmp_entry n.seps.(i - 1) s >= 0 then
+              fail "separators not sorted")
+          n.seps;
+        Array.iteri
+          (fun i kid ->
+            let lo' = if i = 0 then lo else Some n.seps.(i - 1) in
+            let hi' = if i = nk - 1 then hi else Some n.seps.(i) in
+            walk kid (level + 1) lo' hi')
+          n.kids);
+  in
+  walk t.root 1 None None;
+  if !counted <> t.count then
+    fail "count mismatch: counted %d, recorded %d" !counted t.count

@@ -1,0 +1,101 @@
+(* LRU as a doubly-linked list threaded through a hashtable of frames. *)
+
+type frame = {
+  page : int;
+  mutable dirty : bool;
+  mutable prev : frame option;  (* towards most recently used *)
+  mutable next : frame option;  (* towards least recently used *)
+}
+
+type t = {
+  cap : int;
+  io : Iostats.t;
+  frames : (int, frame) Hashtbl.t;
+  mutable mru : frame option;
+  mutable lru : frame option;
+  mutable next_page : int;
+}
+
+let create ~capacity ~stats =
+  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity < 1";
+  {
+    cap = capacity;
+    io = stats;
+    frames = Hashtbl.create (2 * capacity);
+    mru = None;
+    lru = None;
+    next_page = 0;
+  }
+
+let capacity t = t.cap
+
+let stats t = t.io
+
+let fresh_page t =
+  let id = t.next_page in
+  t.next_page <- t.next_page + 1;
+  id
+
+let unlink t f =
+  (match f.prev with
+  | Some p -> p.next <- f.next
+  | None -> t.mru <- f.next);
+  (match f.next with
+  | Some n -> n.prev <- f.prev
+  | None -> t.lru <- f.prev);
+  f.prev <- None;
+  f.next <- None
+
+let push_front t f =
+  f.next <- t.mru;
+  f.prev <- None;
+  (match t.mru with Some m -> m.prev <- Some f | None -> ());
+  t.mru <- Some f;
+  if t.lru = None then t.lru <- Some f
+
+let evict_lru t =
+  match t.lru with
+  | None -> ()
+  | Some f ->
+      unlink t f;
+      Hashtbl.remove t.frames f.page;
+      if f.dirty then Iostats.record_write t.io
+
+let insert_resident t page ~dirty ~count_read =
+  if count_read then Iostats.record_read t.io;
+  if Hashtbl.length t.frames >= t.cap then evict_lru t;
+  let f = { page; dirty; prev = None; next = None } in
+  Hashtbl.replace t.frames page f;
+  push_front t f
+
+let touch t page ~dirty =
+  Iostats.record_access t.io;
+  match Hashtbl.find_opt t.frames page with
+  | Some f ->
+      unlink t f;
+      push_front t f;
+      if dirty then f.dirty <- true
+  | None -> insert_resident t page ~dirty ~count_read:true
+
+let touch_new t page =
+  Iostats.record_access t.io;
+  match Hashtbl.find_opt t.frames page with
+  | Some f ->
+      unlink t f;
+      push_front t f;
+      f.dirty <- true
+  | None -> insert_resident t page ~dirty:true ~count_read:false
+
+let discard t page =
+  match Hashtbl.find_opt t.frames page with
+  | Some f ->
+      unlink t f;
+      Hashtbl.remove t.frames f.page
+  | None -> ()
+
+let flush t =
+  while t.lru <> None do
+    evict_lru t
+  done
+
+let resident t page = Hashtbl.mem t.frames page

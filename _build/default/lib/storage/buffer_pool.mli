@@ -1,0 +1,39 @@
+(** An LRU buffer pool over simulated page identifiers.
+
+    The pool does not hold page contents — data structures keep their own
+    state — it only models residency: {!touch} brings a page in (counting a
+    physical read on a miss), possibly evicting the least recently used page
+    (counting a physical write if that page was dirty).  This is the
+    mechanism by which executed maintenance plans produce measured I/O counts
+    comparable to the cost model's estimates. *)
+
+type t
+
+(** [create ~capacity ~stats] — [capacity] pages; raises [Invalid_argument]
+    when [capacity < 1]. *)
+val create : capacity:int -> stats:Iostats.t -> t
+
+val capacity : t -> int
+
+val stats : t -> Iostats.t
+
+(** [fresh_page t] allocates a new page identifier (not resident yet). *)
+val fresh_page : t -> int
+
+(** [touch t page ~dirty] accesses [page]: a miss counts one read, and marks
+    it dirty when [dirty] so its eventual eviction counts one write. *)
+val touch : t -> int -> dirty:bool -> unit
+
+(** [touch_new t page] registers a page created in memory (e.g. the fresh
+    half of a split): resident and dirty without counting a read. *)
+val touch_new : t -> int -> unit
+
+(** [discard t page] drops a page without writing it back (for deallocated
+    pages). *)
+val discard : t -> int -> unit
+
+(** [flush t] evicts everything, writing back dirty pages. *)
+val flush : t -> unit
+
+(** [resident t page] — whether the page is currently buffered. *)
+val resident : t -> int -> bool

@@ -1,0 +1,107 @@
+type rid = { rid_page : int; rid_slot : int }
+
+type page = { gid : int; slots : int array option array; mutable live : int }
+
+type t = {
+  pool : Buffer_pool.t;
+  tpp : int;
+  mutable pages : page array;
+  mutable n_pages : int;
+  mutable n_tuples : int;
+  mutable tail_used : int;  (* slots handed out on the last page *)
+}
+
+let create pool ~tuples_per_page =
+  if tuples_per_page < 1 then invalid_arg "Heap_file.create";
+  {
+    pool;
+    tpp = tuples_per_page;
+    pages = [||];
+    n_pages = 0;
+    n_tuples = 0;
+    tail_used = 0;
+  }
+
+let grow t =
+  let gid = Buffer_pool.fresh_page t.pool in
+  let page = { gid; slots = Array.make t.tpp None; live = 0 } in
+  if t.n_pages = Array.length t.pages then begin
+    let ncap = max 8 (2 * Array.length t.pages) in
+    let npages = Array.make ncap page in
+    Array.blit t.pages 0 npages 0 t.n_pages;
+    t.pages <- npages
+  end;
+  t.pages.(t.n_pages) <- page;
+  t.n_pages <- t.n_pages + 1;
+  t.tail_used <- 0;
+  Buffer_pool.touch_new t.pool gid;
+  page
+
+let append t tuple =
+  let page =
+    if t.n_pages = 0 || t.tail_used >= t.tpp then grow t
+    else begin
+      let page = t.pages.(t.n_pages - 1) in
+      Buffer_pool.touch t.pool page.gid ~dirty:true;
+      page
+    end
+  in
+  let slot = t.tail_used in
+  page.slots.(slot) <- Some (Array.copy tuple);
+  page.live <- page.live + 1;
+  t.tail_used <- t.tail_used + 1;
+  t.n_tuples <- t.n_tuples + 1;
+  { rid_page = t.n_pages - 1; rid_slot = slot }
+
+let check_rid t rid =
+  rid.rid_page >= 0 && rid.rid_page < t.n_pages && rid.rid_slot >= 0
+  && rid.rid_slot < t.tpp
+
+let get t rid =
+  if not (check_rid t rid) then invalid_arg "Heap_file.get: bad rid";
+  let page = t.pages.(rid.rid_page) in
+  Buffer_pool.touch t.pool page.gid ~dirty:false;
+  page.slots.(rid.rid_slot)
+
+let delete t rid =
+  if not (check_rid t rid) then invalid_arg "Heap_file.delete: bad rid";
+  let page = t.pages.(rid.rid_page) in
+  Buffer_pool.touch t.pool page.gid ~dirty:true;
+  match page.slots.(rid.rid_slot) with
+  | None -> false
+  | Some _ ->
+      page.slots.(rid.rid_slot) <- None;
+      page.live <- page.live - 1;
+      t.n_tuples <- t.n_tuples - 1;
+      true
+
+let update t rid tuple =
+  if not (check_rid t rid) then invalid_arg "Heap_file.update: bad rid";
+  let page = t.pages.(rid.rid_page) in
+  Buffer_pool.touch t.pool page.gid ~dirty:true;
+  match page.slots.(rid.rid_slot) with
+  | None -> false
+  | Some _ ->
+      page.slots.(rid.rid_slot) <- Some (Array.copy tuple);
+      true
+
+let scan t ~f =
+  for p = 0 to t.n_pages - 1 do
+    let page = t.pages.(p) in
+    Buffer_pool.touch t.pool page.gid ~dirty:false;
+    for s = 0 to t.tpp - 1 do
+      match page.slots.(s) with
+      | Some tuple -> f { rid_page = p; rid_slot = s } tuple
+      | None -> ()
+    done
+  done
+
+let n_tuples t = t.n_tuples
+
+let n_pages t = t.n_pages
+
+let tuples_per_page t = t.tpp
+
+let page_gid t i =
+  if i < 0 || i >= t.n_pages then invalid_arg "Heap_file.page_gid";
+  t.pages.(i).gid

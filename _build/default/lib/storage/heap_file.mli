@@ -1,0 +1,43 @@
+(** An unordered heap file of fixed-arity tuples (int arrays), paged through
+    a {!Buffer_pool}.  Relations, materialized views and shipped deltas are
+    all stored as heap files (Section 3.1: relations and views are stored as
+    heaps). *)
+
+type rid = { rid_page : int; rid_slot : int }
+(** Record identifier: page index within the file and slot within the
+    page. *)
+
+type t
+
+(** [create pool ~tuples_per_page] — an empty file. *)
+val create : Buffer_pool.t -> tuples_per_page:int -> t
+
+(** [append t tuple] stores a tuple at the end of the file (touching the tail
+    page, allocating a new one when full) and returns its rid. *)
+val append : t -> int array -> rid
+
+(** [get t rid] fetches a tuple, or [None] when the slot was deleted.
+    Touches the page. *)
+val get : t -> rid -> int array option
+
+(** [delete t rid] clears the slot; [false] when it was already empty. *)
+val delete : t -> rid -> bool
+
+(** [update t rid tuple] overwrites the slot in place; [false] when empty. *)
+val update : t -> rid -> int array -> bool
+
+(** [scan t ~f] visits every live tuple in file order, touching every page
+    (including pages that became empty). *)
+val scan : t -> f:(rid -> int array -> unit) -> unit
+
+(** Number of live tuples. *)
+val n_tuples : t -> int
+
+(** Number of pages the file occupies. *)
+val n_pages : t -> int
+
+val tuples_per_page : t -> int
+
+(** [page_gid t i] is the buffer-pool page identifier of the file's [i]-th
+    page (for tests). *)
+val page_gid : t -> int -> int

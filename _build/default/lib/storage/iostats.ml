@@ -1,0 +1,26 @@
+type t = { mutable n_reads : int; mutable n_writes : int; mutable n_accesses : int }
+
+let create () = { n_reads = 0; n_writes = 0; n_accesses = 0 }
+
+let reads t = t.n_reads
+
+let writes t = t.n_writes
+
+let accesses t = t.n_accesses
+
+let total_io t = t.n_reads + t.n_writes
+
+let record_read t = t.n_reads <- t.n_reads + 1
+
+let record_write t = t.n_writes <- t.n_writes + 1
+
+let record_access t = t.n_accesses <- t.n_accesses + 1
+
+let reset t =
+  t.n_reads <- 0;
+  t.n_writes <- 0;
+  t.n_accesses <- 0
+
+let pp ppf t =
+  Format.fprintf ppf "reads=%d writes=%d accesses=%d" t.n_reads t.n_writes
+    t.n_accesses

@@ -1,0 +1,27 @@
+(** Counters of physical page I/O, shared by a buffer pool and read by the
+    experiments that validate the cost model against execution. *)
+
+type t
+
+val create : unit -> t
+
+(** Physical page reads (buffer-pool misses). *)
+val reads : t -> int
+
+(** Physical page writes (dirty evictions and flushes). *)
+val writes : t -> int
+
+(** Logical page accesses (hits + misses). *)
+val accesses : t -> int
+
+val total_io : t -> int
+
+val record_read : t -> unit
+
+val record_write : t -> unit
+
+val record_access : t -> unit
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/util/num.ml: Float

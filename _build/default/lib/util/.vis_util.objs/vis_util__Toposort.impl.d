@@ -1,0 +1,1 @@
+lib/util/toposort.ml: Array List

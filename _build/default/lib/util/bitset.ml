@@ -1,0 +1,97 @@
+type t = int
+
+let max_element = 61
+
+let empty = 0
+
+let is_empty s = s = 0
+
+let check i =
+  if i < 0 || i > max_element then
+    invalid_arg (Printf.sprintf "Bitset: element %d out of range" i)
+
+let singleton i =
+  check i;
+  1 lsl i
+
+let mem i s = i >= 0 && i <= max_element && s land (1 lsl i) <> 0
+
+let add i s =
+  check i;
+  s lor (1 lsl i)
+
+let remove i s =
+  check i;
+  s land lnot (1 lsl i)
+
+let union a b = a lor b
+
+let inter a b = a land b
+
+let diff a b = a land lnot b
+
+let equal (a : int) b = a = b
+
+let compare (a : int) b = Stdlib.compare a b
+
+let subset a b = a land b = a
+
+let proper_subset a b = subset a b && a <> b
+
+let disjoint a b = a land b = 0
+
+let cardinal s =
+  let rec loop s acc = if s = 0 then acc else loop (s lsr 1) (acc + (s land 1)) in
+  loop s 0
+
+let full n =
+  if n < 0 || n > max_element + 1 then invalid_arg "Bitset.full";
+  if n = 0 then 0 else (1 lsl n) - 1
+
+let of_list l = List.fold_left (fun s i -> add i s) empty l
+
+let fold f s init =
+  let rec loop i s acc =
+    if s = 0 then acc
+    else if s land 1 <> 0 then loop (i + 1) (s lsr 1) (f i acc)
+    else loop (i + 1) (s lsr 1) acc
+  in
+  loop 0 s init
+
+let elements s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let iter f s = fold (fun i () -> f i) s ()
+
+let for_all p s = fold (fun i acc -> acc && p i) s true
+
+let exists p s = fold (fun i acc -> acc || p i) s false
+
+let choose s =
+  if s = 0 then raise Not_found
+  else
+    let rec loop i = if s land (1 lsl i) <> 0 then i else loop (i + 1) in
+    loop 0
+
+(* Enumerate subsets of [s] by counting through the bits of [s] only: the
+   standard [(sub - s) land s] trick visits each subset exactly once. *)
+let subsets s =
+  let rec loop sub acc =
+    let acc = sub :: acc in
+    if sub = s then List.rev acc else loop ((sub - s) land s) acc
+  in
+  loop 0 []
+
+let nonempty_subsets s = List.filter (fun x -> x <> 0) (subsets s)
+
+let proper_nonempty_subsets s =
+  List.filter (fun x -> x <> 0 && x <> s) (subsets s)
+
+let of_int i =
+  if i < 0 then invalid_arg "Bitset.of_int";
+  i
+
+let to_int s = s
+
+let pp ppf s =
+  Format.fprintf ppf "{%s}"
+    (String.concat "," (List.map string_of_int (elements s)))

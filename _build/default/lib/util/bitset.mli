@@ -1,0 +1,77 @@
+(** Compact sets of small integers (0 .. 61), used throughout the library to
+    represent sets of base relations.  A view over relations [{0; 2}] is
+    identified by the bitset [0b101].  All operations are O(1) except
+    [elements], [cardinal] and the iterators. *)
+
+type t = private int
+
+val empty : t
+
+val is_empty : t -> bool
+
+(** [singleton i] is the set [{i}].  Raises [Invalid_argument] unless
+    [0 <= i < 62]. *)
+val singleton : int -> t
+
+val mem : int -> t -> bool
+
+val add : int -> t -> t
+
+val remove : int -> t -> t
+
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+(** [diff a b] is the set of elements of [a] not in [b]. *)
+val diff : t -> t -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val subset : t -> t -> bool
+
+(** [proper_subset a b] is [subset a b && not (equal a b)]. *)
+val proper_subset : t -> t -> bool
+
+val disjoint : t -> t -> bool
+
+val cardinal : t -> int
+
+(** [full n] is the set [{0; ...; n-1}]. *)
+val full : int -> t
+
+val of_list : int list -> t
+
+val elements : t -> int list
+
+val iter : (int -> unit) -> t -> unit
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val for_all : (int -> bool) -> t -> bool
+
+val exists : (int -> bool) -> t -> bool
+
+(** [choose s] is the smallest element of [s].  Raises [Not_found] on the
+    empty set. *)
+val choose : t -> int
+
+(** [subsets s] lists every subset of [s], including [empty] and [s]
+    itself, in increasing order of their integer encoding. *)
+val subsets : t -> t list
+
+(** [nonempty_subsets s] is [subsets s] without [empty]. *)
+val nonempty_subsets : t -> t list
+
+(** [proper_nonempty_subsets s] excludes both [empty] and [s]. *)
+val proper_nonempty_subsets : t -> t list
+
+(** Unsafe constructor from the raw bit pattern; exposed for hashing and
+    serialization.  [of_int (to_int s) = s]. *)
+val of_int : int -> t
+
+val to_int : t -> int
+
+val pp : Format.formatter -> t -> unit

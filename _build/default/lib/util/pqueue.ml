@@ -1,0 +1,69 @@
+type 'a entry = { prio : float; tie : int; value : 'a }
+
+let before a b = a.prio < b.prio || (a.prio = b.prio && a.tie < b.tie)
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let is_empty q = q.size = 0
+
+let length q = q.size
+
+let grow q entry =
+  let capacity = Array.length q.data in
+  if q.size = capacity then begin
+    let ncap = max 16 (2 * capacity) in
+    let ndata = Array.make ncap entry in
+    Array.blit q.data 0 ndata 0 q.size;
+    q.data <- ndata
+  end
+
+let rec sift_up data i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before data.(i) data.(parent) then begin
+      let tmp = data.(i) in
+      data.(i) <- data.(parent);
+      data.(parent) <- tmp;
+      sift_up data parent
+    end
+  end
+
+let rec sift_down data size i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < size && before data.(l) data.(i) then l else i in
+  let smallest =
+    if r < size && before data.(r) data.(smallest) then r else smallest
+  in
+  if smallest <> i then begin
+    let tmp = data.(i) in
+    data.(i) <- data.(smallest);
+    data.(smallest) <- tmp;
+    sift_down data size smallest
+  end
+
+let push ?(tie = 0) q prio value =
+  let entry = { prio; tie; value } in
+  grow q entry;
+  q.data.(q.size) <- entry;
+  q.size <- q.size + 1;
+  sift_up q.data (q.size - 1)
+
+let pop_min q =
+  if q.size = 0 then None
+  else begin
+    let top = q.data.(0) in
+    q.size <- q.size - 1;
+    q.data.(0) <- q.data.(q.size);
+    (* Drop the stale slot so the GC can reclaim the value. *)
+    q.data.(q.size) <- top;
+    if q.size > 0 then sift_down q.data q.size 0;
+    Some (top.prio, top.value)
+  end
+
+let peek_min q = if q.size = 0 then None else Some (q.data.(0).prio, q.data.(0).value)
+
+let clear q =
+  q.data <- [||];
+  q.size <- 0

@@ -1,0 +1,24 @@
+(** A mutable binary-heap priority queue with [float] priorities, smallest
+    priority first.  Used by the A* search. *)
+
+type 'a t
+
+(** [create ()] is an empty queue. *)
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+(** [push ?tie q priority value] inserts [value].  Among equal priorities,
+    entries with a smaller [tie] (default 0) are popped first. *)
+val push : ?tie:int -> 'a t -> float -> 'a -> unit
+
+(** [pop_min q] removes and returns the entry with the smallest priority,
+    or [None] if the queue is empty.  Ties are broken arbitrarily. *)
+val pop_min : 'a t -> (float * 'a) option
+
+(** [peek_min q] returns the smallest entry without removing it. *)
+val peek_min : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

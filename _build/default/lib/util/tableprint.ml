@@ -1,0 +1,68 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t cells =
+  let ncols = List.length t.headers in
+  let n = List.length cells in
+  if n > ncols then invalid_arg "Tableprint.add_row: too many cells";
+  let padded =
+    if n = ncols then cells
+    else cells @ List.init (ncols - n) (fun _ -> "")
+  in
+  t.rows <- padded :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let width col =
+    List.fold_left (fun w row -> max w (String.length (List.nth row col))) 0 all
+  in
+  let widths = List.init ncols width in
+  let buf = Buffer.create 256 in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i in
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        if i < ncols - 1 then
+          Buffer.add_string buf (String.make (w - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.headers;
+  let total =
+    List.fold_left ( + ) 0 widths + (2 * (ncols - 1))
+  in
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_float ?(digits = 2) x = Printf.sprintf "%.*f" digits x
+
+let fmt_compact x =
+  if Float.is_integer x && Float.abs x < 1e15 then begin
+    let s = Printf.sprintf "%.0f" x in
+    (* Group thousands for readability of large I/O counts. *)
+    let n = String.length s in
+    let neg = n > 0 && s.[0] = '-' in
+    let digits = if neg then String.sub s 1 (n - 1) else s in
+    let dn = String.length digits in
+    if dn <= 4 then s
+    else begin
+      let buf = Buffer.create (dn + (dn / 3)) in
+      if neg then Buffer.add_char buf '-';
+      String.iteri
+        (fun i c ->
+          if i > 0 && (dn - i) mod 3 = 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf c)
+        digits;
+      Buffer.contents buf
+    end
+  end
+  else Printf.sprintf "%.2f" x

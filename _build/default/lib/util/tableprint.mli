@@ -1,0 +1,24 @@
+(** Fixed-width ASCII tables for the benchmark/experiment output.  Columns
+    are sized to their widest cell; headers are separated by a rule. *)
+
+type t
+
+(** [create headers] starts a table with the given column headers. *)
+val create : string list -> t
+
+(** [add_row t cells] appends a row.  Rows shorter than the header are padded
+    with empty cells; longer rows raise [Invalid_argument]. *)
+val add_row : t -> string list -> unit
+
+(** [render t] produces the formatted table, newline-terminated. *)
+val render : t -> string
+
+(** [print t] writes [render t] to [stdout]. *)
+val print : t -> unit
+
+(** Format a float with [digits] decimal places. *)
+val fmt_float : ?digits:int -> float -> string
+
+(** Format a float in a compact style: integers without a fraction, large
+    values with thousands grouping. *)
+val fmt_compact : float -> string

@@ -1,0 +1,28 @@
+exception Cycle
+
+let sort ~n ~edges =
+  let succs = Array.make n [] in
+  let indegree = Array.make n 0 in
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || a >= n || b < 0 || b >= n then invalid_arg "Toposort.sort";
+      succs.(a) <- b :: succs.(a);
+      indegree.(b) <- indegree.(b) + 1)
+    edges;
+  (* A simple priority selection by smallest index keeps the output
+     deterministic; n is small (tens of features) so O(n^2) is fine. *)
+  let emitted = Array.make n false in
+  let result = ref [] in
+  let count = ref 0 in
+  while !count < n do
+    let next = ref (-1) in
+    for i = n - 1 downto 0 do
+      if (not emitted.(i)) && indegree.(i) = 0 then next := i
+    done;
+    if !next < 0 then raise Cycle;
+    emitted.(!next) <- true;
+    result := !next :: !result;
+    incr count;
+    List.iter (fun b -> indegree.(b) <- indegree.(b) - 1) succs.(!next)
+  done;
+  List.rev !result

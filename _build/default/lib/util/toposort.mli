@@ -1,0 +1,11 @@
+(** Topological sorting of small dependency graphs, used to order VIS
+    features consistently with the paper's partial order [≺]. *)
+
+exception Cycle
+
+(** [sort ~n ~edges] returns a permutation of [0 .. n-1] such that for every
+    edge [(a, b)] (meaning [a] must come before [b]), [a] precedes [b].
+    Among the eligible vertices the one with the smallest index is emitted
+    first, making the order deterministic.  Raises [Cycle] if the graph has
+    a cycle. *)
+val sort : n:int -> edges:(int * int) list -> int list

@@ -1,0 +1,1 @@
+lib/workload/schemas.ml: Array Char Float List Printf Random String Vis_catalog

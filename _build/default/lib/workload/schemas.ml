@@ -1,0 +1,211 @@
+module Schema = Vis_catalog.Schema
+
+let rel name card tuple_bytes =
+  {
+    Schema.rel_name = name;
+    card;
+    tuple_bytes;
+    key_attr = name ^ "0";
+    attrs = [ name ^ "0"; name ^ "1" ];
+  }
+
+let delta card ~ins_frac ~del_frac ~upd_frac =
+  {
+    Schema.n_ins = ins_frac *. card;
+    n_del = del_frac *. card;
+    n_upd = upd_frac *. card;
+  }
+
+let schema1 ?(base_card = 10_000.) ?(sel_t = 0.1) ?(tuple_bytes = 40)
+    ?(ins_frac = 0.01) ?(del_frac = 0.001) ?(upd_frac = 0.) ?(mem_pages = 100)
+    ?sel_join_s ?sel_join_t () =
+  let card_t = base_card in
+  let card_s = 3. *. base_card in
+  let card_r = 9. *. base_card in
+  let f_s = match sel_join_s with Some f -> f | None -> 1. /. card_s in
+  let f_t = match sel_join_t with Some f -> f | None -> 1. /. card_t in
+  let d card = delta card ~ins_frac ~del_frac ~upd_frac in
+  Schema.make ~mem_pages
+    ~relations:[ rel "R" card_r tuple_bytes; rel "S" card_s tuple_bytes; rel "T" card_t tuple_bytes ]
+    ~selections:[ { Schema.sel_rel = 2; sel_attr = "T1"; selectivity = sel_t } ]
+    ~joins:
+      [
+        {
+          Schema.left_rel = 0;
+          left_attr = "R1";
+          right_rel = 1;
+          right_attr = "S1";
+          join_sel = f_s;
+        };
+        {
+          Schema.left_rel = 1;
+          left_attr = "S0";
+          right_rel = 2;
+          right_attr = "T0";
+          join_sel = f_t;
+        };
+      ]
+    ~deltas:[ d card_r; d card_s; d card_t ]
+    ()
+
+let schema2 ?(card = 30_000.) ?(sel_s = 0.1) ?(tuple_bytes = 40)
+    ?(ins_frac = 0.01) ?(del_frac = 0.001) ?(upd_frac = 0.) ?(mem_pages = 100)
+    () =
+  let d c = delta c ~ins_frac ~del_frac ~upd_frac in
+  Schema.make ~mem_pages
+    ~relations:[ rel "R" card tuple_bytes; rel "S" card tuple_bytes; rel "T" card tuple_bytes ]
+    ~selections:[ { Schema.sel_rel = 1; sel_attr = "S1"; selectivity = sel_s } ]
+    ~joins:
+      [
+        {
+          Schema.left_rel = 0;
+          left_attr = "R1";
+          right_rel = 1;
+          right_attr = "S1";
+          join_sel = 1. /. card;
+        };
+        {
+          Schema.left_rel = 1;
+          left_attr = "S0";
+          right_rel = 2;
+          right_attr = "T0";
+          join_sel = 1. /. card;
+        };
+      ]
+    ~deltas:[ d card; d card; d card ]
+    ()
+
+let two_relation ?(card_r = 30_000.) ?(card_s = 10_000.) ?(sel_s = 0.1)
+    ?(ins_frac = 0.01) ?(del_frac = 0.001) ?(mem_pages = 100) () =
+  let d c = delta c ~ins_frac ~del_frac ~upd_frac:0. in
+  Schema.make ~mem_pages
+    ~relations:[ rel "R" card_r 40; rel "S" card_s 40 ]
+    ~selections:[ { Schema.sel_rel = 1; sel_attr = "S1"; selectivity = sel_s } ]
+    ~joins:
+      [
+        {
+          Schema.left_rel = 0;
+          left_attr = "R1";
+          right_rel = 1;
+          right_attr = "S0";
+          join_sel = 1. /. card_s;
+        };
+      ]
+    ~deltas:[ d card_r; d card_s ]
+    ()
+
+let chain ?(base_card = 10_000.) ?(sel_last = 0.1) ?(ins_frac = 0.01)
+    ?(del_frac = 0.001) ?(mem_pages = 100) ~n () =
+  if n < 2 then invalid_arg "Schemas.chain: need at least 2 relations";
+  let name i = Printf.sprintf "A%c" (Char.chr (Char.code 'A' + i)) in
+  let card i = base_card *. (3. ** float_of_int (n - 1 - i)) in
+  let relations = List.init n (fun i -> rel (name i) (card i) 40) in
+  let joins =
+    List.init (n - 1) (fun i ->
+        {
+          Schema.left_rel = i;
+          left_attr = name i ^ "1";
+          right_rel = i + 1;
+          right_attr = name (i + 1) ^ "0";
+          join_sel = 1. /. card (i + 1);
+        })
+  in
+  let deltas =
+    List.init n (fun i -> delta (card i) ~ins_frac ~del_frac ~upd_frac:0.)
+  in
+  Schema.make ~mem_pages ~relations
+    ~selections:
+      [ { Schema.sel_rel = n - 1; sel_attr = name (n - 1) ^ "1"; selectivity = sel_last } ]
+    ~joins ~deltas ()
+
+let validation ?(base_card = 400.) ?(sel_t = 0.1) ?(ins_frac = 0.02)
+    ?(del_frac = 0.005) ?(upd_frac = 0.005) ?(mem_pages = 40)
+    ?(page_bytes = 512) () =
+  let attr_bytes = 8 in
+  let rel3 name card =
+    {
+      Schema.rel_name = name;
+      card;
+      tuple_bytes = 3 * attr_bytes;
+      key_attr = name ^ "0";
+      attrs = [ name ^ "0"; name ^ "1"; name ^ "2" ];
+    }
+  in
+  let card_t = base_card in
+  let card_s = 3. *. base_card in
+  let card_r = 9. *. base_card in
+  let d c = delta c ~ins_frac ~del_frac ~upd_frac in
+  Schema.make ~page_bytes ~mem_pages
+    ~relations:[ rel3 "R" card_r; rel3 "S" card_s; rel3 "T" card_t ]
+    ~selections:[ { Schema.sel_rel = 2; sel_attr = "T1"; selectivity = sel_t } ]
+    ~joins:
+      [
+        {
+          Schema.left_rel = 0;
+          left_attr = "R1";
+          right_rel = 1;
+          right_attr = "S0";
+          join_sel = 1. /. card_s;
+        };
+        {
+          Schema.left_rel = 1;
+          left_attr = "S1";
+          right_rel = 2;
+          right_attr = "T0";
+          join_sel = 1. /. card_t;
+        };
+      ]
+    ~deltas:[ d card_r; d card_s; d card_t ]
+    ()
+
+let random ~rng () =
+  let n = 2 + Random.State.int rng 3 in
+  let name i = String.make 1 (Char.chr (Char.code 'A' + i)) in
+  let card _ = float_of_int (100 * (1 + Random.State.int rng 50)) in
+  let cards = Array.init n card in
+  let relations =
+    List.init n (fun i -> rel (name i) cards.(i) (16 + (8 * Random.State.int rng 6)))
+  in
+  let joins =
+    List.init (n - 1) (fun i ->
+        let fk = Random.State.bool rng in
+        let f =
+          if fk then 1. /. cards.(i + 1)
+          else Float.min 1. (float_of_int (1 + Random.State.int rng 5) /. cards.(i + 1))
+        in
+        {
+          Schema.left_rel = i;
+          left_attr = name i ^ "1";
+          right_rel = i + 1;
+          right_attr = name (i + 1) ^ "0";
+          join_sel = f;
+        })
+  in
+  let selections =
+    List.concat
+      (List.init n (fun i ->
+           if Random.State.int rng 100 < 40 then
+             [
+               {
+                 Schema.sel_rel = i;
+                 sel_attr = name i ^ "1";
+                 selectivity = 0.05 +. Random.State.float rng 0.9;
+               };
+             ]
+           else []))
+  in
+  let deltas =
+    List.init n (fun i ->
+        let frac () =
+          match Random.State.int rng 4 with
+          | 0 -> 0.
+          | 1 -> 0.001 +. Random.State.float rng 0.01
+          | 2 -> 0.01 +. Random.State.float rng 0.05
+          | _ -> 0.1 *. Random.State.float rng 1.
+        in
+        delta cards.(i) ~ins_frac:(frac ()) ~del_frac:(frac ())
+          ~upd_frac:(if Random.State.bool rng then frac () /. 2. else 0.))
+  in
+  Schema.make
+    ~mem_pages:(10 + Random.State.int rng 200)
+    ~relations ~selections ~joins ~deltas ()

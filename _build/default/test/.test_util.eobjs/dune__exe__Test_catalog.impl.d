@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest Float List QCheck2 QCheck_alcotest Random Vis_catalog Vis_util Vis_workload

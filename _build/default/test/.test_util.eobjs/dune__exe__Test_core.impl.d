@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Float Hashtbl List QCheck2 QCheck_alcotest Random String Vis_catalog Vis_core Vis_costmodel Vis_util Vis_workload

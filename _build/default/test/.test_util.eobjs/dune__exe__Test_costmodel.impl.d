@@ -1,0 +1,1 @@
+test/test_costmodel.ml: Alcotest Float List QCheck2 QCheck_alcotest Random Vis_catalog Vis_core Vis_costmodel Vis_util Vis_workload

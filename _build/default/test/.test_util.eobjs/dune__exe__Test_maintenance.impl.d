@@ -1,0 +1,1 @@
+test/test_maintenance.ml: Alcotest Array Float Fun Hashtbl List Printf QCheck2 QCheck_alcotest Random Vis_catalog Vis_core Vis_costmodel Vis_maintenance Vis_relalg Vis_storage Vis_util Vis_workload

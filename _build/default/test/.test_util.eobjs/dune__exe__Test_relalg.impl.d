@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest Array List Printf QCheck2 QCheck_alcotest Random Vis_catalog Vis_relalg Vis_storage Vis_util Vis_workload

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Fun Hashtbl List Option QCheck2 QCheck_alcotest Vis_storage

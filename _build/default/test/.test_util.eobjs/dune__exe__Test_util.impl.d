@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Int List Option QCheck2 QCheck_alcotest String Vis_util

@@ -1,0 +1,267 @@
+(* Tests for vis_catalog: schema construction and validation, derived
+   statistics (cardinalities, pages, index shapes), and the DSL parser. *)
+
+module Schema = Vis_catalog.Schema
+module Derived = Vis_catalog.Derived
+module Dsl = Vis_catalog.Dsl
+module Bitset = Vis_util.Bitset
+
+let checkb = Alcotest.(check bool)
+
+let checkf msg = Alcotest.(check (float 1e-9)) msg
+
+let schema1 () = Vis_workload.Schemas.schema1 ()
+
+(* ------------------------------------------------------------------ *)
+(* Schema validation. *)
+
+let rel name card =
+  {
+    Schema.rel_name = name;
+    card;
+    tuple_bytes = 40;
+    key_attr = name ^ "0";
+    attrs = [ name ^ "0"; name ^ "1" ];
+  }
+
+let zero = { Schema.n_ins = 0.; n_del = 0.; n_upd = 0. }
+
+let expect_invalid msg f =
+  match f () with
+  | exception Schema.Invalid _ -> ()
+  | _ -> Alcotest.failf "expected Schema.Invalid: %s" msg
+
+let test_schema_accessors () =
+  let s = schema1 () in
+  Alcotest.(check int) "3 relations" 3 (Schema.n_relations s);
+  Alcotest.(check int) "R index" 0 (Schema.rel_index s "R");
+  Alcotest.(check int) "T index" 2 (Schema.rel_index s "T");
+  checkb "T has selection" true (Schema.has_selection s 2);
+  checkb "R has none" false (Schema.has_selection s 0);
+  checkf "T selectivity" 0.1 (Schema.combined_selectivity s 2);
+  checkf "R selectivity" 1.0 (Schema.combined_selectivity s 0);
+  Alcotest.(check (list string)) "T selection attrs" [ "T1" ]
+    (Schema.selection_attrs s 2);
+  Alcotest.(check (list string)) "S join attrs" [ "S1"; "S0" ]
+    (Schema.join_attrs s 1);
+  Alcotest.(check int) "attr_pos" 1 (Schema.attr_pos s 1 "S1")
+
+let test_schema_validation () =
+  expect_invalid "no relations" (fun () ->
+      Schema.make ~relations:[] ~selections:[] ~joins:[] ~deltas:[] ());
+  expect_invalid "duplicate names" (fun () ->
+      Schema.make ~relations:[ rel "R" 10.; rel "R" 10. ] ~selections:[]
+        ~joins:[] ~deltas:[ zero; zero ] ());
+  expect_invalid "bad cardinality" (fun () ->
+      Schema.make ~relations:[ rel "R" 0. ] ~selections:[] ~joins:[]
+        ~deltas:[ zero ] ());
+  expect_invalid "key not an attribute" (fun () ->
+      Schema.make
+        ~relations:[ { (rel "R" 10.) with Schema.key_attr = "nope" } ]
+        ~selections:[] ~joins:[] ~deltas:[ zero ] ());
+  expect_invalid "selection out of range" (fun () ->
+      Schema.make ~relations:[ rel "R" 10. ]
+        ~selections:[ { Schema.sel_rel = 1; sel_attr = "R1"; selectivity = 0.5 } ]
+        ~joins:[] ~deltas:[ zero ] ());
+  expect_invalid "selectivity > 1" (fun () ->
+      Schema.make ~relations:[ rel "R" 10. ]
+        ~selections:[ { Schema.sel_rel = 0; sel_attr = "R1"; selectivity = 1.5 } ]
+        ~joins:[] ~deltas:[ zero ] ());
+  expect_invalid "self join" (fun () ->
+      Schema.make ~relations:[ rel "R" 10. ] ~selections:[]
+        ~joins:
+          [
+            {
+              Schema.left_rel = 0;
+              left_attr = "R0";
+              right_rel = 0;
+              right_attr = "R1";
+              join_sel = 0.1;
+            };
+          ]
+        ~deltas:[ zero ] ());
+  expect_invalid "negative delta" (fun () ->
+      Schema.make ~relations:[ rel "R" 10. ] ~selections:[] ~joins:[]
+        ~deltas:[ { Schema.n_ins = -1.; n_del = 0.; n_upd = 0. } ] ());
+  expect_invalid "more deletions than tuples" (fun () ->
+      Schema.make ~relations:[ rel "R" 10. ] ~selections:[] ~joins:[]
+        ~deltas:[ { Schema.n_ins = 0.; n_del = 11.; n_upd = 0. } ] ())
+
+let test_schema_connected () =
+  let s = schema1 () in
+  checkb "RS connected" true (Schema.connected s (Bitset.of_list [ 0; 1 ]));
+  checkb "RT disconnected" false (Schema.connected s (Bitset.of_list [ 0; 2 ]));
+  checkb "RST connected" true (Schema.connected s (Bitset.of_list [ 0; 1; 2 ]));
+  checkb "singleton connected" true (Schema.connected s (Bitset.singleton 2))
+
+let test_schema_rewrites () =
+  let s = schema1 () in
+  let s2 = Schema.scale_deltas s 2. in
+  checkf "scaled insertions"
+    (2. *. (Schema.delta s 0).Schema.n_ins)
+    (Schema.delta s2 0).Schema.n_ins;
+  let s3 = Schema.with_mem_pages s 555 in
+  Alcotest.(check int) "mem pages" 555 s3.Schema.mem_pages
+
+(* ------------------------------------------------------------------ *)
+(* Derived statistics.  Schema 1 defaults: T(R)=90000, T(S)=30000,
+   T(T)=10000, 40-byte tuples, 4096-byte pages => 102 tuples/page; joins
+   f1=1/30000, f2=1/10000; selection 0.1 on T. *)
+
+let test_derived_base () =
+  let d = Derived.create (schema1 ()) in
+  checkf "T(R)" 90000. (Derived.base_card d 0);
+  checkf "tuples/page" 102. (Derived.tuples_per_page d 0);
+  checkf "P(R)" (Float.ceil (90000. /. 102.)) (Derived.base_pages d 0);
+  checkf "eff T" 1000. (Derived.eff_card d 2);
+  checkf "eff R" 90000. (Derived.eff_card d 0)
+
+let test_derived_views () =
+  let d = Derived.create (schema1 ()) in
+  checkf "T(RS)" 90000. (Derived.view_card d (Bitset.of_list [ 0; 1 ]));
+  Alcotest.(check int) "width RS" 80 (Derived.view_width d (Bitset.of_list [ 0; 1 ]));
+  checkf "P(RS)"
+    (Float.ceil (90000. /. 51.))
+    (Derived.view_pages d (Bitset.of_list [ 0; 1 ]));
+  checkf "T(ST')" 3000. (Derived.view_card d (Bitset.of_list [ 1; 2 ]));
+  checkf "T(V)" 9000. (Derived.view_card d (Bitset.of_list [ 0; 1; 2 ]));
+  checkf "T(RT') cross" 90_000_000. (Derived.view_card d (Bitset.of_list [ 0; 2 ]));
+  checkf "T(σT)" 1000. (Derived.view_card d (Bitset.singleton 2))
+
+let test_derived_matches () =
+  let d = Derived.create (schema1 ()) in
+  let st = Bitset.of_list [ 1; 2 ] in
+  let j1 = List.hd (schema1 ()).Schema.joins in
+  checkf "S(ST', R join)" 0.1 (Derived.matches_per_join_probe d ~view:st ~join:j1);
+  checkf "S(ST', key S)" 0.1 (Derived.matches_per_key d ~view:st ~rel:1);
+  Alcotest.check_raises "key not in view"
+    (Invalid_argument "Derived.matches_per_key: relation not in view") (fun () ->
+      ignore (Derived.matches_per_key d ~view:st ~rel:0))
+
+let test_derived_pages_edge () =
+  let d = Derived.create (schema1 ()) in
+  checkf "tiny view still 1 page" 1.
+    (Derived.pages_of_tuples d ~set:(Bitset.singleton 2) ~tuples:0.3);
+  checkf "zero tuples zero pages" 0.
+    (Derived.pages_of_tuples d ~set:(Bitset.singleton 2) ~tuples:0.);
+  checkf "delta pages" 1. (Derived.delta_pages d ~rel:0 ~count:5.);
+  checkf "no delta no pages" 0. (Derived.delta_pages d ~rel:0 ~count:0.)
+
+let test_index_shape () =
+  let d = Derived.create (schema1 ()) in
+  (* 4096/16 = 256 entries per page. *)
+  let sh = Derived.index_shape d ~entries:90000. in
+  checkf "leaves" (Float.ceil (90000. /. 256.)) sh.Derived.ix_leaf_pages;
+  Alcotest.(check int) "height 3 (352 leaves, 2 inner, 1 root)" 3 sh.Derived.ix_height;
+  checkf "total pages" (352. +. 2. +. 1.) sh.Derived.ix_pages;
+  let small = Derived.index_shape d ~entries:10. in
+  Alcotest.(check int) "height 1" 1 small.Derived.ix_height;
+  checkf "single page" 1. small.Derived.ix_pages;
+  let empty = Derived.index_shape d ~entries:0. in
+  Alcotest.(check int) "empty height" 1 empty.Derived.ix_height
+
+let prop_view_card_chain =
+  QCheck2.Test.make ~name:"derived: chain prefixes multiply cardinalities"
+    ~count:50
+    QCheck2.Gen.(int_range 1 1000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let schema = Vis_workload.Schemas.random ~rng () in
+      let d = Derived.create schema in
+      let rec walk set rest =
+        match rest with
+        | [] -> true
+        | i :: tl ->
+            let set' = Bitset.add i set in
+            let f =
+              List.fold_left
+                (fun acc (j : Schema.join) ->
+                  if
+                    (Bitset.mem j.Schema.left_rel set && j.Schema.right_rel = i)
+                    || (Bitset.mem j.Schema.right_rel set && j.Schema.left_rel = i)
+                  then acc *. j.Schema.join_sel
+                  else acc)
+                1.0 schema.Schema.joins
+            in
+            let expected = Derived.view_card d set *. Derived.eff_card d i *. f in
+            Vis_util.Num.approx_equal ~eps:1e-6 expected (Derived.view_card d set')
+            && walk set' tl
+      in
+      match Bitset.elements (Schema.all_relations schema) with
+      | [] -> true
+      | first :: rest -> walk (Bitset.singleton first) rest)
+
+(* ------------------------------------------------------------------ *)
+(* DSL. *)
+
+let test_dsl_roundtrip () =
+  let s = schema1 () in
+  let s' = Dsl.parse_string (Dsl.to_string s) in
+  Alcotest.(check int) "relations" (Schema.n_relations s) (Schema.n_relations s');
+  let d = Derived.create s and d' = Derived.create s' in
+  checkf "same T(V)"
+    (Derived.view_card d (Schema.all_relations s))
+    (Derived.view_card d' (Schema.all_relations s'));
+  Alcotest.(check int) "mem pages" s.Schema.mem_pages s'.Schema.mem_pages
+
+let test_dsl_features () =
+  let s =
+    Dsl.parse_string
+      {|
+# comment line
+page_bytes 1024
+memory_pages 64
+relation A key A0 attrs A0,A1 cardinality 1000 tuple_bytes 16
+relation B key B0 attrs B0,B1 cardinality 100 tuple_bytes 16
+join A.A1 = B.B0 fk     # foreign key
+select B.B1 selectivity 0.2
+delta A insert 5% delete 10 update 0
+|}
+  in
+  Alcotest.(check int) "page bytes" 1024 s.Schema.page_bytes;
+  checkf "fk selectivity" 0.01 (List.hd s.Schema.joins).Schema.join_sel;
+  checkf "percent insert" 50. (Schema.delta s 0).Schema.n_ins;
+  checkf "absolute delete" 10. (Schema.delta s 0).Schema.n_del;
+  checkf "default delta" 0. (Schema.delta s 1).Schema.n_ins
+
+let expect_parse_error text =
+  match Dsl.parse_string text with
+  | exception Dsl.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected Parse_error"
+
+let test_dsl_errors () =
+  expect_parse_error "relation A key A0";
+  expect_parse_error "join A.A1 = B.B0 fk";
+  expect_parse_error "frobnicate 3";
+  expect_parse_error "relation A key A0 attrs A0 cardinality ten tuple_bytes 8";
+  expect_parse_error
+    {|relation A key A0 attrs A0 cardinality 10 tuple_bytes 8
+select A.A9 selectivity 0.5|}
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "vis_catalog"
+    [
+      ( "schema",
+        [
+          Alcotest.test_case "accessors" `Quick test_schema_accessors;
+          Alcotest.test_case "validation" `Quick test_schema_validation;
+          Alcotest.test_case "connectivity" `Quick test_schema_connected;
+          Alcotest.test_case "rewrites" `Quick test_schema_rewrites;
+        ] );
+      ( "derived",
+        [
+          Alcotest.test_case "base stats" `Quick test_derived_base;
+          Alcotest.test_case "view stats" `Quick test_derived_views;
+          Alcotest.test_case "match counts" `Quick test_derived_matches;
+          Alcotest.test_case "page edge cases" `Quick test_derived_pages_edge;
+          Alcotest.test_case "index shapes" `Quick test_index_shape;
+        ]
+        @ qt [ prop_view_card_chain ] );
+      ( "dsl",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_dsl_roundtrip;
+          Alcotest.test_case "directives" `Quick test_dsl_features;
+          Alcotest.test_case "errors" `Quick test_dsl_errors;
+        ] );
+    ]

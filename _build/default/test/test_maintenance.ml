@@ -1,0 +1,346 @@
+(* Tests for vis_maintenance and the data generator: the executable
+   warehouse, correctness of executed refresh cycles under many physical
+   designs and seeds, and the cost model's predictions versus measured
+   I/O. *)
+
+module Bitset = Vis_util.Bitset
+module Schema = Vis_catalog.Schema
+module Config = Vis_costmodel.Config
+module Element = Vis_costmodel.Element
+module Datagen = Vis_workload.Datagen
+module Warehouse = Vis_maintenance.Warehouse
+module Refresh = Vis_maintenance.Refresh
+module Validate = Vis_maintenance.Validate
+
+let checkb = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+let schema = Vis_workload.Schemas.validation ()
+
+(* ------------------------------------------------------------------ *)
+(* Data generation. *)
+
+let test_datagen_shapes () =
+  let rng = Random.State.make [| 1 |] in
+  let ds = Datagen.generate ~rng schema in
+  checki "three relations" 3 (Array.length ds.Datagen.ds_tuples);
+  Array.iteri
+    (fun i tuples ->
+      checki "cardinality realized"
+        (int_of_float (Schema.relation schema i).Schema.card)
+        (List.length tuples))
+    ds.Datagen.ds_tuples;
+  (* Keys are distinct and consecutive. *)
+  let keys =
+    List.map (fun t -> t.(0)) ds.Datagen.ds_tuples.(2) |> List.sort compare
+  in
+  Alcotest.(check (list int)) "keys 0..n-1"
+    (List.init (List.length keys) Fun.id)
+    keys
+
+let test_datagen_selectivity () =
+  let rng = Random.State.make [| 2 |] in
+  let ds = Datagen.generate ~rng schema in
+  let passing =
+    List.length
+      (List.filter (Datagen.passes_selections schema ~rel:2) ds.Datagen.ds_tuples.(2))
+  in
+  let total = List.length ds.Datagen.ds_tuples.(2) in
+  let frac = float_of_int passing /. float_of_int total in
+  checkb "about 10% pass" true (frac > 0.05 && frac < 0.2)
+
+let test_datagen_fk_realized () =
+  let rng = Random.State.make [| 3 |] in
+  let ds = Datagen.generate ~rng schema in
+  (* |R ⋈ S| should be exactly T(R): every R.R1 hits one S key. *)
+  let s_keys = Hashtbl.create 64 in
+  List.iter (fun t -> Hashtbl.replace s_keys t.(0) ()) ds.Datagen.ds_tuples.(1);
+  checkb "every FK resolves" true
+    (List.for_all (fun t -> Hashtbl.mem s_keys t.(1)) ds.Datagen.ds_tuples.(0))
+
+let test_datagen_batch () =
+  let rng = Random.State.make [| 4 |] in
+  let ds = Datagen.generate ~rng schema in
+  let b = Datagen.deltas ~rng schema ds in
+  Array.iteri
+    (fun i ins ->
+      checki "insert count"
+        (int_of_float (Float.round (Schema.delta schema i).Schema.n_ins))
+        (List.length ins))
+    b.Datagen.b_ins;
+  (* Deleted and updated keys are distinct existing keys. *)
+  Array.iteri
+    (fun i dels ->
+      let dels_sorted = List.sort_uniq compare dels in
+      checki "deletes distinct" (List.length dels) (List.length dels_sorted);
+      List.iter
+        (fun k -> checkb "delete exists" true (k < ds.Datagen.ds_next_key.(i)))
+        dels;
+      List.iter
+        (fun (k, _) -> checkb "upd not deleted" true (not (List.mem k dels)))
+        b.Datagen.b_upd.(i))
+    b.Datagen.b_del;
+  (* Updates only change protected attributes. *)
+  let originals = Array.of_list ds.Datagen.ds_tuples.(0) in
+  List.iter
+    (fun (k, fresh) ->
+      let old = originals.(k) in
+      checki "key kept" old.(0) fresh.(0);
+      checki "fk kept" old.(1) fresh.(1))
+    b.Datagen.b_upd.(0)
+
+let test_datagen_unsupported () =
+  (* The literal Figure 5 schema equates two keys: not generatable. *)
+  match
+    Datagen.generate ~rng:(Random.State.make [| 5 |]) (Vis_workload.Schemas.schema1 ())
+  with
+  | exception Datagen.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Unsupported"
+
+let test_protected_attrs () =
+  Alcotest.(check (list string)) "R payload" [ "R2" ] (Datagen.protected_attrs schema 0);
+  Alcotest.(check (list string)) "T payload" [ "T2" ] (Datagen.protected_attrs schema 2)
+
+(* ------------------------------------------------------------------ *)
+(* Warehouse construction. *)
+
+let build_warehouse ?(config = Config.empty) ?(seed = 11) () =
+  let rng = Random.State.make [| seed |] in
+  let ds = Datagen.generate ~rng schema in
+  (Warehouse.build schema config ds, ds, rng)
+
+let test_build_counts () =
+  let w, ds, _ = build_warehouse () in
+  Array.iteri
+    (fun i table ->
+      checki "base loaded"
+        (List.length ds.Datagen.ds_tuples.(i))
+        (Vis_relalg.Table.n_tuples table))
+    w.Warehouse.w_bases;
+  (* Primary view matches the in-memory recomputation. *)
+  let v = Warehouse.element_table w (Element.View (Schema.all_relations schema)) in
+  let expected =
+    Warehouse.compute_view_in_memory schema ~tuples:ds.Datagen.ds_tuples
+      (Schema.all_relations schema)
+  in
+  checki "view size" (List.length expected) (Vis_relalg.Table.n_tuples v);
+  (* Counters were reset after the build. *)
+  checki "stats reset" 0 (Vis_storage.Iostats.reads w.Warehouse.w_stats)
+
+let test_build_with_views_and_indexes () =
+  let st = Bitset.of_list [ 1; 2 ] in
+  let ix =
+    {
+      Element.ix_elem = Element.View (Schema.all_relations schema);
+      ix_attr = { Element.a_rel = 0; a_name = "R0" };
+    }
+  in
+  let config = Config.make ~views:[ st ] ~indexes:[ ix ] in
+  let w, _, _ = build_warehouse ~config () in
+  let stt = Warehouse.element_table w (Element.View st) in
+  checkb "supporting view populated" true (Vis_relalg.Table.n_tuples stt > 0);
+  let v = Warehouse.element_table w (Element.View (Schema.all_relations schema)) in
+  checkb "index attached" true
+    (Vis_relalg.Table.index_on v
+       ~offset:(Vis_relalg.Reldesc.offset (Vis_relalg.Table.desc v) ~rel:0 ~attr:"R0")
+    <> None);
+  match Warehouse.element_table w (Element.View (Bitset.of_list [ 0; 1 ])) with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "unmaterialized view should be absent"
+
+(* ------------------------------------------------------------------ *)
+(* Refresh correctness across designs and seeds. *)
+
+let designs p =
+  let optimal = (Vis_core.Astar.search p).Vis_core.Astar.best in
+  let everything =
+    Config.make ~views:p.Vis_core.Problem.candidate_views
+      ~indexes:
+        (Vis_core.Problem.indexes_for_views p p.Vis_core.Problem.candidate_views)
+  in
+  let st_only =
+    Config.make ~views:[ Bitset.of_list [ 1; 2 ] ] ~indexes:[]
+  in
+  [ ("empty", Config.empty); ("st", st_only); ("optimal", optimal);
+    ("everything", everything) ]
+
+let test_refresh_correct_all_designs () =
+  let p = Vis_core.Problem.make schema in
+  List.iter
+    (fun (name, config) ->
+      let report, checks = Validate.run_cycle ~seed:7 schema config in
+      checkb (name ^ " views stay exact") true (Validate.all_ok checks);
+      checkb (name ^ " did I/O") true (Refresh.total_io report > 0))
+    (designs p)
+
+let test_refresh_correct_many_seeds () =
+  let p = Vis_core.Problem.make schema in
+  let optimal = (Vis_core.Astar.search p).Vis_core.Astar.best in
+  List.iter
+    (fun seed ->
+      let _, checks = Validate.run_cycle ~seed schema optimal in
+      checkb (Printf.sprintf "seed %d" seed) true (Validate.all_ok checks))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_refresh_small_instance () =
+  (* A tiny instance exercising page boundaries. *)
+  let small = Vis_workload.Schemas.validation ~base_card:40. ~mem_pages:4 () in
+  let p = Vis_core.Problem.make small in
+  List.iter
+    (fun (name, config) ->
+      let _, checks = Validate.run_cycle ~seed:3 small config in
+      checkb (name ^ " small ok") true (Validate.all_ok checks))
+    (designs p)
+
+let test_refresh_insert_only () =
+  let s =
+    Vis_workload.Schemas.validation ~ins_frac:0.05 ~del_frac:0. ~upd_frac:0. ()
+  in
+  let report, checks = Validate.run_cycle ~seed:9 s Config.empty in
+  checkb "insert-only exact" true (Validate.all_ok checks);
+  checkb "writes happened" true (report.Refresh.rp_writes > 0)
+
+let test_refresh_delete_only () =
+  let s =
+    Vis_workload.Schemas.validation ~ins_frac:0. ~del_frac:0.02 ~upd_frac:0. ()
+  in
+  let _, checks = Validate.run_cycle ~seed:9 s Config.empty in
+  checkb "delete-only exact" true (Validate.all_ok checks)
+
+let test_refresh_empty_batch () =
+  (* A batch with no changes must leave the warehouse untouched and cost
+     almost nothing (the executor still opens the staged delta tables). *)
+  let s =
+    Vis_workload.Schemas.validation ~ins_frac:0. ~del_frac:0. ~upd_frac:0. ()
+  in
+  let report, checks = Validate.run_cycle ~seed:4 s Config.empty in
+  checkb "still exact" true (Validate.all_ok checks);
+  checkb "negligible I/O" true (Refresh.total_io report < 10)
+
+let test_refresh_update_only () =
+  let s =
+    Vis_workload.Schemas.validation ~ins_frac:0. ~del_frac:0. ~upd_frac:0.02 ()
+  in
+  let _, checks = Validate.run_cycle ~seed:9 s Config.empty in
+  checkb "update-only exact" true (Validate.all_ok checks)
+
+(* A Schema-2-shaped executable instance: the selection sits on the middle
+   relation, exercising different pushed-down filter paths. *)
+let middle_selection_schema =
+  let rel3 name card =
+    {
+      Schema.rel_name = name;
+      card;
+      tuple_bytes = 24;
+      key_attr = name ^ "0";
+      attrs = [ name ^ "0"; name ^ "1"; name ^ "2" ];
+    }
+  in
+  let d card = { Schema.n_ins = 0.02 *. card; n_del = 0.005 *. card; n_upd = 0.005 *. card } in
+  Schema.make ~page_bytes:512 ~mem_pages:40
+    ~relations:[ rel3 "A" 1200.; rel3 "B" 1200.; rel3 "C" 400. ]
+    ~selections:[ { Schema.sel_rel = 1; sel_attr = "B2"; selectivity = 0.25 } ]
+    ~joins:
+      [
+        {
+          Schema.left_rel = 0;
+          left_attr = "A1";
+          right_rel = 1;
+          right_attr = "B0";
+          join_sel = 1. /. 1200.;
+        };
+        {
+          Schema.left_rel = 1;
+          left_attr = "B1";
+          right_rel = 2;
+          right_attr = "C0";
+          join_sel = 1. /. 400.;
+        };
+      ]
+    ~deltas:[ d 1200.; d 1200.; d 400. ]
+    ()
+
+let test_refresh_middle_selection () =
+  let p = Vis_core.Problem.make middle_selection_schema in
+  let optimal = (Vis_core.Astar.search p).Vis_core.Astar.best in
+  List.iter
+    (fun (name, config) ->
+      let _, checks = Validate.run_cycle ~seed:13 middle_selection_schema config in
+      checkb (name ^ " exact with middle selection") true (Validate.all_ok checks))
+    [ ("empty", Config.empty); ("optimal", optimal) ]
+
+(* ------------------------------------------------------------------ *)
+(* Cost model accuracy: the prediction should be within a small constant
+   factor of the measurement, and should order the designs consistently. *)
+
+let test_prediction_tracks_measurement () =
+  let p = Vis_core.Problem.make schema in
+  let results =
+    List.map
+      (fun (name, config) ->
+        let report, _ = Validate.run_cycle ~seed:5 schema config in
+        (name, report.Refresh.rp_predicted, float_of_int (Refresh.total_io report)))
+      (designs p)
+  in
+  List.iter
+    (fun (name, predicted, measured) ->
+      let ratio = predicted /. Float.max 1. measured in
+      checkb
+        (Printf.sprintf "%s ratio %.2f within [0.25, 8]" name ratio)
+        true
+        (ratio > 0.25 && ratio < 8.))
+    results;
+  (* The extreme designs are ordered the same way by model and metal. *)
+  let find n = List.find (fun (m, _, _) -> m = n) results in
+  let _, pred_empty, meas_empty = find "empty" in
+  let _, pred_all, meas_all = find "everything" in
+  checkb "model and measurement agree on the worst design" true
+    (pred_all > pred_empty && meas_all > meas_empty)
+
+let prop_refresh_random_seeds =
+  QCheck2.Test.make ~name:"refresh: exact maintenance on random seeds" ~count:8
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed ->
+      let small = Vis_workload.Schemas.validation ~base_card:100. () in
+      let p = Vis_core.Problem.make small in
+      let config = (Vis_core.Rules.advise p).Vis_core.Rules.a_config in
+      let _, checks = Validate.run_cycle ~seed small config in
+      Validate.all_ok checks)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "vis_maintenance"
+    [
+      ( "datagen",
+        [
+          Alcotest.test_case "shapes" `Quick test_datagen_shapes;
+          Alcotest.test_case "selectivity" `Quick test_datagen_selectivity;
+          Alcotest.test_case "foreign keys" `Quick test_datagen_fk_realized;
+          Alcotest.test_case "delta batches" `Quick test_datagen_batch;
+          Alcotest.test_case "unsupported schemas" `Quick test_datagen_unsupported;
+          Alcotest.test_case "protected attrs" `Quick test_protected_attrs;
+        ] );
+      ( "warehouse",
+        [
+          Alcotest.test_case "build counts" `Quick test_build_counts;
+          Alcotest.test_case "views and indexes" `Quick test_build_with_views_and_indexes;
+        ] );
+      ( "refresh",
+        [
+          Alcotest.test_case "all designs exact" `Slow test_refresh_correct_all_designs;
+          Alcotest.test_case "many seeds" `Slow test_refresh_correct_many_seeds;
+          Alcotest.test_case "small instance" `Quick test_refresh_small_instance;
+          Alcotest.test_case "empty batch" `Quick test_refresh_empty_batch;
+          Alcotest.test_case "insert only" `Quick test_refresh_insert_only;
+          Alcotest.test_case "delete only" `Quick test_refresh_delete_only;
+          Alcotest.test_case "update only" `Quick test_refresh_update_only;
+          Alcotest.test_case "middle selection" `Quick test_refresh_middle_selection;
+        ]
+        @ qt [ prop_refresh_random_seeds ] );
+      ( "cost model accuracy",
+        [
+          Alcotest.test_case "prediction tracks measurement" `Slow
+            test_prediction_tracks_measurement;
+        ] );
+    ]

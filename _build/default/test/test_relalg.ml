@@ -1,0 +1,238 @@
+(* Tests for vis_relalg: tuple layouts, tables with index maintenance, and
+   the physical operators compared against naive references. *)
+
+module Bitset = Vis_util.Bitset
+module Schema = Vis_catalog.Schema
+module Iostats = Vis_storage.Iostats
+module Buffer_pool = Vis_storage.Buffer_pool
+module Reldesc = Vis_relalg.Reldesc
+module Table = Vis_relalg.Table
+module Exec = Vis_relalg.Exec
+
+let checkb = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+let schema = Vis_workload.Schemas.validation ()
+
+let fresh_pool ?(capacity = 64) () =
+  let stats = Iostats.create () in
+  (Buffer_pool.create ~capacity ~stats, stats)
+
+(* ------------------------------------------------------------------ *)
+(* Reldesc. *)
+
+let test_reldesc () =
+  let r = Reldesc.of_relation schema 0 in
+  let s = Reldesc.of_relation schema 1 in
+  checki "arity" 3 (Reldesc.arity r);
+  checki "offset R1" 1 (Reldesc.offset r ~rel:0 ~attr:"R1");
+  checkb "mem" true (Reldesc.mem r ~rel:0 ~attr:"R2");
+  checkb "not mem" false (Reldesc.mem r ~rel:1 ~attr:"S0");
+  let rs = Reldesc.concat r s in
+  checki "concat arity" 6 (Reldesc.arity rs);
+  checki "offset across concat" 4 (Reldesc.offset rs ~rel:1 ~attr:"S1");
+  checkb "equal" true (Reldesc.equal rs (Reldesc.concat r s));
+  Alcotest.check_raises "overlap rejected"
+    (Invalid_argument "Reldesc.concat: overlapping attribute") (fun () ->
+      ignore (Reldesc.concat r r));
+  Alcotest.check_raises "unknown attr" Not_found (fun () ->
+      ignore (Reldesc.offset r ~rel:0 ~attr:"nope"))
+
+(* ------------------------------------------------------------------ *)
+(* Tables. *)
+
+let small_table ?(rows = 20) () =
+  let pool, stats = fresh_pool () in
+  let t =
+    Table.create pool ~desc:(Reldesc.of_relation schema 2) ~page_bytes:512
+      ~attr_bytes:8
+  in
+  for i = 0 to rows - 1 do
+    ignore (Table.insert t [| i; i mod 5; 100 + i |])
+  done;
+  (t, stats)
+
+let test_table_index_consistency () =
+  let t, _ = small_table () in
+  let ix = Table.add_index t ~offset:1 in
+  checki "index covers table" 20 (Vis_storage.Btree.length ix);
+  (* Inserts keep indexes in sync. *)
+  let _ = Table.insert t [| 100; 3; 0 |] in
+  checki "insert indexed" 21 (Vis_storage.Btree.length ix);
+  let hits = Vis_storage.Btree.lookup ix ~key:3 in
+  checki "duplicates found" 5 (List.length hits);
+  (* Deletes remove index entries. *)
+  let victim = List.hd hits in
+  checkb "delete" true (Table.delete t victim);
+  checki "delete unindexed" 20 (Vis_storage.Btree.length ix);
+  (* Same index handle when added twice. *)
+  checkb "add_index idempotent" true (Table.add_index t ~offset:1 == ix)
+
+let test_table_protected_update () =
+  let t, _ = small_table () in
+  ignore (Table.add_index t ~offset:0);
+  let located = Exec.locate_by_index t ~offset:0 ~keys:[ 7 ] in
+  (match located with
+  | [ (rid, old) ] ->
+      let fresh = Array.copy old in
+      fresh.(2) <- 999;
+      checkb "payload update ok" true (Table.update t rid fresh);
+      let fresh2 = Array.copy old in
+      fresh2.(0) <- 42;
+      Alcotest.check_raises "indexed attribute immutable"
+        (Invalid_argument "Table.update: protected update touches an indexed attribute")
+        (fun () -> ignore (Table.update t rid fresh2))
+  | _ -> Alcotest.fail "expected one match");
+  ()
+
+(* ------------------------------------------------------------------ *)
+(* Operators vs references. *)
+
+let reference_join outer rows inner_rows ~oo ~io =
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun b -> if a.(oo) = b.(io) then Some (Array.append a b) else None)
+        inner_rows)
+    (ignore rows; outer)
+
+let sorted_rows rows = List.sort compare (List.map Array.to_list rows)
+
+let test_scan_filter () =
+  let t, _ = small_table () in
+  let all = Exec.scan t () in
+  checki "all rows" 20 (List.length all);
+  let even = Exec.scan t ~filter:(fun r -> r.(0) mod 2 = 0) () in
+  checki "filtered" 10 (List.length even)
+
+let test_index_scan () =
+  let t, _ = small_table () in
+  ignore (Table.add_index t ~offset:0);
+  let rows = Exec.index_scan t ~offset:0 ~lo:5 ~hi:9 () in
+  checki "range rows" 5 (List.length rows);
+  Alcotest.check_raises "no index"
+    (Invalid_argument "Exec.index_scan: no index on attribute") (fun () ->
+      ignore (Exec.index_scan t ~offset:2 ~lo:0 ~hi:1 ()))
+
+let test_nbj_matches_reference () =
+  let t, _ = small_table ~rows:30 () in
+  let inner_rows = Exec.scan t () in
+  let outer = List.init 12 (fun i -> [| i * 7; i mod 5 |]) in
+  (* join outer.(1) = inner.(1) *)
+  let want = reference_join outer () inner_rows ~oo:1 ~io:1 in
+  List.iter
+    (fun block_tuples ->
+      let got =
+        Exec.nested_block_join ~outer ~outer_offset:1 ~block_tuples ~inner:t
+          ~inner_offset:1 ()
+      in
+      Alcotest.(check (list (list int)))
+        (Printf.sprintf "block=%d" block_tuples)
+        (sorted_rows want) (sorted_rows got))
+    [ 1; 3; 100 ]
+
+let test_index_join_matches_reference () =
+  let t, _ = small_table ~rows:30 () in
+  ignore (Table.add_index t ~offset:1);
+  let inner_rows = Exec.scan t () in
+  let outer = List.init 12 (fun i -> [| i * 7; i mod 6 |]) in
+  let want = reference_join outer () inner_rows ~oo:1 ~io:1 in
+  let got = Exec.index_join ~outer ~outer_offset:1 ~inner:t ~inner_offset:1 () in
+  Alcotest.(check (list (list int))) "index join" (sorted_rows want) (sorted_rows got)
+
+let test_cross_join () =
+  let t, _ = small_table ~rows:4 () in
+  let outer = [ [| 1 |]; [| 2 |]; [| 3 |] ] in
+  let got = Exec.block_cross_join ~outer ~block_tuples:2 ~inner:t () in
+  checki "3x4 combinations" 12 (List.length got);
+  let filtered =
+    Exec.block_cross_join ~outer ~block_tuples:2 ~inner:t
+      ~filter:(fun row -> row.(0) = 1)
+      ()
+  in
+  checki "filter applies" 4 (List.length filtered)
+
+let test_locate () =
+  let t, _ = small_table () in
+  let by_scan = Exec.locate_by_scan t ~offset:0 ~keys:[ 3; 7; 99 ] in
+  checki "scan finds two" 2 (List.length by_scan);
+  ignore (Table.add_index t ~offset:0);
+  let by_index = Exec.locate_by_index t ~offset:0 ~keys:[ 3; 7; 99 ] in
+  Alcotest.(check (list (list int)))
+    "same rows either way"
+    (sorted_rows (List.map snd by_scan))
+    (sorted_rows (List.map snd by_index))
+
+let test_nbj_io_blocks () =
+  (* The inner is rescanned once per outer block: I/O grows with blocks. *)
+  let pool, stats = fresh_pool ~capacity:4 () in
+  let t =
+    Table.create pool ~desc:(Reldesc.of_relation schema 2) ~page_bytes:512
+      ~attr_bytes:8
+  in
+  for i = 0 to 199 do
+    ignore (Table.insert t [| i; i mod 5; 0 |])
+  done;
+  Buffer_pool.flush pool;
+  let outer = List.init 50 (fun i -> [| i; i mod 5 |]) in
+  Iostats.reset stats;
+  ignore
+    (Exec.nested_block_join ~outer ~outer_offset:1 ~block_tuples:50 ~inner:t
+       ~inner_offset:1 ());
+  let one_block = Iostats.reads stats in
+  Iostats.reset stats;
+  Buffer_pool.flush pool;
+  ignore
+    (Exec.nested_block_join ~outer ~outer_offset:1 ~block_tuples:10 ~inner:t
+       ~inner_offset:1 ());
+  let five_blocks = Iostats.reads stats in
+  checkb "more blocks, more reads" true (five_blocks > one_block)
+
+(* Property: NBJ and index join agree on random data. *)
+let prop_joins_agree =
+  QCheck2.Test.make ~name:"exec: nested-block and index join agree" ~count:50
+    QCheck2.Gen.(
+      pair (int_range 1 2000)
+        (pair (list_size (int_bound 40) (int_bound 8)) (int_range 1 60)))
+    (fun (seed, (outer_keys, inner_rows)) ->
+      let rng = Random.State.make [| seed |] in
+      let pool, _ = fresh_pool ~capacity:128 () in
+      let t =
+        Table.create pool ~desc:(Reldesc.of_relation schema 2) ~page_bytes:512
+          ~attr_bytes:8
+      in
+      for i = 0 to inner_rows - 1 do
+        ignore (Table.insert t [| i; Random.State.int rng 8; i |])
+      done;
+      ignore (Table.add_index t ~offset:1);
+      let outer = List.map (fun k -> [| k |]) outer_keys in
+      let a =
+        Exec.nested_block_join ~outer ~outer_offset:0 ~block_tuples:7 ~inner:t
+          ~inner_offset:1 ()
+      in
+      let b = Exec.index_join ~outer ~outer_offset:0 ~inner:t ~inner_offset:1 () in
+      sorted_rows a = sorted_rows b)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "vis_relalg"
+    [
+      ("reldesc", [ Alcotest.test_case "layouts" `Quick test_reldesc ]);
+      ( "table",
+        [
+          Alcotest.test_case "index consistency" `Quick test_table_index_consistency;
+          Alcotest.test_case "protected updates" `Quick test_table_protected_update;
+        ] );
+      ( "operators",
+        [
+          Alcotest.test_case "scan" `Quick test_scan_filter;
+          Alcotest.test_case "index scan" `Quick test_index_scan;
+          Alcotest.test_case "nbj reference" `Quick test_nbj_matches_reference;
+          Alcotest.test_case "index join reference" `Quick test_index_join_matches_reference;
+          Alcotest.test_case "cross join" `Quick test_cross_join;
+          Alcotest.test_case "locate" `Quick test_locate;
+          Alcotest.test_case "nbj block I/O" `Quick test_nbj_io_blocks;
+        ]
+        @ qt [ prop_joins_agree ] );
+    ]

@@ -1,0 +1,288 @@
+(* Tests for vis_storage: the LRU buffer pool's I/O accounting, heap files,
+   and the B+-tree (unit tests plus randomized comparison against a
+   reference model). *)
+
+module Iostats = Vis_storage.Iostats
+module Buffer_pool = Vis_storage.Buffer_pool
+module Heap_file = Vis_storage.Heap_file
+module Btree = Vis_storage.Btree
+
+let checkb = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+let fresh_pool ?(capacity = 8) () =
+  let stats = Iostats.create () in
+  (Buffer_pool.create ~capacity ~stats, stats)
+
+(* ------------------------------------------------------------------ *)
+(* Buffer pool. *)
+
+let test_pool_hits_and_misses () =
+  let pool, stats = fresh_pool ~capacity:2 () in
+  let a = Buffer_pool.fresh_page pool in
+  let b = Buffer_pool.fresh_page pool in
+  Buffer_pool.touch pool a ~dirty:false;
+  Buffer_pool.touch pool a ~dirty:false;
+  checki "one read for two touches" 1 (Iostats.reads stats);
+  checki "two accesses" 2 (Iostats.accesses stats);
+  Buffer_pool.touch pool b ~dirty:false;
+  checki "second page misses" 2 (Iostats.reads stats)
+
+let test_pool_lru_eviction () =
+  let pool, stats = fresh_pool ~capacity:2 () in
+  let pages = Array.init 3 (fun _ -> Buffer_pool.fresh_page pool) in
+  Buffer_pool.touch pool pages.(0) ~dirty:false;
+  Buffer_pool.touch pool pages.(1) ~dirty:false;
+  (* Re-touch page 0 so page 1 is the LRU victim. *)
+  Buffer_pool.touch pool pages.(0) ~dirty:false;
+  Buffer_pool.touch pool pages.(2) ~dirty:false;
+  checkb "page 1 evicted" false (Buffer_pool.resident pool pages.(1));
+  checkb "page 0 kept" true (Buffer_pool.resident pool pages.(0));
+  checki "clean evictions write nothing" 0 (Iostats.writes stats)
+
+let test_pool_dirty_writeback () =
+  let pool, stats = fresh_pool ~capacity:1 () in
+  let a = Buffer_pool.fresh_page pool in
+  let b = Buffer_pool.fresh_page pool in
+  Buffer_pool.touch pool a ~dirty:true;
+  Buffer_pool.touch pool b ~dirty:false;
+  checki "dirty eviction writes" 1 (Iostats.writes stats);
+  Buffer_pool.touch pool b ~dirty:true;
+  Buffer_pool.flush pool;
+  checki "flush writes dirty page" 2 (Iostats.writes stats);
+  checkb "nothing resident" false (Buffer_pool.resident pool b)
+
+let test_pool_touch_new () =
+  let pool, stats = fresh_pool () in
+  let a = Buffer_pool.fresh_page pool in
+  Buffer_pool.touch_new pool a;
+  checki "no read for a fresh page" 0 (Iostats.reads stats);
+  Buffer_pool.flush pool;
+  checki "but it is written back" 1 (Iostats.writes stats)
+
+let test_pool_discard () =
+  let pool, stats = fresh_pool () in
+  let a = Buffer_pool.fresh_page pool in
+  Buffer_pool.touch pool a ~dirty:true;
+  Buffer_pool.discard pool a;
+  Buffer_pool.flush pool;
+  checki "discarded page not written" 0 (Iostats.writes stats)
+
+(* LRU property: a working set that fits in the pool faults exactly once per
+   page, however often it is re-touched. *)
+let prop_pool_no_capacity_misses =
+  QCheck2.Test.make ~name:"pool: working set <= capacity never re-faults"
+    ~count:100
+    QCheck2.Gen.(pair (int_range 1 16) (int_range 1 8))
+    (fun (capacity, distinct) ->
+      QCheck2.assume (distinct <= capacity);
+      let pool, stats = fresh_pool ~capacity () in
+      let pages = Array.init distinct (fun _ -> Buffer_pool.fresh_page pool) in
+      for _round = 1 to 5 do
+        Array.iter (fun p -> Buffer_pool.touch pool p ~dirty:false) pages
+      done;
+      Iostats.reads stats = distinct)
+
+(* ------------------------------------------------------------------ *)
+(* Heap files. *)
+
+let test_heap_roundtrip () =
+  let pool, _ = fresh_pool ~capacity:64 () in
+  let h = Heap_file.create pool ~tuples_per_page:4 in
+  let rids = List.init 10 (fun i -> Heap_file.append h [| i; 10 * i |]) in
+  checki "10 tuples" 10 (Heap_file.n_tuples h);
+  checki "3 pages of 4" 3 (Heap_file.n_pages h);
+  List.iteri
+    (fun i rid ->
+      match Heap_file.get h rid with
+      | Some t -> checki "value" (10 * i) t.(1)
+      | None -> Alcotest.fail "missing tuple")
+    rids;
+  (* Appends copy the tuple, so later mutation of the source is invisible. *)
+  let src = [| 99; 99 |] in
+  let rid = Heap_file.append h src in
+  src.(0) <- 0;
+  checki "copied on append" 99 (Option.get (Heap_file.get h rid)).(0)
+
+let test_heap_delete_update () =
+  let pool, _ = fresh_pool ~capacity:64 () in
+  let h = Heap_file.create pool ~tuples_per_page:4 in
+  let rids = Array.init 8 (fun i -> Heap_file.append h [| i |]) in
+  checkb "delete" true (Heap_file.delete h rids.(3));
+  checkb "double delete" false (Heap_file.delete h rids.(3));
+  checki "count after delete" 7 (Heap_file.n_tuples h);
+  checkb "update live" true (Heap_file.update h rids.(4) [| 444 |]);
+  checkb "update dead" false (Heap_file.update h rids.(3) [| 0 |]);
+  checki "updated" 444 (Option.get (Heap_file.get h rids.(4))).(0);
+  let seen = ref [] in
+  Heap_file.scan h ~f:(fun _ t -> seen := t.(0) :: !seen);
+  Alcotest.(check (list int)) "scan skips holes" [ 0; 1; 2; 444; 5; 6; 7 ]
+    (List.rev !seen)
+
+let test_heap_scan_io () =
+  let stats = Iostats.create () in
+  let pool = Buffer_pool.create ~capacity:2 ~stats in
+  let h = Heap_file.create pool ~tuples_per_page:10 in
+  for i = 0 to 99 do
+    ignore (Heap_file.append h [| i |])
+  done;
+  Buffer_pool.flush pool;
+  Iostats.reset stats;
+  Heap_file.scan h ~f:(fun _ _ -> ());
+  checki "scan reads every page once" 10 (Iostats.reads stats)
+
+let test_heap_bad_rid () =
+  let pool, _ = fresh_pool () in
+  let h = Heap_file.create pool ~tuples_per_page:4 in
+  ignore (Heap_file.append h [| 1 |]);
+  Alcotest.check_raises "bad rid" (Invalid_argument "Heap_file.get: bad rid")
+    (fun () ->
+      ignore (Heap_file.get h { Heap_file.rid_page = 5; rid_slot = 0 }))
+
+(* ------------------------------------------------------------------ *)
+(* B+-tree. *)
+
+let rid i = { Heap_file.rid_page = i; rid_slot = i mod 7 }
+
+let test_btree_basics () =
+  let pool, _ = fresh_pool ~capacity:256 () in
+  let t = Btree.create pool ~fanout:4 in
+  for i = 0 to 99 do
+    Btree.insert t ~key:(i * 3 mod 101) (rid i)
+  done;
+  Btree.check t;
+  checki "100 entries" 100 (Btree.length t);
+  checkb "height grew" true (Btree.height t > 1);
+  for i = 0 to 99 do
+    let key = i * 3 mod 101 in
+    checkb "lookup finds rid" true (List.mem (rid i) (Btree.lookup t ~key))
+  done;
+  checki "missing key" 0 (List.length (Btree.lookup t ~key:777))
+
+let test_btree_duplicates () =
+  let pool, _ = fresh_pool ~capacity:256 () in
+  let t = Btree.create pool ~fanout:4 in
+  for i = 0 to 30 do
+    Btree.insert t ~key:5 (rid i)
+  done;
+  Btree.check t;
+  checki "all duplicates found" 31 (List.length (Btree.lookup t ~key:5));
+  checkb "remove one" true (Btree.remove t ~key:5 (rid 17));
+  checkb "remove again fails" false (Btree.remove t ~key:5 (rid 17));
+  checki "30 left" 30 (List.length (Btree.lookup t ~key:5));
+  Btree.check t
+
+let test_btree_range () =
+  let pool, _ = fresh_pool ~capacity:256 () in
+  let t = Btree.create pool ~fanout:4 in
+  List.iter (fun k -> Btree.insert t ~key:k (rid k)) [ 5; 1; 9; 3; 7; 2; 8 ];
+  let keys = List.map fst (Btree.range t ~lo:3 ~hi:8) in
+  Alcotest.(check (list int)) "range sorted" [ 3; 5; 7; 8 ] keys;
+  Alcotest.(check (list int)) "empty range" []
+    (List.map fst (Btree.range t ~lo:10 ~hi:20));
+  Alcotest.(check (list int)) "inverted range" []
+    (List.map fst (Btree.range t ~lo:8 ~hi:3))
+
+let test_btree_iter_sorted () =
+  let pool, _ = fresh_pool ~capacity:256 () in
+  let t = Btree.create pool ~fanout:4 in
+  for i = 99 downto 0 do
+    Btree.insert t ~key:i (rid i)
+  done;
+  let keys = ref [] in
+  Btree.iter t ~f:(fun k _ -> keys := k :: !keys);
+  Alcotest.(check (list int)) "iter in key order" (List.init 100 Fun.id)
+    (List.rev !keys)
+
+let test_btree_io_counted () =
+  let stats = Iostats.create () in
+  let pool = Buffer_pool.create ~capacity:4 ~stats in
+  let t = Btree.create pool ~fanout:8 in
+  for i = 0 to 999 do
+    Btree.insert t ~key:i (rid i)
+  done;
+  Buffer_pool.flush pool;
+  Iostats.reset stats;
+  ignore (Btree.lookup t ~key:500);
+  (* One root-to-leaf path, plus possibly peeking at the next leaf when the
+     probe lands at a leaf boundary. *)
+  checkb "lookup reads at most height+1 pages" true
+    (Iostats.reads stats <= Btree.height t + 1);
+  checkb "lookup reads at least one page" true (Iostats.reads stats >= 1)
+
+(* Randomized comparison against a reference association model under mixed
+   inserts, removes, and lookups; structural invariants re-checked at the
+   end. *)
+let prop_btree_model =
+  let op_gen =
+    QCheck2.Gen.(pair (int_bound 2) (pair (int_bound 50) (int_bound 1000)))
+  in
+  QCheck2.Test.make ~name:"btree: agrees with a reference model" ~count:60
+    QCheck2.Gen.(pair (int_range 4 12) (list_size (int_bound 400) op_gen))
+    (fun (fanout, ops) ->
+      let pool, _ = fresh_pool ~capacity:512 () in
+      let t = Btree.create pool ~fanout in
+      let model : (int, Heap_file.rid list) Hashtbl.t = Hashtbl.create 64 in
+      let model_get k = Option.value ~default:[] (Hashtbl.find_opt model k) in
+      let ok = ref true in
+      List.iter
+        (fun (op, (key, salt)) ->
+          match op with
+          | 0 ->
+              let r = rid salt in
+              if List.mem r (model_get key) then begin
+                (* Exact duplicates are rejected. *)
+                match Btree.insert t ~key r with
+                | exception Invalid_argument _ -> ()
+                | () -> ok := false
+              end
+              else begin
+                Btree.insert t ~key r;
+                Hashtbl.replace model key (r :: model_get key)
+              end
+          | 1 -> (
+              match model_get key with
+              | [] -> if Btree.remove t ~key (rid salt) then ok := false
+              | r :: rest ->
+                  if Btree.remove t ~key r then Hashtbl.replace model key rest
+                  else ok := false)
+          | _ ->
+              let got = List.sort compare (Btree.lookup t ~key) in
+              let want = List.sort compare (model_get key) in
+              if got <> want then ok := false)
+        ops;
+      Btree.check t;
+      let total = Hashtbl.fold (fun _ l acc -> acc + List.length l) model 0 in
+      !ok && Btree.length t = total)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "vis_storage"
+    [
+      ( "buffer pool",
+        [
+          Alcotest.test_case "hits and misses" `Quick test_pool_hits_and_misses;
+          Alcotest.test_case "LRU eviction" `Quick test_pool_lru_eviction;
+          Alcotest.test_case "dirty write-back" `Quick test_pool_dirty_writeback;
+          Alcotest.test_case "touch_new" `Quick test_pool_touch_new;
+          Alcotest.test_case "discard" `Quick test_pool_discard;
+        ]
+        @ qt [ prop_pool_no_capacity_misses ] );
+      ( "heap file",
+        [
+          Alcotest.test_case "append and get" `Quick test_heap_roundtrip;
+          Alcotest.test_case "delete and update" `Quick test_heap_delete_update;
+          Alcotest.test_case "scan I/O" `Quick test_heap_scan_io;
+          Alcotest.test_case "bad rid" `Quick test_heap_bad_rid;
+        ] );
+      ( "btree",
+        [
+          Alcotest.test_case "basics" `Quick test_btree_basics;
+          Alcotest.test_case "duplicates" `Quick test_btree_duplicates;
+          Alcotest.test_case "range" `Quick test_btree_range;
+          Alcotest.test_case "iter sorted" `Quick test_btree_iter_sorted;
+          Alcotest.test_case "I/O counted" `Quick test_btree_io_counted;
+        ]
+        @ qt [ prop_btree_model ] );
+    ]
