@@ -11,6 +11,11 @@
      dag          print the expression DAG
      example      print a sample schema description
 
+   Running visadvisor with no subcommand is `optimize`.  The search
+   subcommands take --stats (search counters, pruning, cache hit rates),
+   --trace (the chosen design's update paths), and --json (one
+   machine-readable document instead of the human tables).
+
    Schemas are read from a file in the vis_catalog DSL, or one of the
    built-ins (--builtin schema1|schema2|validation). *)
 
@@ -20,16 +25,34 @@ module Schema = Vis_catalog.Schema
 module Config = Vis_costmodel.Config
 module Cost = Vis_costmodel.Cost
 module Element = Vis_costmodel.Element
+module Json = Vis_util.Json
+module T = Vis_util.Tableprint
 module Problem = Vis_core.Problem
+module Search_stats = Vis_core.Search_stats
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("visadvisor: " ^ msg);
+      exit 2)
+    fmt
 
 let load_schema file builtin =
   match (file, builtin) with
-  | Some path, _ -> Vis_catalog.Dsl.parse_file path
+  | Some path, _ -> (
+      try Vis_catalog.Dsl.parse_file path with
+      | Vis_catalog.Dsl.Parse_error (line, msg) ->
+          die "%s, line %d: %s" path line msg
+      | Sys_error msg -> die "%s" msg)
   | None, "schema1" -> Vis_workload.Schemas.schema1 ()
   | None, "schema2" -> Vis_workload.Schemas.schema2 ()
   | None, "validation" -> Vis_workload.Schemas.validation ()
   | None, other ->
-      Printf.ksprintf failwith "unknown builtin schema %s (try schema1)" other
+      die "unknown builtin schema %S (expected schema1, schema2 or validation)"
+        other
+
+let schema_name file builtin =
+  match file with Some path -> path | None -> builtin
 
 let file_arg =
   let doc = "Schema description file (vis DSL); see $(b,visadvisor example)." in
@@ -39,58 +62,161 @@ let builtin_arg =
   let doc = "Built-in schema: schema1, schema2 or validation." in
   Arg.(value & opt string "schema1" & info [ "builtin" ] ~docv:"NAME" ~doc)
 
+let stats_arg =
+  let doc =
+    "Print search statistics: states expanded/generated, per-rule pruning \
+     counts, frontier high-water mark, admissibility checks, per-phase \
+     timings, and cost-cache hit rates."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Print the chosen design's full cost breakdown: every update path the \
+     optimizer would execute, with per-component I/O estimates."
+  in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let json_arg =
+  let doc =
+    "Emit one machine-readable JSON document (configuration, cost, search \
+     statistics, cache counters, and the --trace breakdown) instead of the \
+     human tables."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
 let report_config schema config cost =
   Printf.printf "total maintenance cost: %.1f page I/Os\n" cost;
   Printf.printf "%s\n" (Config.describe schema config)
 
-let optimize_cmd =
-  let run file builtin =
-    let schema = load_schema file builtin in
-    let p = Problem.make schema in
-    let r = Vis_core.Astar.search p in
-    Printf.printf "A* expanded %d states (exhaustive space: %.0f, pruning %.2f%%)\n"
-      r.Vis_core.Astar.stats.Vis_core.Astar.expanded
-      r.Vis_core.Astar.stats.Vis_core.Astar.exhaustive_states
+let print_cache_stats cache =
+  let s = Cost.cache_stats cache in
+  let tbl = T.create [ "cost cache"; "value" ] in
+  T.add_row tbl [ "hits"; string_of_int s.Cost.cs_hits ];
+  T.add_row tbl [ "misses (= derivations)"; string_of_int s.Cost.cs_misses ];
+  T.add_row tbl [ "evictions"; string_of_int s.Cost.cs_evictions ];
+  T.add_row tbl [ "entries"; string_of_int s.Cost.cs_entries ];
+  T.add_row tbl
+    [ "hit rate"; Printf.sprintf "%.2f%%" (100. *. Cost.hit_rate s) ];
+  T.print tbl
+
+(* One observability document shared by every search subcommand: what ran,
+   what it chose, what it cost, and what the search and the cost cache did. *)
+let emit_json ~schema_name ~algorithm ~schema ~p ~config ~cost ~search_stats
+    ~extra =
+  let report = Vis_core.Explain.explain p config in
+  let doc =
+    Json.Obj
+      ([
+         ("schema", Json.String schema_name);
+         ("algorithm", Json.String algorithm);
+         ("total_cost", Json.Float cost);
+         ("config", Json.String (Config.describe schema config));
+         ("space_pages", Json.Float (Config.space p.Problem.derived config));
+         ("search", Search_stats.to_json search_stats);
+         ("cache", Cost.cache_stats_json p.Problem.cache);
+         ("explain", Vis_core.Explain.report_json report);
+       ]
+      @ extra)
+  in
+  print_endline (Json.to_string ~indent:2 doc)
+
+let emit_human ~stats ~trace ~schema ~p ~config ~search_stats () =
+  if stats then begin
+    print_newline ();
+    print_string (Search_stats.render search_stats);
+    print_newline ();
+    print_cache_stats p.Problem.cache
+  end;
+  if trace then begin
+    print_newline ();
+    print_string (Vis_core.Explain.render (Vis_core.Explain.explain p config))
+  end;
+  ignore schema
+
+let run_optimize file builtin stats trace json =
+  let schema = load_schema file builtin in
+  let p = Problem.make schema in
+  let r = Vis_core.Astar.search p in
+  let sstats = r.Vis_core.Astar.search_stats in
+  let ex_states = r.Vis_core.Astar.stats.Vis_core.Astar.exhaustive_states in
+  if json then
+    emit_json ~schema_name:(schema_name file builtin) ~algorithm:"astar"
+      ~schema ~p ~config:r.Vis_core.Astar.best ~cost:r.Vis_core.Astar.best_cost
+      ~search_stats:sstats
+      ~extra:[ ("exhaustive_states", Json.Float ex_states) ]
+  else begin
+    Printf.printf
+      "A* expanded %d states (exhaustive space: %.0f, pruning %.2f%%)\n"
+      r.Vis_core.Astar.stats.Vis_core.Astar.expanded ex_states
       (100.
       *. (1.
          -. float_of_int r.Vis_core.Astar.stats.Vis_core.Astar.expanded
-            /. Float.max 1. r.Vis_core.Astar.stats.Vis_core.Astar.exhaustive_states));
-    report_config schema r.Vis_core.Astar.best r.Vis_core.Astar.best_cost
-  in
-  Cmd.v
-    (Cmd.info "optimize" ~doc:"Optimal view/index selection with A*")
-    Term.(const run $ file_arg $ builtin_arg)
+            /. Float.max 1. ex_states));
+    report_config schema r.Vis_core.Astar.best r.Vis_core.Astar.best_cost;
+    emit_human ~stats ~trace ~schema ~p ~config:r.Vis_core.Astar.best
+      ~search_stats:sstats ()
+  end
+
+let optimize_term =
+  Term.(
+    const run_optimize $ file_arg $ builtin_arg $ stats_arg $ trace_arg
+    $ json_arg)
+
+let optimize_cmd =
+  Cmd.v (Cmd.info "optimize" ~doc:"Optimal view/index selection with A*")
+    optimize_term
 
 let exhaustive_cmd =
-  let run file builtin =
+  let run file builtin stats trace json =
     let schema = load_schema file builtin in
     let p = Problem.make schema in
     let r = Vis_core.Exhaustive.search p in
-    Printf.printf "exhaustive enumerated %d states\n" r.Vis_core.Exhaustive.states;
-    report_config schema r.Vis_core.Exhaustive.best r.Vis_core.Exhaustive.best_cost
+    let sstats = r.Vis_core.Exhaustive.search_stats in
+    if json then
+      emit_json ~schema_name:(schema_name file builtin) ~algorithm:"exhaustive"
+        ~schema ~p ~config:r.Vis_core.Exhaustive.best
+        ~cost:r.Vis_core.Exhaustive.best_cost ~search_stats:sstats ~extra:[]
+    else begin
+      Printf.printf "exhaustive enumerated %d states\n"
+        r.Vis_core.Exhaustive.states;
+      report_config schema r.Vis_core.Exhaustive.best
+        r.Vis_core.Exhaustive.best_cost;
+      emit_human ~stats ~trace ~schema ~p ~config:r.Vis_core.Exhaustive.best
+        ~search_stats:sstats ()
+    end
   in
   Cmd.v
     (Cmd.info "exhaustive" ~doc:"Exhaustive baseline (small schemas only)")
-    Term.(const run $ file_arg $ builtin_arg)
+    Term.(const run $ file_arg $ builtin_arg $ stats_arg $ trace_arg $ json_arg)
 
 let greedy_cmd =
-  let run file builtin =
+  let run file builtin stats trace json =
     let schema = load_schema file builtin in
     let p = Problem.make schema in
     let r = Vis_core.Greedy.search p in
-    Printf.printf "greedy evaluated %d configurations\n"
-      r.Vis_core.Greedy.evaluations;
-    List.iter
-      (fun s ->
-        Printf.printf "  + %s -> %.1f\n"
-          (Problem.feature_name p s.Vis_core.Greedy.s_feature)
-          s.Vis_core.Greedy.s_cost_after)
-      r.Vis_core.Greedy.steps;
-    report_config schema r.Vis_core.Greedy.best r.Vis_core.Greedy.best_cost
+    let sstats = r.Vis_core.Greedy.search_stats in
+    if json then
+      emit_json ~schema_name:(schema_name file builtin) ~algorithm:"greedy"
+        ~schema ~p ~config:r.Vis_core.Greedy.best
+        ~cost:r.Vis_core.Greedy.best_cost ~search_stats:sstats ~extra:[]
+    else begin
+      Printf.printf "greedy evaluated %d configurations\n"
+        r.Vis_core.Greedy.evaluations;
+      List.iter
+        (fun s ->
+          Printf.printf "  + %s -> %.1f\n"
+            (Problem.feature_name p s.Vis_core.Greedy.s_feature)
+            s.Vis_core.Greedy.s_cost_after)
+        r.Vis_core.Greedy.steps;
+      report_config schema r.Vis_core.Greedy.best r.Vis_core.Greedy.best_cost;
+      emit_human ~stats ~trace ~schema ~p ~config:r.Vis_core.Greedy.best
+        ~search_stats:sstats ()
+    end
   in
   Cmd.v
     (Cmd.info "greedy" ~doc:"Greedy heuristic")
-    Term.(const run $ file_arg $ builtin_arg)
+    Term.(const run $ file_arg $ builtin_arg $ stats_arg $ trace_arg $ json_arg)
 
 let advise_cmd =
   let run file builtin =
@@ -113,7 +239,7 @@ let advise_cmd =
     Term.(const run $ file_arg $ builtin_arg)
 
 let explain_cmd =
-  let run file builtin algorithm =
+  let run file builtin algorithm json =
     let schema = load_schema file builtin in
     let p = Problem.make schema in
     let config =
@@ -125,11 +251,18 @@ let explain_cmd =
       | "none" -> Config.empty
       | other -> Printf.ksprintf failwith "unknown algorithm %s" other
     in
-    print_string (Vis_core.Explain.render (Vis_core.Explain.explain p config));
-    print_newline ();
-    print_string
-      (Vis_core.Explain.compare_designs p
-         [ ("bare", Config.empty); ("chosen", config) ])
+    if json then
+      print_endline
+        (Json.to_string ~indent:2
+           (Vis_core.Explain.report_json (Vis_core.Explain.explain p config)))
+    else begin
+      print_string
+        (Vis_core.Explain.render (Vis_core.Explain.explain p config));
+      print_newline ();
+      print_string
+        (Vis_core.Explain.compare_designs p
+           [ ("bare", Config.empty); ("chosen", config) ])
+    end
   in
   let algorithm =
     Arg.(
@@ -140,7 +273,7 @@ let explain_cmd =
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Show every update path and cost component of a design")
-    Term.(const run $ file_arg $ builtin_arg $ algorithm)
+    Term.(const run $ file_arg $ builtin_arg $ algorithm $ json_arg)
 
 let space_cmd =
   let run file builtin =
@@ -245,7 +378,7 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info
+       (Cmd.group ~default:optimize_term info
           [
             optimize_cmd;
             exhaustive_cmd;

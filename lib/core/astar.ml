@@ -7,7 +7,12 @@ module Cost = Vis_costmodel.Cost
 
 type stats = { expanded : int; generated : int; exhaustive_states : float }
 
-type result = { best : Config.t; best_cost : float; stats : stats }
+type result = {
+  best : Config.t;
+  best_cost : float;
+  stats : stats;
+  search_stats : Search_stats.t;
+}
 
 exception Budget_exceeded of stats
 
@@ -288,14 +293,40 @@ let prepare p =
 
 let search_internal ~max_expanded ~on_budget p =
   let schema = p.Problem.schema in
-  let prep = prepare p in
+  let sstats = Search_stats.create ~algorithm:"astar" () in
+  let prep = Search_stats.time sstats "prepare" (fun () -> prepare p) in
+  (match List.length prep.dropped with
+  | 0 -> ()
+  | n -> Search_stats.prune ~count:n sstats "dominance");
   let n = Array.length prep.features in
   let n_targets = Array.length prep.targets in
   let n_rels = Schema.n_relations schema in
   let exhaustive_states = Exhaustive.count_states p in
-  let expanded = ref 0 and generated = ref 0 in
   let stats () =
-    { expanded = !expanded; generated = !generated; exhaustive_states }
+    {
+      expanded = Search_stats.expanded sstats;
+      generated = Search_stats.generated sstats;
+      exhaustive_states;
+    }
+  in
+  (* Popped priorities, kept so admissibility ([ĉ ≤ C*] for every state
+     popped before the goal) can be verified once the optimum is known. *)
+  let popped = ref (Array.make 1024 0.) in
+  let n_popped = ref 0 in
+  let record_pop c_hat =
+    if !n_popped = Array.length !popped then begin
+      let bigger = Array.make (2 * !n_popped) 0. in
+      Array.blit !popped 0 bigger 0 !n_popped;
+      popped := bigger
+    end;
+    !popped.(!n_popped) <- c_hat;
+    incr n_popped
+  in
+  let check_admissibility optimum =
+    for i = 0 to !n_popped - 1 do
+      Search_stats.admissibility_check sstats
+        ~violated:(!popped.(i) > optimum +. 1e-6)
+    done
   in
   let eligible config pos k =
     match prep.features.(k) with
@@ -381,11 +412,12 @@ let search_internal ~max_expanded ~on_budget p =
   (* A known complete solution bounds the search from above: states that
      cannot beat it are never enqueued, which keeps the frontier small.
      The greedy heuristic provides a good initial bound cheaply. *)
-  let seed = Greedy.search p in
+  let seed = Search_stats.time sstats "greedy-seed" (fun () -> Greedy.search p) in
   let upper_bound = ref seed.Greedy.best_cost in
   let incumbent = ref seed.Greedy.best in
   let push pos config =
     let eval = Problem.evaluator p config in
+    Search_stats.evaluate sstats;
     let g = Cost.total eval in
     let c_hat = g +. h_hat eval config pos in
     if c_hat <= !upper_bound +. 1e-9 then begin
@@ -393,10 +425,16 @@ let search_internal ~max_expanded ~on_budget p =
         upper_bound := g;
         incumbent := config
       end;
-      incr generated;
+      Search_stats.generate sstats;
       (* Among equal bounds, prefer the deeper state: it completes sooner. *)
-      Pqueue.push ~tie:(n - pos) queue c_hat (pos, config, g)
+      Pqueue.push ~tie:(n - pos) queue c_hat (pos, config, g);
+      Search_stats.observe_frontier sstats (Pqueue.length queue)
     end
+    else Search_stats.prune sstats "incumbent-bound"
+  in
+  let finish best best_cost =
+    check_admissibility best_cost;
+    ({ best; best_cost; stats = stats (); search_stats = sstats }, true)
   in
   push 0 Config.empty;
   let rec loop () =
@@ -405,27 +443,36 @@ let search_internal ~max_expanded ~on_budget p =
         (* The frontier emptied without a complete state being popped: every
            remaining completion was pruned by the incumbent bound, so the
            incumbent is optimal. *)
-        ({ best = !incumbent; best_cost = !upper_bound; stats = stats () }, true)
-    | Some (_, (pos, config, g)) ->
-        if pos = n then
-          ({ best = config; best_cost = g; stats = stats () }, true)
+        finish !incumbent !upper_bound
+    | Some (c_hat, (pos, config, g)) ->
+        record_pop c_hat;
+        if pos = n then finish config g
         else begin
-          incr expanded;
-          if !expanded > max_expanded then
+          Search_stats.expand sstats;
+          if Search_stats.expanded sstats > max_expanded then begin
+            Search_stats.prune ~count:(Pqueue.length queue) sstats
+              "expansion-budget";
             on_budget
-              { best = !incumbent; best_cost = !upper_bound; stats = stats () }
+              {
+                best = !incumbent;
+                best_cost = !upper_bound;
+                stats = stats ();
+                search_stats = sstats;
+              }
+          end
           else begin
             push (pos + 1) config;
             (match prep.features.(pos) with
             | Problem.F_view w -> push (pos + 1) (Config.add_view config w)
             | Problem.F_index ix ->
                 if eligible config pos pos then
-                  push (pos + 1) (Config.add_index config ix));
+                  push (pos + 1) (Config.add_index config ix)
+                else Search_stats.prune sstats "ineligible-index");
             loop ()
           end
         end
   in
-  loop ()
+  Search_stats.time sstats "search" loop
 
 let search ?(max_expanded = 5_000_000) p =
   fst

@@ -35,6 +35,11 @@ type result = {
   best : Vis_costmodel.Config.t;
   best_cost : float;
   stats : stats;
+  search_stats : Search_stats.t;
+      (** the full scoreboard: per-rule pruning counts (dominance,
+          incumbent-bound, ineligible-index), frontier high-water mark,
+          per-phase timings, and the post-hoc admissibility audit of every
+          popped [ĉ] against the proven optimum *)
 }
 
 exception Budget_exceeded of stats

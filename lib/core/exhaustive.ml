@@ -8,6 +8,7 @@ type result = {
   best_cost : float;
   states : int;
   view_states : int;
+  search_stats : Search_stats.t;
 }
 
 (* Subsets of a list, driven by an integer mask; [n] must stay small. *)
@@ -53,18 +54,29 @@ let enumerate p ~f =
 let search ?(max_states = 2_000_000) p =
   let expected = count_states p in
   if expected > float_of_int max_states then raise (Too_large expected);
+  let sstats = Search_stats.create ~algorithm:"exhaustive" () in
   let best = ref Config.empty in
   let best_cost = ref infinity in
   let view_states = ref 0 in
   list_subsets p.Problem.candidate_views ~f:(fun _ -> incr view_states);
   let states =
-    enumerate p ~f:(fun config ~cost ~space:_ ->
-        if cost < !best_cost then begin
-          best_cost := cost;
-          best := config
-        end)
+    Search_stats.time sstats "enumerate" (fun () ->
+        enumerate p ~f:(fun config ~cost ~space:_ ->
+            Search_stats.generate sstats;
+            Search_stats.evaluate sstats;
+            Search_stats.expand sstats;
+            if cost < !best_cost then begin
+              best_cost := cost;
+              best := config
+            end))
   in
-  { best = !best; best_cost = !best_cost; states; view_states = !view_states }
+  {
+    best = !best;
+    best_cost = !best_cost;
+    states;
+    view_states = !view_states;
+    search_stats = sstats;
+  }
 
 let fold_index_subsets p views ~init ~f =
   let indexes = Problem.indexes_for_views p views in

@@ -12,6 +12,7 @@ type result = {
   best_cost : float;
   states : int;  (** configurations whose total cost was computed *)
   view_states : int;  (** view subsets enumerated *)
+  search_stats : Search_stats.t;  (** enumeration counters and timing *)
 }
 
 (** [count_states p] is the number of (view set, index set) states the

@@ -103,6 +103,29 @@ let render report =
   Buffer.add_string buf (T.render tbl);
   Buffer.contents buf
 
+let report_json report =
+  let module Json = Vis_util.Json in
+  let line l =
+    Json.Obj
+      [
+        ("element", Json.String l.l_element);
+        ("delta", Json.String l.l_delta);
+        ("plan", Json.String l.l_plan);
+        ("eval", Json.Float l.l_eval);
+        ("apply", Json.Float l.l_apply);
+        ("save", Json.Float l.l_save);
+        ("index", Json.Float l.l_index);
+        ("total", Json.Float l.l_total);
+      ]
+  in
+  Json.Obj
+    [
+      ("config", Json.String report.r_config);
+      ("total_cost", Json.Float report.r_total);
+      ("space_pages", Json.Float report.r_space);
+      ("propagations", Json.List (List.map line report.r_lines));
+    ]
+
 let compare_designs p configs =
   let reports = List.map (fun (name, c) -> (name, explain p c)) configs in
   let elements =

@@ -28,6 +28,11 @@ val explain : Problem.t -> Vis_costmodel.Config.t -> report
 (** [render report] formats the report as an ASCII table with totals. *)
 val render : report -> string
 
+(** [report_json report] is the machine-readable form of the same report:
+    the configuration, its total cost and space, and every propagation line
+    with its plan and cost components — consumed by [visadvisor --json]. *)
+val report_json : report -> Vis_util.Json.t
+
 (** [compare_designs p configs] renders a side-by-side cost summary of
     several named designs (total, space, and the per-element subtotals). *)
 val compare_designs : Problem.t -> (string * Vis_costmodel.Config.t) list -> string

@@ -10,6 +10,7 @@ type result = {
   best_cost : float;
   steps : step list;
   evaluations : int;
+  search_stats : Search_stats.t;
 }
 
 let feature_in_config config = function
@@ -31,9 +32,11 @@ let apply config = function
   | Problem.F_index ix -> Config.add_index config ix
 
 let search ?space_budget p =
+  let sstats = Search_stats.create ~algorithm:"greedy" () in
   let evaluations = ref 0 in
   let cost config =
     incr evaluations;
+    Search_stats.evaluate sstats;
     Problem.total p config
   in
   let within_budget config =
@@ -42,23 +45,30 @@ let search ?space_budget p =
     | Some b -> Config.space p.Problem.derived config <= b
   in
   let rec loop config current steps =
+    Search_stats.expand sstats;
     let candidates =
       List.filter
         (fun f ->
           (not (feature_in_config config f)) && feature_applicable p config f)
         p.Problem.features
     in
+    Search_stats.observe_frontier sstats (List.length candidates);
     let best =
       List.fold_left
         (fun acc f ->
           let config' = apply config f in
-          if not (within_budget config') then acc
-          else
+          if not (within_budget config') then begin
+            Search_stats.prune sstats "space-budget";
+            acc
+          end
+          else begin
+            Search_stats.generate sstats;
             let c = cost config' in
             match acc with
             | Some (_, _, best_c) when best_c <= c -> acc
             | _ when c < current -> Some (f, config', c)
-            | _ -> acc)
+            | _ -> acc
+          end)
         None candidates
     in
     match best with
@@ -68,8 +78,12 @@ let search ?space_budget p =
           best_cost = current;
           steps = List.rev steps;
           evaluations = !evaluations;
+          search_stats = sstats;
         }
     | Some (f, config', c) ->
         loop config' c ({ s_feature = f; s_cost_after = c } :: steps)
   in
-  loop Config.empty (cost Config.empty) []
+  Search_stats.time sstats "search" (fun () ->
+      Search_stats.generate sstats;
+      (* the empty start configuration *)
+      loop Config.empty (cost Config.empty) [])

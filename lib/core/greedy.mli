@@ -17,6 +17,9 @@ type result = {
   best_cost : float;
   steps : step list;  (** in the order chosen *)
   evaluations : int;  (** configurations costed *)
+  search_stats : Search_stats.t;
+      (** rounds (expanded), candidates costed (generated), space-budget
+          pruning counts and timing *)
 }
 
 (** [search ?space_budget p] runs the greedy loop; with [space_budget] only

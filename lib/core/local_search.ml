@@ -8,6 +8,7 @@ type result = {
   best_cost : float;
   moves : int;
   evaluations : int;
+  search_stats : Search_stats.t;
 }
 
 let feature_in config = function
@@ -41,9 +42,11 @@ let drop config = function
   | Problem.F_index ix -> Config.remove_index config ix
 
 let search ?seed ?space_budget ?(max_moves = 1000) p =
+  let sstats = Search_stats.create ~algorithm:"local-search" () in
   let evaluations = ref 0 in
   let cost config =
     incr evaluations;
+    Search_stats.evaluate sstats;
     Problem.total p config
   in
   let within config =
@@ -54,11 +57,17 @@ let search ?seed ?space_budget ?(max_moves = 1000) p =
   let start =
     match seed with
     | Some c -> c
-    | None -> (Greedy.search ?space_budget p).Greedy.best
+    | None ->
+        Search_stats.time sstats "greedy-seed" (fun () ->
+            (Greedy.search ?space_budget p).Greedy.best)
   in
   let rec climb config current moves =
-    if moves >= max_moves then (config, current, moves)
+    if moves >= max_moves then begin
+      Search_stats.prune sstats "move-budget";
+      (config, current, moves)
+    end
     else begin
+      Search_stats.expand sstats;
       let candidates_in =
         List.filter (fun f -> feature_in config f) p.Problem.features
       in
@@ -67,14 +76,21 @@ let search ?seed ?space_budget ?(max_moves = 1000) p =
           (fun f -> (not (feature_in config f)) && applicable p config f)
           p.Problem.features
       in
+      Search_stats.observe_frontier sstats
+        (List.length candidates_in + List.length candidates_out);
       let consider best config' =
-        if not (within config') then best
-        else
+        if not (within config') then begin
+          Search_stats.prune sstats "space-budget";
+          best
+        end
+        else begin
+          Search_stats.generate sstats;
           let c = cost config' in
           match best with
           | Some (_, bc) when bc <= c -> best
           | _ when c < current -> Some (config', c)
           | _ -> best
+        end
       in
       let best = List.fold_left (fun b f -> consider b (add config f)) None candidates_out in
       let best = List.fold_left (fun b f -> consider b (drop config f)) best candidates_in in
@@ -96,6 +112,10 @@ let search ?seed ?space_budget ?(max_moves = 1000) p =
       | Some (config', c) -> climb config' c (moves + 1)
     end
   in
+  Search_stats.generate sstats;
+  (* the seed configuration *)
   let seed_cost = cost start in
-  let best, best_cost, moves = climb start seed_cost 0 in
-  { best; best_cost; moves; evaluations = !evaluations }
+  let best, best_cost, moves =
+    Search_stats.time sstats "climb" (fun () -> climb start seed_cost 0)
+  in
+  { best; best_cost; moves; evaluations = !evaluations; search_stats = sstats }

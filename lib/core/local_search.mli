@@ -16,6 +16,9 @@ type result = {
   best_cost : float;
   moves : int;  (** improving moves applied *)
   evaluations : int;  (** configurations costed *)
+  search_stats : Search_stats.t;
+      (** climb rounds (expanded), neighbours costed (generated), budget
+          pruning counts and timing *)
 }
 
 val search :

@@ -11,6 +11,7 @@ type t = {
   schema : Schema.t;
   derived : Derived.t;
   cache : Cost.cache;
+  share_cache : bool;
   candidate_views : Bitset.t list;
   features : feature list;
 }
@@ -75,7 +76,7 @@ let candidate_views_of schema ~connected_only =
          | 0 -> Bitset.compare a b
          | c -> c)
 
-let make ?(connected_only = false) schema =
+let make ?(connected_only = false) ?(share_cache = true) schema =
   let derived = Derived.create schema in
   let candidate_views = candidate_views_of schema ~connected_only in
   let indexes_of elem =
@@ -93,7 +94,7 @@ let make ?(connected_only = false) schema =
           F_view w :: List.map (fun ix -> F_index ix) (indexes_of (Element.View w)))
         candidate_views
   in
-  { schema; derived; cache = Cost.new_cache (); candidate_views; features }
+  { schema; derived; cache = Cost.new_cache (); share_cache; candidate_views; features }
 
 let candidate_indexes_on p elem =
   List.map
@@ -109,7 +110,9 @@ let indexes_for_views p views =
   always_on_indexes p
   @ List.concat_map (fun w -> candidate_indexes_on p (Element.View w)) views
 
-let evaluator p config = Cost.create ~cache:p.cache p.derived config
+let evaluator p config =
+  if p.share_cache then Cost.create ~cache:p.cache p.derived config
+  else Cost.create p.derived config
 
 let total p config = Cost.total (evaluator p config)
 

@@ -23,6 +23,9 @@ type t = {
   schema : Vis_catalog.Schema.t;
   derived : Vis_catalog.Derived.t;
   cache : Vis_costmodel.Cost.cache;
+  share_cache : bool;
+      (** when false, {!evaluator} gives every configuration a private cache
+          — the memoization ablation used by tests and the benchmark *)
   candidate_views : Vis_util.Bitset.t list;  (** sorted by cardinality *)
   features : feature list;
       (** every candidate view and index, topologically ordered for the
@@ -31,7 +34,12 @@ type t = {
           first *)
 }
 
-val make : ?connected_only:bool -> Vis_catalog.Schema.t -> t
+(** [make schema] enumerates the candidates.  [share_cache] (default true)
+    makes every {!evaluator} share one {!Vis_costmodel.Cost.cache}, so cost
+    derivations are reused across the many configurations a search visits;
+    disabling it isolates each evaluation (for measuring what memoization
+    saves). *)
+val make : ?connected_only:bool -> ?share_cache:bool -> Vis_catalog.Schema.t -> t
 
 (** [candidate_indexes_on p elem] enumerates candidate indexes for one
     element ([Base _], a candidate view, or the primary view). *)

@@ -1,0 +1,134 @@
+module T = Vis_util.Tableprint
+module Json = Vis_util.Json
+
+type t = {
+  algo : string;
+  mutable expanded : int;
+  mutable generated : int;
+  mutable evaluated : int;
+  mutable max_frontier : int;
+  mutable adm_checks : int;
+  mutable adm_violations : int;
+  pruning : (string, int) Hashtbl.t;
+  phases : (string, float) Hashtbl.t;
+  mutable phase_order : string list;  (* reversed first-use order *)
+}
+
+let create ~algorithm () =
+  {
+    algo = algorithm;
+    expanded = 0;
+    generated = 0;
+    evaluated = 0;
+    max_frontier = 0;
+    adm_checks = 0;
+    adm_violations = 0;
+    pruning = Hashtbl.create 8;
+    phases = Hashtbl.create 8;
+    phase_order = [];
+  }
+
+let algorithm t = t.algo
+
+let expand t = t.expanded <- t.expanded + 1
+
+let generate t = t.generated <- t.generated + 1
+
+let evaluate t = t.evaluated <- t.evaluated + 1
+
+let expanded t = t.expanded
+
+let generated t = t.generated
+
+let evaluated t = t.evaluated
+
+let prune ?(count = 1) t rule =
+  let current = Option.value ~default:0 (Hashtbl.find_opt t.pruning rule) in
+  Hashtbl.replace t.pruning rule (current + count)
+
+let pruned t rule = Option.value ~default:0 (Hashtbl.find_opt t.pruning rule)
+
+let pruning_counts t =
+  Hashtbl.fold (fun rule count acc -> (rule, count) :: acc) t.pruning []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let observe_frontier t n = if n > t.max_frontier then t.max_frontier <- n
+
+let max_frontier t = t.max_frontier
+
+let admissibility_check t ~violated =
+  t.adm_checks <- t.adm_checks + 1;
+  if violated then t.adm_violations <- t.adm_violations + 1
+
+let admissibility_checks t = t.adm_checks
+
+let admissibility_violations t = t.adm_violations
+
+let now = Sys.time
+
+let time t phase f =
+  if not (Hashtbl.mem t.phases phase) then begin
+    Hashtbl.replace t.phases phase 0.;
+    t.phase_order <- phase :: t.phase_order
+  end;
+  let started = now () in
+  Fun.protect
+    ~finally:(fun () ->
+      let elapsed = now () -. started in
+      Hashtbl.replace t.phases phase (Hashtbl.find t.phases phase +. elapsed))
+    f
+
+let phase_timings t =
+  List.rev_map (fun phase -> (phase, Hashtbl.find t.phases phase)) t.phase_order
+
+let render t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "search statistics (%s)\n" t.algo);
+  let counters = T.create [ "counter"; "value" ] in
+  List.iter
+    (fun (name, v) -> T.add_row counters [ name; string_of_int v ])
+    [
+      ("states expanded", t.expanded);
+      ("states generated", t.generated);
+      ("cost evaluations", t.evaluated);
+      ("max frontier", t.max_frontier);
+      ("admissibility checks", t.adm_checks);
+      ("admissibility violations", t.adm_violations);
+    ];
+  Buffer.add_string buf (T.render counters);
+  (match pruning_counts t with
+  | [] -> ()
+  | rules ->
+      let tbl = T.create [ "pruning rule"; "states cut" ] in
+      List.iter (fun (rule, n) -> T.add_row tbl [ rule; string_of_int n ]) rules;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (T.render tbl));
+  (match phase_timings t with
+  | [] -> ()
+  | phases ->
+      let tbl = T.create [ "phase"; "seconds" ] in
+      List.iter
+        (fun (phase, s) -> T.add_row tbl [ phase; Printf.sprintf "%.4f" s ])
+        phases;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (T.render tbl));
+  Buffer.contents buf
+
+let to_json t =
+  Json.Obj
+    [
+      ("algorithm", Json.String t.algo);
+      ("expanded", Json.Int t.expanded);
+      ("generated", Json.Int t.generated);
+      ("cost_evaluations", Json.Int t.evaluated);
+      ("max_frontier", Json.Int t.max_frontier);
+      ("admissibility_checks", Json.Int t.adm_checks);
+      ("admissibility_violations", Json.Int t.adm_violations);
+      ( "pruning",
+        Json.Obj
+          (List.map (fun (rule, n) -> (rule, Json.Int n)) (pruning_counts t)) );
+      ( "phases_seconds",
+        Json.Obj
+          (List.map (fun (phase, s) -> (phase, Json.Float s)) (phase_timings t))
+      );
+    ]

@@ -1,0 +1,82 @@
+(** Instrumentation shared by every search algorithm (A* of Section 4, the
+    exhaustive baseline of Section 2, and the greedy / local-search
+    heuristics of the conclusion's "limited search" direction).
+
+    A value of {!t} is a mutable scoreboard the algorithm writes while it
+    runs: states expanded and generated, full cost evaluations requested,
+    the largest frontier held, per-rule pruning counts (Table 2's
+    pruning-effectiveness data), heuristic admissibility checks (the popped
+    [ĉ] sequence of an admissible A* must be non-decreasing), and wall
+    times per phase.  The scoreboard renders as human tables
+    ({!Vis_util.Tableprint}) and as machine-readable JSON
+    ({!Vis_util.Json}), so both [visadvisor --stats] and [BENCH_vis.json]
+    are fed from the same counters. *)
+
+type t
+
+(** [create ~algorithm ()] is a zeroed scoreboard; [algorithm] names the
+    search in reports (e.g. ["astar"]). *)
+val create : algorithm:string -> unit -> t
+
+val algorithm : t -> string
+
+(** {1 Counters} *)
+
+(** A state was taken from the frontier and branched on. *)
+val expand : t -> unit
+
+(** A successor state was constructed and kept. *)
+val generate : t -> unit
+
+(** A full cost-model evaluation ([Cost.total]) was requested. *)
+val evaluate : t -> unit
+
+val expanded : t -> int
+
+val generated : t -> int
+
+val evaluated : t -> int
+
+(** [prune ?count t rule] charges [count] (default 1) discarded states to
+    the named pruning rule, e.g. ["incumbent-bound"] or ["dominance"]. *)
+val prune : ?count:int -> t -> string -> unit
+
+(** [pruned t rule] is that rule's count so far (0 if never charged). *)
+val pruned : t -> string -> int
+
+(** Per-rule pruning counts, sorted by rule name. *)
+val pruning_counts : t -> (string * int) list
+
+(** [observe_frontier t n] records the frontier size after a mutation;
+    the maximum observed is reported. *)
+val observe_frontier : t -> int -> unit
+
+val max_frontier : t -> int
+
+(** [admissibility_check t ~violated] records one runtime check of the
+    heuristic's admissibility invariant.  Violations indicate a bug in the
+    lower bound (the paper's uncorrected [ĥ] would trip this; see
+    DESIGN.md). *)
+val admissibility_check : t -> violated:bool -> unit
+
+val admissibility_checks : t -> int
+
+val admissibility_violations : t -> int
+
+(** {1 Phases} *)
+
+(** [time t phase f] runs [f ()] and adds its wall time to [phase]'s
+    accumulator.  Nested or repeated phases accumulate; first-use order is
+    preserved in reports. *)
+val time : t -> string -> (unit -> 'a) -> 'a
+
+(** Accumulated seconds per phase, in first-use order. *)
+val phase_timings : t -> (string * float) list
+
+(** {1 Reports} *)
+
+(** Two tables: the counters, and the per-rule pruning counts with the
+    per-phase timings. *)
+val render : t -> string
+
+val to_json : t -> Vis_util.Json.t

@@ -55,11 +55,86 @@ end
 
 module Ktbl = Hashtbl.Make (Key)
 
-type cache = memo_value Ktbl.t
+type cache = {
+  tbl : memo_value Ktbl.t;
+  fifo : Key.t Queue.t;  (* insertion order; only kept for bounded caches *)
+  capacity : int;  (* 0 = unbounded *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
 
-let new_cache () : cache = Ktbl.create 4096
+type cache_stats = {
+  cs_hits : int;
+  cs_misses : int;
+  cs_evictions : int;
+  cs_entries : int;
+}
 
-let cache_size = Ktbl.length
+let new_cache ?(capacity = 0) () : cache =
+  if capacity < 0 then invalid_arg "Cost.new_cache: negative capacity";
+  {
+    tbl = Ktbl.create 4096;
+    fifo = Queue.create ();
+    capacity;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let cache_size c = Ktbl.length c.tbl
+
+let cache_stats c =
+  {
+    cs_hits = c.hits;
+    cs_misses = c.misses;
+    cs_evictions = c.evictions;
+    cs_entries = Ktbl.length c.tbl;
+  }
+
+let hit_rate s =
+  let lookups = s.cs_hits + s.cs_misses in
+  if lookups = 0 then 0. else float_of_int s.cs_hits /. float_of_int lookups
+
+let reset_cache_stats c =
+  c.hits <- 0;
+  c.misses <- 0;
+  c.evictions <- 0
+
+let cache_stats_json c =
+  let s = cache_stats c in
+  Vis_util.Json.Obj
+    [
+      ("hits", Vis_util.Json.Int s.cs_hits);
+      ("misses", Vis_util.Json.Int s.cs_misses);
+      ("evictions", Vis_util.Json.Int s.cs_evictions);
+      ("entries", Vis_util.Json.Int s.cs_entries);
+      ("hit_rate", Vis_util.Json.Float (hit_rate s));
+    ]
+
+(* A lookup that maintains the counters; [store] inserts the freshly
+   computed value, evicting the oldest entry of a bounded cache. *)
+let cache_find c key =
+  match Ktbl.find_opt c.tbl key with
+  | Some _ as r ->
+      c.hits <- c.hits + 1;
+      r
+  | None ->
+      c.misses <- c.misses + 1;
+      None
+
+let cache_store c key value =
+  if c.capacity > 0 then begin
+    if Ktbl.length c.tbl >= c.capacity then begin
+      match Queue.take_opt c.fifo with
+      | Some oldest ->
+          Ktbl.remove c.tbl oldest;
+          c.evictions <- c.evictions + 1
+      | None -> ()
+    end;
+    Queue.add key c.fifo
+  end;
+  Ktbl.replace c.tbl key value
 
 type t = {
   derived : Derived.t;
@@ -480,23 +555,23 @@ let prop_delupd_uncached t ~target ~rel ~kind =
 
 let prop_ins t ~target ~rel =
   let key = memo_key t ~target ~rel ~kind:'i' in
-  match Ktbl.find_opt t.cache key with
+  match cache_find t.cache key with
   | Some (M_ins (p, plan)) -> (p, plan)
   | Some (M_loc _ | M_elem _) -> assert false
   | None ->
       let p, plan = prop_ins_uncached t ~target ~rel in
-      Ktbl.replace t.cache key (M_ins (p, plan));
+      cache_store t.cache key (M_ins (p, plan));
       (p, plan)
 
 let prop_loc t ~target ~rel ~kind =
   let tag = match kind with `Del -> 'd' | `Upd -> 'u' in
   let key = memo_key t ~target ~rel ~kind:tag in
-  match Ktbl.find_opt t.cache key with
+  match cache_find t.cache key with
   | Some (M_loc (p, how)) -> (p, how)
   | Some (M_ins _ | M_elem _) -> assert false
   | None ->
       let p, how = prop_delupd_uncached t ~target ~rel ~kind in
-      Ktbl.replace t.cache key (M_loc (p, how));
+      cache_store t.cache key (M_loc (p, how));
       (p, how)
 
 let prop_del t ~target ~rel = prop_loc t ~target ~rel ~kind:`Del
@@ -505,7 +580,7 @@ let prop_upd t ~target ~rel = prop_loc t ~target ~rel ~kind:`Upd
 
 let element_cost t elem =
   let key = memo_key t ~target:elem ~rel:(-1) ~kind:'E' in
-  match Ktbl.find_opt t.cache key with
+  match cache_find t.cache key with
   | Some (M_elem c) -> c
   | Some (M_ins _ | M_loc _) -> assert false
   | None ->
@@ -518,7 +593,7 @@ let element_cost t elem =
             acc +. prop_total pi +. prop_total pd +. prop_total pu)
           (Element.rels elem) 0.
       in
-      Ktbl.replace t.cache key (M_elem c);
+      cache_store t.cache key (M_elem c);
       c
 
 let index_maint_cost t ix =

@@ -25,11 +25,38 @@
 
 type cache
 
-val new_cache : unit -> cache
+(** [new_cache ?capacity ()] is a fresh shared store.  With [capacity] the
+    cache is bounded: when full, the oldest entry is evicted (FIFO) and
+    counted; without it the cache grows with the distinct evaluations.  The
+    search algorithms share one unbounded cache per problem by default. *)
+val new_cache : ?capacity:int -> unit -> cache
 
 (** Number of distinct (target, delta, restricted-configuration) evaluations
     stored — a measure of optimizer work. *)
 val cache_size : cache -> int
+
+(** Observability counters of a shared cache.  [cs_misses] is the number of
+    cost derivations actually performed; [cs_hits] the number a fresh cache
+    would have re-derived — so the cache cut cost-model work by the factor
+    [(cs_hits + cs_misses) / cs_misses]. *)
+type cache_stats = {
+  cs_hits : int;
+  cs_misses : int;
+  cs_evictions : int;
+  cs_entries : int;  (** entries currently stored *)
+}
+
+val cache_stats : cache -> cache_stats
+
+(** Fraction of lookups served from the store, in [0, 1]; 0 when no lookup
+    happened yet. *)
+val hit_rate : cache_stats -> float
+
+(** Zero the hit/miss/eviction counters without dropping entries — for
+    measuring one search phase in isolation. *)
+val reset_cache_stats : cache -> unit
+
+val cache_stats_json : cache -> Vis_util.Json.t
 
 type t
 

@@ -1,5 +1,6 @@
-(** Materializable elements of the physical design: stored base-relation
-    replicas and (sub)views of the primary view, plus indexes on them.
+(** Materializable elements of the physical design (Section 2's problem
+    statement): stored base-relation replicas and (sub)views of the primary
+    view, plus indexes on them (Section 3.1).
 
     [View set] always means the join of the relations in [set] with every
     local selection pushed down; [View (full set)] is the primary view and

@@ -1,0 +1,37 @@
+(** A minimal JSON tree, printer and parser — just enough for the
+    optimizer's machine-readable observability output ([visadvisor --json],
+    [BENCH_vis.json]) and for the test suite to check that output is valid
+    JSON, without pulling an external dependency into the core libraries.
+
+    The printer escapes control characters and quotes; non-finite floats
+    (which JSON cannot represent) are emitted as [null].  The parser accepts
+    the standard grammar (RFC 8259) minus the corner it does not need:
+    strings are returned with ["\uXXXX"] escapes decoded only for the ASCII
+    range. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [to_string ?indent v] renders [v]; with [indent] (spaces per level,
+    default compact) the output is pretty-printed. *)
+val to_string : ?indent:int -> t -> string
+
+exception Parse_error of string
+
+(** [of_string s] parses one JSON value, requiring that only whitespace
+    follows it.  Raises {!Parse_error}. *)
+val of_string : string -> t
+
+(** [member name v] is the field [name] of object [v], or [Null] when
+    absent or when [v] is not an object. *)
+val member : string -> t -> t
+
+(** [to_float v] widens [Int] and [Float] to float.  Raises
+    {!Parse_error} on other constructors. *)
+val to_float : t -> float
