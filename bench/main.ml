@@ -615,6 +615,115 @@ let cache_study () =
      semantically invisible."
 
 (* ------------------------------------------------------------------ *)
+(* [Extra 7] Parallel scaling of the search over worker domains (--jobs).
+   The exhaustive Table-2 sweep and A* are timed at several pool widths;
+   every run is asserted bit-identical to the jobs=1 baseline (same
+   configuration, same cost, same state counts), so the study doubles as a
+   determinism check.  Wall-clock speedups are whatever the machine's cores
+   allow: on a single-core host the extra domains only add contention, and
+   the recorded speedups honestly reflect that. *)
+
+let parallel_scaling () =
+  section "[Extra 7] Parallel scaling of the search (--jobs)";
+  let cores = Domain.recommended_domain_count () in
+  let jobs_list = List.sort_uniq compare [ 1; 2; 4; cores ] in
+  Printf.printf "machine reports %d core(s); timing jobs in {%s}\n%!" cores
+    (String.concat ", " (List.map string_of_int jobs_list));
+  let limit = if quick then 100_000. else 700_000. in
+  let cases =
+    List.filter
+      (fun (_, schema) -> Exhaustive.count_states (Problem.make schema) <= limit)
+      [
+        ("2 rel, 1 sel", Schemas.two_relation ());
+        ("2 rel, sel 50%", Schemas.two_relation ~sel_s:0.5 ());
+        ("3 rel (S1) no del", Schemas.schema1 ~del_frac:0. ());
+        ("3 rel Schema 1", Schemas.schema1 ());
+      ]
+  in
+  let rows = ref [] in
+  let tbl =
+    T.create [ "run"; "jobs"; "seconds"; "speedup vs jobs=1"; "identical" ]
+  in
+  let time_run f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let study ~name ~run ~same =
+    let baseline = ref None in
+    let base_seconds = ref nan in
+    List.iter
+      (fun jobs ->
+        let r, dt = time_run (fun () -> run jobs) in
+        let identical =
+          match !baseline with
+          | None ->
+              baseline := Some r;
+              base_seconds := dt;
+              true
+          | Some b -> same b r
+        in
+        assert identical;
+        let speedup = !base_seconds /. dt in
+        T.add_row tbl
+          [
+            name;
+            string_of_int jobs;
+            Printf.sprintf "%.3f" dt;
+            Printf.sprintf "%.2fx" speedup;
+            (if identical then "yes" else "NO");
+          ];
+        rows :=
+          Json.Obj
+            [
+              ("run", Json.String name);
+              ("jobs", Json.Int jobs);
+              ("seconds", Json.Float dt);
+              ("speedup", Json.Float speedup);
+              ("identical", Json.Bool identical);
+            ]
+          :: !rows)
+      jobs_list
+  in
+  List.iter
+    (fun (name, schema) ->
+      study
+        ~name:("exhaustive " ^ name)
+        ~run:(fun jobs ->
+          (* a fresh problem per run: no cross-run cache warming *)
+          Exhaustive.search ~jobs ~max_states:1_000_000 (Problem.make schema))
+        ~same:(fun b r ->
+          Config.equal b.Exhaustive.best r.Exhaustive.best
+          && b.Exhaustive.best_cost = r.Exhaustive.best_cost
+          && b.Exhaustive.states = r.Exhaustive.states))
+    cases;
+  List.iter
+    (fun (name, schema) ->
+      study
+        ~name:("A* " ^ name)
+        ~run:(fun jobs -> Astar.search ~jobs (Problem.make schema))
+        ~same:(fun b r ->
+          Config.equal b.Astar.best r.Astar.best
+          && b.Astar.best_cost = r.Astar.best_cost
+          && b.Astar.stats.Astar.expanded = r.Astar.stats.Astar.expanded
+          && b.Astar.stats.Astar.generated = r.Astar.stats.Astar.generated))
+    [
+      ("Schema 1", Schemas.schema1 ());
+      ("4-relation chain", Schemas.chain ~n:4 ());
+    ];
+  T.print tbl;
+  record "parallel_scaling"
+    (Json.Obj
+       [
+         ("cores", Json.Int cores);
+         ("runs", Json.List (List.rev !rows));
+       ]);
+  print_endline
+    "Every parallel run returned the same configuration, cost and state\n\
+     counts as jobs=1 (the determinism guarantee); speedups depend on the\n\
+     machine's core count above."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the optimizer components. *)
 
 let bechamel_benches () =
@@ -700,6 +809,7 @@ let () =
   extra4 ();
   extra5 ();
   cache_study ();
+  parallel_scaling ();
   bechamel_benches ();
   let oc = open_out "BENCH_vis.json" in
   output_string oc

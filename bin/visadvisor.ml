@@ -85,6 +85,15 @@ let json_arg =
   in
   Arg.(value & flag & info [ "json" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel search phases (default: the \
+     $(b,VISMAT_JOBS) environment variable, else the number of cores). \
+     The chosen design, its cost, and every search counter are identical \
+     at any setting; only wall-clock time changes."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let report_config schema config cost =
   Printf.printf "total maintenance cost: %.1f page I/Os\n" cost;
   Printf.printf "%s\n" (Config.describe schema config)
@@ -134,10 +143,10 @@ let emit_human ~stats ~trace ~schema ~p ~config ~search_stats () =
   end;
   ignore schema
 
-let run_optimize file builtin stats trace json =
+let run_optimize file builtin stats trace json jobs =
   let schema = load_schema file builtin in
   let p = Problem.make schema in
-  let r = Vis_core.Astar.search p in
+  let r = Vis_core.Astar.search ?jobs p in
   let sstats = r.Vis_core.Astar.search_stats in
   let ex_states = r.Vis_core.Astar.stats.Vis_core.Astar.exhaustive_states in
   if json then
@@ -161,17 +170,17 @@ let run_optimize file builtin stats trace json =
 let optimize_term =
   Term.(
     const run_optimize $ file_arg $ builtin_arg $ stats_arg $ trace_arg
-    $ json_arg)
+    $ json_arg $ jobs_arg)
 
 let optimize_cmd =
   Cmd.v (Cmd.info "optimize" ~doc:"Optimal view/index selection with A*")
     optimize_term
 
 let exhaustive_cmd =
-  let run file builtin stats trace json =
+  let run file builtin stats trace json jobs =
     let schema = load_schema file builtin in
     let p = Problem.make schema in
-    let r = Vis_core.Exhaustive.search p in
+    let r = Vis_core.Exhaustive.search ?jobs p in
     let sstats = r.Vis_core.Exhaustive.search_stats in
     if json then
       emit_json ~schema_name:(schema_name file builtin) ~algorithm:"exhaustive"
@@ -188,13 +197,15 @@ let exhaustive_cmd =
   in
   Cmd.v
     (Cmd.info "exhaustive" ~doc:"Exhaustive baseline (small schemas only)")
-    Term.(const run $ file_arg $ builtin_arg $ stats_arg $ trace_arg $ json_arg)
+    Term.(
+      const run $ file_arg $ builtin_arg $ stats_arg $ trace_arg $ json_arg
+      $ jobs_arg)
 
 let greedy_cmd =
-  let run file builtin stats trace json =
+  let run file builtin stats trace json jobs =
     let schema = load_schema file builtin in
     let p = Problem.make schema in
-    let r = Vis_core.Greedy.search p in
+    let r = Vis_core.Greedy.search ?jobs p in
     let sstats = r.Vis_core.Greedy.search_stats in
     if json then
       emit_json ~schema_name:(schema_name file builtin) ~algorithm:"greedy"
@@ -216,7 +227,9 @@ let greedy_cmd =
   in
   Cmd.v
     (Cmd.info "greedy" ~doc:"Greedy heuristic")
-    Term.(const run $ file_arg $ builtin_arg $ stats_arg $ trace_arg $ json_arg)
+    Term.(
+      const run $ file_arg $ builtin_arg $ stats_arg $ trace_arg $ json_arg
+      $ jobs_arg)
 
 let advise_cmd =
   let run file builtin =

@@ -5,17 +5,11 @@ type cached = { c_card : float; c_width : int; c_pages : float }
 type t = {
   schema : Schema.t;
   by_set : (int, cached) Hashtbl.t;
+  complete : bool;  (* by_set covers every subset and is never mutated *)
+  lock : Mutex.t;  (* guards by_set when not complete *)
   eff : float array;  (* σ_i · T_i *)
   sel : float array;  (* combined selectivity per relation *)
 }
-
-let create schema =
-  let n = Schema.n_relations schema in
-  let sel = Array.init n (Schema.combined_selectivity schema) in
-  let eff =
-    Array.init n (fun i -> sel.(i) *. (Schema.relation schema i).Schema.card)
-  in
-  { schema; by_set = Hashtbl.create 64; eff; sel }
 
 let schema t = t.schema
 
@@ -51,14 +45,62 @@ let compute_set t set =
   in
   { c_card = card; c_width = width; c_pages = pages }
 
+(* Subset statistics are queried from every worker domain during parallel
+   search.  For the schema sizes of the paper (and any realistic star
+   schema) we precompute all [2^n] subsets up front, making [by_set]
+   read-only afterwards — lock-free lookups, identical values.  Past the
+   precomputation cutoff, [get] memoizes lazily under [lock]. *)
+let eager_cutoff = 12
+
+let create schema =
+  let n = Schema.n_relations schema in
+  let sel = Array.init n (Schema.combined_selectivity schema) in
+  let eff =
+    Array.init n (fun i -> sel.(i) *. (Schema.relation schema i).Schema.card)
+  in
+  let complete = n <= eager_cutoff in
+  let t =
+    {
+      schema;
+      by_set = Hashtbl.create (if complete then 1 lsl n else 64);
+      complete;
+      lock = Mutex.create ();
+      eff;
+      sel;
+    }
+  in
+  if complete then
+    for mask = 0 to (1 lsl n) - 1 do
+      Hashtbl.add t.by_set mask (compute_set t (Bitset.of_int mask))
+    done;
+  t
+
 let get t set =
   let key = Bitset.to_int set in
-  match Hashtbl.find_opt t.by_set key with
-  | Some c -> c
-  | None ->
-      let c = compute_set t set in
-      Hashtbl.add t.by_set key c;
-      c
+  if t.complete then
+    match Hashtbl.find_opt t.by_set key with
+    | Some c -> c
+    | None ->
+        (* out-of-universe set: compute without mutating the shared table *)
+        compute_set t set
+  else begin
+    Mutex.lock t.lock;
+    match Hashtbl.find_opt t.by_set key with
+    | Some c ->
+        Mutex.unlock t.lock;
+        c
+    | None ->
+        let c =
+          match compute_set t set with
+          | c -> c
+          | exception e ->
+              Mutex.unlock t.lock;
+              raise e
+        in
+        Hashtbl.add t.by_set key c;
+        Mutex.unlock t.lock;
+        c
+  end
 
 let view_card t set = (get t set).c_card
 

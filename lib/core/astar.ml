@@ -1,4 +1,5 @@
 module Bitset = Vis_util.Bitset
+module Parallel = Vis_util.Parallel
 module Pqueue = Vis_util.Pqueue
 module Schema = Vis_catalog.Schema
 module Element = Vis_costmodel.Element
@@ -86,19 +87,23 @@ let key_index_benefit p ix =
   end
 
 (* Insertion expressions the feature can make cheaper, as indices into
-   [targets]. *)
+   [targets].  Membership is tracked in hash sets keyed [(target, rel)]:
+   the original [List.mem] rescans made the accumulation quadratic on
+   join-heavy schemas.  Each accumulator mirrors the prepend chain of the
+   scan-based version, so list order and membership are unchanged. *)
 let affected_triples p targets feature =
   let schema = p.Problem.schema in
-  let add acc (t, r) = if List.mem (t, r) acc then acc else (t, r) :: acc in
-  let fold_targets f acc =
-    snd
-      (Array.fold_left
-         (fun (i, acc) elem -> (i + 1, f acc i elem))
-         (0, acc) targets)
+  let fresh () = (Hashtbl.create 32, ref []) in
+  let add ((seen, items) : ((int * int, unit) Hashtbl.t * _) ) key =
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      items := key :: !items
+    end
   in
   let triples_over ~must_contain ~strict ~delta_outside =
-    fold_targets
-      (fun acc ti elem ->
+    let acc = fresh () in
+    Array.iteri
+      (fun ti elem ->
         let rels = Element.rels elem in
         let contains =
           if strict then Bitset.proper_subset must_contain rels
@@ -106,49 +111,47 @@ let affected_triples p targets feature =
         in
         if contains then
           let srels = if delta_outside then Bitset.diff rels must_contain else rels in
-          Bitset.fold (fun r acc -> add acc (ti, r)) srels acc
-        else acc)
-      []
+          Bitset.iter (fun r -> add acc (ti, r)) srels)
+      targets;
+    !(snd acc)
   in
   match feature with
   | Problem.F_view w -> triples_over ~must_contain:w ~strict:true ~delta_outside:false
   | Problem.F_index ix ->
       let e_rels = Element.rels ix.Element.ix_elem in
       let attr = ix.Element.ix_attr in
-      let join_part =
-        List.fold_left
-          (fun acc (j : Schema.join) ->
-            let outside =
-              if
-                j.Schema.left_rel = attr.Element.a_rel
-                && j.Schema.left_attr = attr.Element.a_name
-                && not (Bitset.mem j.Schema.right_rel e_rels)
-              then Some j.Schema.right_rel
-              else if
-                j.Schema.right_rel = attr.Element.a_rel
-                && j.Schema.right_attr = attr.Element.a_name
-                && not (Bitset.mem j.Schema.left_rel e_rels)
-              then Some j.Schema.left_rel
-              else None
-            in
-            match outside with
-            | None -> acc
-            | Some x ->
-                List.fold_left add acc
-                  (triples_over
-                     ~must_contain:(Bitset.add x e_rels)
-                     ~strict:false ~delta_outside:false))
-          [] schema.Schema.joins
-      in
-      let sel_part =
-        match ix.Element.ix_elem with
-        | Element.Base i
-          when List.mem attr.Element.a_name (Schema.selection_attrs schema i) ->
-            triples_over ~must_contain:(Bitset.singleton i) ~strict:false
-              ~delta_outside:true
-        | Element.Base _ | Element.View _ -> []
-      in
-      List.fold_left add join_part sel_part
+      let acc = fresh () in
+      List.iter
+        (fun (j : Schema.join) ->
+          let outside =
+            if
+              j.Schema.left_rel = attr.Element.a_rel
+              && j.Schema.left_attr = attr.Element.a_name
+              && not (Bitset.mem j.Schema.right_rel e_rels)
+            then Some j.Schema.right_rel
+            else if
+              j.Schema.right_rel = attr.Element.a_rel
+              && j.Schema.right_attr = attr.Element.a_name
+              && not (Bitset.mem j.Schema.left_rel e_rels)
+            then Some j.Schema.left_rel
+            else None
+          in
+          match outside with
+          | None -> ()
+          | Some x ->
+              List.iter (add acc)
+                (triples_over
+                   ~must_contain:(Bitset.add x e_rels)
+                   ~strict:false ~delta_outside:false))
+        schema.Schema.joins;
+      (match ix.Element.ix_elem with
+      | Element.Base i
+        when List.mem attr.Element.a_name (Schema.selection_attrs schema i) ->
+          List.iter (add acc)
+            (triples_over ~must_contain:(Bitset.singleton i) ~strict:false
+               ~delta_outside:true)
+      | Element.Base _ | Element.View _ -> ());
+      !(snd acc)
 
 let ins_eval_of eval elem r =
   (fst (Cost.prop_ins eval ~target:elem ~rel:r)).Cost.p_eval
@@ -159,7 +162,7 @@ let delupd_of eval elem r =
   ( pd.Cost.p_eval +. pd.Cost.p_apply,
     pu.Cost.p_eval +. pu.Cost.p_apply )
 
-let prepare p =
+let prepare ~pool p =
   let schema = p.Problem.schema in
   let n_rels = Schema.n_relations schema in
   let full_config =
@@ -167,10 +170,24 @@ let prepare p =
       ~indexes:(Problem.indexes_for_views p p.Problem.candidate_views)
   in
   let full_eval = Problem.evaluator p full_config in
-  let empty_eval = Problem.evaluator p Config.empty in
-  let lb_of = function
+  let lb_of full_eval = function
     | Problem.F_view w -> lb_view_cost full_eval w
     | Problem.F_index ix -> Cost.index_maint_cost full_eval ix
+  in
+  (* Per-feature precomputation fans out over the pool.  Each chunk builds
+     private evaluators with [init] (an evaluator memoizes plan prefixes in
+     single-domain mutable state, so it must not be shared across workers);
+     the mapped values are pure, so every [jobs] setting computes the same
+     arrays. *)
+  let par_map ~init f arr =
+    if Parallel.jobs pool > 1 && Array.length arr > 1 then
+      Parallel.map_init pool ~init f arr
+    else
+      let ctx = init () in
+      Array.map (f ctx) arr
+  in
+  let evaluators () =
+    (Problem.evaluator p full_config, Problem.evaluator p Config.empty)
   in
   (* Dominance fixpoint: drop features that can never pay for themselves,
      re-evaluating as dropped views stop being benefit targets. *)
@@ -180,8 +197,8 @@ let prepare p =
         (Element.View (Schema.all_relations schema)
         :: List.map (fun w -> Element.View w) views)
     in
-    let keep feature =
-      let lb = lb_of feature in
+    let keep (full_eval, empty_eval) feature =
+      let lb = lb_of full_eval feature in
       let benefit =
         key_index_benefit_or_zero p feature
         +. List.fold_left
@@ -196,7 +213,8 @@ let prepare p =
       in
       lb < benefit -. 1e-9
     in
-    let kept = List.filter keep features in
+    let flags = par_map ~init:evaluators keep (Array.of_list features) in
+    let kept = List.filteri (fun i _ -> flags.(i)) features in
     let kept_views =
       List.filter_map
         (function Problem.F_view w -> Some w | Problem.F_index _ -> None)
@@ -271,14 +289,19 @@ let prepare p =
   {
     features;
     view_pos;
-    lb_cost = Array.map lb_of features;
+    lb_cost =
+      par_map
+        ~init:(fun () -> Problem.evaluator p full_config)
+        lb_of features;
     key_benefit =
-      Array.map
-        (function
+      par_map
+        ~init:(fun () -> ())
+        (fun () -> function
           | Problem.F_view _ -> 0.
           | Problem.F_index ix -> key_index_benefit p ix)
         features;
-    affected = Array.map (affected_triples p targets) features;
+    affected =
+      par_map ~init:(fun () -> ()) (fun () -> affected_triples p targets) features;
     targets;
     target_view_pos;
     full_ins;
@@ -291,10 +314,11 @@ let prepare p =
 
 (* ------------------------------------------------------------------ *)
 
-let search_internal ~max_expanded ~on_budget p =
+let search_internal ~max_expanded ~on_budget ~pool p =
   let schema = p.Problem.schema in
   let sstats = Search_stats.create ~algorithm:"astar" () in
-  let prep = Search_stats.time sstats "prepare" (fun () -> prepare p) in
+  let work_before = Parallel.work_counts pool in
+  let prep = Search_stats.time sstats "prepare" (fun () -> prepare ~pool p) in
   (match List.length prep.dropped with
   | 0 -> ()
   | n -> Search_stats.prune ~count:n sstats "dominance");
@@ -412,14 +436,26 @@ let search_internal ~max_expanded ~on_budget p =
   (* A known complete solution bounds the search from above: states that
      cannot beat it are never enqueued, which keeps the frontier small.
      The greedy heuristic provides a good initial bound cheaply. *)
-  let seed = Search_stats.time sstats "greedy-seed" (fun () -> Greedy.search p) in
+  let seed =
+    Search_stats.time sstats "greedy-seed" (fun () -> Greedy.search ~pool p)
+  in
   let upper_bound = ref seed.Greedy.best_cost in
   let incumbent = ref seed.Greedy.best in
-  let push pos config =
+  (* Successor handling is split in two: [eval_state] is a pure function of
+     the state (the expensive cost-model work, safe to fan out over the
+     pool), while [commit] performs every bound check, incumbent update,
+     queue mutation and counter bump sequentially on the coordinator, in the
+     same order the all-sequential code would.  [g] and [ĉ] do not read the
+     incumbent bound, so evaluating successors concurrently and committing
+     them in order is bit-identical to sequential search. *)
+  let eval_state (pos, config) =
     let eval = Problem.evaluator p config in
-    Search_stats.evaluate sstats;
     let g = Cost.total eval in
     let c_hat = g +. h_hat eval config pos in
+    (pos, config, g, c_hat)
+  in
+  let commit (pos, config, g, c_hat) =
+    Search_stats.evaluate sstats;
     if c_hat <= !upper_bound +. 1e-9 then begin
       if pos = n && g < !upper_bound then begin
         upper_bound := g;
@@ -432,6 +468,10 @@ let search_internal ~max_expanded ~on_budget p =
     end
     else Search_stats.prune sstats "incumbent-bound"
   in
+  let push pos config = commit (eval_state (pos, config)) in
+  (* Fanning the two successor evaluations out only pays once states carry
+     enough cost-model work; both paths compute identical values. *)
+  let par_expansion = Parallel.jobs pool > 1 && n >= 12 in
   let finish best best_cost =
     check_admissibility best_cost;
     ({ best; best_cost; stats = stats (); search_stats = sstats }, true)
@@ -461,33 +501,55 @@ let search_internal ~max_expanded ~on_budget p =
               }
           end
           else begin
-            push (pos + 1) config;
-            (match prep.features.(pos) with
-            | Problem.F_view w -> push (pos + 1) (Config.add_view config w)
-            | Problem.F_index ix ->
-                if eligible config pos pos then
-                  push (pos + 1) (Config.add_index config ix)
-                else Search_stats.prune sstats "ineligible-index");
+            let succs =
+              match prep.features.(pos) with
+              | Problem.F_view w ->
+                  [| (pos + 1, config); (pos + 1, Config.add_view config w) |]
+              | Problem.F_index ix ->
+                  if eligible config pos pos then
+                    [| (pos + 1, config); (pos + 1, Config.add_index config ix) |]
+                  else begin
+                    Search_stats.prune sstats "ineligible-index";
+                    [| (pos + 1, config) |]
+                  end
+            in
+            let evaled =
+              if par_expansion && Array.length succs > 1 then
+                Parallel.map_array ~chunk:1 pool eval_state succs
+              else Array.map eval_state succs
+            in
+            Array.iter commit evaled;
             loop ()
           end
         end
   in
-  Search_stats.time sstats "search" loop
+  (* Record the pool shape even when the search exits through the expansion
+     budget (Budget_exceeded / Exit unwind through here). *)
+  Fun.protect
+    ~finally:(fun () ->
+      if Parallel.jobs pool > 1 then
+        Search_stats.set_parallel sstats ~jobs:(Parallel.jobs pool)
+          ~work:
+            (Parallel.diff_counts ~before:work_before
+               ~after:(Parallel.work_counts pool)))
+    (fun () -> Search_stats.time sstats "search" loop)
 
-let search ?(max_expanded = 5_000_000) p =
-  fst
-    (search_internal ~max_expanded
-       ~on_budget:(fun r -> raise (Budget_exceeded r.stats))
-       p)
+let search ?(max_expanded = 5_000_000) ?jobs p =
+  Parallel.using ?jobs (fun pool ->
+      fst
+        (search_internal ~max_expanded
+           ~on_budget:(fun r -> raise (Budget_exceeded r.stats))
+           ~pool p))
 
-let search_anytime ?(max_expanded = 5_000_000) p =
-  let result = ref None in
-  match
-    search_internal ~max_expanded
-      ~on_budget:(fun r ->
-        result := Some r;
-        raise Exit)
-      p
-  with
-  | r, optimal -> (r, optimal)
-  | exception Exit -> (Option.get !result, false)
+let search_anytime ?(max_expanded = 5_000_000) ?jobs p =
+  Parallel.using ?jobs (fun pool ->
+      let result = ref None in
+      match
+        search_internal ~max_expanded
+          ~on_budget:(fun r ->
+            result := Some r;
+            raise Exit)
+          ~pool p
+      with
+      | r, optimal -> (r, optimal)
+      | exception Exit -> (Option.get !result, false))

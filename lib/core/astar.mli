@@ -44,14 +44,23 @@ type result = {
 
 exception Budget_exceeded of stats
 
-(** [search ?max_expanded p] runs A* to optimality.  Raises
+(** [search ?max_expanded ?jobs p] runs A* to optimality.  Raises
     {!Budget_exceeded} after popping more than [max_expanded] states
-    (default 5,000,000). *)
-val search : ?max_expanded:int -> Problem.t -> result
+    (default 5,000,000).
 
-(** [search_anytime ?max_expanded p] is [search] that degrades gracefully:
-    the search is seeded with the greedy solution and keeps the best
-    complete configuration met; when the budget runs out it returns that
-    incumbent with [false] instead of raising.  [(result, true)] means the
-    result is proven optimal. *)
-val search_anytime : ?max_expanded:int -> Problem.t -> result * bool
+    [jobs] (default {!Vis_util.Parallel.default_jobs}) sets the worker-pool
+    width used for the per-feature precomputation, the greedy seed, and the
+    successor evaluations of each expansion.  All parallel work is pure
+    cost-model evaluation; every bound check, incumbent update and queue
+    mutation happens sequentially on the coordinating domain in the same
+    order as a sequential run, so the optimum, its cost, and every counter
+    ([expanded], [generated], pruning counts) are identical at any [jobs]
+    setting. *)
+val search : ?max_expanded:int -> ?jobs:int -> Problem.t -> result
+
+(** [search_anytime ?max_expanded ?jobs p] is [search] that degrades
+    gracefully: the search is seeded with the greedy solution and keeps the
+    best complete configuration met; when the budget runs out it returns
+    that incumbent with [false] instead of raising.  [(result, true)] means
+    the result is proven optimal. *)
+val search_anytime : ?max_expanded:int -> ?jobs:int -> Problem.t -> result * bool

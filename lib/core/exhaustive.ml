@@ -1,4 +1,5 @@
 module Bitset = Vis_util.Bitset
+module Parallel = Vis_util.Parallel
 module Config = Vis_costmodel.Config
 
 exception Too_large of float
@@ -51,32 +52,118 @@ let enumerate p ~f =
           f config ~cost ~space));
   !states
 
-let search ?(max_states = 2_000_000) p =
+(* [subset_of_mask arr mask] builds the same list [list_subsets] would pass
+   to [f] for [mask] — the shard boundaries below address enumeration states
+   by (view mask, index mask) instead of iterating a nested loop. *)
+let subset_of_mask arr mask =
+  let n = Array.length arr in
+  let subset = ref [] in
+  for i = n - 1 downto 0 do
+    if mask land (1 lsl i) <> 0 then subset := arr.(i) :: !subset
+  done;
+  !subset
+
+(* The enumeration is sharded over the worker pool: every state has a global
+   index [gidx] equal to its position in the sequential nested-loop order,
+   the state space is cut into contiguous [gidx] ranges (never crossing a
+   view-subset boundary, so a shard evaluates one eligible-index universe),
+   and each shard reports its best (cost, gidx, config).  Shards share a
+   lock-free incumbent bound so hopeless states are not recorded, but a
+   state whose cost *ties* the bound is always kept — the merge therefore
+   sees every state that attains the global minimum and picks the smallest
+   [gidx], which is exactly the state the sequential first-strict-improvement
+   scan would have kept.  Results are bit-identical at any [jobs] setting. *)
+let search ?jobs ?(max_states = 2_000_000) p =
   let expected = count_states p in
   if expected > float_of_int max_states then raise (Too_large expected);
   let sstats = Search_stats.create ~algorithm:"exhaustive" () in
-  let best = ref Config.empty in
-  let best_cost = ref infinity in
-  let view_states = ref 0 in
-  list_subsets p.Problem.candidate_views ~f:(fun _ -> incr view_states);
-  let states =
-    Search_stats.time sstats "enumerate" (fun () ->
-        enumerate p ~f:(fun config ~cost ~space:_ ->
-            Search_stats.generate sstats;
-            Search_stats.evaluate sstats;
-            Search_stats.expand sstats;
-            if cost < !best_cost then begin
-              best_cost := cost;
-              best := config
-            end))
-  in
-  {
-    best = !best;
-    best_cost = !best_cost;
-    states;
-    view_states = !view_states;
-    search_stats = sstats;
-  }
+  Parallel.using ?jobs (fun pool ->
+      let work_before = Parallel.work_counts pool in
+      let views_arr = Array.of_list p.Problem.candidate_views in
+      let nv = Array.length views_arr in
+      if nv > 24 then invalid_arg "Exhaustive: too many items to enumerate";
+      let view_states = 1 lsl nv in
+      let per_view =
+        Array.init view_states (fun vm ->
+            let views = subset_of_mask views_arr vm in
+            (views, Array.of_list (Problem.indexes_for_views p views)))
+      in
+      let offsets = Array.make view_states 0 in
+      let total = ref 0 in
+      for vm = 0 to view_states - 1 do
+        offsets.(vm) <- !total;
+        total := !total + (1 lsl Array.length (snd per_view.(vm)))
+      done;
+      let total = !total in
+      let chunk_target = max 1 (total / (8 * Parallel.jobs pool)) in
+      let ranges = ref [] in
+      for vm = 0 to view_states - 1 do
+        let n_inner = 1 lsl Array.length (snd per_view.(vm)) in
+        let lo = ref 0 in
+        while !lo < n_inner do
+          let hi = min n_inner (!lo + chunk_target) in
+          ranges := (vm, !lo, hi) :: !ranges;
+          lo := hi
+        done
+      done;
+      let ranges = Array.of_list (List.rev !ranges) in
+      let bound = Atomic.make infinity in
+      let rec lower_bound c =
+        let cur = Atomic.get bound in
+        if c < cur && not (Atomic.compare_and_set bound cur c) then
+          lower_bound c
+      in
+      let shard_best =
+        Array.make (Array.length ranges) (infinity, max_int, None)
+      in
+      Search_stats.time sstats "enumerate" (fun () ->
+          Parallel.run pool ~chunks:(Array.length ranges) (fun c ->
+              let vm, lo, hi = ranges.(c) in
+              let views, ixs = per_view.(vm) in
+              let goff = offsets.(vm) in
+              let best_c = ref infinity in
+              let best_g = ref max_int in
+              let best_cfg = ref None in
+              for im = lo to hi - 1 do
+                let config =
+                  Config.make ~views ~indexes:(subset_of_mask ixs im)
+                in
+                let cost = Problem.total p config in
+                if cost < !best_c && cost <= Atomic.get bound then begin
+                  best_c := cost;
+                  best_g := goff + im;
+                  best_cfg := Some config;
+                  lower_bound cost
+                end
+              done;
+              shard_best.(c) <- (!best_c, !best_g, !best_cfg));
+          Search_stats.add_generated sstats total;
+          Search_stats.add_evaluated sstats total;
+          Search_stats.add_expanded sstats total);
+      let best = ref Config.empty in
+      let best_cost = ref infinity in
+      let best_g = ref max_int in
+      Array.iter
+        (fun (c, g, cfg) ->
+          match cfg with
+          | Some cfg when c < !best_cost || (c = !best_cost && g < !best_g) ->
+              best_cost := c;
+              best_g := g;
+              best := cfg
+          | Some _ | None -> ())
+        shard_best;
+      if Parallel.jobs pool > 1 then
+        Search_stats.set_parallel sstats ~jobs:(Parallel.jobs pool)
+          ~work:
+            (Parallel.diff_counts ~before:work_before
+               ~after:(Parallel.work_counts pool));
+      {
+        best = !best;
+        best_cost = !best_cost;
+        states = total;
+        view_states;
+        search_stats = sstats;
+      })
 
 let fold_index_subsets p views ~init ~f =
   let indexes = Problem.indexes_for_views p views in

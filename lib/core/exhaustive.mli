@@ -20,9 +20,14 @@ type result = {
     large). *)
 val count_states : Problem.t -> float
 
-(** [search ?max_states p] enumerates everything (default cap: 2,000,000
-    states). *)
-val search : ?max_states:int -> Problem.t -> result
+(** [search ?jobs ?max_states p] enumerates everything (default cap:
+    2,000,000 states), sharding the state space over [jobs] domains
+    (default {!Vis_util.Parallel.default_jobs}).  Shards share a lock-free
+    incumbent bound; ties against the bound are kept and the shard results
+    are merged by (cost, sequential position), so the configuration
+    returned — and every counter — is identical to a sequential run at any
+    [jobs] setting. *)
+val search : ?jobs:int -> ?max_states:int -> Problem.t -> result
 
 (** [enumerate p ~f] calls [f config ~cost ~space] for every state and
     returns the number of states. *)

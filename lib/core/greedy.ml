@@ -1,4 +1,5 @@
 module Bitset = Vis_util.Bitset
+module Parallel = Vis_util.Parallel
 module Schema = Vis_catalog.Schema
 module Element = Vis_costmodel.Element
 module Config = Vis_costmodel.Config
@@ -31,7 +32,7 @@ let apply config = function
   | Problem.F_view w -> Config.add_view config w
   | Problem.F_index ix -> Config.add_index config ix
 
-let search ?space_budget p =
+let search_with_pool ~pool ?space_budget p =
   let sstats = Search_stats.create ~algorithm:"greedy" () in
   let evaluations = ref 0 in
   let cost config =
@@ -44,6 +45,13 @@ let search ?space_budget p =
     | None -> true
     | Some b -> Config.space p.Problem.derived config <= b
   in
+  (* Cost the candidate in a worker; the budget check and the evaluation are
+     pure, so the entries are identical at any [jobs] setting. *)
+  let score config f =
+    let config' = apply config f in
+    if not (within_budget config') then None
+    else Some (config', Problem.total p config')
+  in
   let rec loop config current steps =
     Search_stats.expand sstats;
     let candidates =
@@ -53,25 +61,29 @@ let search ?space_budget p =
         p.Problem.features
     in
     Search_stats.observe_frontier sstats (List.length candidates);
-    let best =
-      List.fold_left
-        (fun acc f ->
-          let config' = apply config f in
-          if not (within_budget config') then begin
-            Search_stats.prune sstats "space-budget";
-            acc
-          end
-          else begin
-            Search_stats.generate sstats;
-            let c = cost config' in
-            match acc with
-            | Some (_, _, best_c) when best_c <= c -> acc
-            | _ when c < current -> Some (f, config', c)
-            | _ -> acc
-          end)
-        None candidates
+    let arr = Array.of_list candidates in
+    let entries =
+      if Parallel.jobs pool > 1 && Array.length arr > 1 then
+        Parallel.map_array pool (score config) arr
+      else Array.map (score config) arr
     in
-    match best with
+    (* Sequential replay over the precomputed entries: same accumulator
+       semantics and same counter sequence as the all-sequential version. *)
+    let best = ref None in
+    Array.iteri
+      (fun i f ->
+        match entries.(i) with
+        | None -> Search_stats.prune sstats "space-budget"
+        | Some (config', c) ->
+            Search_stats.generate sstats;
+            incr evaluations;
+            Search_stats.evaluate sstats;
+            (match !best with
+            | Some (_, _, best_c) when best_c <= c -> ()
+            | _ when c < current -> best := Some (f, config', c)
+            | _ -> ()))
+      arr;
+    match !best with
     | None ->
         {
           best = config;
@@ -83,7 +95,18 @@ let search ?space_budget p =
     | Some (f, config', c) ->
         loop config' c ({ s_feature = f; s_cost_after = c } :: steps)
   in
-  Search_stats.time sstats "search" (fun () ->
-      Search_stats.generate sstats;
-      (* the empty start configuration *)
-      loop Config.empty (cost Config.empty) [])
+  let before = Parallel.work_counts pool in
+  Fun.protect
+    ~finally:(fun () ->
+      if Parallel.jobs pool > 1 then
+        Search_stats.set_parallel sstats ~jobs:(Parallel.jobs pool)
+          ~work:
+            (Parallel.diff_counts ~before ~after:(Parallel.work_counts pool)))
+    (fun () ->
+      Search_stats.time sstats "search" (fun () ->
+          Search_stats.generate sstats;
+          (* the empty start configuration *)
+          loop Config.empty (cost Config.empty) []))
+
+let search ?jobs ?pool ?space_budget p =
+  Parallel.using ?jobs ?pool (fun pool -> search_with_pool ~pool ?space_budget p)

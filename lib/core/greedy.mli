@@ -22,7 +22,20 @@ type result = {
           pruning counts and timing *)
 }
 
-(** [search ?space_budget p] runs the greedy loop; with [space_budget] only
-    features that keep the configuration within the given page budget are
-    considered (used by the space-constrained experiments). *)
-val search : ?space_budget:float -> Problem.t -> result
+(** [search ?jobs ?pool ?space_budget p] runs the greedy loop; with
+    [space_budget] only features that keep the configuration within the
+    given page budget are considered (used by the space-constrained
+    experiments).
+
+    Each round's candidate configurations are costed in parallel on [jobs]
+    domains (default {!Vis_util.Parallel.default_jobs}), or on a borrowed
+    [pool] (e.g. A* lending its workers to the greedy seed).  The chosen
+    features, costs and counters are identical at every [jobs] setting: the
+    candidate scores are pure and the selection replays them
+    sequentially. *)
+val search :
+  ?jobs:int ->
+  ?pool:Vis_util.Parallel.pool ->
+  ?space_budget:float ->
+  Problem.t ->
+  result

@@ -20,15 +20,27 @@ let receives_delupd schema i =
   let d = Schema.delta schema i in
   d.Schema.n_del +. d.Schema.n_upd > 0.
 
-(* Candidate index attributes for an element, per FST88 / Section 3.1. *)
+(* Candidate index attributes for an element, per FST88 / Section 3.1.
+   Dedup via a hash set keyed on (relation, attribute name): join-heavy
+   schemas repeat the same attribute across many joins, and the linear
+   [List.exists] rescans made this quadratic.  Prepend order (and hence the
+   final reversed order) is identical to the original scan-based version. *)
 let candidate_attrs schema elem =
-  let add acc a = if List.exists (Element.equal_attr a) acc then acc else a :: acc in
+  let seen : (int * string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let add acc (a : Element.attr) =
+    let key = (a.Element.a_rel, a.Element.a_name) in
+    if Hashtbl.mem seen key then acc
+    else begin
+      Hashtbl.add seen key ();
+      a :: acc
+    end
+  in
   let attrs =
     match elem with
     | Element.Base i ->
         let acc =
           if receives_delupd schema i then
-            [ { Element.a_rel = i; a_name = (Schema.relation schema i).Schema.key_attr } ]
+            add [] { Element.a_rel = i; a_name = (Schema.relation schema i).Schema.key_attr }
           else []
         in
         let acc =
@@ -132,6 +144,9 @@ let equal_feature a b =
 
 let valid_config p config =
   let view_ok w = List.exists (Bitset.equal w) p.candidate_views in
+  (* The eligible-index set depends only on the configuration's views:
+     compute it once per call instead of once per index. *)
+  let eligible = indexes_for_views p (Config.views config) in
   let index_ok ix =
     let elem_materialized =
       match ix.Element.ix_elem with
@@ -140,8 +155,7 @@ let valid_config p config =
           Bitset.equal w (Schema.all_relations p.schema)
           || List.exists (Bitset.equal w) (Config.views config)
     in
-    elem_materialized
-    && List.exists (Element.equal_index ix) (indexes_for_views p (Config.views config))
+    elem_materialized && List.exists (Element.equal_index ix) eligible
   in
   List.for_all view_ok (Config.views config)
   && List.for_all index_ok (Config.indexes config)

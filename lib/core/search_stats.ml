@@ -12,6 +12,8 @@ type t = {
   pruning : (string, int) Hashtbl.t;
   phases : (string, float) Hashtbl.t;
   mutable phase_order : string list;  (* reversed first-use order *)
+  mutable jobs : int;  (* worker slots of the parallel run; 0 = unrecorded *)
+  mutable domain_work : int array;  (* chunks executed per worker slot *)
 }
 
 let create ~algorithm () =
@@ -26,6 +28,8 @@ let create ~algorithm () =
     pruning = Hashtbl.create 8;
     phases = Hashtbl.create 8;
     phase_order = [];
+    jobs = 0;
+    domain_work = [||];
   }
 
 let algorithm t = t.algo
@@ -35,6 +39,16 @@ let expand t = t.expanded <- t.expanded + 1
 let generate t = t.generated <- t.generated + 1
 
 let evaluate t = t.evaluated <- t.evaluated + 1
+
+(* Bulk increments: sharded algorithms count states per shard and charge the
+   totals once, so the scoreboard only ever mutates on the coordinating
+   domain and totals match a sequential run exactly. *)
+
+let add_expanded t n = t.expanded <- t.expanded + n
+
+let add_generated t n = t.generated <- t.generated + n
+
+let add_evaluated t n = t.evaluated <- t.evaluated + n
 
 let expanded t = t.expanded
 
@@ -64,7 +78,37 @@ let admissibility_checks t = t.adm_checks
 
 let admissibility_violations t = t.adm_violations
 
-let now = Sys.time
+(* ------------------------------------------------------------------ *)
+(* Parallel-run accounting. *)
+
+let set_parallel t ~jobs ~work =
+  t.jobs <- jobs;
+  t.domain_work <- Array.copy work
+
+let parallel_jobs t = t.jobs
+
+let domain_work t = Array.copy t.domain_work
+
+(* Load balance of the sharded phases: 1.0 means every worker slot executed
+   the same number of chunks; total/(slots*max) < 1 measures the idle tail.
+   This is an upper bound on achievable parallel efficiency — wall-clock
+   speedup is additionally capped by the sequential sections. *)
+let work_balance t =
+  if t.jobs <= 1 || Array.length t.domain_work = 0 then None
+  else begin
+    let total = Array.fold_left ( + ) 0 t.domain_work in
+    let peak = Array.fold_left max 0 t.domain_work in
+    if total = 0 || peak = 0 then None
+    else
+      Some
+        (float_of_int total
+        /. (float_of_int (Array.length t.domain_work) *. float_of_int peak))
+  end
+
+(* Wall-clock time.  [Sys.time] counts CPU seconds summed over every
+   domain, which would over-report parallel phases by up to the number of
+   workers; [Unix.gettimeofday] measures elapsed time. *)
+let now = Unix.gettimeofday
 
 let time t phase f =
   if not (Hashtbl.mem t.phases phase) then begin
@@ -112,6 +156,24 @@ let render t =
         phases;
       Buffer.add_char buf '\n';
       Buffer.add_string buf (T.render tbl));
+  if t.jobs > 0 then begin
+    let tbl = T.create [ "parallelism"; "value" ] in
+    T.add_row tbl [ "worker slots"; string_of_int t.jobs ];
+    Array.iteri
+      (fun slot chunks ->
+        T.add_row tbl
+          [
+            (if slot = 0 then "domain 0 (coordinator) chunks"
+             else Printf.sprintf "domain %d chunks" slot);
+            string_of_int chunks;
+          ])
+      t.domain_work;
+    (match work_balance t with
+    | Some b -> T.add_row tbl [ "work balance"; Printf.sprintf "%.2f" b ]
+    | None -> ());
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (T.render tbl)
+  end;
   Buffer.contents buf
 
 let to_json t =
@@ -131,4 +193,19 @@ let to_json t =
         Json.Obj
           (List.map (fun (phase, s) -> (phase, Json.Float s)) (phase_timings t))
       );
+      ( "parallel",
+        if t.jobs = 0 then Json.Null
+        else
+          Json.Obj
+            [
+              ("jobs", Json.Int t.jobs);
+              ( "domain_work",
+                Json.List
+                  (Array.to_list (Array.map (fun n -> Json.Int n) t.domain_work))
+              );
+              ( "work_balance",
+                match work_balance t with
+                | Some b -> Json.Float b
+                | None -> Json.Null );
+            ] );
     ]

@@ -37,6 +37,17 @@ val generated : t -> int
 
 val evaluated : t -> int
 
+(** Bulk counterparts of {!expand}/{!generate}/{!evaluate}: sharded
+    algorithms count states per shard and charge the totals once from the
+    coordinating domain, so counter totals match a sequential run exactly
+    and the scoreboard itself needs no synchronization. *)
+
+val add_expanded : t -> int -> unit
+
+val add_generated : t -> int -> unit
+
+val add_evaluated : t -> int -> unit
+
 (** [prune ?count t rule] charges [count] (default 1) discarded states to
     the named pruning rule, e.g. ["incumbent-bound"] or ["dominance"]. *)
 val prune : ?count:int -> t -> string -> unit
@@ -63,11 +74,33 @@ val admissibility_checks : t -> int
 
 val admissibility_violations : t -> int
 
+(** {1 Parallel-run accounting} *)
+
+(** [set_parallel t ~jobs ~work] records the worker-pool shape of the run:
+    [jobs] worker slots and [work.(slot)] chunks executed per slot (slot 0
+    is the coordinating domain; see {!Vis_util.Parallel.work_counts}). *)
+val set_parallel : t -> jobs:int -> work:int array -> unit
+
+(** Worker slots of the recorded parallel run; [0] when the search ran
+    without recording parallelism. *)
+val parallel_jobs : t -> int
+
+(** Chunks executed per worker slot (a copy; empty when unrecorded). *)
+val domain_work : t -> int array
+
+(** Load balance of the sharded phases, [total / (slots * max)] in (0, 1]:
+    1.0 means perfectly even work distribution.  [None] when the run was
+    sequential or no parallel work was recorded.  This bounds achievable
+    parallel efficiency from above; wall-clock speedup is additionally
+    capped by the sequential sections (Amdahl). *)
+val work_balance : t -> float option
+
 (** {1 Phases} *)
 
-(** [time t phase f] runs [f ()] and adds its wall time to [phase]'s
-    accumulator.  Nested or repeated phases accumulate; first-use order is
-    preserved in reports. *)
+(** [time t phase f] runs [f ()] and adds its elapsed wall-clock time to
+    [phase]'s accumulator (wall clock, not CPU time, so parallel phases are
+    not over-reported by the number of domains).  Nested or repeated phases
+    accumulate; first-use order is preserved in reports. *)
 val time : t -> string -> (unit -> 'a) -> 'a
 
 (** Accumulated seconds per phase, in first-use order. *)

@@ -55,14 +55,28 @@ end
 
 module Ktbl = Hashtbl.Make (Key)
 
-type cache = {
+(* The cache is shared by every evaluator of a problem — including, since
+   the multicore work, evaluators running concurrently on several domains.
+   It is lock-striped: keys hash to one of a fixed set of stripes, each a
+   small independent cache (table, FIFO eviction queue, counters) guarded by
+   its own mutex.  Counter updates happen under the stripe lock, so
+   hits + misses equals the number of lookups exactly even under concurrent
+   use — no lost updates — while domains touching different stripes never
+   contend.  Cached values equal freshly computed ones (the cost model is a
+   pure function of the restricted configuration signature), so concurrent
+   duplicate computation of a missed key is wasteful but harmless. *)
+
+type stripe = {
   tbl : memo_value Ktbl.t;
-  fifo : Key.t Queue.t;  (* insertion order; only kept for bounded caches *)
-  capacity : int;  (* 0 = unbounded *)
+  fifo : Key.t Queue.t;  (* insertion order; only kept for bounded stripes *)
+  s_capacity : int;  (* per-stripe bound; 0 = unbounded *)
+  lock : Mutex.t;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
 }
+
+type cache = { stripes : stripe array; mask : int }
 
 type cache_stats = {
   cs_hits : int;
@@ -71,35 +85,83 @@ type cache_stats = {
   cs_entries : int;
 }
 
-let new_cache ?(capacity = 0) () : cache =
-  if capacity < 0 then invalid_arg "Cost.new_cache: negative capacity";
+let new_stripe s_capacity =
   {
-    tbl = Ktbl.create 4096;
+    tbl = Ktbl.create 512;
     fifo = Queue.create ();
-    capacity;
+    s_capacity;
+    lock = Mutex.create ();
     hits = 0;
     misses = 0;
     evictions = 0;
   }
 
-let cache_size c = Ktbl.length c.tbl
+let new_cache ?(capacity = 0) () : cache =
+  if capacity < 0 then invalid_arg "Cost.new_cache: negative capacity";
+  (* Bounded caches get at most [capacity] stripes so the per-stripe bounds
+     sum to exactly [capacity]; stripe counts stay powers of two for the
+     mask-based stripe selection. *)
+  let n_stripes =
+    if capacity = 0 then 16
+    else begin
+      let rec pow2 p = if 2 * p <= min capacity 16 then pow2 (2 * p) else p in
+      pow2 1
+    end
+  in
+  let stripes =
+    Array.init n_stripes (fun i ->
+        if capacity = 0 then new_stripe 0
+        else
+          new_stripe
+            ((capacity / n_stripes)
+            + (if i < capacity mod n_stripes then 1 else 0)))
+  in
+  { stripes; mask = n_stripes - 1 }
+
+let stripe_of c key =
+  (* The table inside each stripe indexes buckets by the low bits of
+     [Key.hash]; pick the stripe from remixed high bits so striping does not
+     empty out bucket ranges. *)
+  let h = Key.hash key in
+  let h = h lxor (h lsr 29) in
+  c.stripes.(((h lsr 16) lxor h) land c.mask)
+
+let locked s f =
+  Mutex.lock s.lock;
+  let r = f () in
+  Mutex.unlock s.lock;
+  r
+
+let cache_size c =
+  Array.fold_left
+    (fun acc s -> acc + locked s (fun () -> Ktbl.length s.tbl))
+    0 c.stripes
 
 let cache_stats c =
-  {
-    cs_hits = c.hits;
-    cs_misses = c.misses;
-    cs_evictions = c.evictions;
-    cs_entries = Ktbl.length c.tbl;
-  }
+  Array.fold_left
+    (fun acc s ->
+      locked s (fun () ->
+          {
+            cs_hits = acc.cs_hits + s.hits;
+            cs_misses = acc.cs_misses + s.misses;
+            cs_evictions = acc.cs_evictions + s.evictions;
+            cs_entries = acc.cs_entries + Ktbl.length s.tbl;
+          }))
+    { cs_hits = 0; cs_misses = 0; cs_evictions = 0; cs_entries = 0 }
+    c.stripes
 
 let hit_rate s =
   let lookups = s.cs_hits + s.cs_misses in
   if lookups = 0 then 0. else float_of_int s.cs_hits /. float_of_int lookups
 
 let reset_cache_stats c =
-  c.hits <- 0;
-  c.misses <- 0;
-  c.evictions <- 0
+  Array.iter
+    (fun s ->
+      locked s (fun () ->
+          s.hits <- 0;
+          s.misses <- 0;
+          s.evictions <- 0))
+    c.stripes
 
 let cache_stats_json c =
   let s = cache_stats c in
@@ -113,28 +175,33 @@ let cache_stats_json c =
     ]
 
 (* A lookup that maintains the counters; [store] inserts the freshly
-   computed value, evicting the oldest entry of a bounded cache. *)
+   computed value, evicting the oldest entry of a bounded stripe.  Both run
+   under the stripe lock. *)
 let cache_find c key =
-  match Ktbl.find_opt c.tbl key with
-  | Some _ as r ->
-      c.hits <- c.hits + 1;
-      r
-  | None ->
-      c.misses <- c.misses + 1;
-      None
+  let s = stripe_of c key in
+  locked s (fun () ->
+      match Ktbl.find_opt s.tbl key with
+      | Some _ as r ->
+          s.hits <- s.hits + 1;
+          r
+      | None ->
+          s.misses <- s.misses + 1;
+          None)
 
 let cache_store c key value =
-  if c.capacity > 0 then begin
-    if Ktbl.length c.tbl >= c.capacity then begin
-      match Queue.take_opt c.fifo with
-      | Some oldest ->
-          Ktbl.remove c.tbl oldest;
-          c.evictions <- c.evictions + 1
-      | None -> ()
-    end;
-    Queue.add key c.fifo
-  end;
-  Ktbl.replace c.tbl key value
+  let s = stripe_of c key in
+  locked s (fun () ->
+      if s.s_capacity > 0 then begin
+        if Ktbl.length s.tbl >= s.s_capacity then begin
+          match Queue.take_opt s.fifo with
+          | Some oldest ->
+              Ktbl.remove s.tbl oldest;
+              s.evictions <- s.evictions + 1
+          | None -> ()
+        end;
+        Queue.add key s.fifo
+      end;
+      Ktbl.replace s.tbl key value)
 
 type t = {
   derived : Derived.t;

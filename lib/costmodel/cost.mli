@@ -28,7 +28,13 @@ type cache
 (** [new_cache ?capacity ()] is a fresh shared store.  With [capacity] the
     cache is bounded: when full, the oldest entry is evicted (FIFO) and
     counted; without it the cache grows with the distinct evaluations.  The
-    search algorithms share one unbounded cache per problem by default. *)
+    search algorithms share one unbounded cache per problem by default.
+
+    The cache is safe for concurrent use from multiple domains (it is
+    lock-striped; see {!Vis_util.Parallel}).  Counters are updated under the
+    stripe locks, so [cs_hits + cs_misses] equals the number of lookups
+    exactly even under contention.  A bounded cache distributes [capacity]
+    over the stripes, so the total entry count never exceeds [capacity]. *)
 val new_cache : ?capacity:int -> unit -> cache
 
 (** Number of distinct (target, delta, restricted-configuration) evaluations

@@ -1,0 +1,89 @@
+(** A dependency-free fixed-size worker pool over OCaml 5 [Domain]s.
+
+    The pool runs *deterministic data parallelism*: a batch of independent
+    tasks is split into chunks, the chunks are claimed dynamically by the
+    workers (and by the submitting domain, which always participates), and
+    the results are delivered in submission order.  Because every task is a
+    pure function of its input, the value returned by {!map_array} is
+    bit-identical to a sequential [Array.map] at any [jobs] setting — the
+    search algorithms in [Vis_core] rely on this to keep their optima, costs
+    and counter totals independent of the degree of parallelism.
+
+    Guarantees:
+    - {b Deterministic results.} [map_array pool f a] equals
+      [Array.map f a] element for element, regardless of [jobs], chunking,
+      or scheduling.
+    - {b Deterministic exceptions.} If several tasks raise, the exception
+      propagated to the submitter is the one from the lowest-numbered chunk
+      (and, within a chunk, the first element that raised) — the same
+      exception a sequential run would have produced first.  The remaining
+      chunks still run to completion, so the pool stays reusable.
+    - {b No deadlocks on degenerate input.} Empty batches return
+      immediately; a pool with [jobs = 1] never spawns a domain and runs
+      everything inline on the caller.
+
+    Restrictions: batches must be submitted from the domain that created the
+    pool, one at a time (the search algorithms are sequential coordinators
+    that fan out hot loops, so this is not limiting).  Task functions must
+    not themselves submit work to the same pool. *)
+
+type pool
+
+(** [default_jobs ()] is the pool width used when none is given explicitly:
+    the [VISMAT_JOBS] environment variable when set to a positive integer,
+    otherwise [Domain.recommended_domain_count ()]. *)
+val default_jobs : unit -> int
+
+(** [create ?jobs ()] spawns [jobs - 1] worker domains (default
+    {!default_jobs}; values [< 1] are clamped to 1).  The caller's domain is
+    the remaining worker, so [jobs] bounds total concurrency. *)
+val create : ?jobs:int -> unit -> pool
+
+(** Worker-slot count of the pool (including the submitting domain). *)
+val jobs : pool -> int
+
+(** [shutdown pool] terminates and joins the worker domains.  Idempotent.
+    Submitting to a shut-down pool runs the batch inline on the caller. *)
+val shutdown : pool -> unit
+
+(** [with_pool ?jobs f] runs [f] with a fresh pool and always shuts it down,
+    even when [f] raises. *)
+val with_pool : ?jobs:int -> (pool -> 'a) -> 'a
+
+(** [using ?jobs ?pool f] runs [f] with [pool] when given (borrowed — not
+    shut down), otherwise behaves like [with_pool ?jobs f].  Lets nested
+    algorithms (e.g. the greedy seed inside the A* search) share their
+    caller's workers. *)
+val using : ?jobs:int -> ?pool:pool -> (pool -> 'a) -> 'a
+
+(** [run pool ~chunks f] executes [f 0 .. f (chunks - 1)] exactly once
+    each, in parallel, and returns when all are done.  The low-level
+    primitive under the maps. *)
+val run : pool -> chunks:int -> (int -> unit) -> unit
+
+(** [map_array ?chunk pool f a] is [Array.map f a] computed in parallel.
+    [chunk] overrides the number of consecutive elements a worker claims at
+    a time (default: [length / (8 * jobs)], at least 1). *)
+val map_array : ?chunk:int -> pool -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [map_list pool f l] is [List.map f l] computed in parallel. *)
+val map_list : pool -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [map_init ?chunk pool ~init f a] is {!map_array} where each chunk first
+    builds a private context [ctx = init ()] and maps its elements with
+    [f ctx].  Used to give every worker its own evaluator (memoizers with
+    single-domain mutable state) while the mapped results stay pure. *)
+val map_init :
+  ?chunk:int -> pool -> init:(unit -> 'c) -> ('c -> 'a -> 'b) -> 'a array ->
+  'b array
+
+(** {1 Work accounting} *)
+
+(** [work_counts pool] is a snapshot of how many chunks each worker slot has
+    executed since creation; slot 0 is the submitting domain.  Diff two
+    snapshots to attribute work to one algorithm run. *)
+val work_counts : pool -> int array
+
+(** [diff_counts ~before ~after] is the per-slot difference of two
+    {!work_counts} snapshots. *)
+val diff_counts : before:int array -> after:int array -> int array

@@ -1,0 +1,292 @@
+(* Tests for the multicore layer: the Vis_util.Parallel worker pool
+   (result determinism, exception propagation, degenerate inputs), the
+   determinism guarantee of the parallel searches (jobs=1 and jobs=4 must
+   return bit-identical optima, costs and counters), and the exactness of
+   the lock-striped cost-cache counters under concurrent use. *)
+
+module Bitset = Vis_util.Bitset
+module Parallel = Vis_util.Parallel
+module Schema = Vis_catalog.Schema
+module Derived = Vis_catalog.Derived
+module Config = Vis_costmodel.Config
+module Cost = Vis_costmodel.Cost
+module Problem = Vis_core.Problem
+module Astar = Vis_core.Astar
+module Exhaustive = Vis_core.Exhaustive
+module Greedy = Vis_core.Greedy
+module Search_stats = Vis_core.Search_stats
+module Schemas = Vis_workload.Schemas
+
+let checkb = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* The pool itself. *)
+
+let test_map_matches_sequential () =
+  let input = Array.init 1_000 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  let expected = Array.map f input in
+  List.iter
+    (fun jobs ->
+      Parallel.with_pool ~jobs (fun pool ->
+          let got = Parallel.map_array pool f input in
+          checkb
+            (Printf.sprintf "map_array at jobs=%d" jobs)
+            true
+            (got = expected);
+          let got_list = Parallel.map_list pool f (Array.to_list input) in
+          checkb
+            (Printf.sprintf "map_list at jobs=%d" jobs)
+            true
+            (got_list = Array.to_list expected)))
+    [ 1; 2; 4 ]
+
+let test_degenerate_inputs () =
+  Parallel.with_pool ~jobs:4 (fun pool ->
+      checkb "empty array" true (Parallel.map_array pool succ [||] = [||]);
+      checkb "empty list" true (Parallel.map_list pool succ [] = []);
+      checkb "one element" true (Parallel.map_array pool succ [| 41 |] = [| 42 |]);
+      Parallel.run pool ~chunks:0 (fun _ -> Alcotest.fail "chunk run");
+      (* jobs below 1 clamp to a working sequential pool *)
+      Parallel.with_pool ~jobs:0 (fun seq ->
+          checki "clamped width" 1 (Parallel.jobs seq);
+          checkb "clamped map" true (Parallel.map_array seq succ [| 1 |] = [| 2 |])))
+
+let test_map_init_context_per_chunk () =
+  (* Each chunk gets its own context: mutating it is worker-private, and the
+     mapped results are still the pure function of the element. *)
+  Parallel.with_pool ~jobs:4 (fun pool ->
+      let input = Array.init 256 (fun i -> i) in
+      let got =
+        Parallel.map_init pool
+          ~init:(fun () -> ref 0)
+          (fun acc x ->
+            acc := !acc + x;
+            x * 2)
+          input
+      in
+      checkb "results pure" true (got = Array.map (fun x -> x * 2) input))
+
+let test_exception_deterministic () =
+  let input = Array.init 64 (fun i -> i) in
+  let f x = if x >= 5 then failwith (string_of_int x) else x in
+  Parallel.with_pool ~jobs:4 (fun pool ->
+      (* chunk:1 makes chunk index = element index: the propagated failure
+         must be the first one a sequential run would hit, every time. *)
+      for _ = 1 to 5 do
+        match Parallel.map_array ~chunk:1 pool f input with
+        | _ -> Alcotest.fail "expected failure"
+        | exception Failure msg -> Alcotest.(check string) "first loser" "5" msg
+      done;
+      (* the pool survives the failed batches *)
+      checkb "pool reusable" true
+        (Parallel.map_array pool succ [| 1; 2; 3 |] = [| 2; 3; 4 |]))
+
+let test_work_accounting () =
+  Parallel.with_pool ~jobs:4 (fun pool ->
+      let before = Parallel.work_counts pool in
+      checki "slots" 4 (Array.length before);
+      let n = 512 in
+      ignore (Parallel.map_array ~chunk:4 pool succ (Array.init n Fun.id));
+      let work =
+        Parallel.diff_counts ~before ~after:(Parallel.work_counts pool)
+      in
+      checki "all chunks accounted" (n / 4) (Array.fold_left ( + ) 0 work))
+
+(* ------------------------------------------------------------------ *)
+(* Search determinism: jobs=4 must equal jobs=1 bit for bit. *)
+
+let same_astar name p =
+  let a1 = Astar.search ~jobs:1 p in
+  let a4 = Astar.search ~jobs:4 p in
+  checkb (name ^ ": same config") true (Config.equal a1.Astar.best a4.Astar.best);
+  checkb (name ^ ": same cost") true (a1.Astar.best_cost = a4.Astar.best_cost);
+  checki (name ^ ": same expanded") a1.Astar.stats.Astar.expanded
+    a4.Astar.stats.Astar.expanded;
+  checki (name ^ ": same generated") a1.Astar.stats.Astar.generated
+    a4.Astar.stats.Astar.generated;
+  let s1 = a1.Astar.search_stats and s4 = a4.Astar.search_stats in
+  checki (name ^ ": same evaluated") (Search_stats.evaluated s1)
+    (Search_stats.evaluated s4);
+  checkb (name ^ ": same pruning counts") true
+    (Search_stats.pruning_counts s1 = Search_stats.pruning_counts s4);
+  a4
+
+let test_astar_deterministic () =
+  ignore (same_astar "two relations" (Problem.make (Schemas.two_relation ())));
+  let a4 = same_astar "schema1" (Problem.make (Schemas.schema1 ())) in
+  (* the jobs=4 run records its pool shape on the scoreboard *)
+  let s4 = a4.Astar.search_stats in
+  checki "parallel jobs recorded" 4 (Search_stats.parallel_jobs s4);
+  checki "one work slot per domain" 4 (Array.length (Search_stats.domain_work s4));
+  checkb "parallel work happened" true
+    (Array.fold_left ( + ) 0 (Search_stats.domain_work s4) > 0);
+  (match Search_stats.work_balance s4 with
+  | Some b -> checkb "balance in (0,1]" true (b > 0. && b <= 1.)
+  | None -> Alcotest.fail "work balance missing")
+
+let test_exhaustive_deterministic () =
+  let p () = Problem.make (Schemas.two_relation ()) in
+  let e1 = Exhaustive.search ~jobs:1 (p ()) in
+  let e4 = Exhaustive.search ~jobs:4 (p ()) in
+  checkb "same config" true (Config.equal e1.Exhaustive.best e4.Exhaustive.best);
+  checkb "same cost" true (e1.Exhaustive.best_cost = e4.Exhaustive.best_cost);
+  checki "same states" e1.Exhaustive.states e4.Exhaustive.states;
+  checki "same view states" e1.Exhaustive.view_states e4.Exhaustive.view_states;
+  checki "expanded = states" e1.Exhaustive.states
+    (Search_stats.expanded e4.Exhaustive.search_stats);
+  checki "evaluated = states" e1.Exhaustive.states
+    (Search_stats.evaluated e4.Exhaustive.search_stats)
+
+let test_greedy_deterministic () =
+  let p () = Problem.make (Schemas.schema1 ()) in
+  let g1 = Greedy.search ~jobs:1 (p ()) in
+  let g4 = Greedy.search ~jobs:4 (p ()) in
+  checkb "same config" true (Config.equal g1.Greedy.best g4.Greedy.best);
+  checkb "same cost" true (g1.Greedy.best_cost = g4.Greedy.best_cost);
+  checki "same evaluations" g1.Greedy.evaluations g4.Greedy.evaluations;
+  checki "same steps" (List.length g1.Greedy.steps) (List.length g4.Greedy.steps);
+  List.iter2
+    (fun (a : Greedy.step) (b : Greedy.step) ->
+      checkb "same step feature" true
+        (Problem.equal_feature a.Greedy.s_feature b.Greedy.s_feature);
+      checkb "same step cost" true
+        (a.Greedy.s_cost_after = b.Greedy.s_cost_after))
+    g1.Greedy.steps g4.Greedy.steps
+
+let prop_parallel_deterministic_random =
+  QCheck2.Test.make ~name:"parallel: jobs=4 equals jobs=1 on random schemas"
+    ~count:10
+    QCheck2.Gen.(int_range 1 100_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let schema = Schemas.random ~rng () in
+      let p = Problem.make schema in
+      if Exhaustive.count_states p > 25_000. then true
+      else begin
+        let a1 = Astar.search ~jobs:1 p in
+        let a4 = Astar.search ~jobs:4 p in
+        let e1 = Exhaustive.search ~jobs:1 p in
+        let e4 = Exhaustive.search ~jobs:4 p in
+        Config.equal a1.Astar.best a4.Astar.best
+        && a1.Astar.best_cost = a4.Astar.best_cost
+        && a1.Astar.stats.Astar.expanded = a4.Astar.stats.Astar.expanded
+        && Config.equal e1.Exhaustive.best e4.Exhaustive.best
+        && e1.Exhaustive.best_cost = e4.Exhaustive.best_cost
+        && e1.Exhaustive.states = e4.Exhaustive.states
+      end)
+
+let test_budget_still_raises () =
+  let p = Problem.make (Schemas.schema1 ()) in
+  match Astar.search ~jobs:4 ~max_expanded:3 p with
+  | exception Astar.Budget_exceeded st -> checki "stopped at 4" 4 st.Astar.expanded
+  | _ -> Alcotest.fail "expected Budget_exceeded"
+
+(* ------------------------------------------------------------------ *)
+(* Cache counters under concurrency: no lost updates. *)
+
+let test_cache_counters_exact_concurrent () =
+  let schema = Schemas.schema1 () in
+  let derived = Derived.create schema in
+  let p = Problem.make schema in
+  let config = (Greedy.search ~jobs:1 p).Greedy.best in
+  let cache = Cost.new_cache () in
+  let fresh = Cost.total_of derived config in
+  (* Warm the cache, then measure the lookup count of one fully-warm run:
+     every lookup hits, so the count is the same for every later run. *)
+  ignore (Cost.total_of ~cache derived config);
+  Cost.reset_cache_stats cache;
+  let warm = Cost.total_of ~cache derived config in
+  checkb "warm run equals fresh compute" true (warm = fresh);
+  let s = Cost.cache_stats cache in
+  checki "warm run misses nothing" 0 s.Cost.cs_misses;
+  let lookups_per_run = s.Cost.cs_hits in
+  checkb "run performs lookups" true (lookups_per_run > 0);
+  Cost.reset_cache_stats cache;
+  let runs = 200 in
+  Parallel.with_pool ~jobs:4 (fun pool ->
+      let totals =
+        Parallel.map_array ~chunk:1 pool
+          (fun () -> Cost.total_of ~cache derived config)
+          (Array.make runs ())
+      in
+      Array.iter
+        (fun t -> checkb "concurrent total equals fresh" true (t = fresh))
+        totals);
+  let s = Cost.cache_stats cache in
+  (* The exactness claim: counter bumps under the stripe locks are never
+     lost, so 200 warm runs account for exactly 200 x lookups_per_run. *)
+  checki "hits exact under contention" (runs * lookups_per_run) s.Cost.cs_hits;
+  checki "no misses under contention" 0 s.Cost.cs_misses
+
+let test_cache_cold_concurrent () =
+  let schema = Schemas.schema1 () in
+  let derived = Derived.create schema in
+  let fresh = Cost.total_of derived Config.empty in
+  let cache = Cost.new_cache () in
+  Parallel.with_pool ~jobs:4 (fun pool ->
+      let totals =
+        Parallel.map_array ~chunk:1 pool
+          (fun () -> Cost.total_of ~cache derived Config.empty)
+          (Array.make 100 ())
+      in
+      Array.iter (fun t -> checkb "cold total correct" true (t = fresh)) totals);
+  let s = Cost.cache_stats cache in
+  checkb "lookups all accounted" true (s.Cost.cs_hits + s.Cost.cs_misses > 0);
+  checkb "entries bounded by misses" true (s.Cost.cs_entries <= s.Cost.cs_misses);
+  checki "unbounded cache never evicts" 0 s.Cost.cs_evictions
+
+let test_cache_bounded_concurrent () =
+  let schema = Schemas.schema1 () in
+  let derived = Derived.create schema in
+  let fresh = Cost.total_of derived Config.empty in
+  let cache = Cost.new_cache ~capacity:8 () in
+  Parallel.with_pool ~jobs:4 (fun pool ->
+      let totals =
+        Parallel.map_array ~chunk:1 pool
+          (fun () -> Cost.total_of ~cache derived Config.empty)
+          (Array.make 100 ())
+      in
+      Array.iter (fun t -> checkb "bounded total correct" true (t = fresh)) totals);
+  let s = Cost.cache_stats cache in
+  checkb "capacity respected under contention" true (s.Cost.cs_entries <= 8)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "vis_parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map matches sequential" `Quick
+            test_map_matches_sequential;
+          Alcotest.test_case "degenerate inputs" `Quick test_degenerate_inputs;
+          Alcotest.test_case "map_init context" `Quick
+            test_map_init_context_per_chunk;
+          Alcotest.test_case "deterministic exceptions" `Quick
+            test_exception_deterministic;
+          Alcotest.test_case "work accounting" `Quick test_work_accounting;
+        ] );
+      ( "search determinism",
+        [
+          Alcotest.test_case "astar jobs=1 vs jobs=4" `Quick
+            test_astar_deterministic;
+          Alcotest.test_case "exhaustive jobs=1 vs jobs=4" `Quick
+            test_exhaustive_deterministic;
+          Alcotest.test_case "greedy jobs=1 vs jobs=4" `Quick
+            test_greedy_deterministic;
+          Alcotest.test_case "budget exception with jobs=4" `Quick
+            test_budget_still_raises;
+        ]
+        @ qt [ prop_parallel_deterministic_random ] );
+      ( "cache concurrency",
+        [
+          Alcotest.test_case "warm counters exact" `Quick
+            test_cache_counters_exact_concurrent;
+          Alcotest.test_case "cold cache consistent" `Quick
+            test_cache_cold_concurrent;
+          Alcotest.test_case "bounded cache capacity" `Quick
+            test_cache_bounded_concurrent;
+        ] );
+    ]
