@@ -1,0 +1,116 @@
+module Schema = Vis_catalog.Schema
+
+let attr_bytes = Vis_maintenance.Warehouse.attr_bytes
+
+let name_of i = String.make 1 (Char.chr (Char.code 'A' + i))
+
+(* A connected tree-shaped join graph over [n] relations where every join is
+   a genuine foreign key: one side is a dedicated FK attribute, the other is
+   the referenced relation's key, and the join selectivity is 1/T(key side).
+   This is exactly the class Datagen can realize, so the executed refresh
+   matches the declared statistics. *)
+let executable ~rng () =
+  let n = 2 + Random.State.int rng 3 in
+  let cards =
+    Array.init n (fun _ -> float_of_int (50 * (1 + Random.State.int rng 20)))
+  in
+  (* Per relation: key attr, then FK attrs as edges assign them, then an
+     optional selection attr, then a payload attr (so protected updates have
+     somewhere to land). *)
+  let fk_attrs = Array.make n [] in
+  let fk_count = Array.make n 0 in
+  let fresh_fk i =
+    fk_count.(i) <- fk_count.(i) + 1;
+    let a = Printf.sprintf "%sf%d" (name_of i) fk_count.(i) in
+    fk_attrs.(i) <- a :: fk_attrs.(i);
+    a
+  in
+  let joins =
+    List.init (n - 1) (fun k ->
+        let child = k + 1 in
+        let parent = Random.State.int rng (k + 1) in
+        (* Either the child references the parent's key or vice versa. *)
+        let holder, target =
+          if Random.State.bool rng then (child, parent) else (parent, child)
+        in
+        {
+          Schema.left_rel = holder;
+          left_attr = fresh_fk holder;
+          right_rel = target;
+          right_attr = name_of target ^ "0";
+          join_sel = 1. /. cards.(target);
+        })
+  in
+  let selections =
+    List.concat
+      (List.init n (fun i ->
+           if Random.State.int rng 100 < 45 then
+             [
+               {
+                 Schema.sel_rel = i;
+                 sel_attr = name_of i ^ "s";
+                 selectivity = 0.05 +. Random.State.float rng 0.9;
+               };
+             ]
+           else []))
+  in
+  let has_sel i =
+    List.exists (fun (s : Schema.selection) -> s.Schema.sel_rel = i) selections
+  in
+  let relations =
+    List.init n (fun i ->
+        let attrs =
+          ((name_of i ^ "0") :: List.rev fk_attrs.(i))
+          @ (if has_sel i then [ name_of i ^ "s" ] else [])
+          @ [ name_of i ^ "p" ]
+        in
+        {
+          Schema.rel_name = name_of i;
+          card = cards.(i);
+          tuple_bytes = attr_bytes * List.length attrs;
+          key_attr = name_of i ^ "0";
+          attrs;
+        })
+  in
+  let deltas =
+    List.init n (fun i ->
+        let frac () =
+          match Random.State.int rng 4 with
+          | 0 -> 0.
+          | 1 -> 0.002 +. Random.State.float rng 0.01
+          | 2 -> 0.01 +. Random.State.float rng 0.04
+          | _ -> 0.05 *. Random.State.float rng 1.
+        in
+        {
+          Schema.n_ins = frac () *. cards.(i);
+          n_del = frac () *. cards.(i);
+          n_upd = (if Random.State.bool rng then frac () /. 2. *. cards.(i) else 0.);
+        })
+  in
+  let page_bytes = [| 256; 512; 1024 |].(Random.State.int rng 3) in
+  Schema.make ~page_bytes
+    ~mem_pages:(10 + Random.State.int rng 150)
+    ~relations ~selections ~joins ~deltas ()
+
+let abstract ~rng () = Vis_workload.Schemas.random ~rng ()
+
+let schema ~rng () =
+  if Random.State.int rng 4 = 0 then abstract ~rng () else executable ~rng ()
+
+let fk_consistent schema =
+  List.for_all
+    (fun (j : Schema.join) ->
+      let key_side_card rel attr =
+        if String.equal (Schema.relation schema rel).Schema.key_attr attr then
+          Some (Schema.relation schema rel).Schema.card
+        else None
+      in
+      let card =
+        match key_side_card j.Schema.right_rel j.Schema.right_attr with
+        | Some c -> Some c
+        | None -> key_side_card j.Schema.left_rel j.Schema.left_attr
+      in
+      match card with
+      | None -> false
+      | Some c -> Vis_util.Num.approx_equal ~eps:1e-9 j.Schema.join_sel (1. /. c))
+    schema.Schema.joins

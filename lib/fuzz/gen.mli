@@ -1,0 +1,37 @@
+(** Random bounded VIS problem instances for the differential-validation
+    fuzzer.
+
+    Two generator profiles:
+
+    - {!executable} draws connected {e tree-shaped} join graphs whose every
+      join is a true foreign key held in a dedicated attribute (the
+      {!Vis_workload.Datagen} value conventions), with a payload attribute
+      per relation so protected updates are executable — every schema it
+      produces can be loaded into the storage engine and refreshed for real,
+      and its declared join selectivities exactly match the synthetic data;
+    - {!abstract} delegates to {!Vis_workload.Schemas.random}: chain joins
+      with possibly non-FK selectivities and selections that may collide
+      with join attributes.  Such schemas exercise the cost model and the
+      search algorithms but are not executable (oracles that need the
+      engine skip them).
+
+    All draws are bounded so exhaustive enumeration stays feasible on most
+    instances: 2–4 relations, cardinalities in the hundreds, one page size
+    from a small menu.  Determinism: every schema is a pure function of the
+    supplied [rng] state. *)
+
+(** [schema ~rng ()] draws from a mixture of the two profiles (3:1 in
+    favor of {!executable}). *)
+val schema : rng:Random.State.t -> unit -> Vis_catalog.Schema.t
+
+(** [executable ~rng ()] — Datagen-compatible tree-join instances. *)
+val executable : rng:Random.State.t -> unit -> Vis_catalog.Schema.t
+
+(** [abstract ~rng ()] — {!Vis_workload.Schemas.random} instances. *)
+val abstract : rng:Random.State.t -> unit -> Vis_catalog.Schema.t
+
+(** [fk_consistent schema] — true when every join's selectivity equals
+    [1 / T(key side)] (the foreign-key semantics the synthetic data
+    realizes), so measured I/O can meaningfully be compared with the
+    model's prediction. *)
+val fk_consistent : Vis_catalog.Schema.t -> bool

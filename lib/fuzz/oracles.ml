@@ -1,0 +1,550 @@
+module Bitset = Vis_util.Bitset
+module Num = Vis_util.Num
+module Schema = Vis_catalog.Schema
+module Config = Vis_costmodel.Config
+module Yao = Vis_costmodel.Yao
+module Problem = Vis_core.Problem
+module Astar = Vis_core.Astar
+module Exhaustive = Vis_core.Exhaustive
+module Greedy = Vis_core.Greedy
+module Local_search = Vis_core.Local_search
+module Space = Vis_core.Space
+module Sensitivity = Vis_core.Sensitivity
+module Search_stats = Vis_core.Search_stats
+module Datagen = Vis_workload.Datagen
+module Validate = Vis_maintenance.Validate
+module Refresh = Vis_maintenance.Refresh
+
+type outcome = Pass | Skip of string | Fail of string
+
+type ctx = {
+  cx_rng : Random.State.t;
+  cx_max_states : float;
+  cx_max_expanded : int;
+  cx_io_band : float;
+  cx_exec_tuples : float;
+  cx_jobs : int;
+}
+
+let make_ctx ?(max_states = 20_000.) ?(max_expanded = 12_000) ?(io_band = 25.)
+    ?(exec_tuples = 20_000.) ?(jobs = 3) ~rng () =
+  {
+    cx_rng = rng;
+    cx_max_states = max_states;
+    cx_max_expanded = max_expanded;
+    cx_io_band = io_band;
+    cx_exec_tuples = exec_tuples;
+    cx_jobs = jobs;
+  }
+
+type t = {
+  o_name : string;
+  o_doc : string;
+  o_check : ctx -> Schema.t -> outcome;
+}
+
+let fail fmt = Printf.ksprintf (fun s -> Fail s) fmt
+
+let skip fmt = Printf.ksprintf (fun s -> Skip s) fmt
+
+let approx = Num.approx_equal ~eps:1e-9
+
+(* The searches compare costs against each other with a small relative
+   slack: totals are sums of hundreds of float terms whose association
+   order differs between algorithms. *)
+let close = Num.approx_equal ~eps:1e-6
+
+(* A* worst case is exponential, and the generator occasionally produces an
+   instance where the heuristic barely prunes.  Every oracle that runs A*
+   caps the expansion count and skips (or degrades) past the cap, keeping
+   trial time bounded. *)
+let astar_capped ?jobs cx p =
+  match Astar.search ~max_expanded:cx.cx_max_expanded ?jobs p with
+  | r -> Some r
+  | exception Astar.Budget_exceeded _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* A* against exhaustive enumeration (Section 4's optimality claim). *)
+
+let check_astar_optimal cx schema =
+  let p = Problem.make schema in
+  let states = Exhaustive.count_states p in
+  if states > cx.cx_max_states then
+    skip "state space too large (%.3g states)" states
+  else
+    let ex = Exhaustive.search ~max_states:(int_of_float cx.cx_max_states) p in
+    let a = Astar.search p in
+    if not (close ex.Exhaustive.best_cost a.Astar.best_cost) then
+      fail "A* cost %.6f differs from exhaustive optimum %.6f"
+        a.Astar.best_cost ex.Exhaustive.best_cost
+    else if not (Problem.valid_config p a.Astar.best) then
+      Fail "A* returned a configuration outside the candidate space"
+    else if not (close (Problem.total p a.Astar.best) a.Astar.best_cost) then
+      fail "A* best_cost %.6f does not re-evaluate (%.6f)" a.Astar.best_cost
+        (Problem.total p a.Astar.best)
+    else if
+      Search_stats.admissibility_violations a.Astar.search_stats > 0
+    then
+      fail "heuristic admissibility violated on %d popped states"
+        (Search_stats.admissibility_violations a.Astar.search_stats)
+    else Pass
+
+(* ------------------------------------------------------------------ *)
+(* jobs=1 vs jobs=N bit-identical results (PR 2's determinism guarantee). *)
+
+let check_parallel_determinism cx schema =
+  match astar_capped ~jobs:1 cx (Problem.make schema) with
+  | None -> skip "A* expansion budget exceeded (%d)" cx.cx_max_expanded
+  | Some a1 ->
+  match astar_capped ~jobs:cx.cx_jobs cx (Problem.make schema) with
+  | None ->
+      (* Identical expansion sequences are the guarantee: if jobs=1 fits
+         under the cap, jobs=N must too. *)
+      fail "jobs=%d exceeded the expansion budget jobs=1 finished under"
+        cx.cx_jobs
+  | Some an ->
+  if a1.Astar.best_cost <> an.Astar.best_cost then
+    fail "A* cost differs: jobs=1 %.17g vs jobs=%d %.17g" a1.Astar.best_cost
+      cx.cx_jobs an.Astar.best_cost
+  else if not (Config.equal a1.Astar.best an.Astar.best) then
+    fail "A* configuration differs between jobs=1 and jobs=%d" cx.cx_jobs
+  else if
+    a1.Astar.stats.Astar.expanded <> an.Astar.stats.Astar.expanded
+    || a1.Astar.stats.Astar.generated <> an.Astar.stats.Astar.generated
+  then
+    fail "A* counters differ: jobs=1 %d/%d vs jobs=%d %d/%d"
+      a1.Astar.stats.Astar.expanded a1.Astar.stats.Astar.generated cx.cx_jobs
+      an.Astar.stats.Astar.expanded an.Astar.stats.Astar.generated
+  else begin
+    let p = Problem.make schema in
+    if Exhaustive.count_states p > cx.cx_max_states then Pass
+    else
+      let e1 = Exhaustive.search ~jobs:1 (Problem.make schema) in
+      let en = Exhaustive.search ~jobs:cx.cx_jobs (Problem.make schema) in
+      if e1.Exhaustive.best_cost <> en.Exhaustive.best_cost then
+        fail "exhaustive cost differs: jobs=1 %.17g vs jobs=%d %.17g"
+          e1.Exhaustive.best_cost cx.cx_jobs en.Exhaustive.best_cost
+      else if not (Config.equal e1.Exhaustive.best en.Exhaustive.best) then
+        fail "exhaustive configuration differs between jobs=1 and jobs=%d"
+          cx.cx_jobs
+      else if e1.Exhaustive.states <> en.Exhaustive.states then
+        fail "exhaustive state counts differ: %d vs %d" e1.Exhaustive.states
+          en.Exhaustive.states
+      else Pass
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Cost-cache on/off equivalence (PR 1's memoization transparency). *)
+
+let check_cache_equivalence cx schema =
+  match astar_capped cx (Problem.make schema) with
+  | None -> skip "A* expansion budget exceeded (%d)" cx.cx_max_expanded
+  | Some shared ->
+  match astar_capped cx (Problem.make ~share_cache:false schema) with
+  | None ->
+      Fail "cache off exceeded the expansion budget cache on finished under"
+  | Some private_ ->
+  if not (approx shared.Astar.best_cost private_.Astar.best_cost) then
+    fail "cache on/off changes the optimum: %.9f vs %.9f"
+      shared.Astar.best_cost private_.Astar.best_cost
+  else if not (Config.equal shared.Astar.best private_.Astar.best) then
+    Fail "cache on/off changes the chosen configuration"
+  else Pass
+
+(* ------------------------------------------------------------------ *)
+(* Heuristic cost ordering: optimum <= local search <= greedy <= empty. *)
+
+let check_heuristics_bounded cx schema =
+  let p = Problem.make schema in
+  let a = astar_capped cx p in
+  let g = Greedy.search p in
+  let l = Local_search.search p in
+  let empty = Problem.total p Config.empty in
+  let eps = 1e-6 *. Float.max 1. empty in
+  let beats_optimum =
+    match a with
+    | None -> None
+    | Some a ->
+        if g.Greedy.best_cost < a.Astar.best_cost -. eps then
+          Some
+            (Printf.sprintf "greedy %.6f beats the proven optimum %.6f"
+               g.Greedy.best_cost a.Astar.best_cost)
+        else if l.Local_search.best_cost < a.Astar.best_cost -. eps then
+          Some
+            (Printf.sprintf "local search %.6f beats the proven optimum %.6f"
+               l.Local_search.best_cost a.Astar.best_cost)
+        else None
+  in
+  match beats_optimum with
+  | Some msg -> Fail msg
+  | None ->
+  if l.Local_search.best_cost > g.Greedy.best_cost +. eps then
+    fail "local search %.6f worse than its greedy seed %.6f"
+      l.Local_search.best_cost g.Greedy.best_cost
+  else if g.Greedy.best_cost > empty +. eps then
+    fail "greedy %.6f worse than the empty design %.6f" g.Greedy.best_cost
+      empty
+  else if not (Problem.valid_config p g.Greedy.best) then
+    Fail "greedy returned an invalid configuration"
+  else if not (Problem.valid_config p l.Local_search.best) then
+    Fail "local search returned an invalid configuration"
+  else
+    (* Greedy steps must strictly improve. *)
+    let rec decreasing prev = function
+      | [] -> true
+      | s :: rest ->
+          s.Greedy.s_cost_after < prev && decreasing s.Greedy.s_cost_after rest
+    in
+    if not (decreasing empty g.Greedy.steps) then
+      Fail "greedy accepted a non-improving step"
+    else if Option.is_none a then
+      skip "orderings hold; optimum unavailable (A* budget %d)"
+        cx.cx_max_expanded
+    else Pass
+
+(* ------------------------------------------------------------------ *)
+(* Space staircase (Section 6.1): monotone steps, consistent cost_at. *)
+
+let check_space_staircase cx schema =
+  let p = Problem.make schema in
+  let states = Exhaustive.count_states p in
+  if states > cx.cx_max_states then
+    skip "state space too large (%.3g states)" states
+  else
+    match Space.sweep ~max_states:(int_of_float cx.cx_max_states) p with
+    | exception Exhaustive.Too_large n -> skip "sweep too large (%.3g)" n
+    | sw -> (
+        let empty = Problem.total p Config.empty in
+        match sw.Space.sw_steps with
+        | [] -> Fail "sweep produced no steps"
+        | first :: _ ->
+            let last =
+              List.nth sw.Space.sw_steps (List.length sw.Space.sw_steps - 1)
+            in
+            if first.Space.st_space <> 0. then
+              fail "first step occupies %.1f pages, not 0" first.Space.st_space
+            else if not (close first.Space.st_cost empty) then
+              fail "first step cost %.6f is not the empty design's %.6f"
+                first.Space.st_cost empty
+            else if
+              not (close last.Space.st_cost sw.Space.sw_unconstrained_cost)
+            then
+              fail "last step %.6f differs from the unconstrained optimum %.6f"
+                last.Space.st_cost sw.Space.sw_unconstrained_cost
+            else begin
+              let rec monotone = function
+                | a :: (b :: _ as rest) ->
+                    if a.Space.st_space >= b.Space.st_space then
+                      fail "staircase space not increasing at %.1f"
+                        b.Space.st_space
+                    else if a.Space.st_cost <= b.Space.st_cost then
+                      fail "staircase cost not decreasing at space %.1f"
+                        b.Space.st_space
+                    else monotone rest
+                | _ -> Pass
+              in
+              match monotone sw.Space.sw_steps with
+              | (Fail _ | Skip _) as r -> r
+              | Pass -> (
+                  (* cost_at is the staircase: exact at boundaries, the
+                     previous step between them. *)
+                  let boundary_bad =
+                    List.find_opt
+                      (fun st ->
+                        not
+                          (close
+                             (Space.cost_at sw ~budget:st.Space.st_space)
+                             st.Space.st_cost))
+                      sw.Space.sw_steps
+                  in
+                  let rec between_bad = function
+                    | a :: (b :: _ as rest) ->
+                        let mid =
+                          (a.Space.st_space +. b.Space.st_space) /. 2.
+                        in
+                        (* The midpoint can coincide with b's budget when the
+                           steps are one page apart; only probe real gaps. *)
+                        if
+                          mid > a.Space.st_space
+                          && mid < b.Space.st_space
+                          && not
+                               (close (Space.cost_at sw ~budget:mid)
+                                  a.Space.st_cost)
+                        then Some mid
+                        else between_bad rest
+                    | _ -> None
+                  in
+                  match (boundary_bad, between_bad sw.Space.sw_steps) with
+                  | Some st, _ ->
+                      fail "cost_at(%.1f) is not the step cost %.6f"
+                        st.Space.st_space st.Space.st_cost
+                  | None, Some mid ->
+                      fail "cost_at between steps wrong at budget %.1f" mid
+                  | None, None ->
+                      (* feature_order: unique names, budgets non-decreasing
+                         and all on the staircase. *)
+                      let order = Space.feature_order sw in
+                      let names = List.map fst order in
+                      if
+                        List.length names
+                        <> List.length (List.sort_uniq compare names)
+                      then Fail "feature_order lists a feature twice"
+                      else
+                        let rec nondecreasing = function
+                          | (_, b1) :: ((_, b2) :: _ as rest) ->
+                              b1 <= b2 && nondecreasing rest
+                          | _ -> true
+                        in
+                        if not (nondecreasing order) then
+                          Fail "feature_order budgets decrease"
+                        else if
+                          List.exists
+                            (fun (_, b) ->
+                              not
+                                (List.exists
+                                   (fun st -> st.Space.st_space = b)
+                                   sw.Space.sw_steps))
+                            order
+                        then Fail "feature_order budget off the staircase"
+                        else Pass)
+            end)
+
+(* ------------------------------------------------------------------ *)
+(* Sensitivity (Section 6.2): ratios >= 1, exactly 1 at the estimate,
+   and the chosen design valid under every swept schema. *)
+
+let check_sensitivity cx schema =
+  let factors = [ 0.5; 1.0; 2.0 ] in
+  let make f = Schema.scale_deltas schema f in
+  (* [Sensitivity.sweep] runs unbounded A* per value; probe each value with
+     the capped search first — the sweep repeats exactly these searches, so
+     if every probe terminates under the cap the sweep terminates too. *)
+  if
+    List.exists
+      (fun f -> Option.is_none (astar_capped cx (Problem.make (make f))))
+      factors
+  then skip "A* expansion budget exceeded (%d)" cx.cx_max_expanded
+  else
+  let series = Sensitivity.sweep ~make_schema:make ~values:factors in
+  let problems = List.map (fun f -> (f, Problem.make (make f))) factors in
+  let bad =
+    List.concat_map
+      (fun s ->
+        List.filter_map
+          (fun (actual, ratio) ->
+            if ratio < 1. -. 1e-6 then
+              Some
+                (Printf.sprintf
+                   "design for estimate %g beats the optimum at %g (ratio %.9f)"
+                   s.Sensitivity.se_estimate actual ratio)
+            else if
+              approx actual s.Sensitivity.se_estimate && ratio > 1. +. 1e-6
+            then
+              Some
+                (Printf.sprintf
+                   "design for estimate %g is not optimal at its own estimate \
+                    (ratio %.9f)"
+                   s.Sensitivity.se_estimate ratio)
+            else None)
+          s.Sensitivity.se_ratios
+        @ List.filter_map
+            (fun (f, p) ->
+              if Problem.valid_config p s.Sensitivity.se_config then None
+              else
+                Some
+                  (Printf.sprintf
+                     "design for estimate %g invalid under factor %g"
+                     s.Sensitivity.se_estimate f))
+            problems)
+      series
+  in
+  match bad with [] -> Pass | msg :: _ -> Fail msg
+
+(* ------------------------------------------------------------------ *)
+(* Yao / Y_WAP page-estimator bounds (Appendix A). *)
+
+let check_yao_bounds cx schema =
+  let rng = cx.cx_rng in
+  (* Derive plausible magnitudes from the schema so the draws track the
+     instances the cost model actually sees. *)
+  let max_card =
+    Array.fold_left
+      (fun acc (r : Schema.relation) -> Float.max acc r.Schema.card)
+      1. schema.Schema.relations
+  in
+  let draw_p () = 1. +. Random.State.float rng (4. *. max_card) in
+  let result = ref Pass in
+  let check cond fmt =
+    Printf.ksprintf (fun s -> if not cond && !result = Pass then result := Fail s) fmt
+  in
+  for _ = 1 to 200 do
+    let p = draw_p () in
+    let n = p *. (1. +. Random.State.float rng 100.) in
+    let k = -10. +. Random.State.float rng (3. *. p +. 20.) in
+    let m = 1. +. Random.State.float rng 2000. in
+    let y = Yao.yao ~n ~p ~k in
+    let w = Yao.y_wap ~n ~p ~k ~m in
+    check (y >= 0.) "yao(p=%g,k=%g) = %g < 0" p k y;
+    check (w >= 0.) "y_wap(p=%g,k=%g,m=%g) = %g < 0" p k m w;
+    if k <= 0. then begin
+      check (y = 0.) "yao(p=%g,k=%g) = %g, expected 0 for k<=0" p k y;
+      check (w = 0.) "y_wap(p=%g,k=%g) = %g, expected 0 for k<=0" p k w
+    end
+    else begin
+      check
+        (y <= Float.min k p +. 1e-9)
+        "yao(p=%g,k=%g) = %g exceeds min(k, pages)" p k y;
+      check (w <= k +. 1e-9) "y_wap(p=%g,k=%g,m=%g) = %g exceeds k" p k m w;
+      if p <= m then
+        check
+          (approx w (Float.min k p))
+          "y_wap(p=%g,k=%g,m=%g) = %g, expected min(k,p) when the relation \
+           fits in memory"
+          p k m w
+    end;
+    (* Monotone in the fetch count. *)
+    let k' = k +. Random.State.float rng p in
+    check
+      (Yao.yao ~n ~p ~k:k' >= y -. 1e-9)
+      "yao not monotone in k at p=%g, k=%g -> %g" p k k';
+    check
+      (Yao.y_wap ~n ~p ~k:k' ~m >= w -. 1e-9)
+      "y_wap not monotone in k at p=%g, k=%g -> %g" p k k'
+  done;
+  !result
+
+(* ------------------------------------------------------------------ *)
+(* Executed maintenance: view contents exact, measured I/O inside the
+   predicted band (the Extra-1 experiment as a property). *)
+
+let executable_blockers cx schema =
+  let n = Schema.n_relations schema in
+  let total_tuples =
+    Array.fold_left
+      (fun acc (r : Schema.relation) -> acc +. r.Schema.card)
+      0. schema.Schema.relations
+  in
+  if total_tuples > cx.cx_exec_tuples then
+    Some (Printf.sprintf "too many tuples to execute (%.0f)" total_tuples)
+  else if not (Gen.fk_consistent schema) then
+    Some "join selectivities are not foreign-key-consistent"
+  else if
+    List.exists
+      (fun i ->
+        let d = Schema.delta schema i in
+        d.Schema.n_upd > 0. && Datagen.protected_attrs schema i = [])
+      (List.init n Fun.id)
+  then Some "protected updates with no protected attribute"
+  else if
+    List.exists
+      (fun i ->
+        let r = Schema.relation schema i in
+        r.Schema.tuple_bytes
+        <> List.length r.Schema.attrs * Vis_maintenance.Warehouse.attr_bytes)
+      (List.init n Fun.id)
+  then Some "tuple_bytes disagrees with the engine's attribute width"
+  else None
+
+let check_maintenance_cycle cx schema =
+  match executable_blockers cx schema with
+  | Some reason -> Skip reason
+  | None -> (
+      let p = Problem.make schema in
+      (* The cycle checks any configuration; fall back to the greedy design
+         when the optimum is out of the A* budget. *)
+      let best_name, best =
+        match astar_capped cx p with
+        | Some a -> ("optimal", a.Astar.best)
+        | None -> ("greedy", (Greedy.search p).Greedy.best)
+      in
+      let seed = Random.State.int cx.cx_rng 1_000_000 in
+      let run name config =
+        match Validate.run_cycle ~seed schema config with
+        | exception Datagen.Unsupported msg ->
+            Skip (Printf.sprintf "datagen: %s" msg)
+        | report, checks ->
+            if not (Validate.all_ok checks) then
+              let bad =
+                List.find (fun c -> not c.Validate.vc_ok) checks
+              in
+              fail
+                "%s design: view %s diverged from its recomputation \
+                 (%d stored vs %d expected)"
+                name bad.Validate.vc_view bad.Validate.vc_actual
+                bad.Validate.vc_expected
+            else begin
+              let measured = float_of_int (Refresh.total_io report) in
+              let predicted = report.Refresh.rp_predicted in
+              (* Tiny batches drown in fixed costs; only judge the ratio
+                 when both sides are macroscopic. *)
+              if Float.min measured predicted < 20. then Pass
+              else
+                let ratio = measured /. predicted in
+                if ratio > cx.cx_io_band || ratio < 1. /. cx.cx_io_band then
+                  fail
+                    "%s design: measured I/O %.0f vs predicted %.0f (ratio \
+                     %.2f outside band %.0f)"
+                    name measured predicted ratio cx.cx_io_band
+                else Pass
+            end
+      in
+      match run best_name best with
+      | Pass -> run "empty" Config.empty
+      | other -> other)
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    {
+      o_name = "astar-optimal";
+      o_doc = "A* finds the exhaustive optimum (Section 4)";
+      o_check = check_astar_optimal;
+    };
+    {
+      o_name = "parallel-determinism";
+      o_doc = "jobs=1 and jobs=N produce bit-identical results";
+      o_check = check_parallel_determinism;
+    };
+    {
+      o_name = "cache-equivalence";
+      o_doc = "shared cost cache on/off leaves the optimum unchanged";
+      o_check = check_cache_equivalence;
+    };
+    {
+      o_name = "heuristics-bounded";
+      o_doc = "optimum <= local search <= greedy <= empty design";
+      o_check = check_heuristics_bounded;
+    };
+    {
+      o_name = "space-staircase";
+      o_doc = "Space.sweep staircase monotone, cost_at consistent (6.1)";
+      o_check = check_space_staircase;
+    };
+    {
+      o_name = "sensitivity";
+      o_doc = "sensitivity ratios >= 1 and = 1 at the estimate (6.2)";
+      o_check = check_sensitivity;
+    };
+    {
+      o_name = "yao-bounds";
+      o_doc = "yao / Y_WAP page estimators stay inside their bounds";
+      o_check = check_yao_bounds;
+    };
+    {
+      o_name = "maintenance-cycle";
+      o_doc = "executed refresh: views exact, I/O inside the predicted band";
+      o_check = check_maintenance_cycle;
+    };
+  ]
+
+let find name = List.find_opt (fun o -> o.o_name = name) all
+
+let select names =
+  let unknown = List.find_opt (fun n -> Option.is_none (find n)) names in
+  match unknown with
+  | Some n ->
+      Error
+        (Printf.sprintf "unknown oracle %S (known: %s)" n
+           (String.concat ", " (List.map (fun o -> o.o_name) all)))
+  | None -> Ok (List.filter (fun o -> List.mem o.o_name names) all)

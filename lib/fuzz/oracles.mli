@@ -1,0 +1,62 @@
+(** The registry of differential-validation oracles.
+
+    Each oracle takes a generated schema and checks one equivalence or
+    invariant the paper's claims rest on: the A* optimizer against
+    exhaustive enumeration (Section 4), parallel search against the
+    sequential run, the memoization ablation, the heuristic orderings, the
+    Section-6 studies' staircase/sensitivity shapes, the Appendix-A page
+    estimators' bounds, and — on executable instances — the storage
+    engine's view contents and measured I/O against the cost model.
+
+    Oracles are pure given their {!ctx}: the embedded RNG state is the only
+    source of randomness, so a (seed, trial, oracle) triple always replays
+    to the same outcome.  An oracle returns [Skip] rather than guessing
+    when an instance is out of its scope (state space too large, schema not
+    executable). *)
+
+type outcome =
+  | Pass
+  | Skip of string  (** instance out of scope; the reason is reported *)
+  | Fail of string  (** invariant violated; the message names the breakage *)
+
+type ctx = {
+  cx_rng : Random.State.t;  (** private randomness for oracle-internal draws *)
+  cx_max_states : float;
+      (** exhaustive-enumeration budget; larger instances are skipped by the
+          oracles that need full enumeration *)
+  cx_max_expanded : int;
+      (** A*-expansion budget; instances the heuristic cannot prune within
+          it are skipped by the oracles that need the optimum *)
+  cx_io_band : float;
+      (** allowed measured/predicted I/O ratio band: the executed-refresh
+          oracle fails outside [[1/band, band]] *)
+  cx_exec_tuples : float;  (** cardinality budget for executed refreshes *)
+  cx_jobs : int;  (** alternate worker-pool width for the determinism oracle *)
+}
+
+(** Defaults: [max_states = 20_000], [max_expanded = 12_000],
+    [io_band = 25.], [exec_tuples = 20_000.], [jobs = 3]. *)
+val make_ctx :
+  ?max_states:float ->
+  ?max_expanded:int ->
+  ?io_band:float ->
+  ?exec_tuples:float ->
+  ?jobs:int ->
+  rng:Random.State.t ->
+  unit ->
+  ctx
+
+type t = {
+  o_name : string;
+  o_doc : string;  (** one line, shown by [visfuzz --list-oracles] *)
+  o_check : ctx -> Vis_catalog.Schema.t -> outcome;
+}
+
+(** All oracles, in execution order. *)
+val all : t list
+
+val find : string -> t option
+
+(** [select names] resolves a list of oracle names, preserving registry
+    order; [Error msg] names the first unknown oracle. *)
+val select : string list -> (t list, string) result

@@ -1,0 +1,191 @@
+module Schema = Vis_catalog.Schema
+
+(* Rebuild a schema through [Schema.make] (revalidating) with some fields
+   replaced; [None] when the result is not a valid schema. *)
+let remake (s : Schema.t) ?relations ?selections ?joins ?deltas () =
+  let relations =
+    match relations with Some r -> r | None -> Array.to_list s.Schema.relations
+  in
+  let deltas =
+    match deltas with Some d -> d | None -> Array.to_list s.Schema.deltas
+  in
+  let selections =
+    match selections with Some l -> l | None -> s.Schema.selections
+  in
+  let joins = match joins with Some j -> j | None -> s.Schema.joins in
+  match
+    Schema.make ~page_bytes:s.Schema.page_bytes ~mem_pages:s.Schema.mem_pages
+      ~index_entry_bytes:s.Schema.index_entry_bytes ~relations ~selections
+      ~joins ~deltas ()
+  with
+  | s' -> Some s'
+  | exception _ -> None
+
+let drop_relation (s : Schema.t) i =
+  let n = Schema.n_relations s in
+  if n < 2 then None
+  else begin
+    let remap j = if j > i then j - 1 else j in
+    let relations =
+      List.filteri (fun j _ -> j <> i) (Array.to_list s.Schema.relations)
+    in
+    let deltas =
+      List.filteri (fun j _ -> j <> i) (Array.to_list s.Schema.deltas)
+    in
+    let selections =
+      List.filter_map
+        (fun (sel : Schema.selection) ->
+          if sel.Schema.sel_rel = i then None
+          else Some { sel with Schema.sel_rel = remap sel.Schema.sel_rel })
+        s.Schema.selections
+    in
+    let joins =
+      List.filter_map
+        (fun (j : Schema.join) ->
+          if j.Schema.left_rel = i || j.Schema.right_rel = i then None
+          else
+            Some
+              {
+                j with
+                Schema.left_rel = remap j.Schema.left_rel;
+                right_rel = remap j.Schema.right_rel;
+              })
+        s.Schema.joins
+    in
+    match remake s ~relations ~selections ~joins ~deltas () with
+    | Some s' when Schema.connected s' (Schema.all_relations s') -> Some s'
+    | _ -> None
+  end
+
+let drop_selection (s : Schema.t) k =
+  if k >= List.length s.Schema.selections then None
+  else
+    remake s ~selections:(List.filteri (fun j _ -> j <> k) s.Schema.selections) ()
+
+let zero_delta (s : Schema.t) i field =
+  let d = s.Schema.deltas.(i) in
+  let d' =
+    match field with
+    | `Ins when d.Schema.n_ins > 0. -> Some { d with Schema.n_ins = 0. }
+    | `Del when d.Schema.n_del > 0. -> Some { d with Schema.n_del = 0. }
+    | `Upd when d.Schema.n_upd > 0. -> Some { d with Schema.n_upd = 0. }
+    | _ -> None
+  in
+  match d' with
+  | None -> None
+  | Some d' ->
+      remake s
+        ~deltas:
+          (List.mapi
+             (fun j old -> if j = i then d' else old)
+             (Array.to_list s.Schema.deltas))
+        ()
+
+let with_relation (s : Schema.t) i f =
+  let r = s.Schema.relations.(i) in
+  match f r with
+  | None -> None
+  | Some r' ->
+      remake s
+        ~relations:
+          (List.mapi
+             (fun j old -> if j = i then r' else old)
+             (Array.to_list s.Schema.relations))
+        ()
+
+let round_card (s : Schema.t) i target =
+  with_relation s i (fun r ->
+      if r.Schema.card > target then Some { r with Schema.card = target }
+      else None)
+
+let halve_card (s : Schema.t) i =
+  with_relation s i (fun r ->
+      if r.Schema.card > 100. then
+        Some { r with Schema.card = Float.round (r.Schema.card /. 2.) }
+      else None)
+
+let normalize_width (s : Schema.t) i =
+  with_relation s i (fun r ->
+      let w = 8 * List.length r.Schema.attrs in
+      if r.Schema.tuple_bytes <> w then Some { r with Schema.tuple_bytes = w }
+      else None)
+
+let round_selectivity (s : Schema.t) k =
+  match List.nth_opt s.Schema.selections k with
+  | None -> None
+  | Some sel ->
+      if sel.Schema.selectivity = 0.5 then None
+      else
+        remake s
+          ~selections:
+            (List.mapi
+               (fun j old ->
+                 if j = k then { old with Schema.selectivity = 0.5 } else old)
+               s.Schema.selections)
+          ()
+
+let round_deltas (s : Schema.t) =
+  let rounded =
+    List.map
+      (fun (d : Schema.delta) ->
+        {
+          Schema.n_ins = Float.round d.Schema.n_ins;
+          n_del = Float.round d.Schema.n_del;
+          n_upd = Float.round d.Schema.n_upd;
+        })
+      (Array.to_list s.Schema.deltas)
+  in
+  if rounded = Array.to_list s.Schema.deltas then None
+  else remake s ~deltas:rounded ()
+
+let set_physical (s : Schema.t) ~page_bytes ~mem_pages ~index_entry_bytes =
+  if
+    s.Schema.page_bytes = page_bytes
+    && s.Schema.mem_pages = mem_pages
+    && s.Schema.index_entry_bytes = index_entry_bytes
+  then None
+  else
+    match
+      Schema.make ~page_bytes ~mem_pages ~index_entry_bytes
+        ~relations:(Array.to_list s.Schema.relations)
+        ~selections:s.Schema.selections ~joins:s.Schema.joins
+        ~deltas:(Array.to_list s.Schema.deltas)
+        ()
+    with
+    | s' -> Some s'
+    | exception _ -> None
+
+let candidates (s : Schema.t) =
+  let n = Schema.n_relations s in
+  let n_sel = List.length s.Schema.selections in
+  let idx f count = List.filter_map f (List.init count Fun.id) in
+  idx (drop_relation s) n
+  @ idx (drop_selection s) n_sel
+  @ idx (fun i -> zero_delta s i `Upd) n
+  @ idx (fun i -> zero_delta s i `Del) n
+  @ idx (fun i -> zero_delta s i `Ins) n
+  @ idx (fun i -> round_card s i 50.) n
+  @ idx (halve_card s) n
+  @ idx (round_selectivity s) n_sel
+  @ Option.to_list (round_deltas s)
+  @ Option.to_list
+      (set_physical s ~page_bytes:512 ~mem_pages:50 ~index_entry_bytes:16)
+  @ idx (normalize_width s) n
+
+let still_fails ~oracle ~ctx s =
+  match oracle.Oracles.o_check (ctx ()) s with
+  | Oracles.Fail _ -> true
+  | Oracles.Pass | Oracles.Skip _ -> false
+  (* The runner treats an oracle exception as a failure; preserve that
+     through shrinking so crashing repros also minimize. *)
+  | exception _ -> true
+
+let shrink ?(max_steps = 200) ~oracle ~ctx schema =
+  let rec go steps s =
+    if steps >= max_steps then s
+    else
+      match List.find_opt (still_fails ~oracle ~ctx) (candidates s) with
+      | Some smaller -> go (steps + 1) smaller
+      | None -> s
+  in
+  go 0 schema

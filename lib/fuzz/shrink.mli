@@ -1,0 +1,23 @@
+(** Greedy minimization of a failing schema.
+
+    Starting from an instance on which an oracle returns [Fail], repeatedly
+    try simplifying transformations — drop a relation (keeping the join
+    graph connected), drop a selection, zero a delta component, round
+    cardinalities, selectivities and the physical parameters — and keep any
+    transformation under which the oracle {e still} fails.  Stops at a
+    fixpoint (no candidate keeps the failure) or after [max_steps]
+    accepted simplifications.
+
+    The oracle is re-run with a fresh context from [ctx] for every probe,
+    so oracles that draw from their context RNG replay deterministically. *)
+
+val shrink :
+  ?max_steps:int ->
+  oracle:Oracles.t ->
+  ctx:(unit -> Oracles.ctx) ->
+  Vis_catalog.Schema.t ->
+  Vis_catalog.Schema.t
+
+(** The one-step simplification candidates of a schema, simplest-first —
+    exposed for tests. Every candidate is a valid schema. *)
+val candidates : Vis_catalog.Schema.t -> Vis_catalog.Schema.t list

@@ -1,0 +1,228 @@
+(* Tests for the Section-5 rules-of-thumb advisor: each rule fires on a
+   schema engineered to trigger it and stays silent when its precondition
+   is removed, the cited rule strings match the decisions, and the advised
+   configuration is valid and never beats the proven optimum. *)
+
+module Schema = Vis_catalog.Schema
+module Config = Vis_costmodel.Config
+module Element = Vis_costmodel.Element
+module Bitset = Vis_util.Bitset
+module Problem = Vis_core.Problem
+module Astar = Vis_core.Astar
+module Rules = Vis_core.Rules
+
+let checkb = Alcotest.(check bool)
+
+let checkf msg = Alcotest.(check (float 1e-9)) msg
+
+let advise schema =
+  let p = Problem.make schema in
+  (p, Rules.advise p)
+
+let contains_rule sub d =
+  let affix = sub and text = d.Rules.d_rule in
+  let n = String.length affix and m = String.length text in
+  let rec at i = i + n <= m && (String.sub text i n = affix || at (i + 1)) in
+  at 0
+
+let decisions_for predicate advice =
+  List.filter predicate advice.Rules.a_decisions
+
+let view_decisions = decisions_for (fun d ->
+    match d.Rules.d_feature with Problem.F_view _ -> true | _ -> false)
+
+let index_decisions = decisions_for (fun d ->
+    match d.Rules.d_feature with Problem.F_index _ -> true | _ -> false)
+
+let index_named p name advice =
+  List.find_opt
+    (fun d -> Problem.feature_name p d.Rules.d_feature = name)
+    (index_decisions advice)
+
+(* ------------------------------------------------------------------ *)
+(* Rules 5.1 / 5.2: supporting views. *)
+
+let test_rule_51_selective_views () =
+  (* Schema 1's σT keeps 10% of T: P(V) ≪ P(E(V)) for both σT and SσT,
+     so Rule 5.1 materializes them. *)
+  let _, a = advise (Vis_workload.Schemas.schema1 ()) in
+  let fired =
+    List.filter (fun d -> d.Rules.d_chosen && contains_rule "5.1" d)
+      (view_decisions a)
+  in
+  Alcotest.(check int) "5.1 materializes both selective views" 2
+    (List.length fired);
+  (* The unselective RS view offers no page reduction: silent. *)
+  List.iter
+    (fun d ->
+      if not d.Rules.d_chosen then
+        checkb "rejected views do not cite 5.1" false (contains_rule "5.1" d))
+    (view_decisions a)
+
+let test_rule_52_no_deletions () =
+  (* Without deletions or updates a view costs nothing to maintain
+     incrementally: every candidate view cites 5.2. *)
+  let _, a =
+    advise (Vis_workload.Schemas.schema1 ~del_frac:0. ~upd_frac:0. ())
+  in
+  List.iter
+    (fun d ->
+      checkb "every view cites 5.2 when nothing is deleted" true
+        (contains_rule "5.2" d);
+      checkf "a 5.2 view costs nothing" 0. d.Rules.d_cost)
+    (view_decisions a);
+  (* With deletions at their defaults, 5.2 never fires. *)
+  let _, a = advise (Vis_workload.Schemas.schema1 ()) in
+  List.iter
+    (fun d -> checkb "5.2 is silent under deletions" false (contains_rule "5.2" d))
+    (view_decisions a)
+
+(* ------------------------------------------------------------------ *)
+(* Rule 5.5: indexes on keys. *)
+
+let test_rule_55_key_indexes () =
+  let p, a = advise (Vis_workload.Schemas.schema1 ()) in
+  (* The primary view's key indexes locate victim tuples for deletions. *)
+  List.iter
+    (fun name ->
+      match index_named p name a with
+      | None -> Alcotest.failf "no decision for %s" name
+      | Some d ->
+          checkb (name ^ " cites 5.5") true (contains_rule "5.5" d);
+          checkb (name ^ " is chosen") true d.Rules.d_chosen)
+    [ "ix(V, R.R0)"; "ix(V, S.S0)"; "ix(V, T.T0)" ];
+  (* Without deletions or updates there is nothing to locate: key indexes
+     are not even candidates, and no decision cites 5.5. *)
+  let _, a =
+    advise (Vis_workload.Schemas.schema1 ~del_frac:0. ~upd_frac:0. ())
+  in
+  List.iter
+    (fun d ->
+      checkb "5.5 is silent without deletions" false (contains_rule "5.5" d);
+      checkb "no index pays for itself without deletions" false
+        d.Rules.d_chosen)
+    (index_decisions a)
+
+(* ------------------------------------------------------------------ *)
+(* Rule 5.6: indexes on join attributes — sometimes. *)
+
+let test_rule_56_join_indexes () =
+  (* A tiny insertion batch probes the join index a few times while a scan
+     reads every page: the join-attribute indexes on R and S pay off. *)
+  let p, a = advise (Vis_workload.Schemas.schema1 ~ins_frac:0.0005 ()) in
+  (match index_named p "ix(R, R.R1)" a with
+  | None -> Alcotest.fail "no decision for ix(R, R.R1)"
+  | Some d ->
+      checkb "join index on R.R1 cites 5.6" true (contains_rule "5.6" d);
+      checkb "join index on R.R1 is chosen" true d.Rules.d_chosen);
+  (* At the default insertion rate the probes outnumber the pages —
+     the "sometimes" of Rule 5.6 — and no decision cites it. *)
+  let _, a = advise (Vis_workload.Schemas.schema1 ()) in
+  List.iter
+    (fun d ->
+      checkb "5.6 is silent under large insertion batches" false
+        (contains_rule "5.6" d))
+    (index_decisions a)
+
+(* ------------------------------------------------------------------ *)
+(* Rule 5.7: indexes on local selection attributes. *)
+
+let test_rule_57_selection_indexes () =
+  (* A very selective predicate makes the matching tuples fewer than the
+     relation's pages, so an index on T.T1 would win ... *)
+  let s = Vis_workload.Schemas.schema1 ~sel_t:0.001 () in
+  let p = Problem.make s in
+  let ix =
+    {
+      Element.ix_elem = Element.Base 2;
+      ix_attr = { Element.a_rel = 2; a_name = "T1" };
+    }
+  in
+  checkb "a selective predicate gives the selection index a benefit" true
+    (Rules.benefit_index_sel p ~chosen:[] ix > 0.);
+  (* ... unless σT itself is materialized (condition 2 of Rule 5.7) ... *)
+  checkf "a materialized σT silences the selection index" 0.
+    (Rules.benefit_index_sel p ~chosen:[ Bitset.singleton 2 ] ix);
+  (* ... or the predicate matches more tuples than the relation has pages
+     (the default 10%). *)
+  let p_coarse = Problem.make (Vis_workload.Schemas.schema1 ()) in
+  checkf "a coarse predicate has no selection-index benefit" 0.
+    (Rules.benefit_index_sel p_coarse ~chosen:[] ix);
+  (* The advisor materializes σT first, so its decisions never cite 5.7. *)
+  let _, a = advise s in
+  List.iter
+    (fun d ->
+      checkb "5.7 stays silent once σT is materialized" false
+        (contains_rule "5.7" d))
+    (index_decisions a)
+
+(* ------------------------------------------------------------------ *)
+(* Rule 5.8: indexes that fit in memory. *)
+
+let test_rule_58_memory () =
+  (* With the default 100 memory pages, T's key index fits: chosen, cites
+     5.8. *)
+  let p, a = advise (Vis_workload.Schemas.schema1 ()) in
+  (match index_named p "ix(T, T.T0)" a with
+  | None -> Alcotest.fail "no decision for ix(T, T.T0)"
+  | Some d ->
+      checkb "a fitting index cites 5.8" true (contains_rule "5.8" d);
+      checkb "a fitting index is chosen" true d.Rules.d_chosen);
+  (* With 2 memory pages nothing fits: the same index is priced at its
+     full per-batch touch count and rejected, and 5.8 disappears. *)
+  let p2, a2 = advise (Vis_workload.Schemas.schema1 ~mem_pages:2 ()) in
+  (match index_named p2 "ix(T, T.T0)" a2 with
+  | None -> Alcotest.fail "no decision for ix(T, T.T0) at mem=2"
+  | Some d ->
+      checkb "the same index without memory is rejected" false
+        d.Rules.d_chosen);
+  List.iter
+    (fun d ->
+      checkb "5.8 is silent when nothing fits in memory" false
+        (contains_rule "5.8" d))
+    (index_decisions a2);
+  (* Costing is memory-sensitive: the fitting index is cheaper. *)
+  match (index_named p "ix(T, T.T0)" a, index_named p2 "ix(T, T.T0)" a2) with
+  | Some fits, Some spills ->
+      checkb "a fitting index costs less than a spilling one" true
+        (fits.Rules.d_cost < spills.Rules.d_cost)
+  | _ -> Alcotest.fail "missing ix(T, T.T0) decisions"
+
+(* ------------------------------------------------------------------ *)
+(* Advisor coherence. *)
+
+let test_advice_coherent () =
+  let p, a = advise (Vis_workload.Schemas.schema1 ()) in
+  checkb "the advised configuration is inside the candidate space" true
+    (Problem.valid_config p a.Rules.a_config);
+  (* Every decision cites a rule or "-", never an empty string. *)
+  List.iter
+    (fun d -> checkb "decisions always cite something" true (d.Rules.d_rule <> ""))
+    a.Rules.a_decisions;
+  (* The rules of thumb are approximations: they can never beat the
+     optimum. *)
+  let best = (Astar.search p).Astar.best_cost in
+  checkb "advice never beats the proven optimum" true
+    (Problem.total p a.Rules.a_config >= best -. 1e-6 *. best)
+
+let () =
+  Alcotest.run "rules"
+    [
+      ( "views",
+        [
+          Alcotest.test_case "5.1 selective views" `Quick
+            test_rule_51_selective_views;
+          Alcotest.test_case "5.2 no deletions" `Quick test_rule_52_no_deletions;
+        ] );
+      ( "indexes",
+        [
+          Alcotest.test_case "5.5 keys" `Quick test_rule_55_key_indexes;
+          Alcotest.test_case "5.6 join attributes" `Quick
+            test_rule_56_join_indexes;
+          Alcotest.test_case "5.7 selection attributes" `Quick
+            test_rule_57_selection_indexes;
+          Alcotest.test_case "5.8 memory" `Quick test_rule_58_memory;
+        ] );
+      ( "advice",
+        [ Alcotest.test_case "coherence" `Quick test_advice_coherent ] );
+    ]

@@ -1,0 +1,102 @@
+(* Tests for the Section-6.2 sensitivity analysis: every ratio is >= 1
+   (no fixed design beats the optimum), the ratio is exactly 1 at the
+   design's own estimate (the diagonal of Figure 12), and each chosen
+   configuration stays valid under every swept schema. *)
+
+module Schema = Vis_catalog.Schema
+module Config = Vis_costmodel.Config
+module Problem = Vis_core.Problem
+module Sensitivity = Vis_core.Sensitivity
+
+let checkb = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+let checkf msg = Alcotest.(check (float 1e-6)) msg
+
+let delta_factors = [ 0.25; 0.5; 1.0; 2.0; 4.0 ]
+
+let base () = Vis_workload.Schemas.two_relation ()
+
+let delta_sweep =
+  lazy
+    (Sensitivity.sweep
+       ~make_schema:(fun f -> Schema.scale_deltas (base ()) f)
+       ~values:delta_factors)
+
+let check_series name values make_schema series =
+  checki (name ^ ": one series per estimate") (List.length values)
+    (List.length series);
+  List.iter
+    (fun s ->
+      checkb (name ^ ": the estimate is one of the swept values") true
+        (List.mem s.Sensitivity.se_estimate values);
+      checki
+        (name ^ ": every design is costed at every actual value")
+        (List.length values)
+        (List.length s.Sensitivity.se_ratios);
+      List.iter
+        (fun (actual, ratio) ->
+          checkb (name ^ ": actual values come from the sweep") true
+            (List.mem actual values);
+          checkb
+            (Printf.sprintf
+               "%s: design for %g never beats the optimum at %g (ratio %.9f)"
+               name s.Sensitivity.se_estimate actual ratio)
+            true
+            (ratio >= 1. -. 1e-9);
+          if actual = s.Sensitivity.se_estimate then
+            checkf (name ^ ": ratio is exactly 1 at the design's own estimate")
+              1. ratio)
+        s.Sensitivity.se_ratios;
+      (* The chosen design must make sense under every swept schema. *)
+      List.iter
+        (fun v ->
+          checkb (name ^ ": configuration valid under every swept schema") true
+            (Problem.valid_config
+               (Problem.make (make_schema v))
+               s.Sensitivity.se_config))
+        values)
+    series
+
+let test_delta_scaling () =
+  check_series "delta scaling" delta_factors
+    (fun f -> Schema.scale_deltas (base ()) f)
+    (Lazy.force delta_sweep)
+
+let test_selectivity_sweep () =
+  (* Sweep a statistics parameter other than the delta rates: the local
+     selectivity of the two-relation instance. *)
+  let values = [ 0.01; 0.1; 0.5 ] in
+  let make v = Vis_workload.Schemas.two_relation ~sel_s:v () in
+  check_series "selectivity" values make
+    (Sensitivity.sweep ~make_schema:make ~values)
+
+let test_underestimate_hurts_monotonically () =
+  (* The design chosen for the lowest delta estimate, evaluated at
+     increasing actual rates, can only drift away from optimal or stay:
+     ratios are >= 1 everywhere and 1 at its own estimate, so its ratio
+     curve has a minimum at the estimate.  Spot-check the curve exists and
+     is finite. *)
+  let series = Lazy.force delta_sweep in
+  let lowest =
+    List.find
+      (fun s -> s.Sensitivity.se_estimate = List.hd delta_factors)
+      series
+  in
+  List.iter
+    (fun (_, ratio) ->
+      checkb "ratios are finite" true (Float.is_finite ratio))
+    lowest.Sensitivity.se_ratios
+
+let () =
+  Alcotest.run "sensitivity"
+    [
+      ( "sweep",
+        [
+          Alcotest.test_case "delta-rate scaling" `Quick test_delta_scaling;
+          Alcotest.test_case "selectivity sweep" `Quick test_selectivity_sweep;
+          Alcotest.test_case "low-estimate curve" `Quick
+            test_underestimate_hurts_monotonically;
+        ] );
+    ]

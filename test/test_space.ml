@@ -1,0 +1,166 @@
+(* Tests for the Section-6.1 space-constrained study: the staircase's
+   shape invariants (monotone space, strictly improving cost, empty design
+   first, unconstrained optimum last), [cost_at] at, below and between the
+   step budgets, and the Figure-11 feature entry order. *)
+
+module Schema = Vis_catalog.Schema
+module Config = Vis_costmodel.Config
+module Problem = Vis_core.Problem
+module Astar = Vis_core.Astar
+module Space = Vis_core.Space
+
+let checkb = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+let checkf msg = Alcotest.(check (float 1e-6)) msg
+
+let two_relation () = Problem.make (Vis_workload.Schemas.two_relation ())
+
+(* A 4-step staircase on 8_000 states, found by scanning the random
+   generator; small enough for the full enumeration to stay instant. *)
+let staircase_problem () =
+  let rng = Random.State.make [| 7; 18 |] in
+  Problem.make (Vis_workload.Schemas.random ~rng ())
+
+let sweeps = lazy (Space.sweep (two_relation ()), Space.sweep (staircase_problem ()))
+
+(* ------------------------------------------------------------------ *)
+(* Staircase shape. *)
+
+let test_staircase_shape () =
+  let check_shape name p sw =
+    let empty = Problem.total p Config.empty in
+    let steps = sw.Space.sw_steps in
+    checkb (name ^ ": at least one step") true (steps <> []);
+    let first = List.hd steps in
+    let last = List.nth steps (List.length steps - 1) in
+    checkf (name ^ ": first step occupies no space") 0. first.Space.st_space;
+    checkf (name ^ ": first step is the empty design") empty first.Space.st_cost;
+    checkb (name ^ ": first step has the empty configuration") true
+      (Config.equal first.Space.st_config Config.empty);
+    checkf
+      (name ^ ": last step reaches the unconstrained optimum")
+      sw.Space.sw_unconstrained_cost last.Space.st_cost;
+    let rec monotone = function
+      | a :: (b :: _ as rest) ->
+          checkb (name ^ ": space strictly increases") true
+            (a.Space.st_space < b.Space.st_space);
+          checkb (name ^ ": cost strictly decreases") true
+            (a.Space.st_cost > b.Space.st_cost);
+          monotone rest
+      | _ -> ()
+    in
+    monotone steps;
+    (* Every step's cost re-evaluates and its space is its configuration's. *)
+    List.iter
+      (fun st ->
+        checkf (name ^ ": step cost re-evaluates")
+          (Problem.total p st.Space.st_config)
+          st.Space.st_cost;
+        checkf (name ^ ": step space is the configuration's")
+          (Config.space p.Problem.derived st.Space.st_config)
+          st.Space.st_space)
+      steps
+  in
+  let sw2, swn = Lazy.force sweeps in
+  check_shape "two_relation" (two_relation ()) sw2;
+  check_shape "staircase" (staircase_problem ()) swn;
+  checki "the scanned instance really has a 4-step staircase" 4
+    (List.length swn.Space.sw_steps)
+
+let test_unconstrained_matches_astar () =
+  let p = staircase_problem () in
+  let _, sw = Lazy.force sweeps in
+  let a = Astar.search p in
+  checkf "unconstrained sweep cost equals the A* optimum" a.Astar.best_cost
+    sw.Space.sw_unconstrained_cost
+
+(* ------------------------------------------------------------------ *)
+(* cost_at: exact on the boundaries, previous step between them,
+   unachievable below the first. *)
+
+let test_cost_at () =
+  let _, sw = Lazy.force sweeps in
+  List.iter
+    (fun st ->
+      checkf "cost_at on a step budget is that step's cost" st.Space.st_cost
+        (Space.cost_at sw ~budget:st.Space.st_space))
+    sw.Space.sw_steps;
+  let rec betweens = function
+    | a :: (b :: _ as rest) ->
+        let mid = (a.Space.st_space +. b.Space.st_space) /. 2. in
+        if mid > a.Space.st_space && mid < b.Space.st_space then
+          checkf "cost_at between steps is the previous step's cost"
+            a.Space.st_cost
+            (Space.cost_at sw ~budget:mid);
+        (* Just below a step the extra page is not affordable yet. *)
+        checkf "cost_at just below a step is the previous step's cost"
+          a.Space.st_cost
+          (Space.cost_at sw ~budget:(b.Space.st_space -. 0.5));
+        betweens rest
+    | _ -> ()
+  in
+  betweens sw.Space.sw_steps;
+  checkf "cost_at beyond the last step is the unconstrained optimum"
+    sw.Space.sw_unconstrained_cost
+    (Space.cost_at sw ~budget:1e12);
+  checkb "cost_at below the first step is unachievable" true
+    (Space.cost_at sw ~budget:(-1.) = Float.infinity)
+
+(* ------------------------------------------------------------------ *)
+(* feature_order: Figure 11's numbering. *)
+
+let test_feature_order () =
+  let _, sw = Lazy.force sweeps in
+  let order = Space.feature_order sw in
+  checkb "a multi-step staircase introduces features" true (order <> []);
+  let names = List.map fst order in
+  checki "feature_order never lists a feature twice"
+    (List.length names)
+    (List.length (List.sort_uniq compare names));
+  let rec nondecreasing = function
+    | (_, b1) :: ((_, b2) :: _ as rest) ->
+        checkb "entry budgets are non-decreasing" true (b1 <= b2);
+        nondecreasing rest
+    | _ -> ()
+  in
+  nondecreasing order;
+  List.iter
+    (fun (name, budget) ->
+      let step =
+        List.find_opt (fun st -> st.Space.st_space = budget) sw.Space.sw_steps
+      in
+      match step with
+      | None -> Alcotest.failf "feature %s enters off the staircase" name
+      | Some st ->
+          checkb "the entering feature is among the step's additions" true
+            (List.mem name st.Space.st_added))
+    order
+
+let test_feature_order_two_relation () =
+  (* On the smallest instance the optimum materializes the selection view,
+     so exactly its features enter the design. *)
+  let sw2, _ = Lazy.force sweeps in
+  let order = Space.feature_order sw2 in
+  checkb "two_relation's optimum materializes something" true (order <> [])
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "space"
+    [
+      ( "staircase",
+        [
+          Alcotest.test_case "shape invariants" `Quick test_staircase_shape;
+          Alcotest.test_case "unconstrained = A*" `Quick
+            test_unconstrained_matches_astar;
+        ] );
+      ("cost_at", [ Alcotest.test_case "staircase lookup" `Quick test_cost_at ]);
+      ( "feature_order",
+        [
+          Alcotest.test_case "figure 11 numbering" `Quick test_feature_order;
+          Alcotest.test_case "two_relation" `Quick
+            test_feature_order_two_relation;
+        ] );
+    ]
