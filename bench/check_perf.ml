@@ -1,0 +1,77 @@
+(* CI perf-smoke guard: compare the [incremental_costing] study of a fresh
+   BENCH_vis.json against the checked-in baseline and fail when the packed
+   evaluator's work regresses.
+
+     dune exec bench/check_perf.exe -- BENCH_vis.json bench/perf_baseline.json
+
+   The guarded number is [cost_evaluations] (configurations costed from
+   scratch plus delta-costed ones) per Table 2 schema at jobs=1 — an exact,
+   machine-independent counter, so the check is immune to CI timing noise.
+   A measured value more than 20% above baseline fails the build; lower
+   values only print (improvements are recorded by refreshing the
+   baseline). *)
+
+module Json = Vis_util.Json
+
+let tolerance = 1.20
+
+let read_json path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Json.of_string s
+
+let rows_by_schema json =
+  match Json.member "incremental_costing" json with
+  | Json.List rows ->
+      List.filter_map
+        (fun row ->
+          match (Json.member "schema" row, Json.member "jobs" row) with
+          | Json.String name, Json.Int 1 ->
+              Some (name, Json.to_float (Json.member "cost_evaluations" row))
+          | _ -> None)
+        rows
+  | _ -> []
+
+let () =
+  let measured_path, baseline_path =
+    match Sys.argv with
+    | [| _; m; b |] -> (m, b)
+    | _ ->
+        prerr_endline "usage: check_perf <measured.json> <baseline.json>";
+        exit 2
+  in
+  let measured = rows_by_schema (read_json measured_path) in
+  let baseline = rows_by_schema (read_json baseline_path) in
+  if baseline = [] then begin
+    prerr_endline "check_perf: baseline has no incremental_costing jobs=1 rows";
+    exit 2
+  end;
+  let failures = ref 0 in
+  List.iter
+    (fun (name, base) ->
+      match List.assoc_opt name measured with
+      | None ->
+          Printf.eprintf "FAIL %-20s missing from measured run\n" name;
+          incr failures
+      | Some got ->
+          let limit = tolerance *. base in
+          if got > limit then begin
+            Printf.eprintf
+              "FAIL %-20s cost_evaluations %.0f > %.0f (baseline %.0f +20%%)\n"
+              name got limit base;
+            incr failures
+          end
+          else
+            Printf.printf "ok   %-20s cost_evaluations %.0f (baseline %.0f)\n"
+              name got base)
+    baseline;
+  if !failures > 0 then begin
+    Printf.eprintf
+      "check_perf: %d schema(s) regressed; if intentional, refresh \
+       bench/perf_baseline.json\n"
+      !failures;
+    exit 1
+  end;
+  print_endline "check_perf: incremental-costing work within baseline"

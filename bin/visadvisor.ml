@@ -124,18 +124,37 @@ let emit_json ~schema_name ~algorithm ~schema ~p ~config ~cost ~search_stats
          ("space_pages", Json.Float (Config.space p.Problem.derived config));
          ("search", Search_stats.to_json search_stats);
          ("cache", Cost.cache_stats_json p.Problem.cache);
+         ( "incremental_costing",
+           match p.Problem.encoding with
+           | Some enc -> Cost.incr_stats_json enc
+           | None -> Json.Null );
          ("explain", Vis_core.Explain.report_json report);
        ]
       @ extra)
   in
   print_endline (Json.to_string ~indent:2 doc)
 
+let print_incr_stats enc =
+  let s = Cost.incr_stats enc in
+  let tbl = T.create [ "incremental costing"; "value" ] in
+  T.add_row tbl [ "full evaluations"; string_of_int s.Cost.is_full ];
+  T.add_row tbl [ "delta evaluations"; string_of_int s.Cost.is_delta ];
+  T.add_row tbl [ "reused unchanged"; string_of_int s.Cost.is_reused ];
+  T.add_row tbl [ "elements computed"; string_of_int s.Cost.is_elems_computed ];
+  T.add_row tbl [ "elements copied"; string_of_int s.Cost.is_elems_copied ];
+  T.print tbl
+
 let emit_human ~stats ~trace ~schema ~p ~config ~search_stats () =
   if stats then begin
     print_newline ();
     print_string (Search_stats.render search_stats);
     print_newline ();
-    print_cache_stats p.Problem.cache
+    print_cache_stats p.Problem.cache;
+    match p.Problem.encoding with
+    | Some enc ->
+        print_newline ();
+        print_incr_stats enc
+    | None -> ()
   end;
   if trace then begin
     print_newline ();

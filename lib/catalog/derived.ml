@@ -4,9 +4,11 @@ type cached = { c_card : float; c_width : int; c_pages : float }
 
 type t = {
   schema : Schema.t;
-  by_set : (int, cached) Hashtbl.t;
-  complete : bool;  (* by_set covers every subset and is never mutated *)
-  lock : Mutex.t;  (* guards by_set when not complete *)
+  eager : cached array;
+      (* complete subset table indexed by the set's bit mask; empty when the
+         schema is past the eager cutoff *)
+  by_set : (int, cached) Hashtbl.t;  (* lazy path only *)
+  lock : Mutex.t;  (* guards by_set *)
   eff : float array;  (* σ_i · T_i *)
   sel : float array;  (* combined selectivity per relation *)
 }
@@ -47,9 +49,10 @@ let compute_set t set =
 
 (* Subset statistics are queried from every worker domain during parallel
    search.  For the schema sizes of the paper (and any realistic star
-   schema) we precompute all [2^n] subsets up front, making [by_set]
-   read-only afterwards — lock-free lookups, identical values.  Past the
-   precomputation cutoff, [get] memoizes lazily under [lock]. *)
+   schema) we precompute all [2^n] subsets up front into a flat array
+   indexed by the set's bit mask — lookups are a bounds check and a load,
+   no hashing, no locking.  Past the precomputation cutoff, [get] memoizes
+   lazily in [by_set] under [lock]. *)
 let eager_cutoff = 12
 
 let create schema =
@@ -62,27 +65,24 @@ let create schema =
   let t =
     {
       schema;
-      by_set = Hashtbl.create (if complete then 1 lsl n else 64);
-      complete;
+      eager = [||];
+      by_set = Hashtbl.create (if complete then 1 else 64);
       lock = Mutex.create ();
       eff;
       sel;
     }
   in
   if complete then
-    for mask = 0 to (1 lsl n) - 1 do
-      Hashtbl.add t.by_set mask (compute_set t (Bitset.of_int mask))
-    done;
-  t
+    { t with eager = Array.init (1 lsl n) (fun mask -> compute_set t (Bitset.of_int mask)) }
+  else t
 
 let get t set =
   let key = Bitset.to_int set in
-  if t.complete then
-    match Hashtbl.find_opt t.by_set key with
-    | Some c -> c
-    | None ->
-        (* out-of-universe set: compute without mutating the shared table *)
-        compute_set t set
+  if key >= 0 && key < Array.length t.eager then Array.unsafe_get t.eager key
+  else if Array.length t.eager > 0 then
+    (* complete table, out-of-universe set: compute without mutating shared
+       state *)
+    compute_set t set
   else begin
     Mutex.lock t.lock;
     match Hashtbl.find_opt t.by_set key with

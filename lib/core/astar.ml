@@ -314,6 +314,16 @@ let prepare ~pool p =
 
 (* ------------------------------------------------------------------ *)
 
+(* A frontier state is either packed (a feature mask with its incremental
+   per-element evaluation, used to delta-cost successors) or structural
+   (the fallback when the problem carries no encoding). *)
+type state = Packed of Cost.ieval | Plain of Config.t
+
+(* A successor awaiting evaluation: the packed form carries the parent's
+   evaluation so [eval_state] can cost it incrementally ([None] only for
+   the root). *)
+type succ = PSucc of int * Cost.ieval option | USucc of Config.t
+
 let search_internal ~max_expanded ~on_budget ~pool p =
   let schema = p.Problem.schema in
   let sstats = Search_stats.create ~algorithm:"astar" () in
@@ -322,6 +332,25 @@ let search_internal ~max_expanded ~on_budget ~pool p =
   (match List.length prep.dropped with
   | 0 -> ()
   | n -> Search_stats.prune ~count:n sstats "dominance");
+  (* Packed search state: prep position [k] decides universe bit
+     [prep_bit.(k)] (the dominance fixpoint kept a subset of the problem's
+     features, so the two numberings differ). *)
+  let packed =
+    match Config_id.of_problem p with
+    | None -> None
+    | Some cid -> (
+        try
+          let prep_bit =
+            Array.map
+              (fun f ->
+                match Config_id.bit_of_feature cid f with
+                | Some b -> b
+                | None -> raise Exit)
+              prep.features
+          in
+          Some (cid, prep_bit)
+        with Exit -> None)
+  in
   let n = Array.length prep.features in
   let n_targets = Array.length prep.targets in
   let n_rels = Schema.n_relations schema in
@@ -352,7 +381,10 @@ let search_internal ~max_expanded ~on_budget ~pool p =
         ~violated:(!popped.(i) > optimum +. 1e-6)
     done
   in
-  let eligible config pos k =
+  (* The state-dependent predicates take the configuration as a membership
+     closure [hv : view -> bool], so the packed path (mask test) and the
+     structural path ([Config.has_view]) share one implementation. *)
+  let eligible hv pos k =
     match prep.features.(k) with
     | Problem.F_view _ -> true
     | Problem.F_index ix -> (
@@ -360,7 +392,7 @@ let search_internal ~max_expanded ~on_budget ~pool p =
         | Element.Base _ -> true
         | Element.View w ->
             Bitset.equal w (Schema.all_relations schema)
-            || Config.has_view config w
+            || hv w
             ||
             (match Hashtbl.find_opt prep.view_pos (Bitset.to_int w) with
             | Some vp -> vp >= pos
@@ -368,15 +400,15 @@ let search_internal ~max_expanded ~on_budget ~pool p =
   in
   (* A target still matters at (config, pos) when it is the primary view,
      already materialized, or not yet decided. *)
-  let target_alive config pos ti =
+  let target_alive hv pos ti =
     let vp = prep.target_view_pos.(ti) in
     vp < 0 || vp >= pos
     ||
     match prep.targets.(ti) with
-    | Element.View w -> Config.has_view config w
+    | Element.View w -> hv w
     | Element.Base _ -> true
   in
-  let h_hat eval config pos =
+  let h_hat eval hv pos =
 
     (* Gap tables: how far each expression's current cost sits above its
        full-configuration floor — an upper bound on what future features can
@@ -384,7 +416,7 @@ let search_internal ~max_expanded ~on_budget ~pool p =
     let ins_gap = Array.make_matrix n_targets n_rels 0. in
     for ti = 0 to n_targets - 1 do
       let elem = prep.targets.(ti) in
-      if target_alive config pos ti then
+      if target_alive hv pos ti then
         Bitset.iter
           (fun r ->
             let gap = ins_eval_of eval elem r -. prep.full_ins.(ti).(r) in
@@ -395,7 +427,7 @@ let search_internal ~max_expanded ~on_budget ~pool p =
        lb_cost − its capped benefit. *)
     let h1 = ref 0. in
     for k = pos to n - 1 do
-      if eligible config pos k then begin
+      if eligible hv pos k then begin
         let benefit =
           List.fold_left
             (fun acc (ti, r) -> acc +. ins_gap.(ti).(r))
@@ -413,7 +445,7 @@ let search_internal ~max_expanded ~on_budget ~pool p =
       let maintained =
         match elem with
         | Element.View w ->
-            Bitset.equal w (Schema.all_relations schema) || Config.has_view config w
+            Bitset.equal w (Schema.all_relations schema) || hv w
         | Element.Base _ -> true
       in
       if maintained then
@@ -448,27 +480,46 @@ let search_internal ~max_expanded ~on_budget ~pool p =
      same order the all-sequential code would.  [g] and [ĉ] do not read the
      incumbent bound, so evaluating successors concurrently and committing
      them in order is bit-identical to sequential search. *)
-  let eval_state (pos, config) =
-    let eval = Problem.evaluator p config in
-    let g = Cost.total eval in
-    let c_hat = g +. h_hat eval config pos in
-    (pos, config, g, c_hat)
+  let eval_state (pos, s) =
+    match s with
+    | USucc config ->
+        let eval = Problem.evaluator p config in
+        let g = Cost.total eval in
+        let c_hat = g +. h_hat eval (Config.has_view config) pos in
+        (pos, Plain config, g, c_hat)
+    | PSucc (mask, parent) ->
+        let cid, _ = Option.get packed in
+        let ie =
+          match parent with
+          | None -> Config_id.eval cid mask
+          | Some pie -> Config_id.eval_from cid pie mask
+        in
+        let g = Cost.ieval_total ie in
+        let eval = Config_id.evaluator cid mask in
+        let c_hat = g +. h_hat eval (Config_id.has_view cid mask) pos in
+        (pos, Packed ie, g, c_hat)
   in
-  let commit (pos, config, g, c_hat) =
+  let config_of_state = function
+    | Plain config -> config
+    | Packed ie ->
+        let cid, _ = Option.get packed in
+        Config_id.config_of_mask cid (Cost.ieval_mask ie)
+  in
+  let commit (pos, st, g, c_hat) =
     Search_stats.evaluate sstats;
     if c_hat <= !upper_bound +. 1e-9 then begin
       if pos = n && g < !upper_bound then begin
         upper_bound := g;
-        incumbent := config
+        incumbent := config_of_state st
       end;
       Search_stats.generate sstats;
       (* Among equal bounds, prefer the deeper state: it completes sooner. *)
-      Pqueue.push ~tie:(n - pos) queue c_hat (pos, config, g);
+      Pqueue.push ~tie:(n - pos) queue c_hat (pos, st, g);
       Search_stats.observe_frontier sstats (Pqueue.length queue)
     end
     else Search_stats.prune sstats "incumbent-bound"
   in
-  let push pos config = commit (eval_state (pos, config)) in
+  let push pos s = commit (eval_state (pos, s)) in
   (* Fanning the two successor evaluations out only pays once states carry
      enough cost-model work; both paths compute identical values. *)
   let par_expansion = Parallel.jobs pool > 1 && n >= 12 in
@@ -476,7 +527,8 @@ let search_internal ~max_expanded ~on_budget ~pool p =
     check_admissibility best_cost;
     ({ best; best_cost; stats = stats (); search_stats = sstats }, true)
   in
-  push 0 Config.empty;
+  push 0
+    (match packed with Some _ -> PSucc (0, None) | None -> USucc Config.empty);
   let rec loop () =
     match Pqueue.pop_min queue with
     | None ->
@@ -484,9 +536,9 @@ let search_internal ~max_expanded ~on_budget ~pool p =
            remaining completion was pruned by the incumbent bound, so the
            incumbent is optimal. *)
         finish !incumbent !upper_bound
-    | Some (c_hat, (pos, config, g)) ->
+    | Some (c_hat, (pos, st, g)) ->
         record_pop c_hat;
-        if pos = n then finish config g
+        if pos = n then finish (config_of_state st) g
         else begin
           Search_stats.expand sstats;
           if Search_stats.expanded sstats > max_expanded then begin
@@ -502,16 +554,45 @@ let search_internal ~max_expanded ~on_budget ~pool p =
           end
           else begin
             let succs =
-              match prep.features.(pos) with
-              | Problem.F_view w ->
-                  [| (pos + 1, config); (pos + 1, Config.add_view config w) |]
-              | Problem.F_index ix ->
-                  if eligible config pos pos then
-                    [| (pos + 1, config); (pos + 1, Config.add_index config ix) |]
-                  else begin
-                    Search_stats.prune sstats "ineligible-index";
-                    [| (pos + 1, config) |]
-                  end
+              match st with
+              | Packed ie -> begin
+                  let cid, prep_bit = Option.get packed in
+                  let mask = Cost.ieval_mask ie in
+                  let with_f = mask lor (1 lsl prep_bit.(pos)) in
+                  match prep.features.(pos) with
+                  | Problem.F_view _ ->
+                      [|
+                        (pos + 1, PSucc (mask, Some ie));
+                        (pos + 1, PSucc (with_f, Some ie));
+                      |]
+                  | Problem.F_index _ ->
+                      if eligible (Config_id.has_view cid mask) pos pos then
+                        [|
+                          (pos + 1, PSucc (mask, Some ie));
+                          (pos + 1, PSucc (with_f, Some ie));
+                        |]
+                      else begin
+                        Search_stats.prune sstats "ineligible-index";
+                        [| (pos + 1, PSucc (mask, Some ie)) |]
+                      end
+                end
+              | Plain config -> (
+                  match prep.features.(pos) with
+                  | Problem.F_view w ->
+                      [|
+                        (pos + 1, USucc config);
+                        (pos + 1, USucc (Config.add_view config w));
+                      |]
+                  | Problem.F_index ix ->
+                      if eligible (Config.has_view config) pos pos then
+                        [|
+                          (pos + 1, USucc config);
+                          (pos + 1, USucc (Config.add_index config ix));
+                        |]
+                      else begin
+                        Search_stats.prune sstats "ineligible-index";
+                        [| (pos + 1, USucc config) |]
+                      end)
             in
             let evaled =
               if par_expansion && Array.length succs > 1 then

@@ -1,0 +1,75 @@
+(** Packed configuration identities for one problem.
+
+    When a problem's candidate features fit in 62 bits (every paper schema
+    does, by orders of magnitude), each configuration is a single [int]
+    mask: bit [b] set iff feature [b] of the problem's universe is chosen.
+    Subset, dominance, and frontier-dedup tests become single-word bit
+    operations, and successor costing goes through the incremental
+    delta-evaluator ({!Vis_costmodel.Cost.eval_delta}) instead of
+    re-deriving the whole plan.
+
+    [of_problem] returns [None] when the problem carries no encoding —
+    more than 62 features, the [slow_cost] escape hatch, or the no-sharing
+    ablation — and searches fall back to their structural paths.  Both
+    paths are bit-identical in chosen optima and costs. *)
+
+type t
+
+val of_problem : Problem.t -> t option
+
+val problem : t -> Problem.t
+
+val encoding : t -> Vis_costmodel.Cost.encoding
+
+val n_features : t -> int
+
+(** The feature behind bit [b] (order = [Problem.features]). *)
+val feature : t -> int -> Problem.feature
+
+val bit_of_feature : t -> Problem.feature -> int option
+
+(** [None] when the configuration uses a feature outside the universe. *)
+val mask_of_config : t -> Vis_costmodel.Config.t -> int option
+
+(** Decode to the canonical symbolic configuration. *)
+val config_of_mask : t -> int -> Vis_costmodel.Config.t
+
+(** The mask with every feature chosen. *)
+val universe : t -> int
+
+(** The mask of bits that are supporting views. *)
+val view_bits : t -> int
+
+(** [subset a b] — is configuration [a] contained in [b]?  One AND. *)
+val subset : int -> int -> bool
+
+val has_feature : t -> int -> int -> bool
+
+val has_view : t -> int -> Vis_util.Bitset.t -> bool
+
+(** [applicable t mask b]: can feature [b] be added to [mask]?  (An index
+    on a candidate view requires the view to be materialized.) *)
+val applicable : t -> int -> int -> bool
+
+val add : t -> int -> int -> int
+
+(** [drop t mask b] removes feature [b] {e and its closure}: dropping a
+    view also drops the indexes built on it. *)
+val drop : t -> int -> int -> int
+
+(** The bits removed by [drop _ _ b]: [b] plus, for a view, its indexes. *)
+val closure : t -> int -> int
+
+(** The bits required for [b] to be applicable ([0] or one view bit). *)
+val requires : t -> int -> int
+
+(** A cost evaluator over the packed configuration, sharing the problem's
+    memo cache ({!Problem.evaluator} for masks). *)
+val evaluator : t -> int -> Vis_costmodel.Cost.t
+
+(** Cost a configuration from scratch. *)
+val eval : t -> int -> Vis_costmodel.Cost.ieval
+
+(** Cost a configuration incrementally from a neighbour's evaluation. *)
+val eval_from :
+  t -> Vis_costmodel.Cost.ieval -> int -> Vis_costmodel.Cost.ieval

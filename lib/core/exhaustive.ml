@@ -107,6 +107,46 @@ let search ?jobs ?(max_states = 2_000_000) p =
         done
       done;
       let ranges = Array.of_list (List.rev !ranges) in
+      (* Packed enumeration: each view subset's global view-bit mask and the
+         global bit of every eligible index are precomputed, so a state's
+         packed configuration is [vg lor (bits of im)] — a shard walks its
+         integer interval costing consecutive states incrementally from the
+         previous one.  Costs are bitwise equal to [Problem.total], so the
+         bound/tie logic and the merged winner are unchanged. *)
+      let packed =
+        match Config_id.of_problem p with
+        | None -> None
+        | Some cid -> (
+            try
+              let info =
+                Array.map
+                  (fun (views, ixs) ->
+                    let vg =
+                      List.fold_left
+                        (fun acc w ->
+                          match
+                            Config_id.bit_of_feature cid (Problem.F_view w)
+                          with
+                          | Some b -> acc lor (1 lsl b)
+                          | None -> raise Exit)
+                        0 views
+                    in
+                    let gb =
+                      Array.map
+                        (fun ix ->
+                          match
+                            Config_id.bit_of_feature cid (Problem.F_index ix)
+                          with
+                          | Some b -> 1 lsl b
+                          | None -> raise Exit)
+                        ixs
+                    in
+                    (vg, gb))
+                  per_view
+              in
+              Some (cid, info)
+            with Exit -> None)
+      in
       let bound = Atomic.make infinity in
       let rec lower_bound c =
         let cur = Atomic.get bound in
@@ -124,18 +164,46 @@ let search ?jobs ?(max_states = 2_000_000) p =
               let best_c = ref infinity in
               let best_g = ref max_int in
               let best_cfg = ref None in
-              for im = lo to hi - 1 do
-                let config =
-                  Config.make ~views ~indexes:(subset_of_mask ixs im)
-                in
-                let cost = Problem.total p config in
-                if cost < !best_c && cost <= Atomic.get bound then begin
-                  best_c := cost;
-                  best_g := goff + im;
-                  best_cfg := Some config;
-                  lower_bound cost
-                end
-              done;
+              (match packed with
+              | Some (cid, info) ->
+                  let vg, gb = info.(vm) in
+                  let prev = ref None in
+                  for im = lo to hi - 1 do
+                    let gmask = ref vg in
+                    let m = ref im and i = ref 0 in
+                    while !m <> 0 do
+                      if !m land 1 <> 0 then gmask := !gmask lor gb.(!i);
+                      incr i;
+                      m := !m lsr 1
+                    done;
+                    let gmask = !gmask in
+                    let ie =
+                      match !prev with
+                      | None -> Config_id.eval cid gmask
+                      | Some pie -> Config_id.eval_from cid pie gmask
+                    in
+                    prev := Some ie;
+                    let cost = Vis_costmodel.Cost.ieval_total ie in
+                    if cost < !best_c && cost <= Atomic.get bound then begin
+                      best_c := cost;
+                      best_g := goff + im;
+                      best_cfg := Some (Config_id.config_of_mask cid gmask);
+                      lower_bound cost
+                    end
+                  done
+              | None ->
+                  for im = lo to hi - 1 do
+                    let config =
+                      Config.make ~views ~indexes:(subset_of_mask ixs im)
+                    in
+                    let cost = Problem.total p config in
+                    if cost < !best_c && cost <= Atomic.get bound then begin
+                      best_c := cost;
+                      best_g := goff + im;
+                      best_cfg := Some config;
+                      lower_bound cost
+                    end
+                  done);
               shard_best.(c) <- (!best_c, !best_g, !best_cfg));
           Search_stats.add_generated sstats total;
           Search_stats.add_evaluated sstats total;

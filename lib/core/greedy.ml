@@ -45,6 +45,69 @@ let search_with_pool ~pool ?space_budget p =
     | None -> true
     | Some b -> Config.space p.Problem.derived config <= b
   in
+  (* Packed path: states are feature masks, successors are costed
+     incrementally from the current state's per-element evaluation.
+     Candidate bits ascend in [Problem.features] order and every counter
+     bump mirrors the structural loop below, so steps, counters, and the
+     chosen configuration are bit-identical. *)
+  let rec packed_loop cid mask ieval current steps =
+    Search_stats.expand sstats;
+    let n = Config_id.n_features cid in
+    let candidates = ref [] in
+    for b = n - 1 downto 0 do
+      if
+        (not (Config_id.has_feature cid mask b))
+        && Config_id.applicable cid mask b
+      then candidates := b :: !candidates
+    done;
+    let candidates = !candidates in
+    Search_stats.observe_frontier sstats (List.length candidates);
+    let arr = Array.of_list candidates in
+    let score b =
+      let mask' = Config_id.add cid mask b in
+      let ok =
+        match space_budget with
+        | None -> true
+        | Some _ -> within_budget (Config_id.config_of_mask cid mask')
+      in
+      if not ok then None
+      else begin
+        let ie = Config_id.eval_from cid ieval mask' in
+        Some (mask', ie, Vis_costmodel.Cost.ieval_total ie)
+      end
+    in
+    let entries =
+      if Parallel.jobs pool > 1 && Array.length arr > 1 then
+        Parallel.map_array pool score arr
+      else Array.map score arr
+    in
+    let best = ref None in
+    Array.iteri
+      (fun i b ->
+        match entries.(i) with
+        | None -> Search_stats.prune sstats "space-budget"
+        | Some (mask', ie, c) ->
+            Search_stats.generate sstats;
+            incr evaluations;
+            Search_stats.evaluate sstats;
+            (match !best with
+            | Some (_, _, _, best_c) when best_c <= c -> ()
+            | _ when c < current -> best := Some (b, mask', ie, c)
+            | _ -> ()))
+      arr;
+    match !best with
+    | None ->
+        {
+          best = Config_id.config_of_mask cid mask;
+          best_cost = current;
+          steps = List.rev steps;
+          evaluations = !evaluations;
+          search_stats = sstats;
+        }
+    | Some (b, mask', ie, c) ->
+        packed_loop cid mask' ie c
+          ({ s_feature = Config_id.feature cid b; s_cost_after = c } :: steps)
+  in
   (* Cost the candidate in a worker; the budget check and the evaluation are
      pure, so the entries are identical at any [jobs] setting. *)
   let score config f =
@@ -106,7 +169,13 @@ let search_with_pool ~pool ?space_budget p =
       Search_stats.time sstats "search" (fun () ->
           Search_stats.generate sstats;
           (* the empty start configuration *)
-          loop Config.empty (cost Config.empty) []))
+          match Config_id.of_problem p with
+          | Some cid ->
+              let ie0 = Config_id.eval cid 0 in
+              incr evaluations;
+              Search_stats.evaluate sstats;
+              packed_loop cid 0 ie0 (Vis_costmodel.Cost.ieval_total ie0) []
+          | None -> loop Config.empty (cost Config.empty) []))
 
 let search ?jobs ?pool ?space_budget p =
   Parallel.using ?jobs ?pool (fun pool -> search_with_pool ~pool ?space_budget p)

@@ -5,7 +5,7 @@ module Element = Vis_costmodel.Element
 module Config = Vis_costmodel.Config
 module Cost = Vis_costmodel.Cost
 
-type feature = F_view of Bitset.t | F_index of Element.index
+type feature = Config.feature = F_view of Bitset.t | F_index of Element.index
 
 type t = {
   schema : Schema.t;
@@ -14,6 +14,7 @@ type t = {
   share_cache : bool;
   candidate_views : Bitset.t list;
   features : feature list;
+  encoding : Cost.encoding option;
 }
 
 let receives_delupd schema i =
@@ -88,7 +89,12 @@ let candidate_views_of schema ~connected_only =
          | 0 -> Bitset.compare a b
          | c -> c)
 
-let make ?(connected_only = false) ?(share_cache = true) schema =
+let slow_cost_env () =
+  match Sys.getenv_opt "VISMAT_SLOW_COST" with
+  | Some ("" | "0") | None -> false
+  | Some _ -> true
+
+let make ?(connected_only = false) ?(share_cache = true) ?slow_cost schema =
   let derived = Derived.create schema in
   let candidate_views = candidate_views_of schema ~connected_only in
   let indexes_of elem =
@@ -106,7 +112,30 @@ let make ?(connected_only = false) ?(share_cache = true) schema =
           F_view w :: List.map (fun ix -> F_index ix) (indexes_of (Element.View w)))
         candidate_views
   in
-  { schema; derived; cache = Cost.new_cache (); share_cache; candidate_views; features }
+  let slow_cost =
+    match slow_cost with Some b -> b | None -> slow_cost_env ()
+  in
+  (* The packed evaluator shares one memo cache across all masked
+     configurations by construction, so the no-sharing ablation
+     ([share_cache = false]) must also disable it; [slow_cost] (or
+     VISMAT_SLOW_COST=1) keeps the structural evaluator for differential
+     checking. *)
+  let encoding =
+    if slow_cost || not share_cache then None
+    else
+      match Cost.make_encoding derived (Array.of_list features) with
+      | enc -> Some enc
+      | exception Cost.Encoding_too_large _ -> None
+  in
+  {
+    schema;
+    derived;
+    cache = Cost.new_cache ();
+    share_cache;
+    candidate_views;
+    features;
+    encoding;
+  }
 
 let candidate_indexes_on p elem =
   List.map
@@ -123,8 +152,18 @@ let indexes_for_views p views =
   @ List.concat_map (fun w -> candidate_indexes_on p (Element.View w)) views
 
 let evaluator p config =
-  if p.share_cache then Cost.create ~cache:p.cache p.derived config
-  else Cost.create p.derived config
+  match p.encoding with
+  | Some enc -> (
+      (* Packed keys for in-universe configurations; anything outside the
+         universe (e.g. Sensitivity costing an arbitrary configuration)
+         falls back to the structural keying, which shares the same cache
+         disjointly. *)
+      match Cost.mask_of_config enc config with
+      | Some mask -> Cost.create_masked ~cache:p.cache p.derived enc mask
+      | None -> Cost.create ~cache:p.cache p.derived config)
+  | None ->
+      if p.share_cache then Cost.create ~cache:p.cache p.derived config
+      else Cost.create p.derived config
 
 let total p config = Cost.total (evaluator p config)
 
@@ -136,11 +175,7 @@ let feature_name p = function
   | F_view w -> Element.name p.schema (Element.View w)
   | F_index ix -> Element.index_name p.schema ix
 
-let equal_feature a b =
-  match (a, b) with
-  | F_view v, F_view w -> Bitset.equal v w
-  | F_index i, F_index j -> Element.equal_index i j
-  | F_view _, F_index _ | F_index _, F_view _ -> false
+let equal_feature = Config.equal_feature
 
 let valid_config p config =
   let view_ok w = List.exists (Bitset.equal w) p.candidate_views in

@@ -17,7 +17,9 @@
       relations in [w] that receive deletions or updates, and attributes of
       relations in [w] joined to relations outside [w]. *)
 
-type feature = F_view of Vis_util.Bitset.t | F_index of Vis_costmodel.Element.index
+type feature = Vis_costmodel.Config.feature =
+  | F_view of Vis_util.Bitset.t
+  | F_index of Vis_costmodel.Element.index
 
 type t = {
   schema : Vis_catalog.Schema.t;
@@ -32,14 +34,23 @@ type t = {
           paper's partial order ≺: subviews before superviews, every element
           before its indexes, base-relation and primary-view indexes
           first *)
+  encoding : Vis_costmodel.Cost.encoding option;
+      (** the problem's feature universe numbered into bits, when it fits in
+          62 features and neither [slow_cost] nor the no-sharing ablation
+          disabled it; searches use it via {!Config_id} for packed states
+          and incremental delta-costing *)
 }
 
 (** [make schema] enumerates the candidates.  [share_cache] (default true)
     makes every {!evaluator} share one {!Vis_costmodel.Cost.cache}, so cost
     derivations are reused across the many configurations a search visits;
     disabling it isolates each evaluation (for measuring what memoization
-    saves). *)
-val make : ?connected_only:bool -> ?share_cache:bool -> Vis_catalog.Schema.t -> t
+    saves) and also disables the packed encoding.  [slow_cost] (default: the
+    [VISMAT_SLOW_COST] environment variable, true when set non-empty and
+    non-zero) forces the structural evaluator everywhere — the escape hatch
+    kept alive for differential checking of the packed path. *)
+val make :
+  ?connected_only:bool -> ?share_cache:bool -> ?slow_cost:bool -> Vis_catalog.Schema.t -> t
 
 (** [candidate_indexes_on p elem] enumerates candidate indexes for one
     element ([Base _], a candidate view, or the primary view). *)

@@ -1,5 +1,17 @@
 module Bitset = Vis_util.Bitset
 
+type feature = F_view of Bitset.t | F_index of Element.index
+
+let feature_rels = function
+  | F_view w -> w
+  | F_index ix -> Element.rels ix.Element.ix_elem
+
+let equal_feature a b =
+  match (a, b) with
+  | F_view v, F_view w -> Bitset.equal v w
+  | F_index i, F_index j -> Element.equal_index i j
+  | F_view _, F_index _ | F_index _, F_view _ -> false
+
 type t = { cviews : Bitset.t list; cindexes : Element.index list }
 
 let empty = { cviews = []; cindexes = [] }

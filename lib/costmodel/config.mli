@@ -6,6 +6,19 @@
     Configurations are immutable; [add_*]/[remove_*] return new values.
     Views and indexes are kept sorted so that [signature] is canonical. *)
 
+(** A candidate feature of the search space: a supporting view to
+    materialize or an index to build.  Lives here (rather than in the search
+    layer) so the cost model can number a problem's features once and key
+    its caches by feature bitmask; [Vis_core.Problem.feature] re-exports the
+    constructors. *)
+type feature = F_view of Vis_util.Bitset.t | F_index of Element.index
+
+(** The base relations a feature's maintenance depends on: the view's
+    relation set, or the indexed element's. *)
+val feature_rels : feature -> Vis_util.Bitset.t
+
+val equal_feature : feature -> feature -> bool
+
 type t
 
 val empty : t

@@ -29,15 +29,20 @@ type memo_value =
   | M_loc of prop * locate_method
   | M_elem of float
 
-(* Memoization keys: (element code, kind, relation, restricted-configuration
-   signature).  A custom hash mixes the whole signature — the polymorphic
-   hash only samples a prefix, which collides badly when enumerating index
-   subsets. *)
+(* Memoization keys: (element code, kind, relation, restricted feature
+   bitmask, restricted-configuration signature).  Evaluators over a
+   problem's numbered feature universe key by the restricted bitmask alone
+   (4th slot >= 0, empty signature) — a single-word key with no allocation
+   per restriction; evaluators for configurations outside any universe fall
+   back to the structural signature (4th slot = -1).  The two key spaces are
+   disjoint, so both kinds can share one cache.  A custom hash mixes the
+   whole signature — the polymorphic hash only samples a prefix, which
+   collides badly when enumerating index subsets. *)
 module Key = struct
-  type t = int * int * int * int list
+  type t = int * int * int * int * int list
 
-  let equal (a1, b1, c1, l1) (a2, b2, c2, l2) =
-    a1 = a2 && b1 = b2 && c1 = c2
+  let equal (a1, b1, c1, m1, l1) (a2, b2, c2, m2, l2) =
+    a1 = a2 && b1 = b2 && c1 = c2 && m1 = m2
     &&
     let rec eq l1 l2 =
       match (l1, l2) with
@@ -47,9 +52,9 @@ module Key = struct
     in
     eq l1 l2
 
-  let hash (a, b, c, l) =
+  let hash (a, b, c, m, l) =
     let mix h x = (h * 0x01000193) lxor (x land 0xffffffff) in
-    let h = mix (mix (mix 0x811c9dc5 a) b) c in
+    let h = mix (mix (mix (mix 0x811c9dc5 a) b) c) m in
     List.fold_left mix h l land max_int
 end
 
@@ -203,19 +208,6 @@ let cache_store c key value =
       end;
       Ktbl.replace s.tbl key value)
 
-type t = {
-  derived : Derived.t;
-  config : Config.t;
-  cache : cache;
-  (* The configuration's features paired with their relation sets and
-     signature codes, precomputed so that per-element restriction is a
-     cheap filter. *)
-  enc_views : (Bitset.t * int) list;
-  enc_indexes : (Bitset.t * int) list;
-  (* Per-element restricted signature, memoized per evaluator. *)
-  mutable prefixes : (int * int list) list;
-}
-
 let elem_sig_code schema = function
   | Element.Base i -> (2 * i) + 1
   | Element.View s ->
@@ -230,6 +222,221 @@ let index_sig_code schema ix =
   in
   lnot ((elem_sig_code schema ix.Element.ix_elem * 4096) + attr)
 
+(* ------------------------------------------------------------------ *)
+(* Feature encoding: a problem's candidate features (views + indexes)
+   numbered once into bits 0..61, so a configuration drawn from that
+   universe is a single [int] mask.  The encoding also precomputes, per
+   maintained element, the *relevance mask* — the bits of features whose
+   relation set is contained in the element's (exactly the features
+   [Config.restrict] would keep) — so the memoization key of an element
+   under mask [m] is just [m land relevance].  Everything here is immutable
+   after construction (the counters are atomics), so encodings are shared
+   freely across worker domains. *)
+
+exception Encoding_too_large of int
+
+type incr_stats = {
+  is_full : int;  (** configurations costed from scratch *)
+  is_delta : int;  (** configurations costed from a neighbour *)
+  is_reused : int;  (** zero-change evaluations answered by the parent *)
+  is_elems_computed : int;  (** per-element costs (re)derived *)
+  is_elems_copied : int;  (** per-element costs copied from the parent *)
+}
+
+type encoding = {
+  en_schema : Schema.t;
+  en_features : Config.feature array;  (* bit i <-> en_features.(i) *)
+  en_view_bit : (int, int) Hashtbl.t;  (* view-set int -> bit *)
+  en_index_bit : (int, int) Hashtbl.t;  (* index signature code -> bit *)
+  en_relevance : (int, int) Hashtbl.t;  (* relation-set int -> relevance mask *)
+  en_n_rels : int;
+  (* Incremental-evaluation slots: base relations 0..n-1, then the
+     candidate views ascending by [Bitset.compare] (the order [Config.views]
+     yields, so totals re-sum in the canonical order), then the primary
+     view.  [en_slot_elems]/[en_slot_relevance]/[en_slot_bit] describe each
+     slot; [en_slot_bit] is -1 for always-maintained slots. *)
+  en_slot_elems : Element.t array;
+  en_slot_relevance : int array;
+  en_slot_bit : int array;
+  (* Exact work counters for the incremental evaluator. *)
+  en_full : int Atomic.t;
+  en_delta : int Atomic.t;
+  en_reused : int Atomic.t;
+  en_elems_computed : int Atomic.t;
+  en_elems_copied : int Atomic.t;
+}
+
+let compute_relevance features rels =
+  let m = ref 0 in
+  Array.iteri
+    (fun i f -> if Bitset.subset (Config.feature_rels f) rels then m := !m lor (1 lsl i))
+    features;
+  !m
+
+let make_encoding derived features =
+  let schema = Derived.schema derived in
+  let n_features = Array.length features in
+  if n_features > 62 then raise (Encoding_too_large n_features);
+  let view_bit = Hashtbl.create 32 in
+  let index_bit = Hashtbl.create 64 in
+  Array.iteri
+    (fun i f ->
+      match f with
+      | Config.F_view w -> Hashtbl.replace view_bit (Bitset.to_int w) i
+      | Config.F_index ix -> Hashtbl.replace index_bit (index_sig_code schema ix) i)
+    features;
+  let n_rels = Schema.n_relations schema in
+  let views =
+    Array.to_list features
+    |> List.filter_map (function Config.F_view w -> Some w | Config.F_index _ -> None)
+    |> List.sort Bitset.compare
+  in
+  let slot_elems =
+    Array.of_list
+      (List.init n_rels (fun i -> Element.Base i)
+      @ List.map (fun w -> Element.View w) views
+      @ [ Element.View (Schema.all_relations schema) ])
+  in
+  let relevance_tbl = Hashtbl.create 64 in
+  let relevance_of rels =
+    let key = Bitset.to_int rels in
+    match Hashtbl.find_opt relevance_tbl key with
+    | Some m -> m
+    | None ->
+        let m = compute_relevance features rels in
+        Hashtbl.replace relevance_tbl key m;
+        m
+  in
+  let slot_relevance =
+    Array.map (fun e -> relevance_of (Element.rels e)) slot_elems
+  in
+  let slot_bit =
+    Array.map
+      (fun e ->
+        match e with
+        | Element.Base _ -> -1
+        | Element.View w when Bitset.equal w (Schema.all_relations schema) -> -1
+        | Element.View w -> Hashtbl.find view_bit (Bitset.to_int w))
+      slot_elems
+  in
+  {
+    en_schema = schema;
+    en_features = features;
+    en_view_bit = view_bit;
+    en_index_bit = index_bit;
+    en_relevance = relevance_tbl;
+    en_n_rels = n_rels;
+    en_slot_elems = slot_elems;
+    en_slot_relevance = slot_relevance;
+    en_slot_bit = slot_bit;
+    en_full = Atomic.make 0;
+    en_delta = Atomic.make 0;
+    en_reused = Atomic.make 0;
+    en_elems_computed = Atomic.make 0;
+    en_elems_copied = Atomic.make 0;
+  }
+
+let encoding_features enc = enc.en_features
+
+(* Relevance of an arbitrary element; the table covers every maintained
+   element of the universe, so misses only happen for out-of-universe
+   queries, answered by a pure scan without mutating the shared table. *)
+let relevance enc rels =
+  match Hashtbl.find_opt enc.en_relevance (Bitset.to_int rels) with
+  | Some m -> m
+  | None -> compute_relevance enc.en_features rels
+
+let feature_bit enc = function
+  | Config.F_view w -> Hashtbl.find_opt enc.en_view_bit (Bitset.to_int w)
+  | Config.F_index ix ->
+      Hashtbl.find_opt enc.en_index_bit (index_sig_code enc.en_schema ix)
+
+let view_feature_bit enc w = Hashtbl.find_opt enc.en_view_bit (Bitset.to_int w)
+
+exception Out_of_universe
+
+let mask_of_config enc config =
+  match
+    let m =
+      List.fold_left
+        (fun acc w ->
+          match view_feature_bit enc w with
+          | Some b -> acc lor (1 lsl b)
+          | None -> raise Out_of_universe)
+        0 (Config.views config)
+    in
+    List.fold_left
+      (fun acc ix ->
+        match Hashtbl.find_opt enc.en_index_bit (index_sig_code enc.en_schema ix) with
+        | Some b -> acc lor (1 lsl b)
+        | None -> raise Out_of_universe)
+      m (Config.indexes config)
+  with
+  | m -> Some m
+  | exception Out_of_universe -> None
+
+let config_of_mask enc mask =
+  let views = ref [] and indexes = ref [] in
+  Array.iteri
+    (fun i f ->
+      if mask land (1 lsl i) <> 0 then
+        match f with
+        | Config.F_view w -> views := w :: !views
+        | Config.F_index ix -> indexes := ix :: !indexes)
+    enc.en_features;
+  Config.make ~views:!views ~indexes:!indexes
+
+let incr_stats enc =
+  {
+    is_full = Atomic.get enc.en_full;
+    is_delta = Atomic.get enc.en_delta;
+    is_reused = Atomic.get enc.en_reused;
+    is_elems_computed = Atomic.get enc.en_elems_computed;
+    is_elems_copied = Atomic.get enc.en_elems_copied;
+  }
+
+let reset_incr_stats enc =
+  Atomic.set enc.en_full 0;
+  Atomic.set enc.en_delta 0;
+  Atomic.set enc.en_reused 0;
+  Atomic.set enc.en_elems_computed 0;
+  Atomic.set enc.en_elems_copied 0
+
+let incr_stats_json enc =
+  let s = incr_stats enc in
+  Vis_util.Json.Obj
+    [
+      ("full_evals", Vis_util.Json.Int s.is_full);
+      ("delta_evals", Vis_util.Json.Int s.is_delta);
+      ("reused_evals", Vis_util.Json.Int s.is_reused);
+      ("elems_computed", Vis_util.Json.Int s.is_elems_computed);
+      ("elems_copied", Vis_util.Json.Int s.is_elems_copied);
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+type structural_keying = {
+  enc_views : (Bitset.t * int) list;
+  enc_indexes : (Bitset.t * int) list;
+  (* Per-element restricted signature, memoized per evaluator. *)
+  mutable prefixes : (int * int list) list;
+}
+
+type keying =
+  | K_masked of { enc : encoding; kmask : int }
+      (* a configuration inside a numbered universe: restriction is a mask
+         intersection, keys carry no allocation *)
+  | K_structural of structural_keying
+
+type t = {
+  derived : Derived.t;
+  (* Decoded from the mask only when a computation actually needs the
+     symbolic configuration (i.e. on cache misses). *)
+  config : Config.t Lazy.t;
+  cache : cache;
+  keying : keying;
+}
+
 let create ?cache derived config =
   let cache = match cache with Some c -> c | None -> new_cache () in
   let schema = Derived.schema derived in
@@ -241,9 +448,23 @@ let create ?cache derived config =
       (fun ix -> (Element.rels ix.Element.ix_elem, index_sig_code schema ix))
       (Config.indexes config)
   in
-  { derived; config; cache; enc_views; enc_indexes; prefixes = [] }
+  {
+    derived;
+    config = Lazy.from_val config;
+    cache;
+    keying = K_structural { enc_views; enc_indexes; prefixes = [] };
+  }
 
-let config t = t.config
+let create_masked ?cache derived enc mask =
+  let cache = match cache with Some c -> c | None -> new_cache () in
+  {
+    derived;
+    config = lazy (config_of_mask enc mask);
+    cache;
+    keying = K_masked { enc; kmask = mask };
+  }
+
+let config t = Lazy.force t.config
 
 let derived t = t.derived
 
@@ -255,21 +476,28 @@ let elem_code = function
   | Element.Base i -> (2 * i) + 1
   | Element.View s -> 2 * Bitset.to_int s
 
-let elem_prefix t target =
+let elem_prefix k target =
   let code = elem_code target in
-  match List.assq_opt code t.prefixes with
+  match List.assq_opt code k.prefixes with
   | Some p -> p
   | None ->
       let rels = Element.rels target in
       let keep (frels, c) = if Bitset.subset frels rels then Some c else None in
       let p =
-        List.filter_map keep t.enc_views @ List.filter_map keep t.enc_indexes
+        List.filter_map keep k.enc_views @ List.filter_map keep k.enc_indexes
       in
-      t.prefixes <- (code, p) :: t.prefixes;
+      k.prefixes <- (code, p) :: k.prefixes;
       p
 
 let memo_key t ~target ~rel ~kind : Key.t =
-  (elem_code target, Char.code kind, rel, elem_prefix t target)
+  match t.keying with
+  | K_masked { enc; kmask } ->
+      ( elem_code target,
+        Char.code kind,
+        rel,
+        kmask land relevance enc (Element.rels target),
+        [] )
+  | K_structural k -> (elem_code target, Char.code kind, rel, -1, elem_prefix k target)
 
 (* ------------------------------------------------------------------ *)
 (* Index maintenance: Apply_ix of Table 4.  [k] is the number of delta
@@ -297,7 +525,7 @@ let apply_ix t elem k =
   List.fold_left
     (fun acc attr -> acc +. apply_one_index t elem attr k)
     0.
-    (Config.indexes_on t.config elem)
+    (Config.indexes_on (config t) elem)
 
 (* ------------------------------------------------------------------ *)
 
@@ -323,7 +551,7 @@ let inner_access_cost t unit =
         let matching = Derived.eff_card t.derived i in
         let via_index attr_name =
           let attr = { Element.a_rel = i; a_name = attr_name } in
-          if Config.has_index t.config unit attr then
+          if Config.has_index (config t) unit attr then
             Some
               (float_of_int (shape.Derived.ix_height - 1)
               +. Num.fceil (shape.Derived.ix_pages *. matching /. Float.max card 1e-9)
@@ -413,7 +641,7 @@ let eval_ins t target_set r =
             else None
           in
           match inside_attr with
-          | Some (attr, outside_rel) when Config.has_index t.config elem attr ->
+          | Some (attr, outside_rel) when Config.has_index (config t) elem attr ->
               let card = Element.card d elem in
               let pages = Element.pages d elem in
               let shape = Derived.index_shape d ~entries:card in
@@ -449,7 +677,7 @@ let eval_ins t target_set r =
           if Bitset.subset w target_set && not (Bitset.mem r w) then
             Some (make_unit (Element.View w))
           else None)
-        (Config.views t.config)
+        (Config.views (config t))
   in
   (* DP tables. *)
   let cost = Array.make nstates infinity in
@@ -471,7 +699,7 @@ let eval_ins t target_set r =
         let code = dense_of_set w in
         relax code (result_pages code) (-1) None (From_saved w)
       end)
-    (Config.views t.config);
+    (Config.views (config t));
   for code = r_bit to nstates - 1 do
     if code land r_bit <> 0 && cost.(code) < infinity then begin
       let outer_tuples = count code in
@@ -587,7 +815,7 @@ let prop_delupd_uncached t ~target ~rel ~kind =
     let key_attr =
       { Element.a_rel = rel; a_name = (Schema.relation s rel).Schema.key_attr }
     in
-    if Config.has_index t.config target key_attr then begin
+    if Config.has_index (config t) target key_attr then begin
       let shape = Derived.index_shape d ~entries:card_v in
       let per_probe =
         float_of_int (max 0 (shape.Derived.ix_height - 2))
@@ -678,13 +906,84 @@ let maintained_elements t =
   let s = schema t in
   let n = Schema.n_relations s in
   List.init n (fun i -> Element.Base i)
-  @ List.map (fun w -> Element.View w) (Config.views t.config)
+  @ List.map (fun w -> Element.View w) (Config.views (config t))
   @ [ Element.View (Schema.all_relations s) ]
 
 let total t =
   List.fold_left (fun acc e -> acc +. element_cost t e) 0. (maintained_elements t)
 
 let total_of ?cache derived config = total (create ?cache derived config)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental evaluation over a feature universe.  An [ieval] carries the
+   per-slot maintenance costs of one masked configuration; costing a
+   neighbour (one feature flipped) recomputes only the slots whose relevance
+   mask meets the changed bits and copies the rest, so a successor
+   evaluation touches O(affected elements) instead of the whole plan.
+   Totals re-sum every active slot in the exact order [total] folds
+   [maintained_elements] — bases ascending, present views ascending by
+   [Bitset.compare], then the primary view — so fast and slow paths agree
+   bitwise, not just approximately. *)
+
+type ieval = {
+  ie_enc : encoding;
+  ie_mask : int;
+  ie_total : float;
+  ie_elems : float array;  (* per-slot cost; only active slots meaningful *)
+}
+
+let ieval_total ie = ie.ie_total
+
+let ieval_mask ie = ie.ie_mask
+
+let slot_active enc mask s =
+  let b = enc.en_slot_bit.(s) in
+  b < 0 || mask land (1 lsl b) <> 0
+
+let eval_mask ?cache derived enc mask =
+  Atomic.incr enc.en_full;
+  let t = create_masked ?cache derived enc mask in
+  let n = Array.length enc.en_slot_elems in
+  let elems = Array.make n 0. in
+  let total = ref 0. in
+  for s = 0 to n - 1 do
+    if slot_active enc mask s then begin
+      let c = element_cost t enc.en_slot_elems.(s) in
+      elems.(s) <- c;
+      total := !total +. c;
+      Atomic.incr enc.en_elems_computed
+    end
+  done;
+  { ie_enc = enc; ie_mask = mask; ie_total = !total; ie_elems = elems }
+
+let eval_delta ?cache derived parent mask =
+  let enc = parent.ie_enc in
+  let changed = parent.ie_mask lxor mask in
+  if changed = 0 then begin
+    Atomic.incr enc.en_reused;
+    parent
+  end
+  else begin
+    Atomic.incr enc.en_delta;
+    let t = create_masked ?cache derived enc mask in
+    let n = Array.length enc.en_slot_elems in
+    let elems = Array.copy parent.ie_elems in
+    let total = ref 0. in
+    for s = 0 to n - 1 do
+      if slot_active enc mask s then begin
+        (* A slot newly activated by this delta has its own feature bit in
+           [changed] (its relevance contains that bit), so stale values from
+           a mask where the slot was inactive can never be copied. *)
+        if enc.en_slot_relevance.(s) land changed <> 0 then begin
+          elems.(s) <- element_cost t enc.en_slot_elems.(s);
+          Atomic.incr enc.en_elems_computed
+        end
+        else Atomic.incr enc.en_elems_copied;
+        total := !total +. elems.(s)
+      end
+    done;
+    { ie_enc = enc; ie_mask = mask; ie_total = !total; ie_elems = elems }
+  end
 
 let pp_ins_plan s ~target ~rel ppf plan =
   ignore target;

@@ -1,0 +1,274 @@
+(* Tests for the packed configuration encoding (Config_id / Cost.encoding):
+   mask <-> feature-list round trips, the bit-operation laws (subset,
+   applicability, closure-drop) against the symbolic Config predicates,
+   the >62-feature / escape-hatch fallbacks, and bitwise agreement of the
+   incremental evaluator with the structural one. *)
+
+module Bitset = Vis_util.Bitset
+module Schema = Vis_catalog.Schema
+module Config = Vis_costmodel.Config
+module Element = Vis_costmodel.Element
+module Cost = Vis_costmodel.Cost
+module Problem = Vis_core.Problem
+module Config_id = Vis_core.Config_id
+module Schemas = Vis_workload.Schemas
+
+let checkb = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+let cid_exn schema =
+  match Config_id.of_problem (Problem.make schema) with
+  | Some cid -> cid
+  | None -> Alcotest.fail "expected a packed encoding"
+
+(* Masks that decode to *valid* configurations (every index's view chosen)
+   exercise the same states the searches visit; unrestricted masks check
+   that encode/decode is a pure bijection regardless. *)
+let random_mask rng cid =
+  let n = Config_id.n_features cid in
+  let mask = ref 0 in
+  for _ = 0 to n do
+    let b = Random.State.int rng n in
+    if Config_id.applicable cid !mask b then
+      mask := Config_id.add cid !mask b
+  done;
+  !mask
+
+(* ------------------------------------------------------------------ *)
+(* Round trips. *)
+
+let test_feature_bit_round_trip () =
+  List.iter
+    (fun schema ->
+      let cid = cid_exn schema in
+      let n = Config_id.n_features cid in
+      for b = 0 to n - 1 do
+        match Config_id.bit_of_feature cid (Config_id.feature cid b) with
+        | Some b' -> checki "feature -> bit -> feature" b b'
+        | None -> Alcotest.fail "universe feature has no bit"
+      done;
+      (* The universe is exactly the problem's feature list, in order. *)
+      let p = Config_id.problem cid in
+      checki "n_features = |features|" (List.length p.Problem.features) n;
+      List.iteri
+        (fun i f ->
+          checkb "features list order" true
+            (Problem.equal_feature f (Config_id.feature cid i)))
+        p.Problem.features)
+    [ Schemas.two_relation (); Schemas.schema1 (); Schemas.schema2 () ]
+
+let test_mask_config_round_trip () =
+  let rng = Random.State.make [| 42 |] in
+  List.iter
+    (fun schema ->
+      let cid = cid_exn schema in
+      let n = Config_id.n_features cid in
+      (* Arbitrary masks: decode then re-encode is the identity. *)
+      for _ = 1 to 200 do
+        let mask =
+          if n >= 62 then Random.State.int rng max_int
+          else Random.State.int rng (1 lsl n)
+        in
+        let config = Config_id.config_of_mask cid mask in
+        checkb "mask -> config -> mask" true
+          (Config_id.mask_of_config cid config = Some mask)
+      done;
+      (* Valid walks additionally decode to valid configurations. *)
+      let p = Config_id.problem cid in
+      for _ = 1 to 50 do
+        let mask = random_mask rng cid in
+        let config = Config_id.config_of_mask cid mask in
+        checkb "walked mask decodes valid" true (Problem.valid_config p config)
+      done;
+      (* A configuration outside the universe has no mask. *)
+      let foreign = Config.add_view Config.empty (Bitset.of_int 0x155555) in
+      checkb "foreign view unmappable" true
+        (Config_id.mask_of_config cid foreign = None))
+    [ Schemas.two_relation (); Schemas.schema1 () ]
+
+(* ------------------------------------------------------------------ *)
+(* Bit-operation laws vs the symbolic Config predicates. *)
+
+(* Set-based containment: every view and index of [a] appears in [b]. *)
+let config_subset a b =
+  List.for_all (fun v -> Config.has_view b v) (Config.views a)
+  && List.for_all
+       (fun (ix : Element.index) ->
+         Config.has_index b ix.Element.ix_elem ix.Element.ix_attr)
+       (Config.indexes a)
+
+let test_subset_law () =
+  let rng = Random.State.make [| 7 |] in
+  List.iter
+    (fun schema ->
+      let cid = cid_exn schema in
+      for _ = 1 to 300 do
+        let ma = random_mask rng cid and mb = random_mask rng cid in
+        let ca = Config_id.config_of_mask cid ma
+        and cb = Config_id.config_of_mask cid mb in
+        checkb "subset = set containment" (config_subset ca cb)
+          (Config_id.subset ma mb);
+        (* Reflexivity and the lattice identities. *)
+        checkb "subset reflexive" true (Config_id.subset ma ma);
+        checkb "meet below" true (Config_id.subset (ma land mb) ma);
+        checkb "below join" true (Config_id.subset ma (ma lor mb))
+      done)
+    [ Schemas.two_relation (); Schemas.schema1 (); Schemas.schema2 () ]
+
+let test_has_feature_has_view () =
+  let rng = Random.State.make [| 11 |] in
+  let schema = Schemas.schema1 () in
+  let cid = cid_exn schema in
+  let n = Config_id.n_features cid in
+  for _ = 1 to 100 do
+    let mask = random_mask rng cid in
+    let config = Config_id.config_of_mask cid mask in
+    for b = 0 to n - 1 do
+      let expect =
+        match Config_id.feature cid b with
+        | Problem.F_view w -> Config.has_view config w
+        | Problem.F_index ix ->
+            Config.has_index config ix.Element.ix_elem ix.Element.ix_attr
+      in
+      checkb "has_feature = symbolic membership" expect
+        (Config_id.has_feature cid mask b);
+      match Config_id.feature cid b with
+      | Problem.F_view w ->
+          checkb "has_view = Config.has_view" (Config.has_view config w)
+            (Config_id.has_view cid mask w)
+      | Problem.F_index _ -> ()
+    done
+  done
+
+let test_applicable_and_drop_closure () =
+  let rng = Random.State.make [| 13 |] in
+  List.iter
+    (fun schema ->
+      let cid = cid_exn schema in
+      let p = Config_id.problem cid in
+      let n = Config_id.n_features cid in
+      for _ = 1 to 100 do
+        let mask = random_mask rng cid in
+        for b = 0 to n - 1 do
+          (* Applicability: adding the feature keeps the config valid. *)
+          if Config_id.applicable cid mask b then begin
+            let added = Config_id.add cid mask b in
+            checkb "add stays valid" true
+              (Problem.valid_config p (Config_id.config_of_mask cid added));
+            checkb "add contains parent" true (Config_id.subset mask added);
+            (* requires(b) is the applicability condition, verbatim. *)
+            checkb "requires subset of mask" true
+              (Config_id.subset (Config_id.requires cid b) mask)
+          end
+          else
+            checkb "inapplicable = missing requirement" false
+              (Config_id.subset (Config_id.requires cid b) mask);
+          (* Dropping a feature also drops its closure (a view takes its
+             indexes with it), and the result is still valid. *)
+          if Config_id.has_feature cid mask b then begin
+            let dropped = Config_id.drop cid mask b in
+            checkb "drop removes closure" true
+              (dropped land Config_id.closure cid b = 0);
+            checkb "drop stays valid" true
+              (Problem.valid_config p (Config_id.config_of_mask cid dropped));
+            match Config_id.feature cid b with
+            | Problem.F_view w ->
+                let c' = Config_id.config_of_mask cid dropped in
+                checkb "dropped view gone" false (Config.has_view c' w);
+                checkb "no orphan indexes" true
+                  (Config.indexes_on c' (Element.View w) = [])
+            | Problem.F_index _ -> ()
+          end
+        done
+      done)
+    [ Schemas.two_relation (); Schemas.schema1 () ]
+
+(* ------------------------------------------------------------------ *)
+(* Fallback paths: >62 features, the escape hatch, the no-sharing
+   ablation. *)
+
+let test_too_large_fallback () =
+  let p = Problem.make (Schemas.chain ~n:7 ()) in
+  checkb ">62 features really" true (List.length p.Problem.features > 62);
+  checkb "no encoding past 62 features" true
+    (Option.is_none p.Problem.encoding);
+  checkb "Config_id unavailable" true
+    (Option.is_none (Config_id.of_problem p));
+  (* The raw constructor reports the size in the exception. *)
+  (match Cost.make_encoding p.Problem.derived (Array.of_list p.Problem.features) with
+  | exception Cost.Encoding_too_large n ->
+      checki "exception carries the count" (List.length p.Problem.features) n
+  | _ -> Alcotest.fail "make_encoding accepted > 62 features");
+  (* The structural path still searches the schema fine. *)
+  let g = Vis_core.Greedy.search p in
+  checkb "structural greedy works" true (Problem.valid_config p g.Vis_core.Greedy.best)
+
+let test_escape_hatches_disable_encoding () =
+  let schema = Schemas.two_relation () in
+  checkb "slow_cost disables encoding" true
+    (Option.is_none (Problem.make ~slow_cost:true schema).Problem.encoding);
+  checkb "no-sharing ablation disables encoding" true
+    (Option.is_none (Problem.make ~share_cache:false schema).Problem.encoding);
+  checkb "default has encoding" true
+    (Option.is_some (Problem.make schema).Problem.encoding)
+
+(* ------------------------------------------------------------------ *)
+(* The packed evaluator agrees bitwise with the structural one. *)
+
+let test_fast_vs_slow_totals () =
+  let rng = Random.State.make [| 17 |] in
+  List.iter
+    (fun schema ->
+      let cid = cid_exn schema in
+      let slow = Problem.make ~slow_cost:true schema in
+      let prev = ref (Config_id.eval cid 0) in
+      checkb "empty total agrees" true
+        (Cost.ieval_total !prev = Problem.total slow Config.empty);
+      for _ = 1 to 60 do
+        let mask = random_mask rng cid in
+        let scratch = Config_id.eval cid mask in
+        let delta = Config_id.eval_from cid !prev mask in
+        prev := delta;
+        let structural =
+          Problem.total slow (Config_id.config_of_mask cid mask)
+        in
+        checkb "scratch = structural (bitwise)" true
+          (Cost.ieval_total scratch = structural);
+        checkb "delta = structural (bitwise)" true
+          (Cost.ieval_total delta = structural);
+        checki "ieval remembers its mask" mask (Cost.ieval_mask delta)
+      done)
+    [ Schemas.two_relation (); Schemas.schema1 (); Schemas.chain ~n:4 () ]
+
+let () =
+  Alcotest.run "config_id"
+    [
+      ( "round trips",
+        [
+          Alcotest.test_case "feature <-> bit" `Quick
+            test_feature_bit_round_trip;
+          Alcotest.test_case "mask <-> config" `Quick
+            test_mask_config_round_trip;
+        ] );
+      ( "bit laws",
+        [
+          Alcotest.test_case "subset vs set containment" `Quick
+            test_subset_law;
+          Alcotest.test_case "has_feature / has_view" `Quick
+            test_has_feature_has_view;
+          Alcotest.test_case "applicable / drop closure" `Quick
+            test_applicable_and_drop_closure;
+        ] );
+      ( "fallbacks",
+        [
+          Alcotest.test_case "> 62 features" `Quick test_too_large_fallback;
+          Alcotest.test_case "escape hatches" `Quick
+            test_escape_hatches_disable_encoding;
+        ] );
+      ( "evaluator agreement",
+        [
+          Alcotest.test_case "fast = slow, bitwise" `Quick
+            test_fast_vs_slow_totals;
+        ] );
+    ]
