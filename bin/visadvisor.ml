@@ -353,14 +353,13 @@ let sensitivity_cmd =
     Term.(const run $ const ())
 
 let validate_cmd =
-  let run seed =
+  let run seed faults fault_seed =
     let schema = Vis_workload.Schemas.validation () in
     let p = Problem.make schema in
     let r = Vis_core.Astar.search p in
-    let report, checks =
-      Vis_maintenance.Validate.run_cycle ~seed schema r.Vis_core.Astar.best
-    in
-    Printf.printf "config: %s\n" (Config.describe schema r.Vis_core.Astar.best);
+    let best = r.Vis_core.Astar.best in
+    let report, checks = Vis_maintenance.Validate.run_cycle ~seed schema best in
+    Printf.printf "config: %s\n" (Config.describe schema best);
     Printf.printf "predicted I/O: %.0f, measured: %d (reads %d, writes %d)\n"
       report.Vis_maintenance.Refresh.rp_predicted
       (Vis_maintenance.Refresh.total_io report)
@@ -373,15 +372,89 @@ let validate_cmd =
           c.Vis_maintenance.Validate.vc_actual
           (if c.Vis_maintenance.Validate.vc_ok then "OK" else "MISMATCH"))
       checks;
-    if not (Vis_maintenance.Validate.all_ok checks) then exit 1
+    let ok = ref (Vis_maintenance.Validate.all_ok checks) in
+    if faults > 0 then begin
+      let module Datagen = Vis_workload.Datagen in
+      let module Warehouse = Vis_maintenance.Warehouse in
+      let module Refresh = Vis_maintenance.Refresh in
+      let module Faults = Vis_storage.Faults in
+      (* The same world [run_cycle] built, reconstructible on demand. *)
+      let world () =
+        let rng = Random.State.make [| seed |] in
+        let ds = Datagen.generate ~rng schema in
+        let w = Warehouse.build schema best ds in
+        let batch = Datagen.deltas ~rng schema ds in
+        (w, batch)
+      in
+      let w_ref, batch_ref = world () in
+      ignore (Refresh.run w_ref batch_ref);
+      let physical_ref = Warehouse.signature w_ref in
+      let logical_ref = Warehouse.logical_signature w_ref in
+      for trial = 1 to faults do
+        let w, batch = world () in
+        let pre = Warehouse.signature w in
+        let plan =
+          Faults.random ~rng:(Random.State.make [| fault_seed; trial |]) ()
+        in
+        let verdict, stats =
+          match Refresh.run_protected ~faults:plan w batch with
+          | Ok (_, fs) ->
+              let v =
+                if fs.Refresh.fs_degraded then
+                  if Warehouse.logical_signature w = logical_ref then
+                    "degraded, logically exact"
+                  else begin ok := false; "DEGRADED VIEW MISMATCH" end
+                else if Warehouse.signature w = physical_ref then
+                  "recovered bit-identical"
+                else begin ok := false; "RECOVERED STATE MISMATCH" end
+              in
+              (v, fs)
+          | Error e ->
+              let v =
+                if Warehouse.signature w = pre then
+                  Format.asprintf "rolled back cleanly (%a)" Faults.pp_fault
+                    e.Refresh.err_fault
+                else begin ok := false; "ROLLBACK MISMATCH" end
+              in
+              (v, e.Refresh.err_stats)
+        in
+        (match Warehouse.integrity_check w with
+        | Ok () -> ()
+        | Error m ->
+            ok := false;
+            Printf.printf "fault trial %2d: INTEGRITY: %s\n" trial m);
+        Printf.printf
+          "fault trial %2d: attempts %d, injected %d, retries %d (backoff \
+           %.1fms), rollbacks %d, undone %d, wal %d rec/%d pages — %s\n"
+          trial stats.Refresh.fs_attempts stats.Refresh.fs_injected
+          stats.Refresh.fs_retries stats.Refresh.fs_backoff_ms
+          stats.Refresh.fs_rollbacks stats.Refresh.fs_undone
+          stats.Refresh.fs_wal_records stats.Refresh.fs_wal_pages verdict
+      done
+    end;
+    if not !ok then exit 1
   in
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
   in
+  let faults =
+    Arg.(
+      value & opt int 0
+      & info [ "faults" ] ~docv:"N"
+          ~doc:
+            "Additionally run $(docv) WAL-protected refreshes under random \
+             seeded fault plans and check the recover-or-rollback guarantee.")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "fault-seed" ] ~docv:"S"
+          ~doc:"Seed for the injected fault plans.")
+  in
   Cmd.v
     (Cmd.info "validate"
        ~doc:"Execute one refresh on the storage engine and check correctness")
-    Term.(const run $ seed)
+    Term.(const run $ seed $ faults $ fault_seed)
 
 let dag_cmd =
   let run file builtin =

@@ -69,7 +69,10 @@ let oracles_arg =
 let replay_arg =
   let doc = "Replay a saved repro JSON against its recorded oracle instead \
              of fuzzing." in
-  Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  (* A plain string, not [Arg.file]: a missing path should get the same
+     one-line file-naming diagnostic (exit 2) as a malformed one, not a
+     cmdliner usage dump. *)
+  Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
 
 let stats_arg =
   let doc = "Print the per-oracle pass/skip/fail table." in
@@ -102,6 +105,17 @@ let jobs_arg =
   let doc = "Worker-pool width checked against the sequential run by the \
              determinism oracle." in
   Arg.(value & opt int 3 & info [ "jobs" ] ~docv:"N" ~doc)
+
+let faults_arg =
+  let doc = "Random fault plans the crash-recovery oracle injects per \
+             schema." in
+  Arg.(value & opt int 1 & info [ "faults" ] ~docv:"N" ~doc)
+
+let fault_seed_arg =
+  let doc = "Extra seed folded into the crash-recovery oracle's fault \
+             plans; vary it to explore different fault schedules over the \
+             same schema stream." in
+  Arg.(value & opt int 0 & info [ "fault-seed" ] ~docv:"N" ~doc)
 
 let no_shrink_arg =
   let doc = "Report failing schemas as generated, without minimization." in
@@ -141,6 +155,7 @@ let replay config path json =
   let repro = try Repro.load path with
     | Repro.Malformed msg -> die "%s: %s" path msg
     | Json.Parse_error msg -> die "%s: %s" path msg
+    | Vis_catalog.Schema.Invalid msg -> die "%s: field %S: %s" path "schema" msg
     | Sys_error msg -> die "%s" msg
   in
   let config =
@@ -214,7 +229,8 @@ let save_repros out report =
         failures
 
 let fuzz seed trials budget oracles stats json out max_states io_band
-    exec_tuples jobs no_shrink max_failures list replay_file =
+    exec_tuples jobs faults fault_seed no_shrink max_failures list replay_file
+    =
   if list then (list_oracles (); exit 0);
   let config =
     {
@@ -226,6 +242,8 @@ let fuzz seed trials budget oracles stats json out max_states io_band
       cf_io_band = io_band;
       cf_exec_tuples = exec_tuples;
       cf_jobs = jobs;
+      cf_fault_seed = fault_seed;
+      cf_fault_rounds = faults;
       cf_shrink = not no_shrink;
       cf_max_failures = max_failures;
     }
@@ -260,7 +278,7 @@ let cmd =
     Term.(
       const fuzz $ seed_arg $ trials_arg $ budget_arg $ oracles_arg
       $ stats_arg $ json_arg $ out_arg $ max_states_arg $ io_band_arg
-      $ exec_tuples_arg $ jobs_arg $ no_shrink_arg $ max_failures_arg
-      $ list_arg $ replay_arg)
+      $ exec_tuples_arg $ jobs_arg $ faults_arg $ fault_seed_arg
+      $ no_shrink_arg $ max_failures_arg $ list_arg $ replay_arg)
 
 let () = exit (Cmd.eval cmd)

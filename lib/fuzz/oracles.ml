@@ -16,6 +16,8 @@ module Search_stats = Vis_core.Search_stats
 module Datagen = Vis_workload.Datagen
 module Validate = Vis_maintenance.Validate
 module Refresh = Vis_maintenance.Refresh
+module Warehouse = Vis_maintenance.Warehouse
+module Faults = Vis_storage.Faults
 
 type outcome = Pass | Skip of string | Fail of string
 
@@ -26,10 +28,13 @@ type ctx = {
   cx_io_band : float;
   cx_exec_tuples : float;
   cx_jobs : int;
+  cx_fault_seed : int;
+  cx_fault_rounds : int;
 }
 
 let make_ctx ?(max_states = 20_000.) ?(max_expanded = 12_000) ?(io_band = 25.)
-    ?(exec_tuples = 20_000.) ?(jobs = 3) ~rng () =
+    ?(exec_tuples = 20_000.) ?(jobs = 3) ?(fault_seed = 0) ?(fault_rounds = 1)
+    ~rng () =
   {
     cx_rng = rng;
     cx_max_states = max_states;
@@ -37,6 +42,8 @@ let make_ctx ?(max_states = 20_000.) ?(max_expanded = 12_000) ?(io_band = 25.)
     cx_io_band = io_band;
     cx_exec_tuples = exec_tuples;
     cx_jobs = jobs;
+    cx_fault_seed = fault_seed;
+    cx_fault_rounds = fault_rounds;
   }
 
 type t = {
@@ -564,6 +571,84 @@ let check_fast_vs_slow cx schema =
     else Pass))
 
 (* ------------------------------------------------------------------ *)
+(* WAL-protected refresh under a random seeded fault plan (PR 5): the
+   batch either completes — bit-identical to a fault-free refresh, or
+   logically identical when it degraded to view recomputation — or every
+   attempt rolled back and the warehouse is bit-identical to its pre-batch
+   state.  Storage integrity (index structure, heap/index agreement) must
+   hold in every terminal state, and no exception other than the typed
+   [Faults.Injected] may escape the storage API — an escaping exception
+   surfaces through the runner's catch-all as a Fail. *)
+
+let check_crash_recovery cx schema =
+  match executable_blockers cx schema with
+  | Some reason -> Skip reason
+  | None -> (
+      let p = Problem.make schema in
+      (* Greedy is cheap, deterministic, and still exercises views, indexes
+         and saved-delta plans; the optimum adds nothing the WAL cares
+         about. *)
+      let config = (Greedy.search p).Greedy.best in
+      let data_seed = Random.State.int cx.cx_rng 1_000_000 in
+      (* Identical worlds on demand: a fresh warehouse plus the batch to
+         apply, both a pure function of [data_seed]. *)
+      let world () =
+        let rng = Random.State.make [| data_seed |] in
+        let ds = Datagen.generate ~rng schema in
+        let w = Warehouse.build schema config ds in
+        let batch = Datagen.deltas ~rng schema ds in
+        (w, batch)
+      in
+      match world () with
+      | exception Datagen.Unsupported msg -> skip "datagen: %s" msg
+      | w_ref, batch_ref ->
+          let _ = Refresh.run w_ref batch_ref in
+          let physical_ref = Warehouse.signature w_ref in
+          let logical_ref = Warehouse.logical_signature w_ref in
+          let checked round w outcome =
+            match Warehouse.integrity_check w with
+            | Error m -> fail "round %d: storage integrity broken: %s" round m
+            | Ok () -> outcome
+          in
+          let one round =
+            let w, batch = world () in
+            let pre = Warehouse.signature w in
+            let plan_rng =
+              Random.State.make
+                [| Random.State.bits cx.cx_rng; cx.cx_fault_seed; round |]
+            in
+            let plan = Faults.random ~rng:plan_rng () in
+            match Refresh.run_protected ~faults:plan w batch with
+            | Ok (_, fs) when fs.Refresh.fs_degraded ->
+                if Warehouse.logical_signature w <> logical_ref then
+                  fail
+                    "round %d: degraded refresh (%d rows recomputed) is not \
+                     logically identical to the fault-free run"
+                    round fs.Refresh.fs_recomputed_rows
+                else checked round w Pass
+            | Ok (_, fs) ->
+                if Warehouse.signature w <> physical_ref then
+                  fail
+                    "round %d: recovered state (%d attempts, %d injected) \
+                     differs bit-for-bit from the fault-free refresh"
+                    round fs.Refresh.fs_attempts fs.Refresh.fs_injected
+                else checked round w Pass
+            | Error e ->
+                if Warehouse.signature w <> pre then
+                  fail
+                    "round %d: failed batch (%s) did not roll back to the \
+                     pre-batch state"
+                    round
+                    (Format.asprintf "%a" Faults.pp_fault e.Refresh.err_fault)
+                else checked round w Pass
+          in
+          let rec go round =
+            if round >= cx.cx_fault_rounds then Pass
+            else match one round with Pass -> go (round + 1) | r -> r
+          in
+          go 0)
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -613,6 +698,12 @@ let all =
       o_name = "fast-vs-slow-cost";
       o_doc = "packed delta-costing bitwise equal to the slow evaluator";
       o_check = check_fast_vs_slow;
+    };
+    (* Appended last — see the note above. *)
+    {
+      o_name = "crash-recovery";
+      o_doc = "faulted refresh recovers bit-identical or rolls back cleanly";
+      o_check = check_crash_recovery;
     };
   ]
 

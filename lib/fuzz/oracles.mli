@@ -6,7 +6,9 @@
     sequential run, the memoization ablation, the heuristic orderings, the
     Section-6 studies' staircase/sensitivity shapes, the Appendix-A page
     estimators' bounds, and — on executable instances — the storage
-    engine's view contents and measured I/O against the cost model.
+    engine's view contents and measured I/O against the cost model, plus
+    the WAL-protected refresh's recover-or-rollback guarantee under
+    injected storage faults.
 
     Oracles are pure given their {!ctx}: the embedded RNG state is the only
     source of randomness, so a (seed, trial, oracle) triple always replays
@@ -32,16 +34,25 @@ type ctx = {
           oracle fails outside [[1/band, band]] *)
   cx_exec_tuples : float;  (** cardinality budget for executed refreshes *)
   cx_jobs : int;  (** alternate worker-pool width for the determinism oracle *)
+  cx_fault_seed : int;
+      (** extra seed folded into the crash-recovery oracle's fault plans,
+          so a fuzz run can explore different fault schedules over the same
+          schema stream *)
+  cx_fault_rounds : int;
+      (** fault plans the crash-recovery oracle tries per schema *)
 }
 
 (** Defaults: [max_states = 20_000], [max_expanded = 12_000],
-    [io_band = 25.], [exec_tuples = 20_000.], [jobs = 3]. *)
+    [io_band = 25.], [exec_tuples = 20_000.], [jobs = 3], [fault_seed = 0],
+    [fault_rounds = 1]. *)
 val make_ctx :
   ?max_states:float ->
   ?max_expanded:int ->
   ?io_band:float ->
   ?exec_tuples:float ->
   ?jobs:int ->
+  ?fault_seed:int ->
+  ?fault_rounds:int ->
   rng:Random.State.t ->
   unit ->
   ctx

@@ -11,6 +11,8 @@ type config = {
   cf_io_band : float;
   cf_exec_tuples : float;
   cf_jobs : int;
+  cf_fault_seed : int;
+  cf_fault_rounds : int;
   cf_shrink : bool;
   cf_max_failures : int;
 }
@@ -25,6 +27,8 @@ let default_config () =
     cf_io_band = 25.;
     cf_exec_tuples = 20_000.;
     cf_jobs = 3;
+    cf_fault_seed = 0;
+    cf_fault_rounds = 1;
     cf_shrink = true;
     cf_max_failures = 20;
   }
@@ -65,7 +69,8 @@ let registry_index (o : Oracles.t) =
 let ctx_for cf ~trial o =
   let rng = Random.State.make [| cf.cf_seed; trial; registry_index o |] in
   Oracles.make_ctx ~max_states:cf.cf_max_states ~io_band:cf.cf_io_band
-    ~exec_tuples:cf.cf_exec_tuples ~jobs:cf.cf_jobs ~rng ()
+    ~exec_tuples:cf.cf_exec_tuples ~jobs:cf.cf_jobs
+    ~fault_seed:cf.cf_fault_seed ~fault_rounds:cf.cf_fault_rounds ~rng ()
 
 let check_once cf ~trial (o : Oracles.t) schema =
   match o.Oracles.o_check (ctx_for cf ~trial o) schema with

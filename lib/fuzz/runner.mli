@@ -19,6 +19,10 @@ type config = {
   cf_io_band : float;
   cf_exec_tuples : float;
   cf_jobs : int;
+  cf_fault_seed : int;
+      (** folded into the crash-recovery oracle's fault plans *)
+  cf_fault_rounds : int;
+      (** fault plans the crash-recovery oracle tries per schema *)
   cf_shrink : bool;  (** minimize failing schemas before reporting *)
   cf_max_failures : int;  (** stop the loop after this many failures *)
 }

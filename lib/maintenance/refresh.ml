@@ -6,6 +6,10 @@ module Table = Vis_relalg.Table
 module Reldesc = Vis_relalg.Reldesc
 module Exec = Vis_relalg.Exec
 module Datagen = Vis_workload.Datagen
+module Heap_file = Vis_storage.Heap_file
+module Buffer_pool = Vis_storage.Buffer_pool
+module Faults = Vis_storage.Faults
+module Wal = Vis_storage.Wal
 
 type report = {
   rp_reads : int;
@@ -106,7 +110,11 @@ let exec_ins_plan w ~saved ~ins_temp ~rel ~target_set (plan : Cost.ins_plan) =
         (Warehouse.view_desc schema wset, Exec.scan temp ())
   in
   let step (desc, rows) (elem, how) =
-    let table = Warehouse.element_table w elem in
+    let table =
+      match Warehouse.element_table w elem with
+      | Some t -> t
+      | None -> invalid_arg "Refresh: plan references an unmaterialized element"
+    in
     let unit_desc = Table.desc table in
     let eqs = equalities schema desc unit_desc in
     let outer_arity = Reldesc.arity desc in
@@ -164,15 +172,49 @@ let locate w table ~rel ~keys how =
   | Cost.Loc_scan -> Exec.locate_by_scan table ~offset ~keys
   | Cost.Loc_key_index _ -> Exec.locate_by_index table ~offset ~keys
 
-let run w (batch : Datagen.batch) =
+(* How durable-table mutations are performed: straight through [Table] for
+   the classic unprotected refresh, or through the warehouse's logged
+   operations when the batch runs under WAL protection.  Temporary tables
+   (staged deltas, saved view deltas) always bypass the sink — they are
+   scratch and need no recovery. *)
+type sink = {
+  s_insert : Table.t -> int array -> unit;
+  s_delete : Table.t -> Heap_file.rid -> unit;
+  s_update : Table.t -> Heap_file.rid -> int array -> unit;
+}
+
+let unlogged_sink =
+  {
+    s_insert = (fun t row -> ignore (Table.insert t row));
+    s_delete = (fun t rid -> ignore (Table.delete t rid));
+    s_update = (fun t rid row -> ignore (Table.update t rid row));
+  }
+
+let logged_sink w =
+  {
+    s_insert = (fun t row -> ignore (Warehouse.logged_insert w t row));
+    s_delete = (fun t rid -> ignore (Warehouse.logged_delete w t rid));
+    s_update = (fun t rid row -> ignore (Warehouse.logged_update w t rid row));
+  }
+
+type staged = {
+  st_ins : Table.t array;
+  st_del : Table.t array;
+  st_upd : Table.t array;
+}
+
+let key_offset schema r =
+  let key_attr = (Schema.relation schema r).Schema.key_attr in
+  Schema.attr_pos schema r key_attr
+
+(* Stage the shipped deltas in temporary tables: maintenance proper starts
+   with the deltas on disk, so staging happens before the counters reset
+   and before any fault plan arms. *)
+let stage w (batch : Datagen.batch) =
   let schema = w.Warehouse.w_schema in
   let pool = w.Warehouse.w_pool in
-  let eval = Cost.create w.Warehouse.w_derived w.Warehouse.w_config in
-  let predicted = Cost.total eval in
   let n = Schema.n_relations schema in
-  (* Stage the shipped deltas in temporary tables, then reset the counters:
-     maintenance starts with the deltas on disk. *)
-  let ins_temp =
+  let st_ins =
     Array.init n (fun r ->
         let t = temp_table pool schema (Reldesc.of_relation schema r) in
         List.iter (fun row -> ignore (Table.insert t row)) batch.Datagen.b_ins.(r);
@@ -180,16 +222,12 @@ let run w (batch : Datagen.batch) =
   in
   (* Deletions ship as key-only tuples; we stage them at full relation width
      (zero-padded), matching the cost model's page estimate for ∇R. *)
-  let key_offset r =
-    let key_attr = (Schema.relation schema r).Schema.key_attr in
-    Schema.attr_pos schema r key_attr
-  in
-  let del_temp =
+  let st_del =
     Array.init n (fun r ->
         let desc = Reldesc.of_relation schema r in
         let t = temp_table pool schema desc in
         let arity = Reldesc.arity desc in
-        let ko = key_offset r in
+        let ko = key_offset schema r in
         List.iter
           (fun key ->
             let row = Array.make arity 0 in
@@ -198,7 +236,7 @@ let run w (batch : Datagen.batch) =
           batch.Datagen.b_del.(r);
         t)
   in
-  let upd_temp =
+  let st_upd =
     Array.init n (fun r ->
         let t = temp_table pool schema (Reldesc.of_relation schema r) in
         List.iter
@@ -206,97 +244,107 @@ let run w (batch : Datagen.batch) =
           batch.Datagen.b_upd.(r);
         t)
   in
-  Warehouse.reset_stats w;
+  { st_ins; st_del; st_upd }
+
+(* The per-relation propagation loop.  [with_views:false] applies the
+   deltas to the base replicas only (the degraded path recomputes views
+   afterwards). *)
+let apply w eval ~sink ~with_views ~staged (batch : Datagen.batch) =
+  let schema = w.Warehouse.w_schema in
+  let pool = w.Warehouse.w_pool in
+  let n = Schema.n_relations schema in
   let saved : (int * int, Table.t) Hashtbl.t = Hashtbl.create 16 in
   for r = 0 to n - 1 do
     (* Insertions: views smallest-first, then the base replica. *)
     if batch.Datagen.b_ins.(r) <> [] then begin
-      List.iter
-        (fun (set, vtable) ->
-          if Bitset.mem r set then begin
-            let _, plan = Cost.prop_ins eval ~target:(Element.View set) ~rel:r in
-            let rows =
-              exec_ins_plan w ~saved ~ins_temp:ins_temp.(r) ~rel:r
-                ~target_set:set plan
-            in
-            List.iter (fun row -> ignore (Table.insert vtable row)) rows;
-            if not (Bitset.equal set (Schema.all_relations schema)) then begin
-              let save = temp_table pool schema (Warehouse.view_desc schema set) in
-              List.iter (fun row -> ignore (Table.insert save row)) rows;
-              Hashtbl.replace saved (r, Bitset.to_int set) save
-            end
-          end)
-        w.Warehouse.w_views;
-      let raw = Exec.scan ins_temp.(r) () in
-      List.iter
-        (fun row -> ignore (Table.insert w.Warehouse.w_bases.(r) row))
-        raw
+      if with_views then
+        List.iter
+          (fun (set, vtable) ->
+            if Bitset.mem r set then begin
+              let _, plan = Cost.prop_ins eval ~target:(Element.View set) ~rel:r in
+              let rows =
+                exec_ins_plan w ~saved ~ins_temp:staged.st_ins.(r) ~rel:r
+                  ~target_set:set plan
+              in
+              List.iter (fun row -> sink.s_insert vtable row) rows;
+              if not (Bitset.equal set (Schema.all_relations schema)) then begin
+                let save = temp_table pool schema (Warehouse.view_desc schema set) in
+                List.iter (fun row -> ignore (Table.insert save row)) rows;
+                Hashtbl.replace saved (r, Bitset.to_int set) save
+              end
+            end)
+          w.Warehouse.w_views;
+      let raw = Exec.scan staged.st_ins.(r) () in
+      List.iter (fun row -> sink.s_insert w.Warehouse.w_bases.(r) row) raw
     end;
     (* Deletions: read the shipped keys, then locate and remove. *)
     if batch.Datagen.b_del.(r) <> [] then begin
-      let ko = key_offset r in
+      let ko = key_offset schema r in
       let read_keys () =
-        List.map (fun row -> row.(ko)) (Exec.scan del_temp.(r) ())
+        List.map (fun row -> row.(ko)) (Exec.scan staged.st_del.(r) ())
       in
-      List.iter
-        (fun (set, vtable) ->
-          if Bitset.mem r set then begin
-            let _, how = Cost.prop_del eval ~target:(Element.View set) ~rel:r in
-            let located = locate w vtable ~rel:r ~keys:(read_keys ()) how in
-            List.iter (fun (rid, _) -> ignore (Table.delete vtable rid)) located
-          end)
-        w.Warehouse.w_views;
+      if with_views then
+        List.iter
+          (fun (set, vtable) ->
+            if Bitset.mem r set then begin
+              let _, how = Cost.prop_del eval ~target:(Element.View set) ~rel:r in
+              let located = locate w vtable ~rel:r ~keys:(read_keys ()) how in
+              List.iter (fun (rid, _) -> sink.s_delete vtable rid) located
+            end)
+          w.Warehouse.w_views;
       let _, how = Cost.prop_del eval ~target:(Element.Base r) ~rel:r in
       let located =
         locate w w.Warehouse.w_bases.(r) ~rel:r ~keys:(read_keys ()) how
       in
       List.iter
-        (fun (rid, _) -> ignore (Table.delete w.Warehouse.w_bases.(r) rid))
+        (fun (rid, _) -> sink.s_delete w.Warehouse.w_bases.(r) rid)
         located
     end;
     (* Protected updates: read the shipped replacement rows, then locate
        and overwrite in place. *)
     if batch.Datagen.b_upd.(r) <> [] then begin
-      let ko = key_offset r in
-      let shipped = Exec.scan upd_temp.(r) () in
+      let ko = key_offset schema r in
+      let shipped = Exec.scan staged.st_upd.(r) () in
       let keys = List.map (fun row -> row.(ko)) shipped in
       let replacement = Hashtbl.create (2 * List.length shipped) in
       List.iter (fun row -> Hashtbl.replace replacement row.(ko) row) shipped;
-      List.iter
-        (fun (set, vtable) ->
-          if Bitset.mem r set then begin
-            let _, how = Cost.prop_upd eval ~target:(Element.View set) ~rel:r in
-            let located = locate w vtable ~rel:r ~keys how in
-            let desc = Table.desc vtable in
-            let key_attr = (Schema.relation schema r).Schema.key_attr in
-            let key_off = Reldesc.offset desc ~rel:r ~attr:key_attr in
-            List.iter
-              (fun (rid, old_row) ->
-                match Hashtbl.find_opt replacement old_row.(key_off) with
-                | None -> ()
-                | Some fresh ->
-                    let updated = Array.copy old_row in
-                    List.iteri
-                      (fun pos (drel, dattr) ->
-                        if drel = r then
-                          updated.(pos) <-
-                            fresh.(Schema.attr_pos schema r dattr))
-                      (Reldesc.attrs desc);
-                    ignore (Table.update vtable rid updated))
-              located
-          end)
-        w.Warehouse.w_views;
+      if with_views then
+        List.iter
+          (fun (set, vtable) ->
+            if Bitset.mem r set then begin
+              let _, how = Cost.prop_upd eval ~target:(Element.View set) ~rel:r in
+              let located = locate w vtable ~rel:r ~keys how in
+              let desc = Table.desc vtable in
+              let key_attr = (Schema.relation schema r).Schema.key_attr in
+              let key_off = Reldesc.offset desc ~rel:r ~attr:key_attr in
+              List.iter
+                (fun (rid, old_row) ->
+                  match Hashtbl.find_opt replacement old_row.(key_off) with
+                  | None -> ()
+                  | Some fresh ->
+                      let updated = Array.copy old_row in
+                      List.iteri
+                        (fun pos (drel, dattr) ->
+                          if drel = r then
+                            updated.(pos) <-
+                              fresh.(Schema.attr_pos schema r dattr))
+                        (Reldesc.attrs desc);
+                      sink.s_update vtable rid updated)
+                located
+            end)
+          w.Warehouse.w_views;
       let _, how = Cost.prop_upd eval ~target:(Element.Base r) ~rel:r in
       let located = locate w w.Warehouse.w_bases.(r) ~rel:r ~keys how in
       List.iter
         (fun (rid, old_row) ->
           match Hashtbl.find_opt replacement old_row.(ko) with
           | None -> ()
-          | Some fresh -> ignore (Table.update w.Warehouse.w_bases.(r) rid fresh))
+          | Some fresh -> sink.s_update w.Warehouse.w_bases.(r) rid fresh)
         located
     end
-  done;
-  Vis_storage.Buffer_pool.flush pool;
+  done
+
+let report_of w ~predicted =
   let stats = w.Warehouse.w_stats in
   {
     rp_reads = Vis_storage.Iostats.reads stats;
@@ -304,3 +352,140 @@ let run w (batch : Datagen.batch) =
     rp_accesses = Vis_storage.Iostats.accesses stats;
     rp_predicted = predicted;
   }
+
+let run w (batch : Datagen.batch) =
+  let eval = Cost.create w.Warehouse.w_derived w.Warehouse.w_config in
+  let predicted = Cost.total eval in
+  let staged = stage w batch in
+  Warehouse.reset_stats w;
+  apply w eval ~sink:unlogged_sink ~with_views:true ~staged batch;
+  Vis_storage.Buffer_pool.flush w.Warehouse.w_pool;
+  report_of w ~predicted
+
+(* ------------------------------------------------------------------ *)
+(* Fault-protected refresh. *)
+
+type fault_stats = {
+  fs_attempts : int;
+  fs_injected : int;
+  fs_retries : int;
+  fs_backoff_ms : float;
+  fs_rollbacks : int;
+  fs_undone : int;
+  fs_degraded : bool;
+  fs_wal_records : int;
+  fs_wal_pages : int;
+  fs_recomputed_rows : int;
+}
+
+type error = { err_fault : Faults.fault; err_stats : fault_stats }
+
+(* Graceful degradation: with the base replicas already refreshed (bases
+   only), rebuild every view from scratch — scan the bases, join in memory,
+   then replace each view's contents through the logged operations so even
+   a crash mid-recomputation rolls back cleanly.  The scans and rewrites
+   are charged to [Iostats] like any other I/O: degradation has a visible
+   price. *)
+let recompute_views w recomputed =
+  let schema = w.Warehouse.w_schema in
+  let n = Schema.n_relations schema in
+  let tuples =
+    Array.init n (fun r ->
+        let acc = ref [] in
+        Heap_file.scan
+          (Table.heap w.Warehouse.w_bases.(r))
+          ~f:(fun _ t -> acc := Array.copy t :: !acc);
+        List.rev !acc)
+  in
+  List.iter
+    (fun (set, vtable) ->
+      let fresh = Warehouse.compute_view_in_memory schema ~tuples set in
+      let rids = ref [] in
+      Heap_file.scan (Table.heap vtable) ~f:(fun rid _ -> rids := rid :: !rids);
+      List.iter
+        (fun rid -> ignore (Warehouse.logged_delete w vtable rid))
+        (List.rev !rids);
+      List.iter (fun row -> ignore (Warehouse.logged_insert w vtable row)) fresh;
+      recomputed := !recomputed + List.length fresh)
+    w.Warehouse.w_views
+
+let run_protected ?faults ?(max_attempts = 2) w (batch : Datagen.batch) =
+  let max_attempts = max 1 max_attempts in
+  let plan = match faults with Some p -> p | None -> Faults.none () in
+  let pool = w.Warehouse.w_pool in
+  Buffer_pool.set_faults pool plan;
+  let eval = Cost.create w.Warehouse.w_derived w.Warehouse.w_config in
+  let predicted = Cost.total eval in
+  let staged = stage w batch in
+  Warehouse.reset_stats w;
+  let sink = logged_sink w in
+  let attempts = ref 0 in
+  let rollbacks = ref 0 in
+  let undone = ref 0 in
+  let recomputed = ref 0 in
+  let degraded = ref false in
+  (* One bracketed attempt.  Only the typed fault exception is caught —
+     anything else is a genuine bug and must surface. *)
+  let attempt ~with_views =
+    incr attempts;
+    Faults.arm plan;
+    match
+      (* The Begin append can itself fault (log-page alloc or seal), so it
+         sits inside the bracket too; recovery of a batch that died in
+         [begin_batch] finds nothing to undo. *)
+      Warehouse.begin_batch w;
+      apply w eval ~sink ~with_views ~staged batch;
+      if not with_views then recompute_views w recomputed;
+      Warehouse.commit_batch w
+    with
+    | () ->
+        Faults.disarm plan;
+        None
+    | exception Faults.Injected f ->
+        Faults.disarm plan;
+        incr rollbacks;
+        undone := !undone + Warehouse.recover w;
+        Some f
+  in
+  (* Normal path: retry the whole batch on one-shot (crash) or escalated
+     transient faults; a permanent fault would fail identically, so skip
+     straight to degradation. *)
+  let rec normal k =
+    match attempt ~with_views:true with
+    | None -> Ok ()
+    | Some f when f.Faults.f_kind = Faults.Permanent -> Error f
+    | Some f when k >= max_attempts -> Error f
+    | Some _ -> normal (k + 1)
+  in
+  let rec degrade k =
+    match attempt ~with_views:false with
+    | None -> Ok ()
+    | Some f when k >= max_attempts -> Error f
+    | Some _ -> degrade (k + 1)
+  in
+  let outcome =
+    match normal 1 with
+    | Ok () -> Ok ()
+    | Error _ ->
+        degraded := true;
+        degrade 1
+  in
+  Faults.disarm plan;
+  Vis_storage.Buffer_pool.flush pool;
+  let stats =
+    {
+      fs_attempts = !attempts;
+      fs_injected = Faults.injected plan;
+      fs_retries = Faults.retries plan;
+      fs_backoff_ms = Faults.elapsed_ms plan;
+      fs_rollbacks = !rollbacks;
+      fs_undone = !undone;
+      fs_degraded = !degraded;
+      fs_wal_records = Wal.total_records w.Warehouse.w_wal;
+      fs_wal_pages = Wal.total_pages w.Warehouse.w_wal;
+      fs_recomputed_rows = !recomputed;
+    }
+  in
+  match outcome with
+  | Ok () -> Ok (report_of w ~predicted, stats)
+  | Error f -> Error { err_fault = f; err_stats = stats }

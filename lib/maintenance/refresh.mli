@@ -26,3 +26,55 @@ val total_io : report -> int
     predicted I/O.  The warehouse's counters are reset first; on return they
     hold just this refresh (pool flushed into the counts). *)
 val run : Warehouse.t -> Vis_workload.Datagen.batch -> report
+
+(** {1 Fault-protected refresh}
+
+    {!run_protected} executes the same cycle under WAL protection: every
+    durable mutation is logged with before images before it is applied, and
+    the batch is bracketed by begin/commit records.  A fault injected by
+    the warehouse pool's {!Vis_storage.Faults} plan aborts the attempt,
+    [Warehouse.recover] rolls the stored state back to the pre-batch
+    snapshot, and the batch retries:
+
+    - transient faults are retried with bounded exponential backoff at the
+      failing page operation itself and normally never surface;
+    - one-shot crash faults (and escalated transients) retry the whole
+      batch, up to [max_attempts] times;
+    - permanent faults degrade gracefully — the deltas are applied to the
+      base replicas only and every view is {e recomputed} from the
+      refreshed bases (still WAL-protected), charging the recomputation
+      I/O to the counters.
+
+    The outcome is therefore always one of: the post-batch state
+    ([Ok] — logically identical to a fault-free {!run}, and bit-identical
+    unless degradation rebuilt the views), or the pre-batch state
+    ([Error] — every attempt rolled back cleanly).  Only the typed
+    [Faults.Injected] exception is handled; anything else is a bug and
+    propagates. *)
+
+type fault_stats = {
+  fs_attempts : int;  (** batch attempts, degraded ones included *)
+  fs_injected : int;  (** faults surfaced past retry *)
+  fs_retries : int;  (** page-level transient retries *)
+  fs_backoff_ms : float;  (** simulated backoff time *)
+  fs_rollbacks : int;  (** recovery invocations *)
+  fs_undone : int;  (** log records undone across rollbacks *)
+  fs_degraded : bool;  (** views were recomputed rather than patched *)
+  fs_wal_records : int;  (** log records appended over the run *)
+  fs_wal_pages : int;  (** log pages allocated over the run *)
+  fs_recomputed_rows : int;  (** view rows rebuilt by degradation *)
+}
+
+type error = { err_fault : Vis_storage.Faults.fault; err_stats : fault_stats }
+
+(** [run_protected ?faults ?max_attempts w batch] — [faults] defaults to a
+    plan that never injects (measuring pure WAL overhead); [max_attempts]
+    (default 2, minimum 1) bounds the normal-path attempts and, separately,
+    the degraded-path attempts.  The plan is installed on the warehouse's
+    pool and disarmed on return. *)
+val run_protected :
+  ?faults:Vis_storage.Faults.t ->
+  ?max_attempts:int ->
+  Warehouse.t ->
+  Vis_workload.Datagen.batch ->
+  (report * fault_stats, error) result

@@ -7,6 +7,12 @@ module Table = Vis_relalg.Table
 module Reldesc = Vis_relalg.Reldesc
 module Datagen = Vis_workload.Datagen
 
+module Heap_file = Vis_storage.Heap_file
+module Btree = Vis_storage.Btree
+module Buffer_pool = Vis_storage.Buffer_pool
+module Wal = Vis_storage.Wal
+module Faults = Vis_storage.Faults
+
 type t = {
   w_schema : Schema.t;
   w_derived : Derived.t;
@@ -15,6 +21,7 @@ type t = {
   w_stats : Vis_storage.Iostats.t;
   w_bases : Table.t array;
   w_views : (Bitset.t * Table.t) list;
+  w_wal : Wal.t;
 }
 
 let attr_bytes = 8
@@ -156,17 +163,190 @@ let build schema config dataset =
     w_stats = stats;
     w_bases = bases;
     w_views = views;
+    w_wal = Wal.create pool ~page_bytes:schema.Schema.page_bytes;
   }
 
 let element_table w = function
-  | Element.Base i -> w.w_bases.(i)
-  | Element.View set -> (
-      match
-        List.find_opt (fun (s, _) -> Bitset.equal s set) w.w_views
-      with
-      | Some (_, table) -> table
-      | None -> raise Not_found)
+  | Element.Base i ->
+      if i >= 0 && i < Array.length w.w_bases then Some w.w_bases.(i) else None
+  | Element.View set ->
+      Option.map snd (List.find_opt (fun (s, _) -> Bitset.equal s set) w.w_views)
 
 let reset_stats w =
   Vis_storage.Buffer_pool.flush w.w_pool;
   Vis_storage.Iostats.reset w.w_stats
+
+(* ------------------------------------------------------------------ *)
+(* Durable-table registry: WAL records name tables by index — bases first,
+   then the views in [w_views] order (both fixed at build time). *)
+
+let durable_tables w =
+  Array.append w.w_bases (Array.of_list (List.map snd w.w_views))
+
+let table_id w table =
+  let tables = durable_tables w in
+  let rec find i =
+    if i >= Array.length tables then
+      invalid_arg "Warehouse.table_id: not a durable table"
+    else if tables.(i) == table then i
+    else find (i + 1)
+  in
+  find 0
+
+(* ------------------------------------------------------------------ *)
+(* Logged modifications: log before apply.  The before images come from a
+   [get] the refresh just performed anyway (the page is hot), so logging
+   adds WAL appends but no extra base-page reads. *)
+
+let logged_insert w table tuple =
+  let id = table_id w table in
+  let rid = Heap_file.next_rid (Table.heap table) in
+  Wal.append w.w_wal (Wal.Ins { table = id; rid; tuple = Array.copy tuple });
+  let actual = Table.insert table tuple in
+  assert (actual = rid);
+  actual
+
+let logged_delete w table rid =
+  match Heap_file.get (Table.heap table) rid with
+  | None -> false
+  | Some before ->
+      let id = table_id w table in
+      Wal.append w.w_wal (Wal.Del { table = id; rid; before = Array.copy before });
+      Table.delete table rid
+
+let logged_update w table rid after =
+  match Heap_file.get (Table.heap table) rid with
+  | None -> false
+  | Some before ->
+      let id = table_id w table in
+      Wal.append w.w_wal
+        (Wal.Upd { table = id; rid; before = Array.copy before; after = Array.copy after });
+      Table.update table rid after
+
+let begin_batch w = Wal.append w.w_wal Wal.Begin
+
+let commit_batch w =
+  Wal.append w.w_wal Wal.Commit;
+  Wal.sync w.w_wal;
+  Wal.checkpoint w.w_wal
+
+(* Roll back the unfinished batch (if any) by undoing its log records in
+   strict LIFO order.  Runs with faults disarmed — recovery models a clean
+   restart — and charges one read per log page so the recovery cost shows
+   up in the counters.  Returns the number of records undone. *)
+let recover w =
+  let plan = Buffer_pool.faults w.w_pool in
+  let was_armed = Faults.armed plan in
+  Faults.disarm plan;
+  let undo = Wal.unfinished w.w_wal in
+  List.iter
+    (fun gid -> Buffer_pool.touch w.w_pool gid ~dirty:false)
+    (Wal.page_gids w.w_wal);
+  let tables = durable_tables w in
+  List.iter
+    (fun r ->
+      match r with
+      | Wal.Ins { table; rid; tuple } ->
+          ignore (Table.unapply_insert tables.(table) rid tuple)
+      | Wal.Del { table; rid; before } ->
+          ignore (Table.restore tables.(table) rid before)
+      | Wal.Upd { table; rid; before; _ } ->
+          ignore (Table.unapply_update tables.(table) rid before)
+      | Wal.Begin | Wal.Commit -> ())
+    undo;
+  Wal.checkpoint w.w_wal;
+  if was_armed then Faults.arm plan;
+  List.length undo
+
+(* ------------------------------------------------------------------ *)
+(* State digests and integrity checks used by tests and the crash-recovery
+   oracle.  Computing them scans every table, which moves the buffer pool
+   and counters — callers compare states, they don't measure I/O here. *)
+
+let add_int buf i =
+  Buffer.add_string buf (string_of_int i);
+  Buffer.add_char buf ';'
+
+let sorted_indexes table =
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) (Table.indexes table)
+
+(* Physical signature: exact slot layout of every heap plus exact entry
+   sequence of every index.  Two warehouses agree iff they are the same
+   bit-for-bit stored state. *)
+let signature w =
+  let buf = Buffer.create 8192 in
+  Array.iter
+    (fun table ->
+      let h = Table.heap table in
+      Buffer.add_string buf "#heap:";
+      add_int buf (Heap_file.n_pages h);
+      add_int buf (Heap_file.n_tuples h);
+      Heap_file.scan h ~f:(fun rid tuple ->
+          add_int buf rid.Heap_file.rid_page;
+          add_int buf rid.Heap_file.rid_slot;
+          Array.iter (add_int buf) tuple);
+      List.iter
+        (fun (offset, ix) ->
+          Buffer.add_string buf "#ix:";
+          add_int buf offset;
+          Btree.iter ix ~f:(fun key rid ->
+              add_int buf key;
+              add_int buf rid.Heap_file.rid_page;
+              add_int buf rid.Heap_file.rid_slot))
+        (sorted_indexes table))
+    (durable_tables w);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* Logical signature: per-table sorted tuple multisets, ignoring placement.
+   A degraded refresh (views recomputed rather than incrementally patched)
+   matches the fault-free run logically but not physically. *)
+let logical_signature w =
+  let buf = Buffer.create 8192 in
+  Array.iter
+    (fun table ->
+      let rows = ref [] in
+      Heap_file.scan (Table.heap table) ~f:(fun _ tuple ->
+          rows := Array.to_list tuple :: !rows);
+      Buffer.add_string buf "#table:";
+      List.iter
+        (fun row -> List.iter (add_int buf) row)
+        (List.sort compare !rows))
+    (durable_tables w);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* Every index is structurally sound and holds exactly the (key, rid)
+   multiset of its heap. *)
+let integrity_check w =
+  let tables = durable_tables w in
+  let result = ref (Ok ()) in
+  Array.iteri
+    (fun ti table ->
+      if !result = Ok () then
+        let h = Table.heap table in
+        List.iter
+          (fun (offset, ix) ->
+            if !result = Ok () then begin
+              (match Btree.check ix with
+              | Ok () -> ()
+              | Error msg ->
+                  result := Error (Printf.sprintf "table %d index %d: %s" ti offset msg));
+              if !result = Ok () then begin
+                let heap_entries = ref [] in
+                Heap_file.scan h ~f:(fun rid tuple ->
+                    heap_entries := (tuple.(offset), rid) :: !heap_entries);
+                let ix_entries = ref [] in
+                Btree.iter ix ~f:(fun key rid -> ix_entries := (key, rid) :: !ix_entries);
+                if
+                  List.sort compare !heap_entries <> List.sort compare !ix_entries
+                then
+                  result :=
+                    Error
+                      (Printf.sprintf
+                         "table %d index %d: entries disagree with heap (%d vs %d)"
+                         ti offset (List.length !ix_entries)
+                         (List.length !heap_entries))
+              end
+            end)
+          (sorted_indexes table))
+    tables;
+  !result

@@ -13,6 +13,8 @@ type t = {
   w_bases : Vis_relalg.Table.t array;
   w_views : (Vis_util.Bitset.t * Vis_relalg.Table.t) list;
       (** supporting views and the primary view, by increasing size *)
+  w_wal : Vis_storage.Wal.t;
+      (** the refresh write-ahead log, sharing the warehouse's pool *)
 }
 
 (** Attribute width used to size heap pages; schemas meant for execution
@@ -30,9 +32,8 @@ val build :
   Vis_catalog.Schema.t -> Vis_costmodel.Config.t -> Vis_workload.Datagen.dataset -> t
 
 (** [element_table w elem] — the stored table of a base relation or
-    materialized view.  Raises [Not_found] for views outside the
-    configuration. *)
-val element_table : t -> Vis_costmodel.Element.t -> Vis_relalg.Table.t
+    materialized view; [None] for views outside the configuration. *)
+val element_table : t -> Vis_costmodel.Element.t -> Vis_relalg.Table.t option
 
 (** [compute_view_in_memory schema ~tuples set] joins the given per-relation
     tuple lists into the canonical view contents (selections applied) —
@@ -42,3 +43,59 @@ val compute_view_in_memory :
 
 (** [reset_stats w] flushes the pool and zeroes the counters. *)
 val reset_stats : t -> unit
+
+(** {1 Logged modifications and crash recovery}
+
+    The refresh protects a delta batch by bracketing it in
+    {!begin_batch}/{!commit_batch} and performing every durable-table
+    mutation through the [logged_*] operations, which append a logical
+    record with before images to {!w_wal} {e before} applying the change.
+    If a fault aborts the batch, {!recover} undoes the unfinished records
+    in LIFO order, provably restoring the pre-batch stored state (see
+    {!signature}). *)
+
+(** Base replicas then views, in the fixed order WAL records index them. *)
+val durable_tables : t -> Vis_relalg.Table.t array
+
+(** [logged_insert w table tuple] — logs the insertion (destination rid
+    predicted) then applies it. [table] must be one of
+    {!durable_tables}. *)
+val logged_insert : t -> Vis_relalg.Table.t -> int array -> Vis_storage.Heap_file.rid
+
+(** [logged_delete w table rid] — logs the before image then deletes;
+    [false] when the slot was already empty (nothing logged). *)
+val logged_delete : t -> Vis_relalg.Table.t -> Vis_storage.Heap_file.rid -> bool
+
+(** [logged_update w table rid after] — logs before and after images then
+    updates in place; [false] when the slot is empty (nothing logged). *)
+val logged_update :
+  t -> Vis_relalg.Table.t -> Vis_storage.Heap_file.rid -> int array -> bool
+
+val begin_batch : t -> unit
+
+(** Appends the commit record, forces the log tail, truncates the log. *)
+val commit_batch : t -> unit
+
+(** [recover w] rolls back the unfinished batch, if any: undoes its records
+    newest-first (tolerant of partially applied operations), charging one
+    read per log page.  Runs with the fault plan disarmed (recovery models
+    a clean restart); re-arms it afterwards if it was armed.  Returns the
+    number of records undone — [0] when the log was empty or committed. *)
+val recover : t -> int
+
+(** {1 State digests and integrity}
+
+    These scan every durable table (moving the pool and counters), so call
+    them outside measured regions. *)
+
+(** Physical digest: exact heap slot layout and index entry sequences.
+    Equal iff the stored state is bit-for-bit identical. *)
+val signature : t -> string
+
+(** Logical digest: per-table sorted tuple multisets, ignoring physical
+    placement — what a degraded (recomputed) refresh preserves. *)
+val logical_signature : t -> string
+
+(** Structural soundness of every index plus exact agreement between each
+    index's (key, rid) entries and its heap. *)
+val integrity_check : t -> (unit, string) result

@@ -55,6 +55,28 @@ let update t rid tuple =
         t.tindexes;
       Heap_file.update t.theap rid tuple
 
+(* Tolerant undo primitives for crash recovery: a crash may have interrupted
+   the original operation between its heap and index steps, so each undo
+   step checks what is actually there ([Btree.mem], slot emptiness) and
+   only reverses what exists.  Undo must run in strict LIFO log order. *)
+
+let restore t rid tuple =
+  let restored = Heap_file.restore t.theap rid tuple in
+  List.iter
+    (fun (offset, ix) ->
+      if not (Btree.mem ix ~key:tuple.(offset) rid) then
+        Btree.insert ix ~key:tuple.(offset) rid)
+    t.tindexes;
+  restored
+
+let unapply_insert t rid tuple =
+  List.iter
+    (fun (offset, ix) -> ignore (Btree.remove ix ~key:tuple.(offset) rid))
+    t.tindexes;
+  Heap_file.truncate_last t.theap rid
+
+let unapply_update t rid before = Heap_file.update t.theap rid before
+
 let add_index t ~offset =
   if offset < 0 || offset >= Reldesc.arity t.tdesc then
     invalid_arg "Table.add_index: bad offset";

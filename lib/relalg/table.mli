@@ -30,6 +30,22 @@ val delete : t -> Vis_storage.Heap_file.rid -> bool
     attribute's value differs. *)
 val update : t -> Vis_storage.Heap_file.rid -> int array -> bool
 
+(** [restore t rid tuple] undoes a delete: refills the heap slot if empty
+    and re-inserts any missing index entries.  Tolerant of partial
+    application — each step is skipped when already in place. *)
+val restore : t -> Vis_storage.Heap_file.rid -> int array -> bool
+
+(** [unapply_insert t rid tuple] undoes an append whose predicted rid was
+    [rid]: removes whichever index entries made it in, then truncates the
+    heap tail if the append executed.  Must be called in strict LIFO order
+    over the batch's log. *)
+val unapply_insert : t -> Vis_storage.Heap_file.rid -> int array -> bool
+
+(** [unapply_update t rid before] writes the before image back (directly at
+    the heap — indexed attributes cannot have changed under protected
+    updates); [false] when the slot is empty, i.e. the update never ran. *)
+val unapply_update : t -> Vis_storage.Heap_file.rid -> int array -> bool
+
 (** [add_index t ~offset] builds a B+-tree on the attribute at [offset] by
     scanning the heap; fanout is [page_bytes / index_entry_bytes] with 16
     bytes per entry.  Returns the existing index if one is already

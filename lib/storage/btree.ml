@@ -94,46 +94,76 @@ let array_remove arr pos =
   Array.blit arr (pos + 1) out pos (n - 1 - pos);
   out
 
-let new_leaf t entries next =
-  let gid = Buffer_pool.fresh_page t.pool in
-  Buffer_pool.touch_new t.pool gid;
-  t.pages <- t.pages + 1;
-  { lgid = gid; entries; next }
-
-let new_inner t seps kids =
-  let gid = Buffer_pool.fresh_page t.pool in
-  Buffer_pool.touch_new t.pool gid;
-  t.pages <- t.pages + 1;
-  { igid = gid; seps; kids }
-
 let insert t ~key rid =
   let e = (key, rid) in
-  (* Returns the (separator, new right sibling) when the node split. *)
+  (* Fault atomicity: every pool interaction — the path touches and the
+     page allocations any splits will need — happens in a first phase, so
+     an injected fault leaves the tree untouched; the mutation phase below
+     performs no pool calls.  The touch/alloc sequence replicates the
+     naive single-pass insert's exactly, keeping the operation stream (and
+     with it fault schedules) unchanged on the fault-free path. *)
+  let rec descend acc = function
+    | Leaf l -> (acc, l)
+    | Inner nd ->
+        Buffer_pool.touch t.pool nd.igid ~dirty:false;
+        descend (nd :: acc) nd.kids.(child_index nd.seps e)
+  in
+  (* [inners] is the search path, deepest inner first. *)
+  let inners, leaf = descend [] t.root in
+  Buffer_pool.touch t.pool leaf.lgid ~dirty:true;
+  let pos = lower_bound leaf.entries e in
+  if pos < Array.length leaf.entries && cmp_entry leaf.entries.(pos) e = 0 then
+    invalid_arg "Btree.insert: duplicate (key, rid) entry";
+  let alloc () =
+    let gid = Buffer_pool.fresh_page t.pool in
+    Buffer_pool.touch_new t.pool gid;
+    gid
+  in
+  (* Pages for the split chain, in the order the mutation phase consumes
+     them: the leaf's right sibling, then one per splitting inner going
+     up, then the new root.  A node gains a kid iff its child split. *)
+  let pages = ref [] in
+  let gains = ref (Array.length leaf.entries + 1 > t.fanout) in
+  if !gains then pages := alloc () :: !pages;
+  List.iter
+    (fun nd ->
+      if !gains then begin
+        Buffer_pool.touch t.pool nd.igid ~dirty:true;
+        gains := Array.length nd.kids + 1 > t.fanout;
+        if !gains then pages := alloc () :: !pages
+      end)
+    inners;
+  if !gains then pages := alloc () :: !pages;
+  let pages = ref (List.rev !pages) in
+  let take () =
+    match !pages with
+    | gid :: rest ->
+        pages := rest;
+        t.pages <- t.pages + 1;
+        gid
+    | [] -> assert false
+  in
+  (* Mutation phase: returns the (separator, new right sibling) when the
+     node split. *)
   let rec ins node =
     match node with
     | Leaf l ->
-        Buffer_pool.touch t.pool l.lgid ~dirty:true;
-        let pos = lower_bound l.entries e in
-        if pos < Array.length l.entries && cmp_entry l.entries.(pos) e = 0 then
-          invalid_arg "Btree.insert: duplicate (key, rid) entry";
         l.entries <- array_insert l.entries pos e;
         if Array.length l.entries > t.fanout then begin
           let n = Array.length l.entries in
           let mid = n / 2 in
           let right_entries = Array.sub l.entries mid (n - mid) in
-          let right = new_leaf t right_entries l.next in
+          let right = { lgid = take (); entries = right_entries; next = l.next } in
           l.entries <- Array.sub l.entries 0 mid;
           l.next <- Some right;
           Some (right.entries.(0), Leaf right)
         end
         else None
     | Inner nd -> (
-        Buffer_pool.touch t.pool nd.igid ~dirty:false;
         let i = child_index nd.seps e in
         match ins nd.kids.(i) with
         | None -> None
         | Some (sep, right) ->
-            Buffer_pool.touch t.pool nd.igid ~dirty:true;
             nd.seps <- array_insert nd.seps i sep;
             nd.kids <- array_insert nd.kids (i + 1) right;
             if Array.length nd.kids > t.fanout then begin
@@ -143,9 +173,11 @@ let insert t ~key rid =
                  becomes the separator pushed up. *)
               let up = nd.seps.(mid - 1) in
               let right =
-                new_inner t
-                  (Array.sub nd.seps mid (k - 1 - mid))
-                  (Array.sub nd.kids mid (k - mid))
+                {
+                  igid = take ();
+                  seps = Array.sub nd.seps mid (k - 1 - mid);
+                  kids = Array.sub nd.kids mid (k - mid);
+                }
               in
               nd.seps <- Array.sub nd.seps 0 (mid - 1);
               nd.kids <- Array.sub nd.kids 0 mid;
@@ -156,8 +188,8 @@ let insert t ~key rid =
   (match ins t.root with
   | None -> ()
   | Some (sep, right) ->
-      let root = new_inner t [| sep |] [| t.root; right |] in
-      t.root <- Inner root);
+      t.root <- Inner { igid = take (); seps = [| sep |]; kids = [| t.root; right |] });
+  assert (!pages = []);
   t.count <- t.count + 1
 
 let find_leaf t e =
@@ -170,6 +202,12 @@ let find_leaf t e =
         descend nd.kids.(child_index nd.seps e)
   in
   descend t.root
+
+let mem t ~key rid =
+  let e = (key, rid) in
+  let leaf = find_leaf t e in
+  let pos = lower_bound leaf.entries e in
+  pos < Array.length leaf.entries && cmp_entry leaf.entries.(pos) e = 0
 
 let remove t ~key rid =
   let e = (key, rid) in
@@ -239,8 +277,10 @@ let iter t ~f =
   in
   walk (leftmost t.root)
 
+exception Check_failed of string
+
 let check t =
-  let fail fmt = Printf.ksprintf failwith fmt in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Check_failed s)) fmt in
   let rec depth = function
     | Leaf _ -> 1
     | Inner n -> 1 + depth n.kids.(0)
@@ -282,6 +322,9 @@ let check t =
             walk kid (level + 1) lo' hi')
           n.kids);
   in
-  walk t.root 1 None None;
-  if !counted <> t.count then
-    fail "count mismatch: counted %d, recorded %d" !counted t.count
+  try
+    walk t.root 1 None None;
+    if !counted <> t.count then
+      fail "count mismatch: counted %d, recorded %d" !counted t.count
+    else Ok ()
+  with Check_failed msg -> Error msg

@@ -20,6 +20,11 @@ val insert : t -> key:int -> Heap_file.rid -> unit
 (** [remove t ~key rid] deletes one matching entry; [false] when absent. *)
 val remove : t -> key:int -> Heap_file.rid -> bool
 
+(** [mem t ~key rid] — whether the exact (key, rid) entry is present.
+    Recovery uses it for tolerant undo: re-insert only what is absent,
+    remove only what is present. *)
+val mem : t -> key:int -> Heap_file.rid -> bool
+
 (** [lookup t ~key] returns the rids of all entries with this key, touching
     the root-to-leaf path (and overflowing right siblings for
     duplicates). *)
@@ -41,6 +46,6 @@ val n_pages : t -> int
 (** [iter t ~f] visits every entry in key order, touching the leaf level. *)
 val iter : t -> f:(int -> Heap_file.rid -> unit) -> unit
 
-(** [check t] verifies structural invariants; raises [Failure] with a
-    description when violated (used by property tests). *)
-val check : t -> unit
+(** [check t] verifies structural invariants; [Error description] when one
+    is violated (used by property tests and the crash-recovery oracle). *)
+val check : t -> (unit, string) result

@@ -1,8 +1,16 @@
-(* LRU as a doubly-linked list threaded through a hashtable of frames. *)
+(* LRU as a doubly-linked list threaded through a hashtable of frames.
+
+   Every physical operation — read on miss, write on dirty eviction or
+   write-back, page allocation — consults the pool's fault plan *before*
+   mutating any pool state, so an injected fault leaves the pool exactly as
+   it was: the failed operation simply never happened.  That ordering is
+   what lets the maintenance layer treat a fault as "the device refused"
+   rather than "the device is now in an unknown state". *)
 
 type frame = {
   page : int;
   mutable dirty : bool;
+  mutable pins : int;
   mutable prev : frame option;  (* towards most recently used *)
   mutable next : frame option;  (* towards least recently used *)
 }
@@ -14,6 +22,7 @@ type t = {
   mutable mru : frame option;
   mutable lru : frame option;
   mutable next_page : int;
+  mutable plan : Faults.t;
 }
 
 let create ~capacity ~stats =
@@ -25,13 +34,21 @@ let create ~capacity ~stats =
     mru = None;
     lru = None;
     next_page = 0;
+    plan = Faults.none ();
   }
 
 let capacity t = t.cap
 
 let stats t = t.io
 
+let set_faults t plan = t.plan <- plan
+
+let faults t = t.plan
+
 let fresh_page t =
+  (* Fault check before the counter bump: a failed allocation can be retried
+     and will hand out the same identifier. *)
+  Faults.check t.plan Faults.Alloc ~page:t.next_page;
   let id = t.next_page in
   t.next_page <- t.next_page + 1;
   id
@@ -53,18 +70,33 @@ let push_front t f =
   t.mru <- Some f;
   if t.lru = None then t.lru <- Some f
 
-let evict_lru t =
-  match t.lru with
-  | None -> ()
-  | Some f ->
-      unlink t f;
-      Hashtbl.remove t.frames f.page;
-      if f.dirty then Iostats.record_write t.io
+(* Least recently used unpinned frame, or [None] when every frame is
+   pinned (the pool then grows past capacity rather than evicting). *)
+let victim t =
+  let rec up = function
+    | None -> None
+    | Some f -> if f.pins = 0 then Some f else up f.prev
+  in
+  up t.lru
+
+let evict t f =
+  unlink t f;
+  Hashtbl.remove t.frames f.page;
+  if f.dirty then Iostats.record_write t.io
 
 let insert_resident t page ~dirty ~count_read =
-  if count_read then Iostats.record_read t.io;
-  if Hashtbl.length t.frames >= t.cap then evict_lru t;
-  let f = { page; dirty; prev = None; next = None } in
+  (* Pick the eviction victim first so its write fault (if any) fires before
+     we count the read or mutate anything. *)
+  let v = if Hashtbl.length t.frames >= t.cap then victim t else None in
+  (match v with
+  | Some f when f.dirty -> Faults.check t.plan Faults.Write ~page:f.page
+  | _ -> ());
+  if count_read then begin
+    Faults.check t.plan Faults.Read ~page;
+    Iostats.record_read t.io
+  end;
+  (match v with Some f -> evict t f | None -> ());
+  let f = { page; dirty; pins = 0; prev = None; next = None } in
   Hashtbl.replace t.frames page f;
   push_front t f
 
@@ -86,6 +118,32 @@ let touch_new t page =
       f.dirty <- true
   | None -> insert_resident t page ~dirty:true ~count_read:false
 
+let pin t page =
+  (match Hashtbl.find_opt t.frames page with
+  | Some _ -> ()
+  | None -> insert_resident t page ~dirty:false ~count_read:true);
+  let f = Hashtbl.find t.frames page in
+  f.pins <- f.pins + 1
+
+let unpin t page =
+  match Hashtbl.find_opt t.frames page with
+  | Some f when f.pins > 0 -> f.pins <- f.pins - 1
+  | Some _ -> invalid_arg "Buffer_pool.unpin: page not pinned"
+  | None -> invalid_arg "Buffer_pool.unpin: page not resident"
+
+let pinned t page =
+  match Hashtbl.find_opt t.frames page with
+  | Some f -> f.pins > 0
+  | None -> false
+
+let write_back t page =
+  match Hashtbl.find_opt t.frames page with
+  | Some f when f.dirty ->
+      Faults.check t.plan Faults.Write ~page;
+      Iostats.record_wal_write t.io;
+      f.dirty <- false
+  | _ -> ()
+
 let discard t page =
   match Hashtbl.find_opt t.frames page with
   | Some f ->
@@ -94,8 +152,16 @@ let discard t page =
   | None -> ()
 
 let flush t =
+  (* Flush ignores pins: it models an orderly shutdown, after which nothing
+     holds a reference.  Dirty pages are written unconditionally (no fault
+     check — callers flush outside the faulted region). *)
   while t.lru <> None do
-    evict_lru t
+    match t.lru with
+    | None -> ()
+    | Some f ->
+        unlink t f;
+        Hashtbl.remove t.frames f.page;
+        if f.dirty then Iostats.record_write t.io
   done
 
 let resident t page = Hashtbl.mem t.frames page

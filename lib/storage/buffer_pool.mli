@@ -5,7 +5,11 @@
     physical read on a miss), possibly evicting the least recently used page
     (counting a physical write if that page was dirty).  This is the
     mechanism by which executed maintenance plans produce measured I/O counts
-    comparable to the cost model's estimates. *)
+    comparable to the cost model's estimates.
+
+    Each physical operation consults the pool's {!Faults} plan before any
+    pool state changes, so an injected fault leaves the pool untouched: the
+    failed read/write/allocation simply never happened. *)
 
 type t
 
@@ -17,7 +21,16 @@ val capacity : t -> int
 
 val stats : t -> Iostats.t
 
-(** [fresh_page t] allocates a new page identifier (not resident yet). *)
+(** [set_faults t plan] installs a fault plan; the default is
+    [Faults.none ()].  All pools sharing a device under test should share
+    one plan so the operation sequence numbering is global. *)
+val set_faults : t -> Faults.t -> unit
+
+val faults : t -> Faults.t
+
+(** [fresh_page t] allocates a new page identifier (not resident yet).
+    Fault point: [Alloc]; a failed allocation retried later hands out the
+    same identifier. *)
 val fresh_page : t -> int
 
 (** [touch t page ~dirty] accesses [page]: a miss counts one read, and marks
@@ -28,11 +41,33 @@ val touch : t -> int -> dirty:bool -> unit
     half of a split): resident and dirty without counting a read. *)
 val touch_new : t -> int -> unit
 
+(** [pin t page] brings [page] in if needed (counting a read on a miss) and
+    increments its pin count.  Pinned pages are never chosen as eviction
+    victims; when every frame is pinned the pool grows past capacity rather
+    than evicting.  The write-ahead log pins its tail page so log appends
+    cannot be evicted out from under a running batch. *)
+val pin : t -> int -> unit
+
+(** [unpin t page] decrements the pin count.  Raises [Invalid_argument] if
+    the page is not resident or not pinned (a programmer error, not an
+    injectable fault). *)
+val unpin : t -> int -> unit
+
+val pinned : t -> int -> bool
+
+(** [write_back t page] forces [page] to the device now if it is resident
+    and dirty: one physical write, tallied as a WAL write ([Iostats]
+    [wal_writes]) since forcing the log tail at commit/sync points is this
+    primitive's purpose.  No-op when clean or absent.  Fault point:
+    [Write]. *)
+val write_back : t -> int -> unit
+
 (** [discard t page] drops a page without writing it back (for deallocated
     pages). *)
 val discard : t -> int -> unit
 
-(** [flush t] evicts everything, writing back dirty pages. *)
+(** [flush t] evicts everything (pins notwithstanding — it models orderly
+    shutdown), writing back dirty pages without fault checks. *)
 val flush : t -> unit
 
 (** [resident t page] — whether the page is currently buffered. *)

@@ -23,7 +23,11 @@ let create pool ~tuples_per_page =
   }
 
 let grow t =
+  (* Both fault points (the allocation, and the eviction a touch_new may
+     force) fire before any heap mutation, so a failed grow leaves the file
+     exactly as it was. *)
   let gid = Buffer_pool.fresh_page t.pool in
+  Buffer_pool.touch_new t.pool gid;
   let page = { gid; slots = Array.make t.tpp None; live = 0 } in
   if t.n_pages = Array.length t.pages then begin
     let ncap = max 8 (2 * Array.length t.pages) in
@@ -34,7 +38,6 @@ let grow t =
   t.pages.(t.n_pages) <- page;
   t.n_pages <- t.n_pages + 1;
   t.tail_used <- 0;
-  Buffer_pool.touch_new t.pool gid;
   page
 
 let append t tuple =
@@ -52,6 +55,10 @@ let append t tuple =
   t.tail_used <- t.tail_used + 1;
   t.n_tuples <- t.n_tuples + 1;
   { rid_page = t.n_pages - 1; rid_slot = slot }
+
+let next_rid t =
+  if t.n_pages = 0 || t.tail_used >= t.tpp then { rid_page = t.n_pages; rid_slot = 0 }
+  else { rid_page = t.n_pages - 1; rid_slot = t.tail_used }
 
 let check_rid t rid =
   rid.rid_page >= 0 && rid.rid_page < t.n_pages && rid.rid_slot >= 0
@@ -84,6 +91,47 @@ let update t rid tuple =
   | Some _ ->
       page.slots.(rid.rid_slot) <- Some (Array.copy tuple);
       true
+
+let restore t rid tuple =
+  if not (check_rid t rid) then invalid_arg "Heap_file.restore: bad rid";
+  let page = t.pages.(rid.rid_page) in
+  Buffer_pool.touch t.pool page.gid ~dirty:true;
+  match page.slots.(rid.rid_slot) with
+  | Some _ -> false
+  | None ->
+      page.slots.(rid.rid_slot) <- Some (Array.copy tuple);
+      page.live <- page.live + 1;
+      t.n_tuples <- t.n_tuples + 1;
+      true
+
+let truncate_last t rid =
+  (* Tolerant: the rid was *predicted* before the append ran, so when undo
+     reaches it the append may never have happened — then the rid still
+     points one past the tail and there is nothing to remove. *)
+  if
+    rid.rid_page >= t.n_pages
+    || (rid.rid_page = t.n_pages - 1 && rid.rid_slot >= t.tail_used)
+  then false
+  else if rid.rid_page = t.n_pages - 1 && rid.rid_slot = t.tail_used - 1 then begin
+    let page = t.pages.(rid.rid_page) in
+    Buffer_pool.touch t.pool page.gid ~dirty:true;
+    (match page.slots.(rid.rid_slot) with
+    | Some _ ->
+        page.slots.(rid.rid_slot) <- None;
+        page.live <- page.live - 1;
+        t.n_tuples <- t.n_tuples - 1
+    | None -> ());
+    t.tail_used <- t.tail_used - 1;
+    if t.tail_used = 0 then begin
+      (* The append that created this slot also grew the page: drop it
+         without a write-back, restoring the pre-append page count. *)
+      Buffer_pool.discard t.pool page.gid;
+      t.n_pages <- t.n_pages - 1;
+      t.tail_used <- (if t.n_pages = 0 then 0 else t.tpp)
+    end;
+    true
+  end
+  else invalid_arg "Heap_file.truncate_last: rid is not the tail"
 
 let scan t ~f =
   for p = 0 to t.n_pages - 1 do

@@ -26,6 +26,23 @@ val delete : t -> rid -> bool
 (** [update t rid tuple] overwrites the slot in place; [false] when empty. *)
 val update : t -> rid -> int array -> bool
 
+(** [next_rid t] is the rid the next {!append} will return — used by the
+    write-ahead log to record an insertion's destination before applying
+    it. *)
+val next_rid : t -> rid
+
+(** [restore t rid tuple] refills an emptied slot (undo of a delete);
+    [false] when the slot is already occupied — a tolerant no-op, since
+    recovery cannot know how far the crashed operation got. *)
+val restore : t -> rid -> int array -> bool
+
+(** [truncate_last t rid] removes the tail slot if [rid] is it (undo of an
+    append), dropping the tail page entirely when the append had grown it.
+    [false] when [rid] points one past the tail, i.e. the logged append
+    never executed.  Raises [Invalid_argument] if [rid] is neither — undo
+    must run in strict LIFO order. *)
+val truncate_last : t -> rid -> bool
+
 (** [scan t ~f] visits every live tuple in file order, touching every page
     (including pages that became empty). *)
 val scan : t -> f:(rid -> int array -> unit) -> unit

@@ -1,12 +1,19 @@
-type t = { mutable n_reads : int; mutable n_writes : int; mutable n_accesses : int }
+type t = {
+  mutable n_reads : int;
+  mutable n_writes : int;
+  mutable n_accesses : int;
+  mutable n_wal_writes : int;
+}
 
-let create () = { n_reads = 0; n_writes = 0; n_accesses = 0 }
+let create () = { n_reads = 0; n_writes = 0; n_accesses = 0; n_wal_writes = 0 }
 
 let reads t = t.n_reads
 
 let writes t = t.n_writes
 
 let accesses t = t.n_accesses
+
+let wal_writes t = t.n_wal_writes
 
 let total_io t = t.n_reads + t.n_writes
 
@@ -16,11 +23,18 @@ let record_write t = t.n_writes <- t.n_writes + 1
 
 let record_access t = t.n_accesses <- t.n_accesses + 1
 
+(* WAL page writes are real writes (they count in [writes]) but are also
+   tallied separately so the logging overhead stays visible. *)
+let record_wal_write t =
+  t.n_writes <- t.n_writes + 1;
+  t.n_wal_writes <- t.n_wal_writes + 1
+
 let reset t =
   t.n_reads <- 0;
   t.n_writes <- 0;
-  t.n_accesses <- 0
+  t.n_accesses <- 0;
+  t.n_wal_writes <- 0
 
 let pp ppf t =
-  Format.fprintf ppf "reads=%d writes=%d accesses=%d" t.n_reads t.n_writes
-    t.n_accesses
+  Format.fprintf ppf "reads=%d writes=%d (wal=%d) accesses=%d" t.n_reads
+    t.n_writes t.n_wal_writes t.n_accesses

@@ -14,6 +14,10 @@ val writes : t -> int
 (** Logical page accesses (hits + misses). *)
 val accesses : t -> int
 
+(** Write-ahead-log page writes — a subset of {!writes}, tallied separately
+    so logging overhead stays visible next to the base I/O. *)
+val wal_writes : t -> int
+
 val total_io : t -> int
 
 val record_read : t -> unit
@@ -21,6 +25,9 @@ val record_read : t -> unit
 val record_write : t -> unit
 
 val record_access : t -> unit
+
+(** Counts one physical write and one WAL write. *)
+val record_wal_write : t -> unit
 
 val reset : t -> unit
 

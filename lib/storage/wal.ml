@@ -1,0 +1,136 @@
+(* Logical write-ahead log.  See wal.mli for the protocol.  The in-memory
+   record list is the log's contents; the buffer-pool pages only model its
+   I/O footprint.  Every fault point in [append]/[sync] fires before the
+   record list or page metadata changes, so a failed log operation leaves
+   the log exactly as it was (and the protected data operation, which only
+   runs after its record is logged, never happens either). *)
+
+type record =
+  | Begin
+  | Commit
+  | Ins of { table : int; rid : Heap_file.rid; tuple : int array }
+  | Del of { table : int; rid : Heap_file.rid; before : int array }
+  | Upd of { table : int; rid : Heap_file.rid; before : int array; after : int array }
+
+type t = {
+  pool : Buffer_pool.t;
+  page_bytes : int;
+  mutable records : record list;  (* newest first *)
+  mutable n_records : int;
+  mutable pages : int list;  (* gids, newest (tail) first *)
+  mutable tail_bytes : int;  (* bytes used on the tail page *)
+  mutable synced : int;  (* records covered by the last successful [sync] *)
+  mutable t_total_records : int;
+  mutable t_total_pages : int;
+}
+
+let word = 8
+
+(* tag+table header, rid as two words, payload words. *)
+let record_bytes = function
+  | Begin | Commit -> word
+  | Ins r -> word * (4 + Array.length r.tuple)
+  | Del r -> word * (4 + Array.length r.before)
+  | Upd r -> word * (4 + Array.length r.before + Array.length r.after)
+
+let create pool ~page_bytes =
+  if page_bytes < 5 * word then invalid_arg "Wal.create: page_bytes too small";
+  {
+    pool;
+    page_bytes;
+    records = [];
+    n_records = 0;
+    pages = [];
+    tail_bytes = 0;
+    synced = 0;
+    t_total_records = 0;
+    t_total_pages = 0;
+  }
+
+let tail t = match t.pages with [] -> None | gid :: _ -> Some gid
+
+let append t r =
+  let bytes = record_bytes r in
+  let fits =
+    match tail t with
+    | Some _ -> t.tail_bytes + bytes <= t.page_bytes
+    | None -> false
+  in
+  if fits then begin
+    (* Tail is resident and pinned: a hit, no fault point. *)
+    Buffer_pool.touch t.pool (Option.get (tail t)) ~dirty:true;
+    t.tail_bytes <- t.tail_bytes + bytes
+  end
+  else begin
+    (* Seal the old tail (forced out now — one WAL write), then allocate as
+       many fresh pages as the record spans.  A fault anywhere here leaves
+       the old tail pinned and the metadata untouched; the retried append
+       redoes the seal as a no-op (the page is clean by then). *)
+    (match tail t with Some gid -> Buffer_pool.write_back t.pool gid | None -> ());
+    let n_new = max 1 ((bytes + t.page_bytes - 1) / t.page_bytes) in
+    let gids =
+      List.init n_new (fun _ ->
+          let gid = Buffer_pool.fresh_page t.pool in
+          Buffer_pool.touch_new t.pool gid;
+          gid)
+    in
+    let new_tail = List.nth gids (n_new - 1) in
+    Buffer_pool.pin t.pool new_tail;
+    (match tail t with Some gid -> Buffer_pool.unpin t.pool gid | None -> ());
+    t.pages <- List.rev_append gids t.pages;
+    t.t_total_pages <- t.t_total_pages + n_new;
+    t.tail_bytes <- bytes - ((n_new - 1) * t.page_bytes)
+  end;
+  t.records <- r :: t.records;
+  t.n_records <- t.n_records + 1;
+  t.t_total_records <- t.t_total_records + 1
+
+let sync t =
+  (* The write-back is the fault point; [synced] only advances once the
+     force actually happened. *)
+  (match tail t with Some gid -> Buffer_pool.write_back t.pool gid | None -> ());
+  t.synced <- t.n_records
+
+let checkpoint t =
+  (match tail t with Some gid -> Buffer_pool.unpin t.pool gid | None -> ());
+  List.iter (fun gid -> Buffer_pool.discard t.pool gid) t.pages;
+  t.records <- [];
+  t.n_records <- 0;
+  t.pages <- [];
+  t.tail_bytes <- 0;
+  t.synced <- 0
+
+(* A Commit at the head decides the batch's fate only once [sync] has
+   forced it out: a crash between appending Commit and forcing the log
+   means the commit never became durable, so the batch aborts and its
+   records roll back exactly as if the Commit were never written. *)
+let committed t =
+  match t.records with Commit :: _ -> t.synced >= t.n_records | _ -> false
+
+let unfinished t =
+  let newest_first =
+    match t.records with
+    | Commit :: rest when not (committed t) -> rest
+    | records -> records
+  in
+  match newest_first with
+  | [] | Commit :: _ -> []
+  | newest_first ->
+      (* Collect newest-first until the batch's Begin (or a stale Commit);
+         the accumulator flips to oldest-first, so flip back. *)
+      let rec upto_begin acc = function
+        | [] | Begin :: _ | Commit :: _ -> acc
+        | r :: rest -> upto_begin (r :: acc) rest
+      in
+      List.rev (upto_begin [] newest_first)
+
+let in_flight t =
+  match t.records with [] -> false | Commit :: _ -> not (committed t) | _ -> true
+
+let page_gids t = t.pages
+
+let n_records t = t.n_records
+
+let total_records t = t.t_total_records
+
+let total_pages t = t.t_total_pages

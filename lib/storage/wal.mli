@@ -1,0 +1,76 @@
+(** A logical write-ahead log for refresh batches.
+
+    The log is an append-only sequence of pages charged through the shared
+    {!Buffer_pool}, so logging costs surface in {!Iostats} next to the base
+    I/O they protect ([wal_writes]).  Records are {e logical} with before
+    images — [Ins]/[Del]/[Upd] on a numbered durable table — rather than
+    physical page deltas, because the simulated pages hold no bytes; what
+    makes recovery sound is the protocol, which mirrors the classical one:
+
+    - {e log before apply}: a record is appended (and its destination rid
+      predicted via [Heap_file.next_rid]) before the data operation runs,
+      so the log always covers at least as much as the data;
+    - {e force at commit}: the commit record is appended and then [sync]
+      writes the tail page out — a batch counts as committed only once the
+      force succeeded, so a crash between the two aborts it;
+    - {e checkpoint after commit}: the log truncates once a batch is fully
+      committed, so at most one batch is ever in flight.
+
+    Recovery ({!unfinished}) returns the suffix of records belonging to an
+    uncommitted batch, newest first, for strict LIFO undo. *)
+
+type record =
+  | Begin
+  | Commit
+  | Ins of { table : int; rid : Heap_file.rid; tuple : int array }
+      (** [rid] is the {e predicted} destination — when undo reaches it the
+          append may not have executed *)
+  | Del of { table : int; rid : Heap_file.rid; before : int array }
+  | Upd of { table : int; rid : Heap_file.rid; before : int array; after : int array }
+
+type t
+
+(** [create pool ~page_bytes] — an empty log writing [page_bytes]-sized
+    pages through [pool].  The current tail page stays pinned so data-page
+    pressure can never evict it mid-batch. *)
+val create : Buffer_pool.t -> page_bytes:int -> t
+
+(** [append t r] logs a record: the tail page is touched dirty; when the
+    record does not fit, the tail is sealed (forced out, one WAL write) and
+    a fresh page allocated.  All fault points precede any log mutation.  *)
+val append : t -> record -> unit
+
+(** [sync t] forces the tail page out if dirty (one WAL write) and marks
+    every record appended so far durable.  A [Commit] record decides the
+    batch's fate only once a [sync] has covered it: if the force itself
+    fails, the commit never became durable and {!unfinished} still returns
+    the batch's records for rollback — the classical "commit is the log
+    force" rule. *)
+val sync : t -> unit
+
+(** [checkpoint t] truncates the log after a committed batch: unpins and
+    drops all log pages (they are clean by then — no writes). *)
+val checkpoint : t -> unit
+
+(** Records of the latest batch iff it lacks a {e forced} [Commit], newest
+    first and without the [Begin]/[Commit] markers; [[]] when the log is
+    empty or the batch durably committed. *)
+val unfinished : t -> record list
+
+(** Whether a [Begin] without a matching forced [Commit] is in the log. *)
+val in_flight : t -> bool
+
+(** Buffer-pool page ids currently holding the log, newest first — recovery
+    touches them to charge its log reads. *)
+val page_gids : t -> int list
+
+(** Records currently in the log. *)
+val n_records : t -> int
+
+(** Records appended over the log's lifetime (survives checkpoints). *)
+val total_records : t -> int
+
+(** Pages allocated to the log over its lifetime. *)
+val total_pages : t -> int
+
+val record_bytes : record -> int

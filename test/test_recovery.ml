@@ -1,0 +1,263 @@
+(* Tests for the fault-injection + crash-recovery subsystem: the WAL's
+   append/undo discipline, WAL-protected refresh with no faults (overhead,
+   bit-identity with the unprotected path), rollback to the exact pre-batch
+   state, crash-retry, transient in-place retry, graceful degradation to
+   view recomputation, and determinism of seeded fault plans. *)
+
+module Bitset = Vis_util.Bitset
+module Schema = Vis_catalog.Schema
+module Config = Vis_costmodel.Config
+module Element = Vis_costmodel.Element
+module Datagen = Vis_workload.Datagen
+module Warehouse = Vis_maintenance.Warehouse
+module Refresh = Vis_maintenance.Refresh
+module Validate = Vis_maintenance.Validate
+module Iostats = Vis_storage.Iostats
+module Buffer_pool = Vis_storage.Buffer_pool
+module Heap_file = Vis_storage.Heap_file
+module Faults = Vis_storage.Faults
+module Wal = Vis_storage.Wal
+
+let checkb = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+let checks = Alcotest.(check string)
+
+let schema = Vis_workload.Schemas.validation ()
+
+(* A design with a supporting view and an index, so the protected refresh
+   exercises index maintenance and saved-delta plans too. *)
+let config () =
+  let st = Bitset.of_list [ 1; 2 ] in
+  let ix =
+    {
+      Element.ix_elem = Element.View (Schema.all_relations schema);
+      ix_attr = { Element.a_rel = 2; a_name = "T0" };
+    }
+  in
+  Config.make ~views:[ st ] ~indexes:[ ix ]
+
+(* Two structurally identical worlds from one seed: a warehouse and the
+   batch to apply to it. *)
+let world ?(seed = 21) () =
+  let rng = Random.State.make [| seed |] in
+  let ds = Datagen.generate ~rng schema in
+  let w = Warehouse.build schema (config ()) ds in
+  let batch = Datagen.deltas ~rng schema ds in
+  (w, batch)
+
+let ok_exn = function
+  | Ok v -> v
+  | Error (e : Refresh.error) ->
+      Alcotest.failf "protected refresh failed: %a" Faults.pp_fault
+        e.Refresh.err_fault
+
+(* ------------------------------------------------------------------ *)
+(* WAL mechanics. *)
+
+let test_wal_roundtrip () =
+  let stats = Iostats.create () in
+  let pool = Buffer_pool.create ~capacity:8 ~stats in
+  let wal = Wal.create pool ~page_bytes:64 in
+  checkb "empty log: nothing unfinished" true (Wal.unfinished wal = []);
+  Wal.append wal Wal.Begin;
+  let rid = { Heap_file.rid_page = 0; rid_slot = 1 } in
+  Wal.append wal (Wal.Ins { table = 0; rid; tuple = [| 1; 2 |] });
+  Wal.append wal (Wal.Del { table = 1; rid; before = [| 3 |] });
+  checki "three records" 3 (Wal.n_records wal);
+  (match Wal.unfinished wal with
+  | [ Wal.Del _; Wal.Ins _ ] -> ()
+  | l -> Alcotest.failf "unexpected unfinished shape (%d records)" (List.length l));
+  checkb "in flight" true (Wal.in_flight wal);
+  Wal.append wal Wal.Commit;
+  (* An unforced Commit is not durable: the batch still counts as in flight
+     and its records still roll back until [sync] covers the Commit. *)
+  checkb "unforced commit still rolls back" true (Wal.unfinished wal <> []);
+  checkb "unforced commit still in flight" true (Wal.in_flight wal);
+  Wal.sync wal;
+  checkb "sync forced the tail" true (Iostats.wal_writes stats >= 1);
+  checkb "forced commit: nothing unfinished" true (Wal.unfinished wal = []);
+  checkb "forced commit: not in flight" false (Wal.in_flight wal);
+  Wal.checkpoint wal;
+  checki "checkpoint truncates" 0 (Wal.n_records wal);
+  checkb "no longer in flight" false (Wal.in_flight wal);
+  checki "lifetime records survive checkpoint" 4 (Wal.total_records wal)
+
+let test_wal_page_spill () =
+  let stats = Iostats.create () in
+  let pool = Buffer_pool.create ~capacity:4 ~stats in
+  (* 64-byte pages hold two 4-word records: appending five Begin-sized
+     records and one wide record must spill across pages, sealing each full
+     page with a forced write. *)
+  let wal = Wal.create pool ~page_bytes:64 in
+  let rid = { Heap_file.rid_page = 0; rid_slot = 0 } in
+  for _ = 1 to 5 do
+    Wal.append wal (Wal.Ins { table = 0; rid; tuple = [||] })
+  done;
+  checkb "spilled to pages" true (Wal.total_pages wal >= 3);
+  Wal.append wal (Wal.Ins { table = 0; rid; tuple = Array.make 20 7 });
+  checkb "wide record takes multiple pages" true (Wal.total_pages wal >= 5);
+  checkb "tail pinned" true
+    (match Wal.page_gids wal with
+    | gid :: _ -> Buffer_pool.pinned pool gid
+    | [] -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Protected refresh without faults. *)
+
+let test_protected_matches_unprotected () =
+  let w1, batch1 = world () in
+  let w2, batch2 = world () in
+  let r1 = Refresh.run w1 batch1 in
+  let r2, fs = ok_exn (Refresh.run_protected w2 batch2) in
+  checks "bit-identical stored state" (Warehouse.signature w1)
+    (Warehouse.signature w2);
+  checkb "no attempts wasted" true (fs.Refresh.fs_attempts = 1);
+  checkb "nothing injected" true (fs.Refresh.fs_injected = 0);
+  checkb "not degraded" true (not fs.Refresh.fs_degraded);
+  checkb "WAL records were written" true (fs.Refresh.fs_wal_records > 0);
+  (* The protected run costs extra I/O only for the log itself. *)
+  let base = Refresh.total_io r1 and prot = Refresh.total_io r2 in
+  checkb
+    (Printf.sprintf "WAL overhead <= 10%% (unprotected %d, protected %d)" base
+       prot)
+    true
+    (float_of_int prot <= 1.10 *. float_of_int base);
+  match Warehouse.integrity_check w2 with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+(* ------------------------------------------------------------------ *)
+(* Rollback and retry. *)
+
+let test_crash_retry_bit_identical () =
+  let w_ref, batch_ref = world () in
+  let _ = Refresh.run w_ref batch_ref in
+  let reference = Warehouse.signature w_ref in
+  let w, batch = world () in
+  (* One-shot crash on the 25th armed write: first attempt dies mid-batch,
+     recovery rolls back, the retry sails through (the fault is spent). *)
+  let plan =
+    Faults.make [ Faults.Fail_nth { op = Some Faults.Write; n = 25; kind = Faults.Crash } ]
+  in
+  let _, fs = ok_exn (Refresh.run_protected ~faults:plan w batch) in
+  checki "two attempts" 2 fs.Refresh.fs_attempts;
+  checki "one rollback" 1 fs.Refresh.fs_rollbacks;
+  checkb "records were undone" true (fs.Refresh.fs_undone > 0);
+  checkb "not degraded" true (not fs.Refresh.fs_degraded);
+  checks "recovered state bit-identical to fault-free refresh" reference
+    (Warehouse.signature w)
+
+let test_rollback_restores_prebatch () =
+  let w, batch = world () in
+  let pre = Warehouse.signature w in
+  (* Every write fails permanently: the normal path dies, degradation dies
+     too, and the warehouse must come back exactly as it started. *)
+  let plan =
+    Faults.make
+      [ Faults.Fail_prob { op = Some Faults.Write; p = 1.0; kind = Faults.Permanent } ]
+  in
+  (match Refresh.run_protected ~faults:plan ~max_attempts:2 w batch with
+  | Ok _ -> Alcotest.fail "expected the batch to fail"
+  | Error e ->
+      checkb "fault reported as permanent" true
+        (e.Refresh.err_fault.Faults.f_kind = Faults.Permanent);
+      checkb "rolled back every attempt" true (e.Refresh.err_stats.Refresh.fs_rollbacks >= 2));
+  checks "pre-batch state restored bit-for-bit" pre (Warehouse.signature w);
+  match Warehouse.integrity_check w with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_transient_retries_in_place () =
+  let w_ref, batch_ref = world () in
+  let _ = Refresh.run w_ref batch_ref in
+  let reference = Warehouse.signature w_ref in
+  let w, batch = world () in
+  let plan =
+    Faults.make
+      [ Faults.Fail_nth { op = Some Faults.Write; n = 10; kind = Faults.Transient } ]
+  in
+  let _, fs = ok_exn (Refresh.run_protected ~faults:plan w batch) in
+  checki "transient never aborts the batch" 1 fs.Refresh.fs_attempts;
+  checkb "the page operation retried" true (fs.Refresh.fs_retries >= 1);
+  checkb "backoff time charged" true (fs.Refresh.fs_backoff_ms > 0.0);
+  checki "nothing surfaced" 0 fs.Refresh.fs_injected;
+  checks "state bit-identical to fault-free refresh" reference
+    (Warehouse.signature w)
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation. *)
+
+let test_degradation_recomputes_views () =
+  let w_ref, batch_ref = world () in
+  let _ = Refresh.run w_ref batch_ref in
+  let logical_ref = Warehouse.logical_signature w_ref in
+  let w, batch = world () in
+  (* A permanent mid-batch fault: the normal path cannot complete, so the
+     refresh falls back to bases-only application plus view recomputation.
+     (Fail_nth is consumed by op count, so the degraded pass — whose
+     armed-op counter has moved past n — completes.) *)
+  let plan =
+    Faults.make [ Faults.Fail_nth { op = None; n = 120; kind = Faults.Permanent } ]
+  in
+  let _, fs = ok_exn (Refresh.run_protected ~faults:plan w batch) in
+  checkb "degraded" true fs.Refresh.fs_degraded;
+  checkb "views were recomputed" true (fs.Refresh.fs_recomputed_rows > 0);
+  checks "logically identical to the fault-free refresh" logical_ref
+    (Warehouse.logical_signature w);
+  (match Warehouse.integrity_check w with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (* Physically the recomputed views differ — that is the point. *)
+  checkb "physically a different layout" true
+    (Warehouse.signature w <> Warehouse.signature w_ref)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism. *)
+
+let test_fault_plans_deterministic () =
+  let outcome () =
+    let w, batch = world () in
+    let rng = Random.State.make [| 42; 7 |] in
+    let plan = Faults.random ~rng () in
+    match Refresh.run_protected ~faults:plan w batch with
+    | Ok (_, fs) ->
+        ( "ok",
+          Warehouse.signature w,
+          fs.Refresh.fs_attempts,
+          fs.Refresh.fs_injected,
+          fs.Refresh.fs_retries )
+    | Error e ->
+        ( Format.asprintf "%a" Faults.pp_fault e.Refresh.err_fault,
+          Warehouse.signature w,
+          e.Refresh.err_stats.Refresh.fs_attempts,
+          e.Refresh.err_stats.Refresh.fs_injected,
+          e.Refresh.err_stats.Refresh.fs_retries )
+  in
+  let a = outcome () and b = outcome () in
+  checkb "same plan, same outcome, same state" true (a = b)
+
+let () =
+  Alcotest.run "vis_recovery"
+    [
+      ( "wal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "page spill" `Quick test_wal_page_spill;
+        ] );
+      ( "protected refresh",
+        [
+          Alcotest.test_case "fault-free bit-identity + overhead" `Quick
+            test_protected_matches_unprotected;
+          Alcotest.test_case "crash retry" `Quick test_crash_retry_bit_identical;
+          Alcotest.test_case "permanent failure rolls back" `Quick
+            test_rollback_restores_prebatch;
+          Alcotest.test_case "transient retries in place" `Quick
+            test_transient_retries_in_place;
+          Alcotest.test_case "degradation recomputes views" `Quick
+            test_degradation_recomputes_views;
+          Alcotest.test_case "deterministic plans" `Quick
+            test_fault_plans_deterministic;
+        ] );
+    ]

@@ -6,6 +6,7 @@ module Iostats = Vis_storage.Iostats
 module Buffer_pool = Vis_storage.Buffer_pool
 module Heap_file = Vis_storage.Heap_file
 module Btree = Vis_storage.Btree
+module Faults = Vis_storage.Faults
 
 let checkb = Alcotest.(check bool)
 
@@ -68,6 +69,148 @@ let test_pool_discard () =
   Buffer_pool.discard pool a;
   Buffer_pool.flush pool;
   checki "discarded page not written" 0 (Iostats.writes stats)
+
+(* Pinned pages sit out eviction entirely; when everything is pinned the
+   pool grows past capacity rather than evicting. *)
+let test_pool_pin_skips_eviction () =
+  let pool, stats = fresh_pool ~capacity:2 () in
+  let pages = Array.init 3 (fun _ -> Buffer_pool.fresh_page pool) in
+  Buffer_pool.pin pool pages.(0);
+  Buffer_pool.touch pool pages.(1) ~dirty:false;
+  (* pages.(0) is LRU but pinned: the victim must be pages.(1). *)
+  Buffer_pool.touch pool pages.(2) ~dirty:false;
+  checkb "pinned LRU page survives" true (Buffer_pool.resident pool pages.(0));
+  checkb "unpinned page evicted instead" false (Buffer_pool.resident pool pages.(1));
+  Buffer_pool.unpin pool pages.(0);
+  Buffer_pool.touch pool pages.(1) ~dirty:false;
+  checkb "after unpin it can be evicted" false (Buffer_pool.resident pool pages.(0));
+  checki "pin counted its miss" 4 (Iostats.reads stats)
+
+let test_pool_all_pinned_overflows () =
+  let pool, _ = fresh_pool ~capacity:1 () in
+  let a = Buffer_pool.fresh_page pool in
+  let b = Buffer_pool.fresh_page pool in
+  Buffer_pool.pin pool a;
+  Buffer_pool.touch pool b ~dirty:false;
+  checkb "pinned page stays" true (Buffer_pool.resident pool a);
+  checkb "new page admitted over capacity" true (Buffer_pool.resident pool b)
+
+let test_pool_pin_refcount () =
+  let pool, _ = fresh_pool () in
+  let a = Buffer_pool.fresh_page pool in
+  Buffer_pool.pin pool a;
+  Buffer_pool.pin pool a;
+  Buffer_pool.unpin pool a;
+  checkb "still pinned after one unpin" true (Buffer_pool.pinned pool a);
+  Buffer_pool.unpin pool a;
+  checkb "fully unpinned" false (Buffer_pool.pinned pool a);
+  Alcotest.check_raises "unpin unpinned"
+    (Invalid_argument "Buffer_pool.unpin: page not pinned") (fun () ->
+      Buffer_pool.unpin pool a);
+  Alcotest.check_raises "unpin non-resident"
+    (Invalid_argument "Buffer_pool.unpin: page not resident") (fun () ->
+      Buffer_pool.unpin pool (Buffer_pool.fresh_page pool))
+
+let test_pool_flush_ignores_pins () =
+  let pool, stats = fresh_pool () in
+  let a = Buffer_pool.fresh_page pool in
+  Buffer_pool.touch_new pool a;
+  Buffer_pool.pin pool a;
+  Buffer_pool.flush pool;
+  checkb "flush evicts even pinned pages" false (Buffer_pool.resident pool a);
+  checki "dirty pinned page written" 1 (Iostats.writes stats)
+
+let test_pool_write_back () =
+  let pool, stats = fresh_pool () in
+  let a = Buffer_pool.fresh_page pool in
+  Buffer_pool.touch_new pool a;
+  Buffer_pool.write_back pool a;
+  checki "forced write counted" 1 (Iostats.writes stats);
+  checki "tallied as a WAL write" 1 (Iostats.wal_writes stats);
+  Buffer_pool.write_back pool a;
+  checki "clean page not rewritten" 1 (Iostats.writes stats);
+  Buffer_pool.flush pool;
+  checki "flush finds it clean" 1 (Iostats.writes stats)
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans. *)
+
+let test_faults_nth_crash_once () =
+  let pool, stats = fresh_pool ~capacity:1 () in
+  let plan =
+    Faults.make [ Faults.Fail_nth { op = Some Faults.Read; n = 2; kind = Faults.Crash } ]
+  in
+  Buffer_pool.set_faults pool plan;
+  Faults.arm plan;
+  let a = Buffer_pool.fresh_page pool in
+  let b = Buffer_pool.fresh_page pool in
+  Buffer_pool.touch pool a ~dirty:false;
+  (match Buffer_pool.touch pool b ~dirty:false with
+  | exception Faults.Injected f ->
+      checkb "read fault" true (f.Faults.f_op = Faults.Read);
+      checkb "crash kind" true (f.Faults.f_kind = Faults.Crash)
+  | () -> Alcotest.fail "second read should crash");
+  (* The failed read never happened: no state change, no read counted. *)
+  checkb "faulted page not admitted" false (Buffer_pool.resident pool b);
+  checki "only the first read counted" 1 (Iostats.reads stats);
+  (* One-shot: the retried operation succeeds. *)
+  Buffer_pool.touch pool b ~dirty:false;
+  checkb "retry succeeds" true (Buffer_pool.resident pool b);
+  checki "faults surfaced" 1 (Faults.injected plan)
+
+let test_faults_transient_retries () =
+  let pool, _ = fresh_pool ~capacity:1 () in
+  let plan =
+    Faults.make
+      [ Faults.Fail_nth { op = Some Faults.Alloc; n = 1; kind = Faults.Transient } ]
+  in
+  Buffer_pool.set_faults pool plan;
+  Faults.arm plan;
+  (* The first alloc hits the transient fault, retries in place (the Nth
+     counter has moved on), and succeeds without surfacing anything. *)
+  let a = Buffer_pool.fresh_page pool in
+  checki "allocation completed" 0 a;
+  checki "nothing surfaced" 0 (Faults.injected plan);
+  checkb "but a retry happened" true (Faults.retries plan >= 1);
+  checkb "and backoff time accrued" true (Faults.elapsed_ms plan > 0.0)
+
+let test_faults_transient_escalates () =
+  let pool, _ = fresh_pool ~capacity:1 () in
+  let policy = { Faults.default_policy with Faults.max_retries = 3 } in
+  let plan =
+    Faults.make ~policy
+      [ Faults.Fail_prob { op = Some Faults.Alloc; p = 1.0; kind = Faults.Transient } ]
+  in
+  Buffer_pool.set_faults pool plan;
+  Faults.arm plan;
+  (match Buffer_pool.fresh_page pool with
+  | exception Faults.Injected f ->
+      checkb "escalated as transient" true (f.Faults.f_kind = Faults.Transient);
+      checki "burned the whole retry budget" 3 f.Faults.f_retries
+  | _ -> Alcotest.fail "p=1.0 transient must escalate");
+  checki "surfaced once" 1 (Faults.injected plan);
+  (* Disarmed plans never inject. *)
+  Faults.disarm plan;
+  checki "disarmed alloc fine" 0 (Buffer_pool.fresh_page pool)
+
+let test_faults_prob_deterministic () =
+  let run () =
+    let pool, _ = fresh_pool ~capacity:2 () in
+    let plan =
+      Faults.make ~seed:7
+        [ Faults.Fail_prob { op = None; p = 0.3; kind = Faults.Crash } ]
+    in
+    Buffer_pool.set_faults pool plan;
+    Faults.arm plan;
+    let trace = ref [] in
+    for i = 0 to 49 do
+      match Buffer_pool.touch pool (i mod 5) ~dirty:false with
+      | () -> trace := `Ok :: !trace
+      | exception Faults.Injected f -> trace := `Fault f.Faults.f_seq :: !trace
+    done;
+    !trace
+  in
+  checkb "same seed, same fault trace" true (run () = run ())
 
 (* LRU property: a working set that fits in the pool faults exactly once per
    page, however often it is re-touched. *)
@@ -132,6 +275,32 @@ let test_heap_scan_io () =
   Heap_file.scan h ~f:(fun _ _ -> ());
   checki "scan reads every page once" 10 (Iostats.reads stats)
 
+(* Undo primitives used by crash recovery. *)
+let test_heap_undo_roundtrip () =
+  let pool, _ = fresh_pool ~capacity:64 () in
+  let h = Heap_file.create pool ~tuples_per_page:2 in
+  checkb "next_rid on empty file" true
+    (Heap_file.next_rid h = { Heap_file.rid_page = 0; rid_slot = 0 });
+  let r0 = Heap_file.append h [| 0 |] in
+  let predicted = Heap_file.next_rid h in
+  let r1 = Heap_file.append h [| 1 |] in
+  checkb "next_rid predicted the append" true (predicted = r1);
+  (* Third append grows a page; truncating it drops the page again. *)
+  let r2 = Heap_file.append h [| 2 |] in
+  checki "two pages" 2 (Heap_file.n_pages h);
+  checkb "truncate tail" true (Heap_file.truncate_last h r2);
+  checki "fresh page dropped" 1 (Heap_file.n_pages h);
+  checki "two tuples left" 2 (Heap_file.n_tuples h);
+  (* A predicted-but-never-executed append is a tolerated no-op. *)
+  checkb "phantom append ignored" false (Heap_file.truncate_last h (Heap_file.next_rid h));
+  (* Delete then restore puts the exact tuple back in its slot. *)
+  checkb "delete" true (Heap_file.delete h r0);
+  checkb "restore" true (Heap_file.restore h r0 [| 0 |]);
+  checkb "restore occupied slot refused" false (Heap_file.restore h r0 [| 9 |]);
+  checki "value back" 0 (Option.get (Heap_file.get h r0)).(0);
+  checkb "truncate then re-append round-trips" true
+    (Heap_file.truncate_last h r1 && Heap_file.append h [| 1 |] = r1)
+
 let test_heap_bad_rid () =
   let pool, _ = fresh_pool () in
   let h = Heap_file.create pool ~tuples_per_page:4 in
@@ -145,13 +314,45 @@ let test_heap_bad_rid () =
 
 let rid i = { Heap_file.rid_page = i; rid_slot = i mod 7 }
 
+let check_ok t =
+  match Btree.check t with Ok () -> () | Error msg -> Alcotest.fail msg
+
+let test_btree_empty () =
+  let pool, _ = fresh_pool ~capacity:16 () in
+  let t = Btree.create pool ~fanout:4 in
+  check_ok t;
+  checki "empty length" 0 (Btree.length t);
+  checki "empty height" 1 (Btree.height t);
+  Alcotest.(check (list int)) "lookup on empty" []
+    (List.map (fun r -> r.Heap_file.rid_page) (Btree.lookup t ~key:3));
+  Alcotest.(check (list int)) "range on empty" []
+    (List.map fst (Btree.range t ~lo:min_int ~hi:max_int));
+  checkb "remove on empty" false (Btree.remove t ~key:3 (rid 0));
+  checkb "mem on empty" false (Btree.mem t ~key:3 (rid 0));
+  let visited = ref 0 in
+  Btree.iter t ~f:(fun _ _ -> incr visited);
+  checki "iter on empty visits nothing" 0 !visited
+
+let test_btree_duplicate_entry_rejected () =
+  let pool, _ = fresh_pool ~capacity:16 () in
+  let t = Btree.create pool ~fanout:4 in
+  Btree.insert t ~key:7 (rid 1);
+  checkb "mem finds it" true (Btree.mem t ~key:7 (rid 1));
+  checkb "same key, other rid is fine" true
+    (match Btree.insert t ~key:7 (rid 2) with () -> true);
+  (match Btree.insert t ~key:7 (rid 1) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "exact duplicate entry must be rejected");
+  check_ok t;
+  checki "rejected insert left no trace" 2 (Btree.length t)
+
 let test_btree_basics () =
   let pool, _ = fresh_pool ~capacity:256 () in
   let t = Btree.create pool ~fanout:4 in
   for i = 0 to 99 do
     Btree.insert t ~key:(i * 3 mod 101) (rid i)
   done;
-  Btree.check t;
+  check_ok t;
   checki "100 entries" 100 (Btree.length t);
   checkb "height grew" true (Btree.height t > 1);
   for i = 0 to 99 do
@@ -166,12 +367,12 @@ let test_btree_duplicates () =
   for i = 0 to 30 do
     Btree.insert t ~key:5 (rid i)
   done;
-  Btree.check t;
+  check_ok t;
   checki "all duplicates found" 31 (List.length (Btree.lookup t ~key:5));
   checkb "remove one" true (Btree.remove t ~key:5 (rid 17));
   checkb "remove again fails" false (Btree.remove t ~key:5 (rid 17));
   checki "30 left" 30 (List.length (Btree.lookup t ~key:5));
-  Btree.check t
+  check_ok t
 
 let test_btree_range () =
   let pool, _ = fresh_pool ~capacity:256 () in
@@ -252,9 +453,8 @@ let prop_btree_model =
               let want = List.sort compare (model_get key) in
               if got <> want then ok := false)
         ops;
-      Btree.check t;
       let total = Hashtbl.fold (fun _ l acc -> acc + List.length l) model 0 in
-      !ok && Btree.length t = total)
+      Btree.check t = Ok () && !ok && Btree.length t = total)
 
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
@@ -267,17 +467,37 @@ let () =
           Alcotest.test_case "dirty write-back" `Quick test_pool_dirty_writeback;
           Alcotest.test_case "touch_new" `Quick test_pool_touch_new;
           Alcotest.test_case "discard" `Quick test_pool_discard;
+          Alcotest.test_case "pin skips eviction" `Quick test_pool_pin_skips_eviction;
+          Alcotest.test_case "all pinned overflows" `Quick
+            test_pool_all_pinned_overflows;
+          Alcotest.test_case "pin refcount" `Quick test_pool_pin_refcount;
+          Alcotest.test_case "flush ignores pins" `Quick test_pool_flush_ignores_pins;
+          Alcotest.test_case "write_back" `Quick test_pool_write_back;
         ]
         @ qt [ prop_pool_no_capacity_misses ] );
+      ( "faults",
+        [
+          Alcotest.test_case "nth crash fires once" `Quick test_faults_nth_crash_once;
+          Alcotest.test_case "transient retries in place" `Quick
+            test_faults_transient_retries;
+          Alcotest.test_case "transient escalates" `Quick
+            test_faults_transient_escalates;
+          Alcotest.test_case "probability is seeded" `Quick
+            test_faults_prob_deterministic;
+        ] );
       ( "heap file",
         [
           Alcotest.test_case "append and get" `Quick test_heap_roundtrip;
           Alcotest.test_case "delete and update" `Quick test_heap_delete_update;
           Alcotest.test_case "scan I/O" `Quick test_heap_scan_io;
+          Alcotest.test_case "undo primitives" `Quick test_heap_undo_roundtrip;
           Alcotest.test_case "bad rid" `Quick test_heap_bad_rid;
         ] );
       ( "btree",
         [
+          Alcotest.test_case "empty tree" `Quick test_btree_empty;
+          Alcotest.test_case "duplicate entry rejected" `Quick
+            test_btree_duplicate_entry_rejected;
           Alcotest.test_case "basics" `Quick test_btree_basics;
           Alcotest.test_case "duplicates" `Quick test_btree_duplicates;
           Alcotest.test_case "range" `Quick test_btree_range;
