@@ -1,15 +1,23 @@
-(* CI perf-smoke guard: compare the [incremental_costing] study of a fresh
-   BENCH_vis.json against the checked-in baseline and fail when the packed
-   evaluator's work regresses.
+(* CI perf-smoke guard: compare the [incremental_costing] and
+   [parallel_scaling] studies of a fresh BENCH_vis.json against the
+   checked-in baseline and fail when the packed evaluator's work or the
+   sharded search's scaling regresses.
 
      dune exec bench/check_perf.exe -- BENCH_vis.json bench/perf_baseline.json
 
-   The guarded number is [cost_evaluations] (configurations costed from
-   scratch plus delta-costed ones) per Table 2 schema at jobs=1 — an exact,
-   machine-independent counter, so the check is immune to CI timing noise.
-   A measured value more than 20% above baseline fails the build; lower
-   values only print (improvements are recorded by refreshing the
-   baseline). *)
+   Two families of numbers are guarded, both exact and machine-independent
+   (so the check is immune to CI timing noise):
+
+   - [cost_evaluations] (configurations costed from scratch plus
+     delta-costed ones) per Table 2 schema at jobs=1 — more than 20% above
+     baseline fails the build;
+   - [modeled_speedup_4] per parallel-scaling case — the deterministic
+     replay of the recorded per-round shard work on 4 ideal workers; more
+     than 20% below baseline (work re-serialized into fewer, fatter
+     shards) fails the build.
+
+   Improvements only print; they are recorded by refreshing the
+   baseline. *)
 
 module Json = Vis_util.Json
 
@@ -34,6 +42,26 @@ let rows_by_schema json =
         rows
   | _ -> []
 
+(* The parallel_scaling study's per-case modeled speedup at 4 workers —
+   lower is worse, so the guard direction is inverted vs cost_evaluations. *)
+let scaling_by_case json =
+  match Json.member "parallel_scaling" json with
+  | Json.Obj _ as obj -> (
+      match Json.member "cases" obj with
+      | Json.List cases ->
+          List.filter_map
+            (fun case ->
+              match
+                (Json.member "run" case, Json.member "modeled_speedup_4" case)
+              with
+              | Json.String name, (Json.Float _ | Json.Int _) ->
+                  Some
+                    (name, Json.to_float (Json.member "modeled_speedup_4" case))
+              | _ -> None)
+            cases
+      | _ -> [])
+  | _ -> []
+
 let () =
   let measured_path, baseline_path =
     match Sys.argv with
@@ -42,8 +70,10 @@ let () =
         prerr_endline "usage: check_perf <measured.json> <baseline.json>";
         exit 2
   in
-  let measured = rows_by_schema (read_json measured_path) in
-  let baseline = rows_by_schema (read_json baseline_path) in
+  let measured_json = read_json measured_path in
+  let baseline_json = read_json baseline_path in
+  let measured = rows_by_schema measured_json in
+  let baseline = rows_by_schema baseline_json in
   if baseline = [] then begin
     prerr_endline "check_perf: baseline has no incremental_costing jobs=1 rows";
     exit 2
@@ -67,11 +97,37 @@ let () =
             Printf.printf "ok   %-20s cost_evaluations %.0f (baseline %.0f)\n"
               name got base)
     baseline;
+  let measured_scaling = scaling_by_case measured_json in
+  let baseline_scaling = scaling_by_case baseline_json in
+  if baseline_scaling = [] then begin
+    prerr_endline "check_perf: baseline has no parallel_scaling cases";
+    exit 2
+  end;
+  List.iter
+    (fun (name, base) ->
+      match List.assoc_opt name measured_scaling with
+      | None ->
+          Printf.eprintf "FAIL %-34s missing from measured run\n" name;
+          incr failures
+      | Some got ->
+          let limit = base /. tolerance in
+          if got < limit then begin
+            Printf.eprintf
+              "FAIL %-34s modeled_speedup_4 %.2fx < %.2fx (baseline %.2fx \
+               -20%%)\n"
+              name got limit base;
+            incr failures
+          end
+          else
+            Printf.printf "ok   %-34s modeled_speedup_4 %.2fx (baseline %.2fx)\n"
+              name got base)
+    baseline_scaling;
   if !failures > 0 then begin
     Printf.eprintf
-      "check_perf: %d schema(s) regressed; if intentional, refresh \
+      "check_perf: %d number(s) regressed; if intentional, refresh \
        bench/perf_baseline.json\n"
       !failures;
     exit 1
   end;
-  print_endline "check_perf: incremental-costing work within baseline"
+  print_endline
+    "check_perf: incremental-costing work and parallel scaling within baseline"

@@ -37,6 +37,13 @@ let die fmt =
       exit 2)
     fmt
 
+(* "star8" -> Some 8, "snowflake7" -> Some 7 (relative to its prefix). *)
+let parse_sized prefix name =
+  let pl = String.length prefix in
+  if String.length name > pl && String.sub name 0 pl = prefix then
+    int_of_string_opt (String.sub name pl (String.length name - pl))
+  else None
+
 let load_schema file builtin =
   match (file, builtin) with
   | Some path, _ -> (
@@ -47,9 +54,21 @@ let load_schema file builtin =
   | None, "schema1" -> Vis_workload.Schemas.schema1 ()
   | None, "schema2" -> Vis_workload.Schemas.schema2 ()
   | None, "validation" -> Vis_workload.Schemas.validation ()
-  | None, other ->
-      die "unknown builtin schema %S (expected schema1, schema2 or validation)"
-        other
+  | None, other -> (
+      (* star<N>: a star warehouse of N relations (one fact, N−1 dims);
+         snowflake<N>: N relations as (N−1)/2 arms normalized 2 deep. *)
+      match (parse_sized "star" other, parse_sized "snowflake" other) with
+      | Some k, _ when 3 <= k && k <= 25 ->
+          Vis_workload.Schemas.star ~n_dims:(k - 1) ()
+      | Some k, _ -> die "star<N>: N must be 3..25 relations (got %d)" k
+      | _, Some k when k >= 5 && k mod 2 = 1 && k <= 25 ->
+          Vis_workload.Schemas.snowflake ~arms:((k - 1) / 2) ~depth:2 ()
+      | _, Some k -> die "snowflake<N>: N must be odd, 5..25 (got %d)" k
+      | None, None ->
+          die
+            "unknown builtin schema %S (expected schema1, schema2, \
+             validation, star<N> or snowflake<N>)"
+            other)
 
 let schema_name file builtin =
   match file with Some path -> path | None -> builtin
@@ -59,7 +78,14 @@ let file_arg =
   Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
 
 let builtin_arg =
-  let doc = "Built-in schema: schema1, schema2 or validation." in
+  let doc =
+    "Built-in schema: schema1, schema2, validation, star$(b,N) (a star \
+     warehouse of $(b,N) relations, e.g. star8) or snowflake$(b,N) \
+     ($(b,N) odd: (N-1)/2 dimension arms normalized two levels deep, e.g. \
+     snowflake7).  For the generated warehouses combine with \
+     $(b,--connected-only) and $(b,--cap-views) to keep the candidate \
+     lattice tractable."
+  in
   Arg.(value & opt string "schema1" & info [ "builtin" ] ~docv:"NAME" ~doc)
 
 let stats_arg =
@@ -93,6 +119,46 @@ let jobs_arg =
      at any setting; only wall-clock time changes."
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let cap_views_arg =
+  let doc =
+    "Cap candidate supporting views at $(docv) base relations per view \
+     (see Problem.make's max_view_rels).  Recommended for star/snowflake \
+     builtins, whose full subset lattice is intractable."
+  in
+  Arg.(value & opt (some int) None & info [ "cap-views" ] ~docv:"K" ~doc)
+
+let connected_only_arg =
+  let doc =
+    "Exclude cross-product candidate views (keep only connected relation \
+     subsets).  The paper keeps them, so the default is off."
+  in
+  Arg.(value & flag & info [ "connected-only" ] ~doc)
+
+let budget_arg =
+  let doc =
+    "Switch to the budgeted anytime search: stop after about $(docv) \
+     expansions and report the best design found with a proven \
+     optimality-gap certificate instead of failing."
+  in
+  Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"N" ~doc)
+
+let beam_arg =
+  let doc =
+    "Beam width: cap every search frontier at $(docv) states, discarding \
+     the least promising (their best discarded bound feeds the optimality \
+     gap).  Implies the budgeted anytime mode."
+  in
+  Arg.(value & opt (some int) None & info [ "beam" ] ~docv:"B" ~doc)
+
+let shard_arg =
+  let doc =
+    "Force the coarse-grained sharded search on ($(b,--shard=true)) or off \
+     ($(b,--shard=false)).  Default: problems with at least 32 \
+     post-dominance features shard, smaller ones run the single-queue \
+     loop.  Results are identical either way."
+  in
+  Arg.(value & opt (some bool) None & info [ "shard" ] ~docv:"BOOL" ~doc)
 
 let report_config schema config cost =
   Printf.printf "total maintenance cost: %.1f page I/Os\n" cost;
@@ -162,17 +228,49 @@ let emit_human ~stats ~trace ~schema ~p ~config ~search_stats () =
   end;
   ignore schema
 
-let run_optimize file builtin stats trace json jobs =
+let certificate_json = function
+  | Vis_core.Astar.Optimal -> Json.Obj [ ("optimal", Json.Bool true) ]
+  | Vis_core.Astar.Bounded { lower_bound; gap } ->
+      Json.Obj
+        [
+          ("optimal", Json.Bool false);
+          ("lower_bound", Json.Float lower_bound);
+          ("gap", Json.Float gap);
+        ]
+
+let print_certificate = function
+  | Vis_core.Astar.Optimal -> print_endline "certificate: optimal"
+  | Vis_core.Astar.Bounded { lower_bound; gap } ->
+      Printf.printf
+        "certificate: best found (optimum is >= %.1f, gap <= %.1f%%)\n"
+        lower_bound (100. *. gap)
+
+let run_optimize file builtin stats trace json jobs cap_views connected_only
+    budget beam shard =
   let schema = load_schema file builtin in
-  let p = Problem.make schema in
-  let r = Vis_core.Astar.search ?jobs p in
+  let p = Problem.make ~connected_only ?max_view_rels:cap_views schema in
+  let budgeted = budget <> None || beam <> None in
+  let r, certificate =
+    if budgeted then
+      let r, c =
+        Vis_core.Astar.search_budgeted ?max_expanded:budget ?beam ?jobs ?shard
+          p
+      in
+      (r, Some c)
+    else (Vis_core.Astar.search ?jobs ?shard p, None)
+  in
   let sstats = r.Vis_core.Astar.search_stats in
   let ex_states = r.Vis_core.Astar.stats.Vis_core.Astar.exhaustive_states in
   if json then
     emit_json ~schema_name:(schema_name file builtin) ~algorithm:"astar"
       ~schema ~p ~config:r.Vis_core.Astar.best ~cost:r.Vis_core.Astar.best_cost
       ~search_stats:sstats
-      ~extra:[ ("exhaustive_states", Json.Float ex_states) ]
+      ~extra:
+        (("exhaustive_states", Json.Float ex_states)
+        ::
+        (match certificate with
+        | Some c -> [ ("certificate", certificate_json c) ]
+        | None -> []))
   else begin
     Printf.printf
       "A* expanded %d states (exhaustive space: %.0f, pruning %.2f%%)\n"
@@ -182,6 +280,7 @@ let run_optimize file builtin stats trace json jobs =
          -. float_of_int r.Vis_core.Astar.stats.Vis_core.Astar.expanded
             /. Float.max 1. ex_states));
     report_config schema r.Vis_core.Astar.best r.Vis_core.Astar.best_cost;
+    Option.iter print_certificate certificate;
     emit_human ~stats ~trace ~schema ~p ~config:r.Vis_core.Astar.best
       ~search_stats:sstats ()
   end
@@ -189,7 +288,8 @@ let run_optimize file builtin stats trace json jobs =
 let optimize_term =
   Term.(
     const run_optimize $ file_arg $ builtin_arg $ stats_arg $ trace_arg
-    $ json_arg $ jobs_arg)
+    $ json_arg $ jobs_arg $ cap_views_arg $ connected_only_arg $ budget_arg
+    $ beam_arg $ shard_arg)
 
 let optimize_cmd =
   Cmd.v (Cmd.info "optimize" ~doc:"Optimal view/index selection with A*")

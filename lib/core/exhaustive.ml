@@ -95,7 +95,11 @@ let search ?jobs ?(max_states = 2_000_000) p =
         total := !total + (1 lsl Array.length (snd per_view.(vm)))
       done;
       let total = !total in
-      let chunk_target = max 1 (total / (8 * Parallel.jobs pool)) in
+      (* Fixed shard granularity (~64 shards), NOT derived from the pool
+         width: shard boundaries are part of the deterministic structure
+         (the sharding contract of {!Vis_util.Parallel}), and the per-shard
+         state counts feed the machine-independent modeled speedup. *)
+      let chunk_target = max 1 ((total + 63) / 64) in
       let ranges = ref [] in
       for vm = 0 to view_states - 1 do
         let n_inner = 1 lsl Array.length (snd per_view.(vm)) in
@@ -205,6 +209,10 @@ let search ?jobs ?(max_states = 2_000_000) p =
                     end
                   done);
               shard_best.(c) <- (!best_c, !best_g, !best_cfg));
+          (* One batch = one exchange round; each shard's work is its state
+             count, known up front. *)
+          Search_stats.record_round sstats
+            (Array.map (fun (_, lo, hi) -> hi - lo) ranges);
           Search_stats.add_generated sstats total;
           Search_stats.add_evaluated sstats total;
           Search_stats.add_expanded sstats total);

@@ -21,12 +21,20 @@ type result = {
 val count_states : Problem.t -> float
 
 (** [search ?jobs ?max_states p] enumerates everything (default cap:
-    2,000,000 states), sharding the state space over [jobs] domains
-    (default {!Vis_util.Parallel.default_jobs}).  Shards share a lock-free
-    incumbent bound; ties against the bound are kept and the shard results
-    are merged by (cost, sequential position), so the configuration
-    returned — and every counter — is identical to a sequential run at any
-    [jobs] setting. *)
+    2,000,000 states), sharding the state space over the worker pool
+    (default width {!Vis_util.Parallel.default_jobs}).
+
+    The sharding follows the contract documented in {!Vis_util.Parallel}:
+    the state space is cut into ~64 contiguous ranges of the sequential
+    enumeration order (never crossing a view-subset boundary, so each shard
+    costs one eligible-index universe, delta-walking consecutive packed
+    states), and the cut points depend only on the problem — never on
+    [jobs].  Shards share a lock-free incumbent bound; ties against the
+    bound are kept and the shard results are merged by (cost, sequential
+    position), so the configuration returned — and every counter — is
+    identical to a sequential run at any [jobs] setting.  Per-shard state
+    counts are recorded as one exchange round, feeding
+    {!Search_stats.modeled_speedup}. *)
 val search : ?jobs:int -> ?max_states:int -> Problem.t -> result
 
 (** [enumerate p ~f] calls [f config ~cost ~space] for every state and

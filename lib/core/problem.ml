@@ -75,11 +75,14 @@ let candidate_attrs schema elem =
   in
   List.rev attrs
 
-let candidate_views_of schema ~connected_only =
+let candidate_views_of schema ~connected_only ~max_view_rels =
   let full = Schema.all_relations schema in
   Bitset.proper_nonempty_subsets full
   |> List.filter (fun s ->
-         (if connected_only then Schema.connected schema s else true)
+         (match max_view_rels with
+         | Some k -> Bitset.cardinal s <= k
+         | None -> true)
+         && (if connected_only then Schema.connected schema s else true)
          &&
          match Bitset.elements s with
          | [ i ] -> Schema.has_selection schema i
@@ -94,9 +97,13 @@ let slow_cost_env () =
   | Some ("" | "0") | None -> false
   | Some _ -> true
 
-let make ?(connected_only = false) ?(share_cache = true) ?slow_cost schema =
+let make ?(connected_only = false) ?max_view_rels ?(share_cache = true)
+    ?slow_cost schema =
+  (match max_view_rels with
+  | Some k when k < 1 -> invalid_arg "Problem.make: max_view_rels must be >= 1"
+  | Some _ | None -> ());
   let derived = Derived.create schema in
-  let candidate_views = candidate_views_of schema ~connected_only in
+  let candidate_views = candidate_views_of schema ~connected_only ~max_view_rels in
   let indexes_of elem =
     List.map
       (fun a -> { Element.ix_elem = elem; ix_attr = a })

@@ -41,7 +41,12 @@ type t = {
           and incremental delta-costing *)
 }
 
-(** [make schema] enumerates the candidates.  [share_cache] (default true)
+(** [make schema] enumerates the candidates.  [max_view_rels] caps candidate
+    supporting views to subsets of at most that many relations — the
+    candidate-pruning knob for star/snowflake schemas whose full subset
+    lattice is intractable (and overflows the 62-bit packed encoding); the
+    always-on base and primary-view indexes are unaffected, and the default
+    ([None]) keeps the paper's complete enumeration.  [share_cache] (default true)
     makes every {!evaluator} share one {!Vis_costmodel.Cost.cache}, so cost
     derivations are reused across the many configurations a search visits;
     disabling it isolates each evaluation (for measuring what memoization
@@ -50,7 +55,12 @@ type t = {
     non-zero) forces the structural evaluator everywhere — the escape hatch
     kept alive for differential checking of the packed path. *)
 val make :
-  ?connected_only:bool -> ?share_cache:bool -> ?slow_cost:bool -> Vis_catalog.Schema.t -> t
+  ?connected_only:bool ->
+  ?max_view_rels:int ->
+  ?share_cache:bool ->
+  ?slow_cost:bool ->
+  Vis_catalog.Schema.t ->
+  t
 
 (** [candidate_indexes_on p elem] enumerates candidate indexes for one
     element ([Base _], a candidate view, or the primary view). *)

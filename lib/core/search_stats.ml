@@ -14,6 +14,7 @@ type t = {
   mutable phase_order : string list;  (* reversed first-use order *)
   mutable jobs : int;  (* worker slots of the parallel run; 0 = unrecorded *)
   mutable domain_work : int array;  (* chunks executed per worker slot *)
+  mutable rounds : int array list;  (* per exchange round, work per task; newest first *)
 }
 
 let create ~algorithm () =
@@ -30,6 +31,7 @@ let create ~algorithm () =
     phase_order = [];
     jobs = 0;
     domain_work = [||];
+    rounds = [];
   }
 
 let algorithm t = t.algo
@@ -84,6 +86,42 @@ let admissibility_violations t = t.adm_violations
 let set_parallel t ~jobs ~work =
   t.jobs <- jobs;
   t.domain_work <- Array.copy work
+
+(* Exchange-round accounting for the sharded searches: one entry per
+   parallel batch, holding the exact work units (cost evaluations) each
+   task of that batch performed.  The shard boundaries are jobs-independent,
+   so the recorded rounds are identical at any pool width — they are the
+   input to the machine-independent speedup model below. *)
+
+let record_round t tasks =
+  if Array.length tasks > 0 then t.rounds <- Array.copy tasks :: t.rounds
+
+let rounds t = List.rev_map Array.copy t.rounds
+
+let round_count t = List.length t.rounds
+
+let round_work t =
+  List.fold_left
+    (fun acc tasks -> Array.fold_left ( + ) acc tasks)
+    0 t.rounds
+
+(* Speedup the recorded rounds admit on [jobs] equally-fast workers under
+   the pool's claim-in-order schedule, with a barrier after every round:
+   total work / Σ per-round makespan.  Purely a function of deterministic
+   counters — the figure a multicore host can approach, computable even on
+   a single-core machine. *)
+let modeled_speedup t ~jobs =
+  if jobs < 1 || t.rounds = [] then None
+  else begin
+    let total = ref 0 and span = ref 0 in
+    List.iter
+      (fun tasks ->
+        Array.iter (fun w -> total := !total + w) tasks;
+        span := !span + Vis_util.Parallel.simulate_schedule ~jobs tasks)
+      t.rounds;
+    if !span <= 0 then None
+    else Some (float_of_int !total /. float_of_int !span)
+  end
 
 let parallel_jobs t = t.jobs
 
@@ -156,6 +194,24 @@ let render t =
         phases;
       Buffer.add_char buf '\n';
       Buffer.add_string buf (T.render tbl));
+  if t.rounds <> [] then begin
+    let tbl = T.create [ "sharded search"; "value" ] in
+    T.add_row tbl [ "exchange rounds"; string_of_int (round_count t) ];
+    T.add_row tbl [ "round work units"; string_of_int (round_work t) ];
+    List.iter
+      (fun jobs ->
+        match modeled_speedup t ~jobs with
+        | Some s ->
+            T.add_row tbl
+              [
+                Printf.sprintf "modeled speedup @%d workers" jobs;
+                Printf.sprintf "%.2fx" s;
+              ]
+        | None -> ())
+      [ 2; 4; 8 ];
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (T.render tbl)
+  end;
   if t.jobs > 0 then begin
     let tbl = T.create [ "parallelism"; "value" ] in
     T.add_row tbl [ "worker slots"; string_of_int t.jobs ];
@@ -193,6 +249,23 @@ let to_json t =
         Json.Obj
           (List.map (fun (phase, s) -> (phase, Json.Float s)) (phase_timings t))
       );
+      ( "sharded_rounds",
+        if t.rounds = [] then Json.Null
+        else
+          Json.Obj
+            [
+              ("rounds", Json.Int (round_count t));
+              ("work_units", Json.Int (round_work t));
+              ( "modeled_speedup",
+                Json.Obj
+                  (List.filter_map
+                     (fun jobs ->
+                       match modeled_speedup t ~jobs with
+                       | Some s ->
+                           Some (string_of_int jobs, Json.Float s)
+                       | None -> None)
+                     [ 2; 4; 8 ]) );
+            ] );
       ( "parallel",
         if t.jobs = 0 then Json.Null
         else

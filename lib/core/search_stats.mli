@@ -88,6 +88,37 @@ val parallel_jobs : t -> int
 (** Chunks executed per worker slot (a copy; empty when unrecorded). *)
 val domain_work : t -> int array
 
+(** {2 Exchange rounds}
+
+    The sharded searches submit one pool batch per incumbent-exchange round
+    (see the sharding contract in {!Vis_util.Parallel}).  Each round's exact
+    per-task work counts — cost evaluations, a deterministic counter — are
+    recorded here, so a machine-independent speedup figure can be derived
+    even when the host cannot run domains in parallel. *)
+
+(** [record_round t tasks] records one exchange round; [tasks.(i)] is the
+    work (cost evaluations) task [i] of the batch performed.  Empty batches
+    are ignored.  Shard boundaries are jobs-independent, so the recorded
+    sequence is identical at any pool width. *)
+val record_round : t -> int array -> unit
+
+(** The recorded rounds, in submission order (copies). *)
+val rounds : t -> int array list
+
+val round_count : t -> int
+
+(** Total work units across all recorded rounds. *)
+val round_work : t -> int
+
+(** [modeled_speedup t ~jobs] is total work / Σ per-round makespan under
+    {!Vis_util.Parallel.simulate_schedule} — the speedup of the round phase
+    that [jobs] equally-fast workers can approach, with a barrier after
+    every round.  [None] when no rounds were recorded.  A pure function of
+    deterministic counters: identical on every machine and at every actual
+    pool width, which is what the benchmark's parallel-scaling study and
+    the CI perf gate guard. *)
+val modeled_speedup : t -> jobs:int -> float option
+
 (** Load balance of the sharded phases, [total / (slots * max)] in (0, 1]:
     1.0 means perfectly even work distribution.  [None] when the run was
     sequential or no parallel work was recorded.  This bounds achievable

@@ -150,9 +150,9 @@ val total_of : ?cache:cache -> Vis_catalog.Derived.t -> Config.t -> float
     is then a single [int] mask, subset and dominance tests are single-word
     bit operations, and the memo-cache key of an element under a mask is the
     mask intersected with the element's precomputed {e relevance mask} — no
-    allocation per restriction.  {!Vis_core.Config_id} wraps this per
-    problem; the raw machinery lives here so the evaluator and the catalog
-    can share the numbering. *)
+    allocation per restriction.  [Vis_core.Config_id] (which depends on
+    this library) wraps this per problem; the raw machinery lives here so
+    the evaluator and the catalog can share the numbering. *)
 
 (** Raised by {!make_encoding} when the universe exceeds 62 features (the
     paper's schemas stay far below; callers fall back to the structural

@@ -67,8 +67,8 @@ let close = Num.approx_equal ~eps:1e-6
    instance where the heuristic barely prunes.  Every oracle that runs A*
    caps the expansion count and skips (or degrades) past the cap, keeping
    trial time bounded. *)
-let astar_capped ?jobs cx p =
-  match Astar.search ~max_expanded:cx.cx_max_expanded ?jobs p with
+let astar_capped ?jobs ?shard cx p =
+  match Astar.search ~max_expanded:cx.cx_max_expanded ?jobs ?shard p with
   | r -> Some r
   | exception Astar.Budget_exceeded _ -> None
 
@@ -124,6 +124,39 @@ let check_parallel_determinism cx schema =
     fail "A* counters differ: jobs=1 %d/%d vs jobs=%d %d/%d"
       a1.Astar.stats.Astar.expanded a1.Astar.stats.Astar.generated cx.cx_jobs
       an.Astar.stats.Astar.expanded an.Astar.stats.Astar.generated
+  else
+  (* The coarse-grained sharded mode (generated schemas are small, so the
+     auto-gate would never pick it): the same jobs=1 vs jobs=N identity must
+     hold with sharding forced on, and both modes must prove the same
+     optimum.  Counters legitimately differ *between* modes (traversal
+     order), never between pool widths. *)
+  match astar_capped ~jobs:1 ~shard:true cx (Problem.make schema) with
+  | None ->
+      (* The sharded budget is checked at round granularity, so it can trip
+         where the sequential loop finished — not a determinism failure. *)
+      Pass
+  | Some s1 ->
+  match astar_capped ~jobs:cx.cx_jobs ~shard:true cx (Problem.make schema) with
+  | None ->
+      fail "sharded jobs=%d exceeded the expansion budget jobs=1 finished under"
+        cx.cx_jobs
+  | Some sn ->
+  if s1.Astar.best_cost <> sn.Astar.best_cost then
+    fail "sharded A* cost differs: jobs=1 %.17g vs jobs=%d %.17g"
+      s1.Astar.best_cost cx.cx_jobs sn.Astar.best_cost
+  else if not (Config.equal s1.Astar.best sn.Astar.best) then
+    fail "sharded A* configuration differs between jobs=1 and jobs=%d"
+      cx.cx_jobs
+  else if
+    s1.Astar.stats.Astar.expanded <> sn.Astar.stats.Astar.expanded
+    || s1.Astar.stats.Astar.generated <> sn.Astar.stats.Astar.generated
+  then
+    fail "sharded A* counters differ: jobs=1 %d/%d vs jobs=%d %d/%d"
+      s1.Astar.stats.Astar.expanded s1.Astar.stats.Astar.generated cx.cx_jobs
+      sn.Astar.stats.Astar.expanded sn.Astar.stats.Astar.generated
+  else if not (close s1.Astar.best_cost a1.Astar.best_cost) then
+    fail "sharded optimum %.9f differs from single-queue optimum %.9f"
+      s1.Astar.best_cost a1.Astar.best_cost
   else begin
     let p = Problem.make schema in
     if Exhaustive.count_states p > cx.cx_max_states then Pass

@@ -207,3 +207,20 @@ let map_array ?chunk pool f arr =
 let map_init ?chunk pool ~init f arr = map_into pool ~chunk ~init f arr
 
 let map_list pool f l = Array.to_list (map_array pool f (Array.of_list l))
+
+(* Deterministic model of [run]'s claim-in-order schedule: task [i] goes to
+   the worker that frees up first (ties to the lowest slot), exactly what
+   dynamic chunk claiming converges to when every worker is equally fast.
+   Working in abstract work units keeps the result machine-independent. *)
+let simulate_schedule ~jobs weights =
+  let jobs = max 1 jobs in
+  let finish = Array.make jobs 0 in
+  Array.iter
+    (fun w ->
+      let k = ref 0 in
+      for i = 1 to jobs - 1 do
+        if finish.(i) < finish.(!k) then k := i
+      done;
+      finish.(!k) <- finish.(!k) + max 0 w)
+    weights;
+  Array.fold_left max 0 finish

@@ -25,7 +25,29 @@
     Restrictions: batches must be submitted from the domain that created the
     pool, one at a time (the search algorithms are sequential coordinators
     that fan out hot loops, so this is not limiting).  Task functions must
-    not themselves submit work to the same pool. *)
+    not themselves submit work to the same pool.
+
+    {2 The sharding contract}
+
+    The searches in [Vis_core] use the pool for {e coarse-grained sharding}:
+    the coordinator cuts its state space into shards whose boundaries depend
+    only on the problem (never on [jobs]), submits one batch per exchange
+    round with one chunk per shard, and merges shard-local results in shard
+    index order at the barrier [run] provides.  Under that discipline the
+    pool adds no nondeterminism of its own:
+
+    - chunk [c] always receives the same work — [jobs] only decides which
+      domain happens to execute it;
+    - shard-local mutable state (queues, counters, evaluator chains) is
+      touched by exactly one chunk per batch, so it needs no locks;
+    - anything cross-shard (incumbent bounds, counter totals) is exchanged
+      only at the barrier, by the coordinator, in a fixed order.
+
+    A* shards its frontier by configuration-mask prefix and exhaustive
+    search shards the enumeration order (see [Vis_core.Astar] and
+    [Vis_core.Exhaustive], which depend on this library and document the
+    per-search shapes); both inherit their bit-identity guarantee at any
+    [jobs] setting from this contract. *)
 
 type pool
 
@@ -87,3 +109,12 @@ val work_counts : pool -> int array
 (** [diff_counts ~before ~after] is the per-slot difference of two
     {!work_counts} snapshots. *)
 val diff_counts : before:int array -> after:int array -> int array
+
+(** [simulate_schedule ~jobs weights] is the span (makespan, in the same
+    units as [weights]) of running tasks of the given costs on [jobs]
+    workers under {!run}'s claim-in-order discipline: task [i] goes to the
+    worker that frees up first.  A deterministic, machine-independent model
+    of one batch — the searches feed it their per-shard work counts to
+    report an achievable-speedup figure that does not depend on the host's
+    core count (see [Vis_core.Search_stats.modeled_speedup]). *)
+val simulate_schedule : jobs:int -> int array -> int

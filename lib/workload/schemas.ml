@@ -118,6 +118,144 @@ let chain ?(base_card = 10_000.) ?(sel_last = 0.1) ?(ins_frac = 0.01)
       [ { Schema.sel_rel = n - 1; sel_attr = name (n - 1) ^ "1"; selectivity = sel_last } ]
     ~joins ~deltas ()
 
+(* Large warehouse shapes for the parallel-scaling studies.  Both keep the
+   foreign keys as separate attributes from the primary keys (fact.F1..Fn
+   reference the dimension keys), so [Datagen.generate] can realize them and
+   maintenance plans are executable.  Dimensions are insert-only (classic
+   slowly-changing warehouse dimensions): they receive no deletions or
+   updates, which keeps the candidate-index space from exploding with key
+   indexes that would never pay off. *)
+
+let star ?(base_card = 2_000.) ?(fact_mult = 10.) ?(sel = 0.1) ?n_sel
+    ?(ins_frac = 0.02) ?(del_frac = 0.002) ?(dim_ins_frac = 0.001)
+    ?(mem_pages = 200) ~n_dims () =
+  if n_dims < 2 then invalid_arg "Schemas.star: need at least 2 dimensions";
+  if n_dims > 24 then invalid_arg "Schemas.star: too many dimensions";
+  let n_sel =
+    match n_sel with
+    | Some k -> min (max 1 k) n_dims
+    | None -> max 1 (n_dims / 3)
+  in
+  let dim_name i = Printf.sprintf "D%c" (Char.chr (Char.code 'A' + i)) in
+  let fact_card = fact_mult *. base_card in
+  (* Mildly varied dimension sizes so shards see uneven work. *)
+  let dim_card i = base_card *. (1. +. float_of_int (i mod 3)) in
+  let fact =
+    {
+      Schema.rel_name = "F";
+      card = fact_card;
+      tuple_bytes = 8 * (1 + n_dims);
+      key_attr = "F0";
+      attrs = "F0" :: List.init n_dims (fun i -> Printf.sprintf "F%d" (i + 1));
+    }
+  in
+  let dims =
+    List.init n_dims (fun i ->
+        {
+          Schema.rel_name = dim_name i;
+          card = dim_card i;
+          tuple_bytes = 24;
+          key_attr = dim_name i ^ "0";
+          attrs = [ dim_name i ^ "0"; dim_name i ^ "1" ];
+        })
+  in
+  let joins =
+    List.init n_dims (fun i ->
+        {
+          Schema.left_rel = 0;
+          left_attr = Printf.sprintf "F%d" (i + 1);
+          right_rel = i + 1;
+          right_attr = dim_name i ^ "0";
+          join_sel = 1. /. dim_card i;
+        })
+  in
+  let selections =
+    List.init n_sel (fun i ->
+        { Schema.sel_rel = i + 1; sel_attr = dim_name i ^ "1"; selectivity = sel })
+  in
+  let deltas =
+    delta fact_card ~ins_frac ~del_frac ~upd_frac:0.
+    :: List.init n_dims (fun i ->
+           delta (dim_card i) ~ins_frac:dim_ins_frac ~del_frac:0. ~upd_frac:0.)
+  in
+  Schema.make ~mem_pages ~relations:(fact :: dims) ~selections ~joins ~deltas ()
+
+let snowflake ?(base_card = 2_000.) ?(fact_mult = 10.) ?(sel = 0.1)
+    ?(ins_frac = 0.02) ?(del_frac = 0.002) ?(dim_ins_frac = 0.001)
+    ?(mem_pages = 200) ~arms ~depth () =
+  if arms < 1 then invalid_arg "Schemas.snowflake: need at least 1 arm";
+  if depth < 1 then invalid_arg "Schemas.snowflake: need depth >= 1";
+  if arms * depth > 24 then invalid_arg "Schemas.snowflake: too many relations";
+  (* Relation index of arm [a] (0-based), level [l] (1-based). *)
+  let rel_of a l = 1 + (a * depth) + (l - 1) in
+  let name a l = Printf.sprintf "D%c%d" (Char.chr (Char.code 'A' + a)) l in
+  let fact_card = fact_mult *. base_card in
+  (* Normalization shrinks outer levels. *)
+  let card l = base_card /. (2. ** float_of_int (l - 1)) in
+  let fact =
+    {
+      Schema.rel_name = "F";
+      card = fact_card;
+      tuple_bytes = 8 * (1 + arms);
+      key_attr = "F0";
+      attrs = "F0" :: List.init arms (fun a -> Printf.sprintf "F%d" (a + 1));
+    }
+  in
+  let dims =
+    List.concat
+      (List.init arms (fun a ->
+           List.init depth (fun l0 ->
+               let l = l0 + 1 in
+               let n = name a l in
+               {
+                 Schema.rel_name = n;
+                 card = card l;
+                 tuple_bytes = 24;
+                 key_attr = n ^ "0";
+                 (* [n1] is the foreign key to the next level out on inner
+                    levels, the selection attribute on the leaf *)
+                 attrs = [ n ^ "0"; n ^ "1" ];
+               })))
+  in
+  let joins =
+    List.concat
+      (List.init arms (fun a ->
+           {
+             Schema.left_rel = 0;
+             left_attr = Printf.sprintf "F%d" (a + 1);
+             right_rel = rel_of a 1;
+             right_attr = name a 1 ^ "0";
+             join_sel = 1. /. card 1;
+           }
+           :: List.init (depth - 1) (fun l0 ->
+                  let l = l0 + 1 in
+                  {
+                    Schema.left_rel = rel_of a l;
+                    left_attr = name a l ^ "1";
+                    right_rel = rel_of a (l + 1);
+                    right_attr = name a (l + 1) ^ "0";
+                    join_sel = 1. /. card (l + 1);
+                  })))
+  in
+  (* One selection per arm, on the outermost (leaf) dimension. *)
+  let selections =
+    List.init arms (fun a ->
+        {
+          Schema.sel_rel = rel_of a depth;
+          sel_attr = name a depth ^ "1";
+          selectivity = sel;
+        })
+  in
+  let deltas =
+    delta fact_card ~ins_frac ~del_frac ~upd_frac:0.
+    :: List.concat
+         (List.init arms (fun _ ->
+              List.init depth (fun l0 ->
+                  delta (card (l0 + 1)) ~ins_frac:dim_ins_frac ~del_frac:0.
+                    ~upd_frac:0.)))
+  in
+  Schema.make ~mem_pages ~relations:(fact :: dims) ~selections ~joins ~deltas ()
+
 let validation ?(base_card = 400.) ?(sel_t = 0.1) ?(ins_frac = 0.02)
     ?(del_frac = 0.005) ?(upd_frac = 0.005) ?(mem_pages = 40)
     ?(page_bytes = 512) () =

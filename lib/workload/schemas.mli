@@ -64,6 +64,47 @@ val chain :
   unit ->
   Vis_catalog.Schema.t
 
+(** [star ~n_dims ()] — a star warehouse schema of [n_dims + 1] relations: a
+    fact table [F] (cardinality [fact_mult · base_card], default 10×) with a
+    separate foreign-key attribute [Fi] per dimension, and insert-only
+    dimensions [DA, DB, …] of mildly varied sizes.  The first [n_sel]
+    dimensions (default [n_dims / 3], at least 1) carry a local selection of
+    selectivity [sel].  Foreign keys are distinct from primary keys, so
+    {!Vis_workload.Datagen} can realize the schema and refreshes are
+    executable.  Use [Problem.make ~connected_only:true ~max_view_rels] to
+    keep the candidate-view lattice (and the packed encoding) tractable at
+    this scale. *)
+val star :
+  ?base_card:float ->
+  ?fact_mult:float ->
+  ?sel:float ->
+  ?n_sel:int ->
+  ?ins_frac:float ->
+  ?del_frac:float ->
+  ?dim_ins_frac:float ->
+  ?mem_pages:int ->
+  n_dims:int ->
+  unit ->
+  Vis_catalog.Schema.t
+
+(** [snowflake ~arms ~depth ()] — a snowflake warehouse schema of
+    [1 + arms·depth] relations: the fact table joins [arms] dimension
+    chains, each normalized [depth] levels deep with halving cardinalities;
+    every arm's outermost (leaf) dimension carries a selection.  Delta
+    profile and executability as {!star}. *)
+val snowflake :
+  ?base_card:float ->
+  ?fact_mult:float ->
+  ?sel:float ->
+  ?ins_frac:float ->
+  ?del_frac:float ->
+  ?dim_ins_frac:float ->
+  ?mem_pages:int ->
+  arms:int ->
+  depth:int ->
+  unit ->
+  Vis_catalog.Schema.t
+
 (** [random ~rng ()] draws a connected schema of 2–4 relations with random
     chain joins, selections, cardinalities (small, so exhaustive search is
     feasible) and delta rates.  Intended for A*-vs-exhaustive property

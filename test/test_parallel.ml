@@ -185,6 +185,128 @@ let test_budget_still_raises () =
   | _ -> Alcotest.fail "expected Budget_exceeded"
 
 (* ------------------------------------------------------------------ *)
+(* The coarse-grained sharded search. *)
+
+(* Bit-identity of the sharded budgeted search across pool widths, on a
+   generated 8-relation star (large enough to cross the sharding
+   threshold on its own).  Full optimality is infeasible at this size, so
+   the identity is checked on the budgeted/beam path — exactly the mode
+   large schemas run in production. *)
+let same_budgeted name ~mk ~budget ~beam =
+  let run jobs =
+    Astar.search_budgeted ~max_expanded:budget ~beam ~jobs (mk ())
+  in
+  let r1, c1 = run 1 in
+  let r4, c4 = run 4 in
+  checkb (name ^ ": same config") true (Config.equal r1.Astar.best r4.Astar.best);
+  checkb (name ^ ": same cost") true (r1.Astar.best_cost = r4.Astar.best_cost);
+  checki (name ^ ": same expanded") r1.Astar.stats.Astar.expanded
+    r4.Astar.stats.Astar.expanded;
+  checki (name ^ ": same generated") r1.Astar.stats.Astar.generated
+    r4.Astar.stats.Astar.generated;
+  let s1 = r1.Astar.search_stats and s4 = r4.Astar.search_stats in
+  checki (name ^ ": same evaluated") (Search_stats.evaluated s1)
+    (Search_stats.evaluated s4);
+  checkb (name ^ ": same pruning counts") true
+    (Search_stats.pruning_counts s1 = Search_stats.pruning_counts s4);
+  checkb (name ^ ": same rounds") true
+    (Search_stats.rounds s1 = Search_stats.rounds s4);
+  checkb (name ^ ": same certificate") true (c1 = c4);
+  (r4, c4)
+
+let test_sharded_star_identity () =
+  let mk () =
+    Problem.make ~connected_only:true ~max_view_rels:2
+      (Schemas.star ~n_dims:7 ())
+  in
+  let r4, c4 =
+    same_budgeted "star-8" ~mk ~budget:1_200 ~beam:48
+  in
+  let s4 = r4.Astar.search_stats in
+  checkb "star-8: exchange rounds recorded" true
+    (Search_stats.round_count s4 > 0);
+  (match Search_stats.modeled_speedup s4 ~jobs:4 with
+  | Some sp -> checkb "star-8: modeled speedup sane" true (sp >= 1. && sp <= 4.)
+  | None -> Alcotest.fail "star-8: modeled speedup missing");
+  match c4 with
+  | Astar.Optimal -> ()
+  | Astar.Bounded { lower_bound; gap } ->
+      checkb "star-8: bound below incumbent" true
+        (lower_bound <= r4.Astar.best_cost);
+      checkb "star-8: gap sane" true (gap >= 0. && gap <= 1.)
+
+(* Same identity on a snowflake that keeps the packed 62-bit encoding, so
+   the packed sharded successor path is covered too. *)
+let test_sharded_snowflake_identity () =
+  let mk () =
+    let p =
+      Problem.make ~connected_only:true ~max_view_rels:2
+        (Schemas.snowflake ~arms:3 ~depth:2 ())
+    in
+    checkb "snowflake stays packed" true (p.Problem.encoding <> None);
+    p
+  in
+  ignore (same_budgeted "snowflake-7" ~mk ~budget:1_200 ~beam:48)
+
+(* Forcing the sharded mode onto a small schema must find the same optimum
+   as the single-queue loop, at every pool width, with an Optimal
+   certificate. *)
+let test_forced_shard_same_optimum () =
+  let mk () = Problem.make (Schemas.schema1 ()) in
+  let seq = Astar.search ~jobs:1 ~shard:false (mk ()) in
+  let sh1 = Astar.search ~jobs:1 ~shard:true (mk ()) in
+  let sh4 = Astar.search ~jobs:4 ~shard:true (mk ()) in
+  checkb "sharded finds the optimum" true
+    (sh1.Astar.best_cost = seq.Astar.best_cost);
+  checkb "sharded config optimal" true
+    (Config.equal sh1.Astar.best seq.Astar.best);
+  checkb "sharded jobs=1 = jobs=4 config" true
+    (Config.equal sh1.Astar.best sh4.Astar.best);
+  checki "sharded jobs=1 = jobs=4 expanded" sh1.Astar.stats.Astar.expanded
+    sh4.Astar.stats.Astar.expanded;
+  checkb "sharded jobs=1 = jobs=4 pruning" true
+    (Search_stats.pruning_counts sh1.Astar.search_stats
+    = Search_stats.pruning_counts sh4.Astar.search_stats)
+
+let test_certificates () =
+  let p () = Problem.make (Schemas.schema1 ()) in
+  let opt = Astar.search ~jobs:1 (p ()) in
+  (* An unconstrained budgeted run proves optimality. *)
+  let r, cert = Astar.search_budgeted ~jobs:1 (p ()) in
+  checkb "unconstrained run optimal" true (cert = Astar.Optimal);
+  checkb "unconstrained cost matches search" true
+    (r.Astar.best_cost = opt.Astar.best_cost);
+  (* A tiny expansion budget keeps the answer sound and the bound honest. *)
+  let r, cert = Astar.search_budgeted ~max_expanded:2 ~jobs:1 (p ()) in
+  checkb "budgeted answer sound" true (r.Astar.best_cost >= opt.Astar.best_cost);
+  (match cert with
+  | Astar.Optimal -> ()
+  | Astar.Bounded { lower_bound; gap } ->
+      checkb "lower bound below optimum" true
+        (lower_bound <= opt.Astar.best_cost +. 1e-9);
+      checkb "gap consistent" true
+        (Float.abs
+           (gap
+           -. ((r.Astar.best_cost -. lower_bound)
+              /. Float.max 1e-9 (Float.abs r.Astar.best_cost)))
+        < 1e-9));
+  (* A narrow beam still returns a configuration no worse than greedy and a
+     certificate whose bound never exceeds the incumbent. *)
+  let r, cert = Astar.search_budgeted ~beam:2 ~jobs:1 (p ()) in
+  checkb "beam answer sound" true (r.Astar.best_cost >= opt.Astar.best_cost);
+  (match cert with
+  | Astar.Optimal ->
+      checkb "optimal beam run matches optimum" true
+        (r.Astar.best_cost = opt.Astar.best_cost)
+  | Astar.Bounded { lower_bound; _ } ->
+      checkb "beam bound below incumbent" true
+        (lower_bound <= r.Astar.best_cost));
+  (* beam < 1 is a caller error *)
+  match Astar.search_budgeted ~beam:0 ~jobs:1 (p ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for beam:0"
+
+(* ------------------------------------------------------------------ *)
 (* Cache counters under concurrency: no lost updates. *)
 
 let test_cache_counters_exact_concurrent () =
@@ -280,6 +402,16 @@ let () =
             test_budget_still_raises;
         ]
         @ qt [ prop_parallel_deterministic_random ] );
+      ( "sharded search",
+        [
+          Alcotest.test_case "star-8 budgeted jobs=1 vs jobs=4" `Slow
+            test_sharded_star_identity;
+          Alcotest.test_case "snowflake-7 packed jobs=1 vs jobs=4" `Slow
+            test_sharded_snowflake_identity;
+          Alcotest.test_case "forced shard finds the optimum" `Quick
+            test_forced_shard_same_optimum;
+          Alcotest.test_case "certificates" `Quick test_certificates;
+        ] );
       ( "cache concurrency",
         [
           Alcotest.test_case "warm counters exact" `Quick
