@@ -14,7 +14,11 @@
    - [modeled_speedup_4] per parallel-scaling case — the deterministic
      replay of the recorded per-round shard work on 4 ideal workers; more
      than 20% below baseline (work re-serialized into fewer, fatter
-     shards) fails the build.
+     shards) fails the build;
+   - [wal_syncs] per group-commit row of the storage_engine study — the
+     durability barriers one deterministic 8-batch stream pays at group
+     sizes 1 and 4; more than 20% above baseline (group commit regressed
+     toward per-batch forcing) fails the build.
 
    Improvements only print; they are recorded by refreshing the
    baseline. *)
@@ -59,6 +63,22 @@ let scaling_by_case json =
                     (name, Json.to_float (Json.member "modeled_speedup_4" case))
               | _ -> None)
             cases
+      | _ -> [])
+  | _ -> []
+
+(* The storage_engine study's exact durability-barrier counts per
+   group-commit row, keyed by max_group. *)
+let syncs_by_group json =
+  match Json.member "storage_engine" json with
+  | Json.Obj _ as obj -> (
+      match Json.member "group_commit" obj with
+      | Json.List rows ->
+          List.filter_map
+            (fun row ->
+              match (Json.member "max_group" row, Json.member "wal_syncs" row) with
+              | Json.Int g, Json.Int s -> Some (g, float_of_int s)
+              | _ -> None)
+            rows
       | _ -> [])
   | _ -> []
 
@@ -122,6 +142,31 @@ let () =
             Printf.printf "ok   %-34s modeled_speedup_4 %.2fx (baseline %.2fx)\n"
               name got base)
     baseline_scaling;
+  let measured_syncs = syncs_by_group measured_json in
+  let baseline_syncs = syncs_by_group baseline_json in
+  if baseline_syncs = [] then begin
+    prerr_endline "check_perf: baseline has no storage_engine group_commit rows";
+    exit 2
+  end;
+  List.iter
+    (fun (group, base) ->
+      let name = Printf.sprintf "group commit (max_group %d)" group in
+      match List.assoc_opt group measured_syncs with
+      | None ->
+          Printf.eprintf "FAIL %-34s missing from measured run\n" name;
+          incr failures
+      | Some got ->
+          let limit = tolerance *. base in
+          if got > limit then begin
+            Printf.eprintf
+              "FAIL %-34s wal_syncs %.0f > %.0f (baseline %.0f +20%%)\n" name
+              got limit base;
+            incr failures
+          end
+          else
+            Printf.printf "ok   %-34s wal_syncs %.0f (baseline %.0f)\n" name
+              got base)
+    baseline_syncs;
   if !failures > 0 then begin
     Printf.eprintf
       "check_perf: %d number(s) regressed; if intentional, refresh \
@@ -130,4 +175,5 @@ let () =
     exit 1
   end;
   print_endline
-    "check_perf: incremental-costing work and parallel scaling within baseline"
+    "check_perf: incremental-costing work, parallel scaling and group-commit \
+     syncs within baseline"

@@ -937,7 +937,7 @@ let incremental_costing () =
 
 (* ------------------------------------------------------------------ *)
 (* [Extra 10] Fault-injected refresh: the page I/O cost of WAL protection
-   on the fault-free path (must stay within 10% of the unprotected
+   on the fault-free path (must stay within 5% of the unprotected
    refresh), and what a crash-retry, a forced rollback and a degradation
    to view recomputation cost on the same batch. *)
 
@@ -991,7 +991,9 @@ let extra10 () =
     in
     if name = "WAL, no faults" then begin
       overhead := float_of_int (io - base_io) /. float_of_int base_io;
-      assert (!overhead <= 0.10)
+      (* Tightened from 10% in PR 7: group commit removed the per-batch
+         sync forcing, so the log pages are the only overhead left. *)
+      assert (!overhead <= 0.05)
     end;
     T.add_row tbl
       [
@@ -1058,9 +1060,145 @@ let extra10 () =
          ("seed", Json.Int seed);
          ("unprotected_io", Json.Int base_io);
          ("wal_overhead_frac", Json.Float !overhead);
-         ("wal_overhead_limit", Json.Float 0.10);
+         ("wal_overhead_limit", Json.Float 0.05);
          ("scenarios", Json.List (List.rev !rows));
        ])
+
+(* ------------------------------------------------------------------ *)
+(* [Extra 11] Storage engine raw speed: group-commit WAL (durability
+   barriers vs commit latency at group sizes 1 and 4), the fault-free WAL
+   overhead under the tightened 5% budget, and page-level compression's
+   effect on the durable footprint.  Every recorded number is exact and
+   machine-independent; check_perf guards the sync counts. *)
+
+let extra11 () =
+  section "[Extra 11] Storage engine: group commit and compression";
+  let module Datagen = Vis_workload.Datagen in
+  let module Warehouse = Vis_maintenance.Warehouse in
+  let module Refresh = Vis_maintenance.Refresh in
+  let module Wal = Vis_storage.Wal in
+  let schema = Schemas.validation () in
+  let best = (Astar.search (Problem.make schema)).Astar.best in
+  let seed = 42 in
+  let n_batches = 8 in
+  (* Deal one batch into conflict-free sub-batches (keys within a batch are
+     distinct, so any partition applies cleanly in stream order). *)
+  let split_batch k (b : Datagen.batch) =
+    let deal j l = List.filteri (fun i _ -> i mod k = j) l in
+    List.init k (fun j ->
+        {
+          Datagen.b_ins = Array.map (deal j) b.Datagen.b_ins;
+          b_del = Array.map (deal j) b.Datagen.b_del;
+          b_upd = Array.map (deal j) b.Datagen.b_upd;
+        })
+  in
+  let world ?(config = best) () =
+    let rng = Random.State.make [| seed |] in
+    let ds = Datagen.generate ~rng schema in
+    let w = Warehouse.build schema config ds in
+    let batch = Datagen.deltas ~rng schema ds in
+    (w, batch)
+  in
+  (* Fault-free WAL overhead, tightened from extra10's 10% to 5%: group
+     commit removed the per-batch sync forcing, so the protected refresh
+     now pays only for the log pages themselves. *)
+  let w0, b0 = world () in
+  let base_io = Refresh.total_io (Refresh.run w0 b0) in
+  let w1, b1 = world () in
+  let prot_io =
+    match Refresh.run_protected w1 b1 with
+    | Ok (r, _) -> Refresh.total_io r
+    | Error _ -> failwith "fault-free protected refresh failed"
+  in
+  let overhead = float_of_int (prot_io - base_io) /. float_of_int base_io in
+  Printf.printf "fault-free WAL overhead: %d -> %d page I/Os (%s, budget 5%%)\n"
+    base_io prot_io (pct overhead);
+  assert (overhead <= 0.05);
+  (* The group-commit trade: barriers against commit latency, on the same
+     deterministic stream. *)
+  let tbl =
+    T.create
+      [ "group"; "syncs"; "wal writes"; "wal bytes"; "mean latency"; "I/O" ]
+  in
+  let rows = ref [] in
+  let syncs_at = Hashtbl.create 4 in
+  List.iter
+    (fun max_group ->
+      let w, b = world () in
+      let batches = split_batch n_batches b in
+      let policy = { Refresh.gp_max_group = max_group; gp_window_ms = 1e9 } in
+      match Refresh.run_protected_many ~policy w batches with
+      | Error _ -> failwith "fault-free group stream failed"
+      | Ok (r, _, g) ->
+          let wal_bytes = Wal.total_bytes w.Warehouse.w_wal in
+          let mean_latency =
+            g.Refresh.gr_latency_ms_total /. float_of_int g.Refresh.gr_batches
+          in
+          Hashtbl.replace syncs_at max_group r.Refresh.rp_wal_syncs;
+          T.add_row tbl
+            [
+              string_of_int max_group;
+              string_of_int r.Refresh.rp_wal_syncs;
+              string_of_int r.Refresh.rp_wal_writes;
+              string_of_int wal_bytes;
+              Printf.sprintf "%.1f ms" mean_latency;
+              string_of_int (Refresh.total_io r);
+            ];
+          rows :=
+            Json.Obj
+              [
+                ("max_group", Json.Int max_group);
+                ("batches", Json.Int g.Refresh.gr_batches);
+                ("wal_syncs", Json.Int r.Refresh.rp_wal_syncs);
+                ("wal_writes", Json.Int r.Refresh.rp_wal_writes);
+                ("wal_bytes", Json.Int wal_bytes);
+                ("group_syncs", Json.Int g.Refresh.gr_group_syncs);
+                ("largest_group", Json.Int g.Refresh.gr_max_group);
+                ("mean_batch_latency_ms", Json.Float mean_latency);
+                ("io", Json.Int (Refresh.total_io r));
+              ]
+            :: !rows)
+    [ 1; 4 ];
+  T.print tbl;
+  (* Grouping must strictly reduce the durability barriers. *)
+  assert (Hashtbl.find syncs_at 4 < Hashtbl.find syncs_at 1);
+  (* Page-level compression: same logical warehouse, about half the durable
+     data pages. *)
+  let compress_all config =
+    let module Element = Vis_costmodel.Element in
+    List.fold_left Config.add_compress config
+      (Element.Base 0 :: Element.Base 1 :: Element.Base 2
+      :: [ Element.View (Vis_catalog.Schema.all_relations schema) ])
+  in
+  let w_plain, _ = world () in
+  let w_comp, bc = world ~config:(compress_all best) () in
+  let plain_pages = Warehouse.total_data_pages w_plain
+  and comp_pages = Warehouse.total_data_pages w_comp in
+  let ratio = float_of_int comp_pages /. float_of_int plain_pages in
+  let comp_io = Refresh.total_io (Refresh.run w_comp bc) in
+  Printf.printf
+    "compressed durable footprint: %d -> %d data pages (ratio %.2f); \
+     refresh I/O %d -> %d\n"
+    plain_pages comp_pages ratio base_io comp_io;
+  assert (ratio >= 0.4 && ratio <= 0.6);
+  record "storage_engine"
+    (Json.Obj
+       [
+         ("schema", Json.String "validation");
+         ("seed", Json.Int seed);
+         ("unprotected_io", Json.Int base_io);
+         ("wal_overhead_frac", Json.Float overhead);
+         ("wal_overhead_limit", Json.Float 0.05);
+         ("group_commit", Json.List (List.rev !rows));
+         ("data_pages_uncompressed", Json.Int plain_pages);
+         ("data_pages_compressed", Json.Int comp_pages);
+         ("compression_ratio", Json.Float ratio);
+         ("compressed_refresh_io", Json.Int comp_io);
+       ]);
+  print_endline
+    "Group commit covers many deferred commits with one durability barrier;\n\
+     the latency column is what it trades away.  Compression halves the\n\
+     durable pages (model ratio 0.5) while the refresh stays exact."
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the optimizer components. *)
@@ -1151,6 +1289,7 @@ let () =
   parallel_scaling ();
   incremental_costing ();
   extra10 ();
+  extra11 ();
   bechamel_benches ();
   let oc = open_out "BENCH_vis.json" in
   output_string oc

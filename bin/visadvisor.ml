@@ -135,6 +135,16 @@ let connected_only_arg =
   in
   Arg.(value & flag & info [ "connected-only" ] ~doc)
 
+let compression_arg =
+  let doc =
+    "Add page-level compression candidates: one per always-materialized \
+     element (base replicas and the primary view), a third feature axis \
+     the search trades on (reads x0.65, writes x1.10 per page, half the \
+     stored pages).  Off by default — without it every cost is bitwise \
+     identical to the compression-free model."
+  in
+  Arg.(value & flag & info [ "compression" ] ~doc)
+
 let budget_arg =
   let doc =
     "Switch to the budgeted anytime search: stop after about $(docv) \
@@ -246,9 +256,11 @@ let print_certificate = function
         lower_bound (100. *. gap)
 
 let run_optimize file builtin stats trace json jobs cap_views connected_only
-    budget beam shard =
+    compression budget beam shard =
   let schema = load_schema file builtin in
-  let p = Problem.make ~connected_only ?max_view_rels:cap_views schema in
+  let p =
+    Problem.make ~connected_only ~compression ?max_view_rels:cap_views schema
+  in
   let budgeted = budget <> None || beam <> None in
   let r, certificate =
     if budgeted then
@@ -288,8 +300,8 @@ let run_optimize file builtin stats trace json jobs cap_views connected_only
 let optimize_term =
   Term.(
     const run_optimize $ file_arg $ builtin_arg $ stats_arg $ trace_arg
-    $ json_arg $ jobs_arg $ cap_views_arg $ connected_only_arg $ budget_arg
-    $ beam_arg $ shard_arg)
+    $ json_arg $ jobs_arg $ cap_views_arg $ connected_only_arg
+    $ compression_arg $ budget_arg $ beam_arg $ shard_arg)
 
 let optimize_cmd =
   Cmd.v (Cmd.info "optimize" ~doc:"Optimal view/index selection with A*")
@@ -453,25 +465,73 @@ let sensitivity_cmd =
     Term.(const run $ const ())
 
 let validate_cmd =
-  let run seed faults fault_seed =
+  let run seed faults fault_seed stats json =
     let schema = Vis_workload.Schemas.validation () in
     let p = Problem.make schema in
     let r = Vis_core.Astar.search p in
     let best = r.Vis_core.Astar.best in
     let report, checks = Vis_maintenance.Validate.run_cycle ~seed schema best in
-    Printf.printf "config: %s\n" (Config.describe schema best);
-    Printf.printf "predicted I/O: %.0f, measured: %d (reads %d, writes %d)\n"
-      report.Vis_maintenance.Refresh.rp_predicted
-      (Vis_maintenance.Refresh.total_io report)
-      report.Vis_maintenance.Refresh.rp_reads
-      report.Vis_maintenance.Refresh.rp_writes;
-    List.iter
-      (fun c ->
-        Printf.printf "view %-8s expected %6d stored %6d %s\n"
-          c.Vis_maintenance.Validate.vc_view c.Vis_maintenance.Validate.vc_expected
-          c.Vis_maintenance.Validate.vc_actual
-          (if c.Vis_maintenance.Validate.vc_ok then "OK" else "MISMATCH"))
-      checks;
+    let module R = Vis_maintenance.Refresh in
+    if json then
+      print_endline
+        (Json.to_string ~indent:2
+           (Json.Obj
+              [
+                ("config", Json.String (Config.describe schema best));
+                ("predicted_io", Json.Float report.R.rp_predicted);
+                ("measured_io", Json.Int (R.total_io report));
+                ("reads", Json.Int report.R.rp_reads);
+                ("writes", Json.Int report.R.rp_writes);
+                ("accesses", Json.Int report.R.rp_accesses);
+                ("wal_writes", Json.Int report.R.rp_wal_writes);
+                ("wal_syncs", Json.Int report.R.rp_wal_syncs);
+                ( "pool",
+                  Json.Obj
+                    [
+                      ("hits", Json.Int report.R.rp_pool_hits);
+                      ("misses", Json.Int report.R.rp_pool_misses);
+                      ("evictions", Json.Int report.R.rp_pool_evictions);
+                      ("overflows", Json.Int report.R.rp_pool_overflows);
+                    ] );
+                ( "views",
+                  Json.List
+                    (List.map
+                       (fun c ->
+                         Json.Obj
+                           [
+                             ("view", Json.String c.Vis_maintenance.Validate.vc_view);
+                             ("expected", Json.Int c.Vis_maintenance.Validate.vc_expected);
+                             ("stored", Json.Int c.Vis_maintenance.Validate.vc_actual);
+                             ("ok", Json.Bool c.Vis_maintenance.Validate.vc_ok);
+                           ])
+                       checks) );
+              ]))
+    else begin
+      Printf.printf "config: %s\n" (Config.describe schema best);
+      Printf.printf "predicted I/O: %.0f, measured: %d (reads %d, writes %d)\n"
+        report.R.rp_predicted
+        (R.total_io report)
+        report.R.rp_reads report.R.rp_writes;
+      if stats then begin
+        let accesses = report.R.rp_pool_hits + report.R.rp_pool_misses in
+        Printf.printf
+          "pool: hits %d, misses %d (hit rate %.1f%%), evictions %d, \
+           overflows %d\n"
+          report.R.rp_pool_hits report.R.rp_pool_misses
+          (if accesses = 0 then 0.
+           else 100. *. float_of_int report.R.rp_pool_hits /. float_of_int accesses)
+          report.R.rp_pool_evictions report.R.rp_pool_overflows;
+        Printf.printf "wal: %d page writes, %d syncs\n" report.R.rp_wal_writes
+          report.R.rp_wal_syncs
+      end;
+      List.iter
+        (fun c ->
+          Printf.printf "view %-8s expected %6d stored %6d %s\n"
+            c.Vis_maintenance.Validate.vc_view c.Vis_maintenance.Validate.vc_expected
+            c.Vis_maintenance.Validate.vc_actual
+            (if c.Vis_maintenance.Validate.vc_ok then "OK" else "MISMATCH"))
+        checks
+    end;
     let ok = ref (Vis_maintenance.Validate.all_ok checks) in
     if faults > 0 then begin
       let module Datagen = Vis_workload.Datagen in
@@ -554,7 +614,7 @@ let validate_cmd =
   Cmd.v
     (Cmd.info "validate"
        ~doc:"Execute one refresh on the storage engine and check correctness")
-    Term.(const run $ seed $ faults $ fault_seed)
+    Term.(const run $ seed $ faults $ fault_seed $ stats_arg $ json_arg)
 
 let dag_cmd =
   let run file builtin =

@@ -67,8 +67,11 @@ let lb_view_cost full_eval w =
     w 0.
 
 (* Saving of a key index on [elem] for deletions and updates; it does not
-   depend on what else is materialized. *)
-let key_index_benefit p ix =
+   depend on what else is materialized.  With compression in the feature
+   space the costs around the index can swing by the per-page factors, so
+   the bound stretches to [cw·without − cf·with]; without compression
+   [cf = cw = 1] and the formula is bitwise the original. *)
+let key_index_benefit p ~cf ~cw ix =
   let elem = ix.Element.ix_elem in
   let r = ix.Element.ix_attr.Element.a_rel in
   let key = (Schema.relation p.Problem.schema r).Schema.key_attr in
@@ -83,7 +86,7 @@ let key_index_benefit p ix =
     in
     let without = cost Config.empty in
     let with_ix = cost (Config.make ~views:[] ~indexes:[ ix ]) in
-    Float.max 0. (without -. with_ix)
+    Float.max 0. ((cw *. without) -. (cf *. with_ix))
   end
 
 (* Insertion expressions the feature can make cheaper, as indices into
@@ -117,6 +120,9 @@ let affected_triples p targets feature =
   in
   match feature with
   | Problem.F_view w -> triples_over ~must_contain:w ~strict:true ~delta_outside:false
+  (* Compression's benefit is bounded by a config-independent constant in
+     [key_benefit]; it claims no per-state insertion gaps. *)
+  | Problem.F_compress _ -> []
   | Problem.F_index ix ->
       let e_rels = Element.rels ix.Element.ix_elem in
       let attr = ix.Element.ix_attr in
@@ -170,9 +176,28 @@ let prepare ~pool p =
       ~indexes:(Problem.indexes_for_views p p.Problem.candidate_views)
   in
   let full_eval = Problem.evaluator p full_config in
-  let lb_of full_eval = function
+  (* Compression scaling of the bounds.  Every charging site's cost moves
+     by a per-page factor in [cf, cw] under any compression assignment, so
+     scaling a floor or a feature's own lower bound by [cf] (and a cost
+     ceiling by [cw]) keeps it sound over the compressed completions too.
+     Without compression candidates both factors are [1.] and every formula
+     below is bitwise identical to the compression-free search. *)
+  let has_compression = p.Problem.compress_elems <> [] in
+  let cf = if has_compression then Cost.compress_read_factor else 1. in
+  let cw = if has_compression then Cost.compress_write_factor else 1. in
+  (* An [F_compress] maintains nothing of its own; its possible saving is
+     bounded by the whole maintenance bill at its most expensive (the empty
+     configuration, stretched by [cw]). *)
+  let compress_benefit =
+    if has_compression then cw *. Problem.total p Config.empty else 0.
+  in
+  let lb_of full_eval f =
+    cf
+    *.
+    match f with
     | Problem.F_view w -> lb_view_cost full_eval w
     | Problem.F_index ix -> Cost.index_maint_cost full_eval ix
+    | Problem.F_compress _ -> 0.
   in
   (* Per-feature precomputation fans out over the pool.  Each chunk builds
      private evaluators with [init] (an evaluator memoizes plan prefixes in
@@ -205,7 +230,8 @@ let prepare ~pool p =
              (fun acc (ti, r) ->
                let elem = targets.(ti) in
                let gap =
-                 ins_eval_of empty_eval elem r -. ins_eval_of full_eval elem r
+                 (cw *. ins_eval_of empty_eval elem r)
+                 -. (cf *. ins_eval_of full_eval elem r)
                in
                acc +. Float.max 0. gap)
              0.
@@ -217,14 +243,16 @@ let prepare ~pool p =
     let kept = List.filteri (fun i _ -> flags.(i)) features in
     let kept_views =
       List.filter_map
-        (function Problem.F_view w -> Some w | Problem.F_index _ -> None)
+        (function
+          | Problem.F_view w -> Some w
+          | Problem.F_index _ | Problem.F_compress _ -> None)
         kept
     in
     (* Indexes on dropped candidate views can never apply. *)
     let kept =
       List.filter
         (function
-          | Problem.F_view _ -> true
+          | Problem.F_view _ | Problem.F_compress _ -> true
           | Problem.F_index ix -> (
               match ix.Element.ix_elem with
               | Element.Base _ -> true
@@ -237,7 +265,8 @@ let prepare ~pool p =
     else fixpoint kept kept_views
   and key_index_benefit_or_zero p = function
     | Problem.F_view _ -> 0.
-    | Problem.F_index ix -> key_index_benefit p ix
+    | Problem.F_index ix -> key_index_benefit p ~cf ~cw ix
+    | Problem.F_compress _ -> compress_benefit
   in
   let kept, kept_views = fixpoint p.Problem.features p.Problem.candidate_views in
   let dropped =
@@ -251,7 +280,7 @@ let prepare ~pool p =
     (fun i f ->
       match f with
       | Problem.F_view w -> Hashtbl.replace view_pos (Bitset.to_int w) i
-      | Problem.F_index _ -> ())
+      | Problem.F_index _ | Problem.F_compress _ -> ())
     features;
   let targets =
     Array.of_list
@@ -277,14 +306,23 @@ let prepare ~pool p =
             if Bitset.mem r (Element.rels elem) then f elem r else 0.))
       targets
   in
-  let full_ins = per_target (fun elem r -> ins_eval_of full_eval elem r) in
-  let full_del = per_target (fun elem r -> fst (delupd_of full_eval elem r)) in
-  let full_upd = per_target (fun elem r -> snd (delupd_of full_eval elem r)) in
+  (* Floors carry the [cf] scaling: a compressed completion can push an
+     evaluation below its everything-materialized cost, but never below
+     [cf] times it. *)
+  let full_ins = per_target (fun elem r -> cf *. ins_eval_of full_eval elem r) in
+  let full_del =
+    per_target (fun elem r -> cf *. fst (delupd_of full_eval elem r))
+  in
+  let full_upd =
+    per_target (fun elem r -> cf *. snd (delupd_of full_eval elem r))
+  in
   let full_base_del =
-    Array.init n_rels (fun r -> fst (delupd_of full_eval (Element.Base r) r))
+    Array.init n_rels (fun r ->
+        cf *. fst (delupd_of full_eval (Element.Base r) r))
   in
   let full_base_upd =
-    Array.init n_rels (fun r -> snd (delupd_of full_eval (Element.Base r) r))
+    Array.init n_rels (fun r ->
+        cf *. snd (delupd_of full_eval (Element.Base r) r))
   in
   {
     features;
@@ -298,7 +336,8 @@ let prepare ~pool p =
         ~init:(fun () -> ())
         (fun () -> function
           | Problem.F_view _ -> 0.
-          | Problem.F_index ix -> key_index_benefit p ix)
+          | Problem.F_index ix -> key_index_benefit p ~cf ~cw ix
+          | Problem.F_compress _ -> compress_benefit)
         features;
     affected =
       par_map ~init:(fun () -> ()) (fun () -> affected_triples p targets) features;
@@ -434,7 +473,7 @@ let search_internal ~max_expanded ~beam ~shard ~on_budget ~pool p =
      structural path ([Config.has_view]) share one implementation. *)
   let eligible hv pos k =
     match prep.features.(k) with
-    | Problem.F_view _ -> true
+    | Problem.F_view _ | Problem.F_compress _ -> true
     | Problem.F_index ix -> (
         match ix.Element.ix_elem with
         | Element.Base _ -> true
@@ -577,7 +616,7 @@ let search_internal ~max_expanded ~beam ~shard ~on_budget ~pool p =
         let mask = Cost.ieval_mask ie in
         let with_f = mask lor (1 lsl prep_bit.(pos)) in
         match prep.features.(pos) with
-        | Problem.F_view _ ->
+        | Problem.F_view _ | Problem.F_compress _ ->
             [|
               (pos + 1, PSucc (mask, Some ie));
               (pos + 1, PSucc (with_f, Some ie));
@@ -599,6 +638,11 @@ let search_internal ~max_expanded ~beam ~shard ~on_budget ~pool p =
             [|
               (pos + 1, USucc config);
               (pos + 1, USucc (Config.add_view config w));
+            |]
+        | Problem.F_compress e ->
+            [|
+              (pos + 1, USucc config);
+              (pos + 1, USucc (Config.add_compress config e));
             |]
         | Problem.F_index ix ->
             if eligible (Config.has_view config) pos pos then

@@ -30,11 +30,13 @@ let of_problem (p : Problem.t) =
           | Config.F_view w ->
               Hashtbl.replace bit_of_view (Bitset.to_int w) b;
               view_bits := !view_bits lor (1 lsl b)
-          | Config.F_index _ -> ())
+          | Config.F_index _ | Config.F_compress _ -> ())
         features;
       let owner_bit f =
         match f with
-        | Config.F_view _ -> None
+        (* Compression only targets always-materialized elements, so like
+           base/primary indexes it has no owning view bit. *)
+        | Config.F_view _ | Config.F_compress _ -> None
         | Config.F_index ix -> (
             match ix.Element.ix_elem with
             | Element.Base _ -> None

@@ -25,11 +25,21 @@ let list_subsets items ~f =
     f !subset
   done
 
+(* Beyond the view subsets, the inner axis enumerates every
+   always-applicable extra feature: eligible indexes plus compression
+   candidates (always-materialized elements, so independent of the view
+   choice). *)
+let apply_extra config = function
+  | Problem.F_view w -> Config.add_view config w
+  | Problem.F_index ix -> Config.add_index config ix
+  | Problem.F_compress e -> Config.add_compress config e
+
 (* Σ over view subsets S of 2^(always-on + Σ_{v∈S} per-view candidates)
    = 2^always-on · Π_v (1 + 2^candidates(v)) — closed form, since each
-   view contributes its candidate indexes independently. *)
+   view contributes its candidate indexes independently.  [always] counts
+   base/primary indexes and compression candidates alike. *)
 let count_states p =
-  let always = List.length (Problem.indexes_for_views p []) in
+  let always = List.length (Problem.extra_features_for_views p []) in
   List.fold_left
     (fun acc v ->
       let c =
@@ -43,9 +53,11 @@ let count_states p =
 let enumerate p ~f =
   let states = ref 0 in
   list_subsets p.Problem.candidate_views ~f:(fun views ->
-      let indexes = Problem.indexes_for_views p views in
-      list_subsets indexes ~f:(fun ixs ->
-          let config = Config.make ~views ~indexes:ixs in
+      let extras = Problem.extra_features_for_views p views in
+      list_subsets extras ~f:(fun feats ->
+          let config =
+            List.fold_left apply_extra (Config.make ~views ~indexes:[]) feats
+          in
           let cost = Problem.total p config in
           let space = Config.space p.Problem.derived config in
           incr states;
@@ -86,7 +98,7 @@ let search ?jobs ?(max_states = 2_000_000) p =
       let per_view =
         Array.init view_states (fun vm ->
             let views = subset_of_mask views_arr vm in
-            (views, Array.of_list (Problem.indexes_for_views p views)))
+            (views, Array.of_list (Problem.extra_features_for_views p views)))
       in
       let offsets = Array.make view_states 0 in
       let total = ref 0 in
@@ -124,7 +136,7 @@ let search ?jobs ?(max_states = 2_000_000) p =
             try
               let info =
                 Array.map
-                  (fun (views, ixs) ->
+                  (fun (views, extras) ->
                     let vg =
                       List.fold_left
                         (fun acc w ->
@@ -137,13 +149,11 @@ let search ?jobs ?(max_states = 2_000_000) p =
                     in
                     let gb =
                       Array.map
-                        (fun ix ->
-                          match
-                            Config_id.bit_of_feature cid (Problem.F_index ix)
-                          with
+                        (fun f ->
+                          match Config_id.bit_of_feature cid f with
                           | Some b -> 1 lsl b
                           | None -> raise Exit)
-                        ixs
+                        extras
                     in
                     (vg, gb))
                   per_view
@@ -163,7 +173,7 @@ let search ?jobs ?(max_states = 2_000_000) p =
       Search_stats.time sstats "enumerate" (fun () ->
           Parallel.run pool ~chunks:(Array.length ranges) (fun c ->
               let vm, lo, hi = ranges.(c) in
-              let views, ixs = per_view.(vm) in
+              let views, extras = per_view.(vm) in
               let goff = offsets.(vm) in
               let best_c = ref infinity in
               let best_g = ref max_int in
@@ -198,7 +208,9 @@ let search ?jobs ?(max_states = 2_000_000) p =
               | None ->
                   for im = lo to hi - 1 do
                     let config =
-                      Config.make ~views ~indexes:(subset_of_mask ixs im)
+                      List.fold_left apply_extra
+                        (Config.make ~views ~indexes:[])
+                        (subset_of_mask extras im)
                     in
                     let cost = Problem.total p config in
                     if cost < !best_c && cost <= Atomic.get bound then begin

@@ -18,6 +18,7 @@ let feature_in_config config = function
   | Problem.F_view w -> Config.has_view config w
   | Problem.F_index ix ->
       Config.has_index config ix.Element.ix_elem ix.Element.ix_attr
+  | Problem.F_compress e -> Config.has_compress config e
 
 let feature_applicable p config = function
   | Problem.F_view _ -> true
@@ -27,10 +28,13 @@ let feature_applicable p config = function
       | Element.View w ->
           Bitset.equal w (Schema.all_relations p.Problem.schema)
           || Config.has_view config w)
+  (* Compression candidates are always-materialized elements. *)
+  | Problem.F_compress _ -> true
 
 let apply config = function
   | Problem.F_view w -> Config.add_view config w
   | Problem.F_index ix -> Config.add_index config ix
+  | Problem.F_compress e -> Config.add_compress config e
 
 let search_with_pool ~pool ?space_budget p =
   let sstats = Search_stats.create ~algorithm:"greedy" () in

@@ -15,6 +15,7 @@ let feature_in config = function
   | Problem.F_view w -> Config.has_view config w
   | Problem.F_index ix ->
       Config.has_index config ix.Element.ix_elem ix.Element.ix_attr
+  | Problem.F_compress e -> Config.has_compress config e
 
 let applicable p config = function
   | Problem.F_view _ -> true
@@ -24,10 +25,13 @@ let applicable p config = function
       | Element.View w ->
           Bitset.equal w (Schema.all_relations p.Problem.schema)
           || Config.has_view config w)
+  (* Compression candidates are always-materialized elements. *)
+  | Problem.F_compress _ -> true
 
 let add config = function
   | Problem.F_view w -> Config.add_view config w
   | Problem.F_index ix -> Config.add_index config ix
+  | Problem.F_compress e -> Config.add_compress config e
 
 (* Dropping a view also drops the indexes living on it. *)
 let drop config = function
@@ -40,6 +44,7 @@ let drop config = function
           else c)
         config (Config.indexes config)
   | Problem.F_index ix -> Config.remove_index config ix
+  | Problem.F_compress e -> Config.remove_compress config e
 
 let search ?seed ?space_budget ?(max_moves = 1000) p =
   let sstats = Search_stats.create ~algorithm:"local-search" () in

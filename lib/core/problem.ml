@@ -5,7 +5,10 @@ module Element = Vis_costmodel.Element
 module Config = Vis_costmodel.Config
 module Cost = Vis_costmodel.Cost
 
-type feature = Config.feature = F_view of Bitset.t | F_index of Element.index
+type feature = Config.feature =
+  | F_view of Bitset.t
+  | F_index of Element.index
+  | F_compress of Element.t
 
 type t = {
   schema : Schema.t;
@@ -13,6 +16,7 @@ type t = {
   cache : Cost.cache;
   share_cache : bool;
   candidate_views : Bitset.t list;
+  compress_elems : Element.t list;
   features : feature list;
   encoding : Cost.encoding option;
 }
@@ -98,7 +102,7 @@ let slow_cost_env () =
   | Some _ -> true
 
 let make ?(connected_only = false) ?max_view_rels ?(share_cache = true)
-    ?slow_cost schema =
+    ?slow_cost ?(compression = false) schema =
   (match max_view_rels with
   | Some k when k < 1 -> invalid_arg "Problem.make: max_view_rels must be >= 1"
   | Some _ | None -> ());
@@ -112,8 +116,19 @@ let make ?(connected_only = false) ?max_view_rels ?(share_cache = true)
   let n = Schema.n_relations schema in
   let base_ix = List.concat_map (fun i -> indexes_of (Element.Base i)) (List.init n Fun.id) in
   let primary_ix = indexes_of (Element.View (Schema.all_relations schema)) in
+  (* Compression candidates are the always-materialized elements only (base
+     replicas and the primary view), so an [F_compress] never depends on
+     another feature being present — like the always-on indexes, it is
+     applicable in every state. *)
+  let compress_elems =
+    if not compression then []
+    else
+      List.init n (fun i -> Element.Base i)
+      @ [ Element.View (Schema.all_relations schema) ]
+  in
   let features =
-    List.map (fun ix -> F_index ix) (base_ix @ primary_ix)
+    List.map (fun e -> F_compress e) compress_elems
+    @ List.map (fun ix -> F_index ix) (base_ix @ primary_ix)
     @ List.concat_map
         (fun w ->
           F_view w :: List.map (fun ix -> F_index ix) (indexes_of (Element.View w)))
@@ -140,6 +155,7 @@ let make ?(connected_only = false) ?max_view_rels ?(share_cache = true)
     cache = Cost.new_cache ();
     share_cache;
     candidate_views;
+    compress_elems;
     features;
     encoding;
   }
@@ -157,6 +173,16 @@ let always_on_indexes p =
 let indexes_for_views p views =
   always_on_indexes p
   @ List.concat_map (fun w -> candidate_indexes_on p (Element.View w)) views
+
+let compress_candidates p = p.compress_elems
+
+(* The always-applicable (state-independent) features beyond the view
+   lattice: candidate indexes for the given view state plus every
+   compression candidate.  The exhaustive search enumerates subsets of
+   exactly this list per view state. *)
+let extra_features_for_views p views =
+  List.map (fun ix -> F_index ix) (indexes_for_views p views)
+  @ List.map (fun e -> F_compress e) p.compress_elems
 
 let evaluator p config =
   match p.encoding with
@@ -177,10 +203,14 @@ let total p config = Cost.total (evaluator p config)
 let feature_space p = function
   | F_view w -> Derived.view_pages p.derived w
   | F_index ix -> (Element.index_shape p.derived ix).Derived.ix_pages
+  (* Compression consumes no extra pages (it frees some); the space
+     constraint never excludes it. *)
+  | F_compress _ -> 0.
 
 let feature_name p = function
   | F_view w -> Element.name p.schema (Element.View w)
   | F_index ix -> Element.index_name p.schema ix
+  | F_compress e -> "compress(" ^ Element.name p.schema e ^ ")"
 
 let equal_feature = Config.equal_feature
 
@@ -199,5 +229,7 @@ let valid_config p config =
     in
     elem_materialized && List.exists (Element.equal_index ix) eligible
   in
+  let compress_ok e = List.exists (Element.equal e) p.compress_elems in
   List.for_all view_ok (Config.views config)
   && List.for_all index_ok (Config.indexes config)
+  && List.for_all compress_ok (Config.compress config)

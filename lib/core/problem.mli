@@ -20,6 +20,7 @@
 type feature = Vis_costmodel.Config.feature =
   | F_view of Vis_util.Bitset.t
   | F_index of Vis_costmodel.Element.index
+  | F_compress of Vis_costmodel.Element.t
 
 type t = {
   schema : Vis_catalog.Schema.t;
@@ -29,11 +30,15 @@ type t = {
       (** when false, {!evaluator} gives every configuration a private cache
           — the memoization ablation used by tests and the benchmark *)
   candidate_views : Vis_util.Bitset.t list;  (** sorted by cardinality *)
+  compress_elems : Vis_costmodel.Element.t list;
+      (** page-compression candidates — the always-materialized elements
+          (base replicas and the primary view); empty unless [make] was
+          given [~compression:true] *)
   features : feature list;
-      (** every candidate view and index, topologically ordered for the
-          paper's partial order ≺: subviews before superviews, every element
-          before its indexes, base-relation and primary-view indexes
-          first *)
+      (** every candidate feature, topologically ordered for the paper's
+          partial order ≺: subviews before superviews, every element before
+          its indexes, compression then base-relation and primary-view
+          indexes first (all state-independent) *)
   encoding : Vis_costmodel.Cost.encoding option;
       (** the problem's feature universe numbered into bits, when it fits in
           62 features and neither [slow_cost] nor the no-sharing ablation
@@ -53,12 +58,19 @@ type t = {
     saves) and also disables the packed encoding.  [slow_cost] (default: the
     [VISMAT_SLOW_COST] environment variable, true when set non-empty and
     non-zero) forces the structural evaluator everywhere — the escape hatch
-    kept alive for differential checking of the packed path. *)
+    kept alive for differential checking of the packed path.  [compression]
+    (default false) adds an [F_compress] candidate per always-materialized
+    element — a new axis the searches trade on: compressed elements cost
+    roughly half the I/Os but a CPU surcharge per page (see
+    {!Vis_costmodel.Cost.compress_page_ratio}); the default keeps the
+    search space and every cost bitwise identical to a compression-free
+    problem. *)
 val make :
   ?connected_only:bool ->
   ?max_view_rels:int ->
   ?share_cache:bool ->
   ?slow_cost:bool ->
+  ?compression:bool ->
   Vis_catalog.Schema.t ->
   t
 
@@ -74,6 +86,16 @@ val always_on_indexes : t -> Vis_costmodel.Element.index list
     indexes of each view in [views] — the index search space of a given view
     state. *)
 val indexes_for_views : t -> Vis_util.Bitset.t list -> Vis_costmodel.Element.index list
+
+(** The problem's [F_compress] candidate elements (empty without
+    [~compression:true]). *)
+val compress_candidates : t -> Vis_costmodel.Element.t list
+
+(** [extra_features_for_views p views] is the non-view features applicable
+    in a state materializing exactly [views]: candidate indexes for that
+    view state plus every compression candidate.  The exhaustive search
+    enumerates subsets of this list per view state. *)
+val extra_features_for_views : t -> Vis_util.Bitset.t list -> feature list
 
 (** [evaluator p config] is a cost evaluator sharing the problem's cache. *)
 val evaluator : t -> Vis_costmodel.Config.t -> Vis_costmodel.Cost.t

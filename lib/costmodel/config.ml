@@ -1,27 +1,38 @@
 module Bitset = Vis_util.Bitset
 
-type feature = F_view of Bitset.t | F_index of Element.index
+type feature =
+  | F_view of Bitset.t
+  | F_index of Element.index
+  | F_compress of Element.t
 
 let feature_rels = function
   | F_view w -> w
   | F_index ix -> Element.rels ix.Element.ix_elem
+  | F_compress e -> Element.rels e
 
 let equal_feature a b =
   match (a, b) with
   | F_view v, F_view w -> Bitset.equal v w
   | F_index i, F_index j -> Element.equal_index i j
-  | F_view _, F_index _ | F_index _, F_view _ -> false
+  | F_compress d, F_compress e -> Element.equal d e
+  | (F_view _ | F_index _ | F_compress _), _ -> false
 
-type t = { cviews : Bitset.t list; cindexes : Element.index list }
+type t = {
+  cviews : Bitset.t list;
+  cindexes : Element.index list;
+  ccompress : Element.t list;
+}
 
-let empty = { cviews = []; cindexes = [] }
+let empty = { cviews = []; cindexes = []; ccompress = [] }
 
 let sort_views vs = List.sort_uniq Bitset.compare vs
 
 let sort_indexes ixs = List.sort_uniq Element.compare_index ixs
 
+let sort_compress es = List.sort_uniq Element.compare es
+
 let make ~views ~indexes =
-  { cviews = sort_views views; cindexes = sort_indexes indexes }
+  { cviews = sort_views views; cindexes = sort_indexes indexes; ccompress = [] }
 
 let views c = c.cviews
 
@@ -54,11 +65,22 @@ let remove_index c ix =
     cindexes = List.filter (fun i -> not (Element.equal_index i ix)) c.cindexes;
   }
 
+let compress c = c.ccompress
+
+let has_compress c e = List.exists (Element.equal e) c.ccompress
+
+let add_compress c e = { c with ccompress = sort_compress (e :: c.ccompress) }
+
+let remove_compress c e =
+  { c with ccompress = List.filter (fun d -> not (Element.equal d e)) c.ccompress }
+
 let equal a b =
   List.length a.cviews = List.length b.cviews
   && List.length a.cindexes = List.length b.cindexes
+  && List.length a.ccompress = List.length b.ccompress
   && List.for_all2 Bitset.equal a.cviews b.cviews
   && List.for_all2 Element.equal_index a.cindexes b.cindexes
+  && List.for_all2 Element.equal a.ccompress b.ccompress
 
 let restrict c ~rels =
   {
@@ -67,6 +89,8 @@ let restrict c ~rels =
       List.filter
         (fun ix -> Bitset.subset (Element.rels ix.Element.ix_elem) rels)
         c.cindexes;
+    ccompress =
+      List.filter (fun e -> Bitset.subset (Element.rels e) rels) c.ccompress;
   }
 
 let space derived c =
@@ -102,6 +126,15 @@ let signature c =
       Buffer.add_string buf ix.Element.ix_attr.Element.a_name;
       Buffer.add_char buf ';')
     c.cindexes;
+  List.iter
+    (fun e ->
+      Buffer.add_char buf 'z';
+      (match e with
+      | Element.Base i -> Buffer.add_string buf ("B" ^ string_of_int i)
+      | Element.View s ->
+          Buffer.add_string buf ("V" ^ string_of_int (Bitset.to_int s)));
+      Buffer.add_char buf ';')
+    c.ccompress;
   Buffer.contents buf
 
 let signature_ints schema c =
@@ -109,8 +142,9 @@ let signature_ints schema c =
     | Element.Base i -> (2 * i) + 1
     | Element.View s -> 2 * Bitset.to_int s
   in
-  (* Views first (even codes shifted into a distinct range), then indexes;
-     both lists are sorted, so the encoding is canonical. *)
+  (* Views first (even codes shifted into a distinct range), then indexes,
+     then compressed elements (codes offset past any index encoding); all
+     three lists are sorted, so the encoding is canonical. *)
   List.map (fun v -> 2 * Bitset.to_int v) c.cviews
   @ List.map
       (fun ix ->
@@ -121,6 +155,7 @@ let signature_ints schema c =
         in
         lnot ((elem_code ix.Element.ix_elem * 4096) + attr))
       c.cindexes
+  @ List.map (fun e -> lnot ((1 lsl 40) + elem_code e)) c.ccompress
 
 let describe schema c =
   let views =
@@ -137,4 +172,11 @@ let describe schema c =
     | ixs ->
         "indexes: " ^ String.concat ", " (List.map (Element.index_name schema) ixs)
   in
-  views ^ "; " ^ indexes
+  let compressed =
+    match c.ccompress with
+    | [] -> ""
+    | es ->
+        "; compressed: "
+        ^ String.concat ", " (List.map (Element.name schema) es)
+  in
+  views ^ "; " ^ indexes ^ compressed

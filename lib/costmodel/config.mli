@@ -7,11 +7,16 @@
     Views and indexes are kept sorted so that [signature] is canonical. *)
 
 (** A candidate feature of the search space: a supporting view to
-    materialize or an index to build.  Lives here (rather than in the search
-    layer) so the cost model can number a problem's features once and key
-    its caches by feature bitmask; [Vis_core.Problem.feature] re-exports the
-    constructors. *)
-type feature = F_view of Vis_util.Bitset.t | F_index of Element.index
+    materialize, an index to build, or page-level compression to enable on
+    an always-materialized element ([F_compress] — fewer I/Os per access,
+    more CPU per page; see {!Cost.compress_page_ratio}).  Lives here
+    (rather than in the search layer) so the cost model can number a
+    problem's features once and key its caches by feature bitmask;
+    [Vis_core.Problem.feature] re-exports the constructors. *)
+type feature =
+  | F_view of Vis_util.Bitset.t
+  | F_index of Element.index
+  | F_compress of Element.t
 
 (** The base relations a feature's maintenance depends on: the view's
     relation set, or the indexed element's. *)
@@ -43,6 +48,21 @@ val remove_view : t -> Vis_util.Bitset.t -> t
 val add_index : t -> Element.index -> t
 
 val remove_index : t -> Element.index -> t
+
+(** {2 Page-level compression}
+
+    Elements stored compressed: roughly half the pages
+    ({!Cost.compress_page_ratio}), at a CPU surcharge per page read or
+    written.  [make] starts with no compression; the set is sorted and
+    canonical like views and indexes. *)
+
+val compress : t -> Element.t list
+
+val has_compress : t -> Element.t -> bool
+
+val add_compress : t -> Element.t -> t
+
+val remove_compress : t -> Element.t -> t
 
 val equal : t -> t -> bool
 

@@ -248,6 +248,7 @@ type encoding = {
   en_features : Config.feature array;  (* bit i <-> en_features.(i) *)
   en_view_bit : (int, int) Hashtbl.t;  (* view-set int -> bit *)
   en_index_bit : (int, int) Hashtbl.t;  (* index signature code -> bit *)
+  en_compress_bit : (int, int) Hashtbl.t;  (* element signature code -> bit *)
   en_relevance : (int, int) Hashtbl.t;  (* relation-set int -> relevance mask *)
   en_n_rels : int;
   (* Incremental-evaluation slots: base relations 0..n-1, then the
@@ -279,16 +280,21 @@ let make_encoding derived features =
   if n_features > 62 then raise (Encoding_too_large n_features);
   let view_bit = Hashtbl.create 32 in
   let index_bit = Hashtbl.create 64 in
+  let compress_bit = Hashtbl.create 16 in
   Array.iteri
     (fun i f ->
       match f with
       | Config.F_view w -> Hashtbl.replace view_bit (Bitset.to_int w) i
-      | Config.F_index ix -> Hashtbl.replace index_bit (index_sig_code schema ix) i)
+      | Config.F_index ix -> Hashtbl.replace index_bit (index_sig_code schema ix) i
+      | Config.F_compress e ->
+          Hashtbl.replace compress_bit (elem_sig_code schema e) i)
     features;
   let n_rels = Schema.n_relations schema in
   let views =
     Array.to_list features
-    |> List.filter_map (function Config.F_view w -> Some w | Config.F_index _ -> None)
+    |> List.filter_map (function
+         | Config.F_view w -> Some w
+         | Config.F_index _ | Config.F_compress _ -> None)
     |> List.sort Bitset.compare
   in
   let slot_elems =
@@ -324,6 +330,7 @@ let make_encoding derived features =
     en_features = features;
     en_view_bit = view_bit;
     en_index_bit = index_bit;
+    en_compress_bit = compress_bit;
     en_relevance = relevance_tbl;
     en_n_rels = n_rels;
     en_slot_elems = slot_elems;
@@ -350,6 +357,8 @@ let feature_bit enc = function
   | Config.F_view w -> Hashtbl.find_opt enc.en_view_bit (Bitset.to_int w)
   | Config.F_index ix ->
       Hashtbl.find_opt enc.en_index_bit (index_sig_code enc.en_schema ix)
+  | Config.F_compress e ->
+      Hashtbl.find_opt enc.en_compress_bit (elem_sig_code enc.en_schema e)
 
 let view_feature_bit enc w = Hashtbl.find_opt enc.en_view_bit (Bitset.to_int w)
 
@@ -365,26 +374,41 @@ let mask_of_config enc config =
           | None -> raise Out_of_universe)
         0 (Config.views config)
     in
+    let m =
+      List.fold_left
+        (fun acc ix ->
+          match
+            Hashtbl.find_opt enc.en_index_bit (index_sig_code enc.en_schema ix)
+          with
+          | Some b -> acc lor (1 lsl b)
+          | None -> raise Out_of_universe)
+        m (Config.indexes config)
+    in
     List.fold_left
-      (fun acc ix ->
-        match Hashtbl.find_opt enc.en_index_bit (index_sig_code enc.en_schema ix) with
+      (fun acc e ->
+        match
+          Hashtbl.find_opt enc.en_compress_bit (elem_sig_code enc.en_schema e)
+        with
         | Some b -> acc lor (1 lsl b)
         | None -> raise Out_of_universe)
-      m (Config.indexes config)
+      m (Config.compress config)
   with
   | m -> Some m
   | exception Out_of_universe -> None
 
 let config_of_mask enc mask =
-  let views = ref [] and indexes = ref [] in
+  let views = ref [] and indexes = ref [] and compress = ref [] in
   Array.iteri
     (fun i f ->
       if mask land (1 lsl i) <> 0 then
         match f with
         | Config.F_view w -> views := w :: !views
-        | Config.F_index ix -> indexes := ix :: !indexes)
+        | Config.F_index ix -> indexes := ix :: !indexes
+        | Config.F_compress e -> compress := e :: !compress)
     enc.en_features;
-  Config.make ~views:!views ~indexes:!indexes
+  List.fold_left Config.add_compress
+    (Config.make ~views:!views ~indexes:!indexes)
+    !compress
 
 let incr_stats enc =
   {
@@ -418,6 +442,7 @@ let incr_stats_json enc =
 type structural_keying = {
   enc_views : (Bitset.t * int) list;
   enc_indexes : (Bitset.t * int) list;
+  enc_compress : (Bitset.t * int) list;
   (* Per-element restricted signature, memoized per evaluator. *)
   mutable prefixes : (int * int list) list;
 }
@@ -448,11 +473,18 @@ let create ?cache derived config =
       (fun ix -> (Element.rels ix.Element.ix_elem, index_sig_code schema ix))
       (Config.indexes config)
   in
+  (* Codes must match {!Config.signature_ints} so structural keys agree with
+     the packed universe's decoded configurations. *)
+  let enc_compress =
+    List.map
+      (fun e -> (Element.rels e, lnot ((1 lsl 40) + elem_sig_code schema e)))
+      (Config.compress config)
+  in
   {
     derived;
     config = Lazy.from_val config;
     cache;
-    keying = K_structural { enc_views; enc_indexes; prefixes = [] };
+    keying = K_structural { enc_views; enc_indexes; enc_compress; prefixes = [] };
   }
 
 let create_masked ?cache derived enc mask =
@@ -465,6 +497,31 @@ let create_masked ?cache derived enc mask =
   }
 
 let config t = Lazy.force t.config
+
+(* Page-level compression.  A compressed element stores its tuples in
+   roughly [compress_page_ratio] of the pages, so each logical data-page
+   access moves half the I/O — but pays a CPU surcharge to decode (reads)
+   or encode (writes), charged in page-cost units.  The net per-page
+   factors are applied multiplicatively at every charging site that touches
+   the element's *data* pages; index pages, shipped deltas and scratch
+   saved deltas are never compressed.  Keeping the factors linear (page
+   counts in the formulas stay uncompressed) is what lets the A* bounds
+   scale floors by [compress_read_factor] exactly. *)
+
+let compress_page_ratio = 0.5
+
+(* ratio + decode CPU: 0.5 + 0.15 *)
+let compress_read_factor = 0.65
+
+(* ratio + encode CPU: 0.5 + 0.60 — writing compressed pages costs more
+   than it saves, which is what makes compression a genuine trade-off. *)
+let compress_write_factor = 1.10
+
+let read_f t e =
+  if Config.has_compress (config t) e then compress_read_factor else 1.
+
+let write_f t e =
+  if Config.has_compress (config t) e then compress_write_factor else 1.
 
 let derived t = t.derived
 
@@ -484,7 +541,9 @@ let elem_prefix k target =
       let rels = Element.rels target in
       let keep (frels, c) = if Bitset.subset frels rels then Some c else None in
       let p =
-        List.filter_map keep k.enc_views @ List.filter_map keep k.enc_indexes
+        List.filter_map keep k.enc_views
+        @ List.filter_map keep k.enc_indexes
+        @ List.filter_map keep k.enc_compress
       in
       k.prefixes <- (code, p) :: k.prefixes;
       p
@@ -537,7 +596,8 @@ let nbj_cost t ~outer_pages ~inner_pages =
    instead be read through an index on the selection attribute (Table 5's
    index scan), when such an index is materialized. *)
 let inner_access_cost t unit =
-  let scan = Element.pages t.derived unit in
+  let rf = read_f t unit in
+  let scan = rf *. Element.pages t.derived unit in
   match unit with
   | Element.View _ -> scan
   | Element.Base i ->
@@ -552,10 +612,12 @@ let inner_access_cost t unit =
         let via_index attr_name =
           let attr = { Element.a_rel = i; a_name = attr_name } in
           if Config.has_index (config t) unit attr then
+            (* Index pages are never compressed; only the data pages
+               fetched through the index pay (or enjoy) the factor. *)
             Some
               (float_of_int (shape.Derived.ix_height - 1)
               +. Num.fceil (shape.Derived.ix_pages *. matching /. Float.max card 1e-9)
-              +. Yao.y_wap ~n:card ~p:pages ~k:matching ~m:(mem_pages t))
+              +. rf *. Yao.y_wap ~n:card ~p:pages ~k:matching ~m:(mem_pages t))
           else None
         in
         List.fold_left
@@ -576,6 +638,7 @@ type unit_info = {
   u_elem : Element.t;
   u_mask : int;  (* dense mask of the relations it covers *)
   u_inner_access : float;  (* per-block cost of the nested-block inner side *)
+  u_read_f : float;  (* compression read factor for the unit's data pages *)
   u_probes : (int * float * float * float * float * Element.attr) list;
       (* per indexed join attribute reachable from outside the unit:
          (dense bit of the outside relation, matches per probe,
@@ -665,6 +728,7 @@ let eval_ins t target_set r =
       u_elem = elem;
       u_mask = dense_of_set urels;
       u_inner_access = inner_access_cost t elem;
+      u_read_f = read_f t elem;
       u_probes = probes;
     }
   in
@@ -722,8 +786,9 @@ let eval_ins t target_set r =
                   let c =
                     Yao.y_wap ~n:card ~p:ix_pages
                       ~k:(outer_tuples *. per_probe) ~m:half_mem
-                    +. Yao.y_wap ~n:card ~p:pages ~k:(outer_tuples *. matches)
-                         ~m:half_mem
+                    +. u.u_read_f
+                       *. Yao.y_wap ~n:card ~p:pages
+                            ~k:(outer_tuples *. matches) ~m:half_mem
                   in
                   let ix = { Element.ix_elem = u.u_elem; ix_attr = attr } in
                   relax next (base +. c) code
@@ -758,7 +823,7 @@ let prop_ins_uncached t ~target ~rel =
         let dp = Derived.delta_pages d ~rel ~count:i_r in
         ( {
             p_eval = dp;
-            p_apply = dp;
+            p_apply = write_f t target *. dp;
             p_save = 0.;
             p_index = apply_ix t target i_r;
             p_result_tuples = i_r;
@@ -775,7 +840,8 @@ let prop_ins_uncached t ~target ~rel =
         in
         ( {
             p_eval = eval;
-            p_apply = result_pages;
+            p_apply = write_f t target *. result_pages;
+            (* Saved deltas live in scratch space and are never compressed. *)
             p_save = (if is_supporting then result_pages else 0.);
             p_index = apply_ix t target tuples;
             p_result_tuples = tuples;
@@ -807,9 +873,14 @@ let prop_delupd_uncached t ~target ~rel ~kind =
     let affected = count_src *. s_key in
     let delta_pages = Derived.delta_pages d ~rel ~count:count_src in
     let pm = mem_pages t in
-    (* Option 1: scan the target with the delta keys in memory. *)
-    let scan_eval = delta_pages +. nbj_cost t ~outer_pages:delta_pages ~inner_pages:pages_v in
-    let scan_apply = Yao.yao ~n:card_v ~p:pages_v ~k:affected in
+    let rf = read_f t target and wf = write_f t target in
+    (* Option 1: scan the target with the delta keys in memory.  The shipped
+       delta is uncompressed; only the target's data pages carry factors. *)
+    let scan_eval =
+      delta_pages
+      +. rf *. nbj_cost t ~outer_pages:delta_pages ~inner_pages:pages_v
+    in
+    let scan_apply = wf *. Yao.yao ~n:card_v ~p:pages_v ~k:affected in
     let best = ref (scan_eval, scan_apply, Loc_scan) in
     (* Option 2: probe an index on the key attribute of [rel]. *)
     let key_attr =
@@ -825,9 +896,9 @@ let prop_delupd_uncached t ~target ~rel ~kind =
         delta_pages
         +. Yao.y_wap ~n:card_v ~p:shape.Derived.ix_pages
              ~k:(count_src *. per_probe) ~m:(pm /. 2.)
-        +. Yao.y_wap ~n:card_v ~p:pages_v ~k:affected ~m:(pm /. 2.)
+        +. rf *. Yao.y_wap ~n:card_v ~p:pages_v ~k:affected ~m:(pm /. 2.)
       in
-      let ix_apply = Yao.y_wap ~n:card_v ~p:pages_v ~k:affected ~m:pm in
+      let ix_apply = wf *. Yao.y_wap ~n:card_v ~p:pages_v ~k:affected ~m:pm in
       let ix = { Element.ix_elem = target; ix_attr = key_attr } in
       let scan_total = scan_eval +. scan_apply in
       if ix_eval +. ix_apply < scan_total then

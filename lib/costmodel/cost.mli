@@ -74,6 +74,24 @@ val config : t -> Config.t
 
 val derived : t -> Vis_catalog.Derived.t
 
+(** {1 Page-level compression}
+
+    A compressed element ({!Config.compress}) stores its tuples in
+    [compress_page_ratio] of the pages.  The model charges this as linear
+    per-page factors at every site touching the element's data pages:
+    reads cost [compress_read_factor] (fewer I/Os plus decode CPU, net
+    win) and writes cost [compress_write_factor] (encode CPU outweighs
+    the I/O saving) per uncompressed-equivalent page.  Index pages,
+    shipped deltas, and saved deltas are never compressed.  With no
+    compressed elements all factors are [1.0] and every formula is
+    bitwise identical to the uncompressed model. *)
+
+val compress_page_ratio : float
+
+val compress_read_factor : float
+
+val compress_write_factor : float
+
 (** {1 Plans} *)
 
 type join_method =

@@ -540,12 +540,12 @@ let check_maintenance_cycle cx schema =
    derivation, and A*/greedy pick identical optima with identical
    counters. *)
 
-let check_fast_vs_slow cx schema =
-  let fast = Problem.make schema in
+let fast_vs_slow ~compression cx schema =
+  let fast = Problem.make ~compression schema in
   match Config_id.of_problem fast with
   | None -> skip "packed encoding unavailable (>62 features or disabled)"
   | Some cid ->
-  let slow = Problem.make ~slow_cost:true schema in
+  let slow = Problem.make ~compression ~slow_cost:true schema in
   let n = Config_id.n_features cid in
   (* Random walk of applicable feature toggles: each step is delta-costed
      from its predecessor, then re-derived from scratch by the slow
@@ -602,6 +602,16 @@ let check_fast_vs_slow cx schema =
     else if not (Config.equal gf.Greedy.best gs.Greedy.best) then
       Fail "greedy configuration differs between fast and slow evaluators"
     else Pass))
+
+let check_fast_vs_slow cx schema = fast_vs_slow ~compression:false cx schema
+
+(* The same walk with the compression axis enabled: page-compression
+   features join the packed encoding, and every delta-costed total —
+   compression factors included — must stay bitwise equal to the slow
+   structural derivation.  A memo-key collision between a compressed and an
+   uncompressed configuration shows up here immediately. *)
+let check_fast_vs_slow_compression cx schema =
+  fast_vs_slow ~compression:true cx schema
 
 (* ------------------------------------------------------------------ *)
 (* WAL-protected refresh under a random seeded fault plan (PR 5): the
@@ -682,6 +692,100 @@ let check_crash_recovery cx schema =
           go 0)
 
 (* ------------------------------------------------------------------ *)
+(* Group-commit stream under faults, on a compressed design (PR 7): a
+   stream of sub-batches refreshed with deferred commits and grouped syncs
+   must spend fewer durability barriers than batches, and under a random
+   fault plan must end either bit-identical to the fault-free stream
+   (logically identical when degraded) or with storage integrity intact
+   after a clean failure.  Compression is enabled in the searched design so
+   the WAL's before-images and the denser heap layout are exercised
+   together. *)
+
+(* Deal one batch into [k] conflict-free sub-batches (keys within a batch
+   are distinct, so any partition applies cleanly in stream order). *)
+let split_batch k (b : Datagen.batch) =
+  let deal j l = List.filteri (fun i _ -> i mod k = j) l in
+  List.init k (fun j ->
+      {
+        Datagen.b_ins = Array.map (deal j) b.Datagen.b_ins;
+        b_del = Array.map (deal j) b.Datagen.b_del;
+        b_upd = Array.map (deal j) b.Datagen.b_upd;
+      })
+
+let check_group_commit_recovery cx schema =
+  match executable_blockers cx schema with
+  | Some reason -> Skip reason
+  | None -> (
+      let p = Problem.make ~compression:true schema in
+      let config = (Greedy.search p).Greedy.best in
+      let data_seed = Random.State.int cx.cx_rng 1_000_000 in
+      let world () =
+        let rng = Random.State.make [| data_seed |] in
+        let ds = Datagen.generate ~rng schema in
+        let w = Warehouse.build schema config ds in
+        let batches = split_batch 4 (Datagen.deltas ~rng schema ds) in
+        (w, batches)
+      in
+      match world () with
+      | exception Datagen.Unsupported msg -> skip "datagen: %s" msg
+      | w_ref, batches_ref -> (
+          match Refresh.run_protected_many w_ref batches_ref with
+          | Error e ->
+              fail "fault-free group stream failed: %s"
+                (Format.asprintf "%a" Faults.pp_fault e.Refresh.err_fault)
+          | Ok (r_ref, _, g_ref) ->
+              if r_ref.Refresh.rp_wal_syncs >= g_ref.Refresh.gr_batches then
+                fail
+                  "group commit did not reduce syncs: %d syncs for %d batches"
+                  r_ref.Refresh.rp_wal_syncs g_ref.Refresh.gr_batches
+              else
+                let physical_ref = Warehouse.signature w_ref in
+                let logical_ref = Warehouse.logical_signature w_ref in
+                let checked round w outcome =
+                  match Warehouse.integrity_check w with
+                  | Error m ->
+                      fail "round %d: storage integrity broken: %s" round m
+                  | Ok () -> outcome
+                in
+                let one round =
+                  let w, batches = world () in
+                  let plan_rng =
+                    Random.State.make
+                      [|
+                        Random.State.bits cx.cx_rng; cx.cx_fault_seed;
+                        round; 7;
+                      |]
+                  in
+                  let plan = Faults.random ~rng:plan_rng () in
+                  match Refresh.run_protected_many ~faults:plan w batches with
+                  | Ok (_, fs, _) when fs.Refresh.fs_degraded ->
+                      if Warehouse.logical_signature w <> logical_ref then
+                        fail
+                          "round %d: degraded group stream is not logically \
+                           identical to the fault-free stream"
+                          round
+                      else checked round w Pass
+                  | Ok (_, fs, g) ->
+                      if Warehouse.signature w <> physical_ref then
+                        fail
+                          "round %d: recovered stream (%d attempts, %d \
+                           injected, %d replayed) differs bit-for-bit from \
+                           the fault-free stream"
+                          round fs.Refresh.fs_attempts fs.Refresh.fs_injected
+                          g.Refresh.gr_replayed
+                      else checked round w Pass
+                  | Error _ ->
+                      (* Durable prefixes legitimately survive a failed
+                         stream; integrity is the invariant here. *)
+                      checked round w Pass
+                in
+                let rec go round =
+                  if round >= cx.cx_fault_rounds then Pass
+                  else match one round with Pass -> go (round + 1) | r -> r
+                in
+                go 0))
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -737,6 +841,18 @@ let all =
       o_name = "crash-recovery";
       o_doc = "faulted refresh recovers bit-identical or rolls back cleanly";
       o_check = check_crash_recovery;
+    };
+    (* Appended last — see the note above. *)
+    {
+      o_name = "fast-vs-slow-compression";
+      o_doc = "delta-costing bitwise equal to slow evaluator with compression";
+      o_check = check_fast_vs_slow_compression;
+    };
+    (* Appended last — see the note above. *)
+    {
+      o_name = "group-commit-recovery";
+      o_doc = "faulted group-commit stream on a compressed design recovers";
+      o_check = check_group_commit_recovery;
     };
   ]
 

@@ -15,6 +15,12 @@ type report = {
   rp_reads : int;
   rp_writes : int;
   rp_accesses : int;
+  rp_wal_writes : int;
+  rp_wal_syncs : int;
+  rp_pool_hits : int;
+  rp_pool_misses : int;
+  rp_pool_evictions : int;
+  rp_pool_overflows : int;
   rp_predicted : float;
 }
 
@@ -350,6 +356,12 @@ let report_of w ~predicted =
     rp_reads = Vis_storage.Iostats.reads stats;
     rp_writes = Vis_storage.Iostats.writes stats;
     rp_accesses = Vis_storage.Iostats.accesses stats;
+    rp_wal_writes = Vis_storage.Iostats.wal_writes stats;
+    rp_wal_syncs = Vis_storage.Iostats.wal_syncs stats;
+    rp_pool_hits = Vis_storage.Iostats.pool_hits stats;
+    rp_pool_misses = Vis_storage.Iostats.pool_misses stats;
+    rp_pool_evictions = Vis_storage.Iostats.pool_evictions stats;
+    rp_pool_overflows = Vis_storage.Iostats.pool_overflows stats;
     rp_predicted = predicted;
   }
 
@@ -409,25 +421,49 @@ let recompute_views w recomputed =
       recomputed := !recomputed + List.length fresh)
     w.Warehouse.w_views
 
-let run_protected ?faults ?(max_attempts = 2) w (batch : Datagen.batch) =
-  let max_attempts = max 1 max_attempts in
-  let plan = match faults with Some p -> p | None -> Faults.none () in
-  let pool = w.Warehouse.w_pool in
-  Buffer_pool.set_faults pool plan;
-  let eval = Cost.create w.Warehouse.w_derived w.Warehouse.w_config in
-  let predicted = Cost.total eval in
-  let staged = stage w batch in
-  Warehouse.reset_stats w;
-  let sink = logged_sink w in
-  let attempts = ref 0 in
-  let rollbacks = ref 0 in
-  let undone = ref 0 in
-  let recomputed = ref 0 in
-  let degraded = ref false in
+(* Mutable tallies shared by the single-batch runner and the group runner:
+   both funnel their attempts through [protected_one], so the fault
+   statistics aggregate naturally across a whole group run. *)
+type tallies = {
+  mutable tl_attempts : int;
+  mutable tl_rollbacks : int;
+  mutable tl_undone : int;
+  mutable tl_recomputed : int;
+  mutable tl_degraded : bool;
+}
+
+let fresh_tallies () =
+  {
+    tl_attempts = 0;
+    tl_rollbacks = 0;
+    tl_undone = 0;
+    tl_recomputed = 0;
+    tl_degraded = false;
+  }
+
+let stats_of w plan tl =
+  {
+    fs_attempts = tl.tl_attempts;
+    fs_injected = Faults.injected plan;
+    fs_retries = Faults.retries plan;
+    fs_backoff_ms = Faults.elapsed_ms plan;
+    fs_rollbacks = tl.tl_rollbacks;
+    fs_undone = tl.tl_undone;
+    fs_degraded = tl.tl_degraded;
+    fs_wal_records = Wal.total_records w.Warehouse.w_wal;
+    fs_wal_pages = Wal.total_pages w.Warehouse.w_wal;
+    fs_recomputed_rows = tl.tl_recomputed;
+  }
+
+(* One WAL-protected batch under the immediate-sync protocol: retry the
+   whole batch on one-shot (crash) or escalated transient faults, degrade
+   to view recomputation on permanent ones.  Shared by [run_protected] and
+   the group runner's per-batch replay after a group rollback. *)
+let protected_one w eval plan ~max_attempts ~sink ~staged ~batch tl =
   (* One bracketed attempt.  Only the typed fault exception is caught —
      anything else is a genuine bug and must surface. *)
   let attempt ~with_views =
-    incr attempts;
+    tl.tl_attempts <- tl.tl_attempts + 1;
     Faults.arm plan;
     match
       (* The Begin append can itself fault (log-page alloc or seal), so it
@@ -435,7 +471,11 @@ let run_protected ?faults ?(max_attempts = 2) w (batch : Datagen.batch) =
          [begin_batch] finds nothing to undo. *)
       Warehouse.begin_batch w;
       apply w eval ~sink ~with_views ~staged batch;
-      if not with_views then recompute_views w recomputed;
+      if not with_views then begin
+        let rc = ref tl.tl_recomputed in
+        recompute_views w rc;
+        tl.tl_recomputed <- !rc
+      end;
       Warehouse.commit_batch w
     with
     | () ->
@@ -443,13 +483,12 @@ let run_protected ?faults ?(max_attempts = 2) w (batch : Datagen.batch) =
         None
     | exception Faults.Injected f ->
         Faults.disarm plan;
-        incr rollbacks;
-        undone := !undone + Warehouse.recover w;
+        tl.tl_rollbacks <- tl.tl_rollbacks + 1;
+        tl.tl_undone <- tl.tl_undone + Warehouse.recover w;
         Some f
   in
-  (* Normal path: retry the whole batch on one-shot (crash) or escalated
-     transient faults; a permanent fault would fail identically, so skip
-     straight to degradation. *)
+  (* Normal path: a permanent fault would fail identically on retry, so
+     skip straight to degradation. *)
   let rec normal k =
     match attempt ~with_views:true with
     | None -> Ok ()
@@ -463,29 +502,177 @@ let run_protected ?faults ?(max_attempts = 2) w (batch : Datagen.batch) =
     | Some f when k >= max_attempts -> Error f
     | Some _ -> degrade (k + 1)
   in
-  let outcome =
-    match normal 1 with
-    | Ok () -> Ok ()
-    | Error _ ->
-        degraded := true;
-        degrade 1
-  in
+  match normal 1 with
+  | Ok () -> Ok ()
+  | Error _ ->
+      tl.tl_degraded <- true;
+      degrade 1
+
+let run_protected ?faults ?(max_attempts = 2) w (batch : Datagen.batch) =
+  let max_attempts = max 1 max_attempts in
+  let plan = match faults with Some p -> p | None -> Faults.none () in
+  let pool = w.Warehouse.w_pool in
+  Buffer_pool.set_faults pool plan;
+  let eval = Cost.create w.Warehouse.w_derived w.Warehouse.w_config in
+  let predicted = Cost.total eval in
+  let staged = stage w batch in
+  Warehouse.reset_stats w;
+  let sink = logged_sink w in
+  let tl = fresh_tallies () in
+  let outcome = protected_one w eval plan ~max_attempts ~sink ~staged ~batch tl in
   Faults.disarm plan;
   Vis_storage.Buffer_pool.flush pool;
-  let stats =
-    {
-      fs_attempts = !attempts;
-      fs_injected = Faults.injected plan;
-      fs_retries = Faults.retries plan;
-      fs_backoff_ms = Faults.elapsed_ms plan;
-      fs_rollbacks = !rollbacks;
-      fs_undone = !undone;
-      fs_degraded = !degraded;
-      fs_wal_records = Wal.total_records w.Warehouse.w_wal;
-      fs_wal_pages = Wal.total_pages w.Warehouse.w_wal;
-      fs_recomputed_rows = !recomputed;
-    }
-  in
+  let stats = stats_of w plan tl in
   match outcome with
   | Ok () -> Ok (report_of w ~predicted, stats)
   | Error f -> Error { err_fault = f; err_stats = stats }
+
+(* ------------------------------------------------------------------ *)
+(* Group commit. *)
+
+type group_policy = { gp_max_group : int; gp_window_ms : float }
+
+let default_group_policy = { gp_max_group = 4; gp_window_ms = 40. }
+
+(* Simulated inter-arrival time of one batch on the group clock.  The
+   scheduler below is a pure function of this clock and the pending set,
+   so a run (including any fault plan's injection points) replays
+   bit-identically regardless of host timing. *)
+let batch_ms = 10.
+
+type group_stats = {
+  gr_batches : int;
+  gr_group_syncs : int;
+  gr_max_group : int;
+  gr_replayed : int;
+  gr_clock_ms : float;
+  gr_latency_ms_total : float;
+}
+
+let run_protected_many ?faults ?(max_attempts = 2)
+    ?(policy = default_group_policy) w (batches : Datagen.batch list) =
+  let max_attempts = max 1 max_attempts in
+  if policy.gp_max_group < 1 then
+    invalid_arg "Refresh.run_protected_many: gp_max_group < 1";
+  let plan = match faults with Some p -> p | None -> Faults.none () in
+  let pool = w.Warehouse.w_pool in
+  Buffer_pool.set_faults pool plan;
+  let eval = Cost.create w.Warehouse.w_derived w.Warehouse.w_config in
+  let batch_arr = Array.of_list batches in
+  let n = Array.length batch_arr in
+  let predicted = Cost.total eval *. float_of_int n in
+  let staged_arr = Array.map (stage w) batch_arr in
+  Warehouse.reset_stats w;
+  let sink = logged_sink w in
+  let tl = fresh_tallies () in
+  let clock = ref 0. in
+  let latency = ref 0. in
+  let group_syncs = ref 0 in
+  let max_group = ref 0 in
+  let replayed = ref 0 in
+  (* Batch indexes committed-deferred but not yet covered by a sync, newest
+     first.  Their staged deltas are kept until durability confirms. *)
+  let pending = ref [] in
+  let failure = ref None in
+  let arrival i = float_of_int i *. batch_ms in
+  (* After a rollback every non-durable batch was undone (cross-batch
+     LIFO); replay them oldest-first, each under the immediate-sync
+     protocol with its own retry/degrade budget.  The group resumes with
+     the remaining batches afterwards. *)
+  let replay idxs =
+    List.iter
+      (fun i ->
+        if !failure = None then begin
+          incr replayed;
+          match
+            protected_one w eval plan ~max_attempts ~sink
+              ~staged:staged_arr.(i) ~batch:batch_arr.(i) tl
+          with
+          | Ok () -> latency := !latency +. (!clock -. arrival i)
+          | Error f -> failure := Some f
+        end)
+      idxs
+  in
+  (* Force the log once for every pending deferred commit.  The sync's
+     write-back is itself a fault point: a crash there rolls back the whole
+     pending group, which then replays batch by batch. *)
+  let flush_group () =
+    if !pending <> [] then begin
+      let size = List.length !pending in
+      Faults.arm plan;
+      match Warehouse.sync_batches w with
+      | () ->
+          Faults.disarm plan;
+          incr group_syncs;
+          if size > !max_group then max_group := size;
+          List.iter
+            (fun i -> latency := !latency +. (!clock -. arrival i))
+            !pending;
+          pending := []
+      | exception Faults.Injected _ ->
+          Faults.disarm plan;
+          tl.tl_rollbacks <- tl.tl_rollbacks + 1;
+          tl.tl_undone <- tl.tl_undone + Warehouse.recover w;
+          let idxs = List.rev !pending in
+          pending := [];
+          replay idxs
+    end
+  in
+  let i = ref 0 in
+  while !failure = None && !i < n do
+    let idx = !i in
+    clock := !clock +. batch_ms;
+    tl.tl_attempts <- tl.tl_attempts + 1;
+    Faults.arm plan;
+    (match
+       Warehouse.begin_batch w;
+       apply w eval ~sink ~with_views:true ~staged:staged_arr.(idx)
+         batch_arr.(idx);
+       Warehouse.commit_batch_deferred w
+     with
+    | () ->
+        Faults.disarm plan;
+        pending := idx :: !pending;
+        (* Deterministic scheduler: sync when the group is full, the oldest
+           pending commit has waited out the window, or the stream ends. *)
+        let window_elapsed =
+          match List.rev !pending with
+          | oldest :: _ -> !clock -. arrival oldest >= policy.gp_window_ms
+          | [] -> false
+        in
+        if
+          List.length !pending >= policy.gp_max_group
+          || window_elapsed
+          || idx = n - 1
+        then flush_group ()
+    | exception Faults.Injected _ ->
+        (* The crash takes down the current batch and every deferred one:
+           none of their commits were forced, so [recover] undoes them all
+           newest-first before the individual replay. *)
+        Faults.disarm plan;
+        tl.tl_rollbacks <- tl.tl_rollbacks + 1;
+        tl.tl_undone <- tl.tl_undone + Warehouse.recover w;
+        let idxs = List.rev (idx :: !pending) in
+        pending := [];
+        replay idxs);
+    incr i
+  done;
+  (* Normally empty here (the last batch forces a flush); only a trailing
+     fault path can leave stragglers. *)
+  flush_group ();
+  Faults.disarm plan;
+  Vis_storage.Buffer_pool.flush pool;
+  let stats = stats_of w plan tl in
+  let gstats =
+    {
+      gr_batches = n;
+      gr_group_syncs = !group_syncs;
+      gr_max_group = !max_group;
+      gr_replayed = !replayed;
+      gr_clock_ms = !clock;
+      gr_latency_ms_total = !latency;
+    }
+  in
+  match !failure with
+  | None -> Ok (report_of w ~predicted, stats, gstats)
+  | Some f -> Error { err_fault = f; err_stats = stats }

@@ -17,6 +17,12 @@ type report = {
   rp_reads : int;
   rp_writes : int;
   rp_accesses : int;
+  rp_wal_writes : int;  (** log pages forced (a subset of [rp_writes]) *)
+  rp_wal_syncs : int;  (** durability barriers *)
+  rp_pool_hits : int;
+  rp_pool_misses : int;
+  rp_pool_evictions : int;
+  rp_pool_overflows : int;  (** frames pinned past pool capacity *)
   rp_predicted : float;  (** the cost model's [C(M')] for the same batch *)
 }
 
@@ -78,3 +84,58 @@ val run_protected :
   Warehouse.t ->
   Vis_workload.Datagen.batch ->
   (report * fault_stats, error) result
+
+(** {1 Group commit}
+
+    {!run_protected_many} runs a stream of delta batches under WAL
+    protection with {e group commit}: each batch is bracketed and applied
+    as in {!run_protected}, but its commit record is appended without
+    forcing the log ({!Warehouse.commit_batch_deferred}).  One
+    {!Warehouse.sync_batches} then covers every deferred commit at once,
+    so [n] batches cost one durability barrier instead of [n].
+
+    Scheduling runs on a simulated clock (batches arrive [10]ms apart) and
+    is a pure function of that clock and the pending set — a sync fires
+    when the pending group reaches [gp_max_group], when the oldest pending
+    commit has waited [gp_window_ms], or at end of stream.  Runs therefore
+    replay bit-identically, fault plans included.
+
+    A fault while a group is open rolls back {e every} non-durable batch
+    (cross-batch LIFO undo via [Warehouse.recover]) and the rolled-back
+    batches are then {e replayed} one by one under the immediate-sync
+    protocol of {!run_protected} — retries, backoff and graceful
+    degradation per batch — before the group resumes.  The outcome is the
+    same all-batches-applied state a fault-free run produces (or [Error]
+    when a replayed batch exhausts its attempts). *)
+
+(** [gp_max_group] bounds how many deferred commits one sync may cover
+    ([1] degenerates to per-batch forcing, i.e. {!run_protected}'s
+    behaviour); [gp_window_ms] bounds how long the oldest pending commit
+    may wait on the simulated clock. *)
+type group_policy = { gp_max_group : int; gp_window_ms : float }
+
+(** [{ gp_max_group = 4; gp_window_ms = 40. }] *)
+val default_group_policy : group_policy
+
+type group_stats = {
+  gr_batches : int;  (** batches in the stream *)
+  gr_group_syncs : int;  (** group-mode syncs that confirmed a group *)
+  gr_max_group : int;  (** largest group one sync covered *)
+  gr_replayed : int;  (** batches replayed individually after a fault *)
+  gr_clock_ms : float;  (** simulated clock at completion *)
+  gr_latency_ms_total : float;
+      (** summed commit latency: for each batch, simulated time from its
+          arrival to the sync (or replay) that made it durable — the
+          latency group commit trades against sync count *)
+}
+
+(** [run_protected_many ?faults ?max_attempts ?policy w batches] — the
+    warehouse counters cover the whole stream; [fault_stats] aggregates
+    every attempt (group-mode and replays). *)
+val run_protected_many :
+  ?faults:Vis_storage.Faults.t ->
+  ?max_attempts:int ->
+  ?policy:group_policy ->
+  Warehouse.t ->
+  Vis_workload.Datagen.batch list ->
+  (report * fault_stats * group_stats, error) result

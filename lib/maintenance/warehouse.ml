@@ -108,10 +108,20 @@ let build schema config dataset =
     Vis_storage.Buffer_pool.create ~capacity:schema.Schema.mem_pages ~stats
   in
   let n = Schema.n_relations schema in
+  (* Elements the configuration compresses are stored page-compressed with
+     the cost model's page ratio, so measured page counts line up with the
+     modeled I/O savings. *)
+  let compress_ratio_of e =
+    if Config.has_compress config e then
+      Some Vis_costmodel.Cost.compress_page_ratio
+    else None
+  in
   let bases =
     Array.init n (fun i ->
         let table =
-          Table.create pool
+          Table.create
+            ?compress_ratio:(compress_ratio_of (Element.Base i))
+            pool
             ~desc:(Reldesc.of_relation schema i)
             ~page_bytes:schema.Schema.page_bytes ~attr_bytes
         in
@@ -131,7 +141,9 @@ let build schema config dataset =
     List.map
       (fun set ->
         let table =
-          Table.create pool ~desc:(view_desc schema set)
+          Table.create
+            ?compress_ratio:(compress_ratio_of (Element.View set))
+            pool ~desc:(view_desc schema set)
             ~page_bytes:schema.Schema.page_bytes ~attr_bytes
         in
         List.iter
@@ -183,6 +195,11 @@ let reset_stats w =
 let durable_tables w =
   Array.append w.w_bases (Array.of_list (List.map snd w.w_views))
 
+(* Heap pages across every durable table — the stored footprint the
+   compression bench compares against an uncompressed build. *)
+let total_data_pages w =
+  Array.fold_left (fun acc t -> acc + Table.n_pages t) 0 (durable_tables w)
+
 let table_id w table =
   let tables = durable_tables w in
   let rec find i =
@@ -227,6 +244,18 @@ let begin_batch w = Wal.append w.w_wal Wal.Begin
 
 let commit_batch w =
   Wal.append w.w_wal Wal.Commit;
+  Wal.sync w.w_wal;
+  Wal.checkpoint w.w_wal
+
+(* Group commit: append the Commit record but defer the force.  The batch
+   is NOT durable until a later {!sync_batches} covers it — until then a
+   crash rolls it back together with everything after the last durable
+   commit. *)
+let commit_batch_deferred w = Wal.append w.w_wal Wal.Commit
+
+(* One force makes every deferred commit durable; the log is then fully
+   covered, so it can truncate. *)
+let sync_batches w =
   Wal.sync w.w_wal;
   Wal.checkpoint w.w_wal
 

@@ -57,6 +57,10 @@ val reset_stats : t -> unit
 (** Base replicas then views, in the fixed order WAL records index them. *)
 val durable_tables : t -> Vis_relalg.Table.t array
 
+(** Heap pages across every durable table; configurations with compressed
+    elements ({!Vis_costmodel.Config.compress}) occupy fewer. *)
+val total_data_pages : t -> int
+
 (** [logged_insert w table tuple] — logs the insertion (destination rid
     predicted) then applies it. [table] must be one of
     {!durable_tables}. *)
@@ -75,6 +79,16 @@ val begin_batch : t -> unit
 
 (** Appends the commit record, forces the log tail, truncates the log. *)
 val commit_batch : t -> unit
+
+(** Group commit: appends the commit record {e without} forcing the log.
+    The batch is not durable — a crash before the next {!sync_batches}
+    rolls it back — but one later sync covers every deferred commit at
+    once. *)
+val commit_batch_deferred : t -> unit
+
+(** Forces the log tail (one sync covering every deferred commit since the
+    last one) and truncates the now fully-durable log. *)
+val sync_batches : t -> unit
 
 (** [recover w] rolls back the unfinished batch, if any: undoes its records
     newest-first (tolerant of partially applied operations), charging one

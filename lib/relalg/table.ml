@@ -6,21 +6,35 @@ type t = {
   tdesc : Reldesc.t;
   theap : Heap_file.t;
   ix_fanout : int;
+  tcompressed : bool;
   mutable tindexes : (int * Btree.t) list;
 }
 
 let index_entry_bytes = 16
 
-let create pool ~desc ~page_bytes ~attr_bytes =
+let create ?compress_ratio pool ~desc ~page_bytes ~attr_bytes =
   let tuple_bytes = max 1 (Reldesc.arity desc) * attr_bytes in
   let tpp = max 1 (page_bytes / tuple_bytes) in
+  let tpp, compressed =
+    match compress_ratio with
+    | None -> (tpp, false)
+    | Some r ->
+        if not (r > 0. && r <= 1.) then
+          invalid_arg "Table.create: compress_ratio must be in (0, 1]";
+        (* A compressed page holds proportionally more tuples; index pages
+           keep their fanout (indexes are never compressed). *)
+        (max 1 (int_of_float (Float.ceil (float_of_int tpp /. r))), true)
+  in
   {
     pool;
     tdesc = desc;
     theap = Heap_file.create pool ~tuples_per_page:tpp;
     ix_fanout = max 4 (page_bytes / index_entry_bytes);
+    tcompressed = compressed;
     tindexes = [];
   }
+
+let compressed t = t.tcompressed
 
 let desc t = t.tdesc
 

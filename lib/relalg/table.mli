@@ -6,13 +6,20 @@ type t
 
 (** [create pool ~desc ~page_bytes ~attr_bytes] sizes the heap so a tuple
     occupies [arity · attr_bytes] bytes of a [page_bytes] page (at least one
-    tuple per page). *)
+    tuple per page).  [?compress_ratio] (in [(0, 1]]) stores the heap
+    page-compressed: each page holds [1/ratio] times as many tuples, so the
+    table occupies roughly [ratio] of the uncompressed page count.  Indexes
+    are never compressed. *)
 val create :
+  ?compress_ratio:float ->
   Vis_storage.Buffer_pool.t ->
   desc:Reldesc.t ->
   page_bytes:int ->
   attr_bytes:int ->
   t
+
+(** Whether the heap was created with [compress_ratio]. *)
+val compressed : t -> bool
 
 val desc : t -> Reldesc.t
 

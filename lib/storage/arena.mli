@@ -1,0 +1,43 @@
+(** A growable off-heap word store backed by a [Bigarray] of native ints —
+    the backing memory of {!Heap_file} pages.
+
+    Tuple data lives outside the OCaml heap: a page is a fixed-size block of
+    words carved out of the arena, addressed by offset, and {!slice} hands
+    out a zero-copy window rather than copying.  Blocks are allocated
+    bump-pointer style and released strictly LIFO ({!release} drops the tail
+    block only), matching how heap files grow and how [truncate_last] undoes
+    the append that grew a page. *)
+
+type words = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t
+
+val create : ?initial_words:int -> unit -> t
+
+val capacity_words : t -> int
+
+val used_words : t -> int
+
+(** [alloc t n] hands out a zero-filled block of [n] words, returning its
+    word offset.  Amortized O(1): the arena doubles when full (one off-heap
+    blit, invisible to the GC). *)
+val alloc : t -> int -> int
+
+(** [release t n] returns the last [n] words to the arena.  Raises
+    [Invalid_argument] when [n] exceeds the words in use. *)
+val release : t -> int -> unit
+
+val get : t -> int -> int
+
+val set : t -> int -> int -> unit
+
+(** [slice t ~off ~len] is a zero-copy window: reads and writes through it go
+    straight to the arena's memory. *)
+val slice : t -> off:int -> len:int -> words
+
+(** [blit_from_array t ~off src] copies [src] into the arena at [off]. *)
+val blit_from_array : t -> off:int -> int array -> unit
+
+(** [to_array t ~off ~len] materializes a block as a fresh [int array] (for
+    callers that need an OCaml-heap tuple). *)
+val to_array : t -> off:int -> len:int -> int array

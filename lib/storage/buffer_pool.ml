@@ -82,12 +82,14 @@ let victim t =
 let evict t f =
   unlink t f;
   Hashtbl.remove t.frames f.page;
+  Iostats.record_pool_eviction t.io;
   if f.dirty then Iostats.record_write t.io
 
 let insert_resident t page ~dirty ~count_read =
   (* Pick the eviction victim first so its write fault (if any) fires before
      we count the read or mutate anything. *)
-  let v = if Hashtbl.length t.frames >= t.cap then victim t else None in
+  let at_capacity = Hashtbl.length t.frames >= t.cap in
+  let v = if at_capacity then victim t else None in
   (match v with
   | Some f when f.dirty -> Faults.check t.plan Faults.Write ~page:f.page
   | _ -> ());
@@ -95,6 +97,9 @@ let insert_resident t page ~dirty ~count_read =
     Faults.check t.plan Faults.Read ~page;
     Iostats.record_read t.io
   end;
+  Iostats.record_pool_miss t.io;
+  (* Every resident frame pinned: admit past capacity instead of evicting. *)
+  if at_capacity && v = None then Iostats.record_pool_overflow t.io;
   (match v with Some f -> evict t f | None -> ());
   let f = { page; dirty; pins = 0; prev = None; next = None } in
   Hashtbl.replace t.frames page f;
@@ -104,6 +109,7 @@ let touch t page ~dirty =
   Iostats.record_access t.io;
   match Hashtbl.find_opt t.frames page with
   | Some f ->
+      Iostats.record_pool_hit t.io;
       unlink t f;
       push_front t f;
       if dirty then f.dirty <- true
@@ -113,6 +119,7 @@ let touch_new t page =
   Iostats.record_access t.io;
   match Hashtbl.find_opt t.frames page with
   | Some f ->
+      Iostats.record_pool_hit t.io;
       unlink t f;
       push_front t f;
       f.dirty <- true
@@ -120,7 +127,7 @@ let touch_new t page =
 
 let pin t page =
   (match Hashtbl.find_opt t.frames page with
-  | Some _ -> ()
+  | Some _ -> Iostats.record_pool_hit t.io
   | None -> insert_resident t page ~dirty:false ~count_read:true);
   let f = Hashtbl.find t.frames page in
   f.pins <- f.pins + 1

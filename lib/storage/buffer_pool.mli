@@ -9,7 +9,12 @@
 
     Each physical operation consults the pool's {!Faults} plan before any
     pool state changes, so an injected fault leaves the pool untouched: the
-    failed read/write/allocation simply never happened. *)
+    failed read/write/allocation simply never happened.
+
+    Residency traffic is tallied in {!Iostats}: hits ({!touch}/{!touch_new}/
+    {!pin} on a resident frame), misses (every admission), evictions under
+    capacity pressure, and overflow admissions when every frame is pinned.
+    {!flush} models orderly shutdown and does not count evictions. *)
 
 type t
 

@@ -1,34 +1,58 @@
 type rid = { rid_page : int; rid_slot : int }
 
-type page = { gid : int; slots : int array option array; mutable live : int }
+(* A page is a zero-copy window into the file's {!Arena}: [off] is the word
+   offset of its block, holding [tpp] slots of [1 + arity] words each — word
+   0 is the presence flag, words 1..arity the attributes.  Tuple data lives
+   off the OCaml heap; the page records only bookkeeping. *)
+type page = { gid : int; off : int; mutable live : int }
 
 type t = {
   pool : Buffer_pool.t;
   tpp : int;
+  arena : Arena.t;
+  mutable arity : int;  (* -1 until the first append fixes it *)
   mutable pages : page array;
   mutable n_pages : int;
   mutable n_tuples : int;
   mutable tail_used : int;  (* slots handed out on the last page *)
 }
 
-let create pool ~tuples_per_page =
+let create ?arity pool ~tuples_per_page =
   if tuples_per_page < 1 then invalid_arg "Heap_file.create";
+  (match arity with
+  | Some a when a < 0 -> invalid_arg "Heap_file.create: negative arity"
+  | _ -> ());
   {
     pool;
     tpp = tuples_per_page;
+    arena = Arena.create ();
+    arity = (match arity with Some a -> a | None -> -1);
     pages = [||];
     n_pages = 0;
     n_tuples = 0;
     tail_used = 0;
   }
 
+let slot_words t = 1 + t.arity
+
+let page_words t = t.tpp * slot_words t
+
+let slot_off t page slot = page.off + (slot * slot_words t)
+
+let fix_arity t tuple =
+  let a = Array.length tuple in
+  if t.arity = -1 then t.arity <- a
+  else if a <> t.arity then invalid_arg "Heap_file: arity mismatch"
+
 let grow t =
   (* Both fault points (the allocation, and the eviction a touch_new may
      force) fire before any heap mutation, so a failed grow leaves the file
-     exactly as it was. *)
+     exactly as it was — including the arena, whose block is only carved out
+     afterwards. *)
   let gid = Buffer_pool.fresh_page t.pool in
   Buffer_pool.touch_new t.pool gid;
-  let page = { gid; slots = Array.make t.tpp None; live = 0 } in
+  let off = Arena.alloc t.arena (page_words t) in
+  let page = { gid; off; live = 0 } in
   if t.n_pages = Array.length t.pages then begin
     let ncap = max 8 (2 * Array.length t.pages) in
     let npages = Array.make ncap page in
@@ -40,7 +64,20 @@ let grow t =
   t.tail_used <- 0;
   page
 
+let write_slot t page slot tuple =
+  let off = slot_off t page slot in
+  Arena.set t.arena off 1;
+  Arena.blit_from_array t.arena ~off:(off + 1) tuple
+
+let slot_live t page slot = Arena.get t.arena (slot_off t page slot) <> 0
+
+let clear_slot t page slot = Arena.set t.arena (slot_off t page slot) 0
+
+let read_slot t page slot =
+  Arena.to_array t.arena ~off:(slot_off t page slot + 1) ~len:t.arity
+
 let append t tuple =
+  fix_arity t tuple;
   let page =
     if t.n_pages = 0 || t.tail_used >= t.tpp then grow t
     else begin
@@ -50,7 +87,7 @@ let append t tuple =
     end
   in
   let slot = t.tail_used in
-  page.slots.(slot) <- Some (Array.copy tuple);
+  write_slot t page slot tuple;
   page.live <- page.live + 1;
   t.tail_used <- t.tail_used + 1;
   t.n_tuples <- t.n_tuples + 1;
@@ -68,41 +105,44 @@ let get t rid =
   if not (check_rid t rid) then invalid_arg "Heap_file.get: bad rid";
   let page = t.pages.(rid.rid_page) in
   Buffer_pool.touch t.pool page.gid ~dirty:false;
-  page.slots.(rid.rid_slot)
+  if slot_live t page rid.rid_slot then Some (read_slot t page rid.rid_slot)
+  else None
 
 let delete t rid =
   if not (check_rid t rid) then invalid_arg "Heap_file.delete: bad rid";
   let page = t.pages.(rid.rid_page) in
   Buffer_pool.touch t.pool page.gid ~dirty:true;
-  match page.slots.(rid.rid_slot) with
-  | None -> false
-  | Some _ ->
-      page.slots.(rid.rid_slot) <- None;
-      page.live <- page.live - 1;
-      t.n_tuples <- t.n_tuples - 1;
-      true
+  if not (slot_live t page rid.rid_slot) then false
+  else begin
+    clear_slot t page rid.rid_slot;
+    page.live <- page.live - 1;
+    t.n_tuples <- t.n_tuples - 1;
+    true
+  end
 
 let update t rid tuple =
   if not (check_rid t rid) then invalid_arg "Heap_file.update: bad rid";
+  fix_arity t tuple;
   let page = t.pages.(rid.rid_page) in
   Buffer_pool.touch t.pool page.gid ~dirty:true;
-  match page.slots.(rid.rid_slot) with
-  | None -> false
-  | Some _ ->
-      page.slots.(rid.rid_slot) <- Some (Array.copy tuple);
-      true
+  if not (slot_live t page rid.rid_slot) then false
+  else begin
+    write_slot t page rid.rid_slot tuple;
+    true
+  end
 
 let restore t rid tuple =
   if not (check_rid t rid) then invalid_arg "Heap_file.restore: bad rid";
+  fix_arity t tuple;
   let page = t.pages.(rid.rid_page) in
   Buffer_pool.touch t.pool page.gid ~dirty:true;
-  match page.slots.(rid.rid_slot) with
-  | Some _ -> false
-  | None ->
-      page.slots.(rid.rid_slot) <- Some (Array.copy tuple);
-      page.live <- page.live + 1;
-      t.n_tuples <- t.n_tuples + 1;
-      true
+  if slot_live t page rid.rid_slot then false
+  else begin
+    write_slot t page rid.rid_slot tuple;
+    page.live <- page.live + 1;
+    t.n_tuples <- t.n_tuples + 1;
+    true
+  end
 
 let truncate_last t rid =
   (* Tolerant: the rid was *predicted* before the append ran, so when undo
@@ -115,17 +155,19 @@ let truncate_last t rid =
   else if rid.rid_page = t.n_pages - 1 && rid.rid_slot = t.tail_used - 1 then begin
     let page = t.pages.(rid.rid_page) in
     Buffer_pool.touch t.pool page.gid ~dirty:true;
-    (match page.slots.(rid.rid_slot) with
-    | Some _ ->
-        page.slots.(rid.rid_slot) <- None;
-        page.live <- page.live - 1;
-        t.n_tuples <- t.n_tuples - 1
-    | None -> ());
+    if slot_live t page rid.rid_slot then begin
+      clear_slot t page rid.rid_slot;
+      page.live <- page.live - 1;
+      t.n_tuples <- t.n_tuples - 1
+    end;
     t.tail_used <- t.tail_used - 1;
     if t.tail_used = 0 then begin
       (* The append that created this slot also grew the page: drop it
-         without a write-back, restoring the pre-append page count. *)
+         without a write-back, returning its arena block (LIFO — the tail
+         page's block is the arena's tail) and restoring the pre-append
+         page count. *)
       Buffer_pool.discard t.pool page.gid;
+      Arena.release t.arena (page_words t);
       t.n_pages <- t.n_pages - 1;
       t.tail_used <- (if t.n_pages = 0 then 0 else t.tpp)
     end;
@@ -138,9 +180,21 @@ let scan t ~f =
     let page = t.pages.(p) in
     Buffer_pool.touch t.pool page.gid ~dirty:false;
     for s = 0 to t.tpp - 1 do
-      match page.slots.(s) with
-      | Some tuple -> f { rid_page = p; rid_slot = s } tuple
-      | None -> ()
+      if slot_live t page s then f { rid_page = p; rid_slot = s } (read_slot t page s)
+    done
+  done
+
+(* Zero-copy scan: hands [f] the arena window of each slot's attributes
+   instead of materializing tuples on the OCaml heap. *)
+let scan_slices t ~f =
+  for p = 0 to t.n_pages - 1 do
+    let page = t.pages.(p) in
+    Buffer_pool.touch t.pool page.gid ~dirty:false;
+    for s = 0 to t.tpp - 1 do
+      if slot_live t page s then
+        f
+          { rid_page = p; rid_slot = s }
+          (Arena.slice t.arena ~off:(slot_off t page s + 1) ~len:t.arity)
     done
   done
 
@@ -149,6 +203,8 @@ let n_tuples t = t.n_tuples
 let n_pages t = t.n_pages
 
 let tuples_per_page t = t.tpp
+
+let arena_words t = Arena.used_words t.arena
 
 let page_gid t i =
   if i < 0 || i >= t.n_pages then invalid_arg "Heap_file.page_gid";

@@ -1,7 +1,14 @@
 (** An unordered heap file of fixed-arity tuples (int arrays), paged through
     a {!Buffer_pool}.  Relations, materialized views and shipped deltas are
     all stored as heap files (Section 3.1: relations and views are stored as
-    heaps). *)
+    heaps).
+
+    Tuple data lives off the OCaml heap in a per-file {!Arena}: a page is a
+    zero-copy block of native-int words (one presence flag plus the
+    attributes per slot), so file contents put no pressure on the GC and
+    {!scan_slices} can hand out slot windows by reference.  The file's arity
+    is fixed at {!create} or by the first {!append}; later operations with a
+    different arity raise [Invalid_argument]. *)
 
 type rid = { rid_page : int; rid_slot : int }
 (** Record identifier: page index within the file and slot within the
@@ -9,15 +16,17 @@ type rid = { rid_page : int; rid_slot : int }
 
 type t
 
-(** [create pool ~tuples_per_page] — an empty file. *)
-val create : Buffer_pool.t -> tuples_per_page:int -> t
+(** [create ?arity pool ~tuples_per_page] — an empty file.  Without [arity]
+    the first {!append} fixes it. *)
+val create : ?arity:int -> Buffer_pool.t -> tuples_per_page:int -> t
 
 (** [append t tuple] stores a tuple at the end of the file (touching the tail
-    page, allocating a new one when full) and returns its rid. *)
+    page, allocating a new one when full) and returns its rid.  The tuple is
+    copied into the arena, so later mutation of [tuple] is invisible. *)
 val append : t -> int array -> rid
 
-(** [get t rid] fetches a tuple, or [None] when the slot was deleted.
-    Touches the page. *)
+(** [get t rid] fetches a tuple (materialized fresh from the arena), or
+    [None] when the slot was deleted.  Touches the page. *)
 val get : t -> rid -> int array option
 
 (** [delete t rid] clears the slot; [false] when it was already empty. *)
@@ -37,15 +46,21 @@ val next_rid : t -> rid
 val restore : t -> rid -> int array -> bool
 
 (** [truncate_last t rid] removes the tail slot if [rid] is it (undo of an
-    append), dropping the tail page entirely when the append had grown it.
-    [false] when [rid] points one past the tail, i.e. the logged append
-    never executed.  Raises [Invalid_argument] if [rid] is neither — undo
-    must run in strict LIFO order. *)
+    append), dropping the tail page entirely when the append had grown it
+    (its arena block is released LIFO).  [false] when [rid] points one past
+    the tail, i.e. the logged append never executed.  Raises
+    [Invalid_argument] if [rid] is neither — undo must run in strict LIFO
+    order. *)
 val truncate_last : t -> rid -> bool
 
 (** [scan t ~f] visits every live tuple in file order, touching every page
-    (including pages that became empty). *)
+    (including pages that became empty).  Tuples are materialized fresh. *)
 val scan : t -> f:(rid -> int array -> unit) -> unit
+
+(** [scan_slices t ~f] is {!scan} without the copies: [f] receives each live
+    slot's attribute window straight into the arena.  The window is only
+    valid until the file next grows. *)
+val scan_slices : t -> f:(rid -> Arena.words -> unit) -> unit
 
 (** Number of live tuples. *)
 val n_tuples : t -> int
@@ -54,6 +69,9 @@ val n_tuples : t -> int
 val n_pages : t -> int
 
 val tuples_per_page : t -> int
+
+(** Arena words currently backing the file (page blocks in use). *)
+val arena_words : t -> int
 
 (** [page_gid t i] is the buffer-pool page identifier of the file's [i]-th
     page (for tests). *)

@@ -18,6 +18,24 @@ val accesses : t -> int
     so logging overhead stays visible next to the base I/O. *)
 val wal_writes : t -> int
 
+(** Durability barriers: calls to [Wal.sync].  Group commit amortizes one
+    sync over many batches, so this falls while {!wal_writes} stays put. *)
+val wal_syncs : t -> int
+
+(** Buffer-pool accesses answered without a physical read. *)
+val pool_hits : t -> int
+
+(** Buffer-pool accesses that had to admit the page (reads plus fresh-page
+    admissions that skip the read). *)
+val pool_misses : t -> int
+
+(** Pages evicted to make room (clean or dirty). *)
+val pool_evictions : t -> int
+
+(** Admissions that grew the pool past capacity because every resident frame
+    was pinned — a sizing red flag surfaced by [visadvisor --stats]. *)
+val pool_overflows : t -> int
+
 val total_io : t -> int
 
 val record_read : t -> unit
@@ -28,6 +46,17 @@ val record_access : t -> unit
 
 (** Counts one physical write and one WAL write. *)
 val record_wal_write : t -> unit
+
+(** Counts one durability barrier (no page transfer by itself). *)
+val record_wal_sync : t -> unit
+
+val record_pool_hit : t -> unit
+
+val record_pool_miss : t -> unit
+
+val record_pool_eviction : t -> unit
+
+val record_pool_overflow : t -> unit
 
 val reset : t -> unit
 

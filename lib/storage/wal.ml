@@ -3,7 +3,14 @@
    I/O footprint.  Every fault point in [append]/[sync] fires before the
    record list or page metadata changes, so a failed log operation leaves
    the log exactly as it was (and the protected data operation, which only
-   runs after its record is logged, never happens either). *)
+   runs after its record is logged, never happens either).
+
+   Durability is a sequence-number high-water mark: [synced] counts the
+   records covered by the last successful [sync].  A batch's [Commit] is
+   durable iff its position is <= [synced], which is what lets group commit
+   keep several committed-but-unforced batches in the log and cover them
+   all with one force.  Rollback undoes everything after the last durable
+   commit, newest first — cross-batch LIFO. *)
 
 type record =
   | Begin
@@ -22,6 +29,8 @@ type t = {
   mutable synced : int;  (* records covered by the last successful [sync] *)
   mutable t_total_records : int;
   mutable t_total_pages : int;
+  mutable t_total_bytes : int;
+  mutable t_total_syncs : int;
 }
 
 let word = 8
@@ -45,6 +54,8 @@ let create pool ~page_bytes =
     synced = 0;
     t_total_records = 0;
     t_total_pages = 0;
+    t_total_bytes = 0;
+    t_total_syncs = 0;
   }
 
 let tail t = match t.pages with [] -> None | gid :: _ -> Some gid
@@ -83,13 +94,16 @@ let append t r =
   end;
   t.records <- r :: t.records;
   t.n_records <- t.n_records + 1;
-  t.t_total_records <- t.t_total_records + 1
+  t.t_total_records <- t.t_total_records + 1;
+  t.t_total_bytes <- t.t_total_bytes + bytes
 
 let sync t =
-  (* The write-back is the fault point; [synced] only advances once the
-     force actually happened. *)
+  (* The write-back is the fault point; [synced] only advances (and the sync
+     is only counted) once the force actually happened. *)
   (match tail t with Some gid -> Buffer_pool.write_back t.pool gid | None -> ());
-  t.synced <- t.n_records
+  t.synced <- t.n_records;
+  t.t_total_syncs <- t.t_total_syncs + 1;
+  Iostats.record_wal_sync (Buffer_pool.stats t.pool)
 
 let checkpoint t =
   (match tail t with Some gid -> Buffer_pool.unpin t.pool gid | None -> ());
@@ -100,32 +114,36 @@ let checkpoint t =
   t.tail_bytes <- 0;
   t.synced <- 0
 
-(* A Commit at the head decides the batch's fate only once [sync] has
-   forced it out: a crash between appending Commit and forcing the log
-   means the commit never became durable, so the batch aborts and its
-   records roll back exactly as if the Commit were never written. *)
+(* A Commit decides its batch's fate only once [sync] has forced it: a
+   crash between appending Commit and forcing the log means the commit
+   never became durable, so the batch aborts and its records roll back
+   exactly as if the Commit were never written.  [committed] asks whether
+   the *newest* batch is durably committed. *)
 let committed t =
   match t.records with Commit :: _ -> t.synced >= t.n_records | _ -> false
 
+(* Everything after the last durable Commit, newest first, markers
+   excluded.  With group commit several batches may sit in that region
+   (committed but unforced); their records interleave in append order, so
+   undoing the returned list front-to-back is cross-batch LIFO. *)
 let unfinished t =
-  let newest_first =
-    match t.records with
-    | Commit :: rest when not (committed t) -> rest
-    | records -> records
+  let rec go acc idx = function
+    (* [idx] is the 0-based position from the oldest record of the list
+       head; walking newest-first it starts at n_records - 1. *)
+    | [] -> acc
+    | Commit :: _ when idx + 1 <= t.synced -> acc
+    | (Commit | Begin) :: rest -> go acc (idx - 1) rest
+    | r :: rest -> go (r :: acc) (idx - 1) rest
   in
-  match newest_first with
-  | [] | Commit :: _ -> []
-  | newest_first ->
-      (* Collect newest-first until the batch's Begin (or a stale Commit);
-         the accumulator flips to oldest-first, so flip back. *)
-      let rec upto_begin acc = function
-        | [] | Begin :: _ | Commit :: _ -> acc
-        | r :: rest -> upto_begin (r :: acc) rest
-      in
-      List.rev (upto_begin [] newest_first)
+  (* The accumulator flips to oldest-first, so flip back. *)
+  List.rev (go [] (t.n_records - 1) t.records)
 
-let in_flight t =
-  match t.records with [] -> false | Commit :: _ -> not (committed t) | _ -> true
+(* Whether any record sits after the last durable Commit — i.e. the head is
+   anything but a durable Commit (durable prefixes end at a Commit because
+   checkpoints only run on fully-durable logs). *)
+let in_flight t = t.n_records > 0 && not (committed t)
+
+let n_unsynced t = t.n_records - t.synced
 
 let page_gids t = t.pages
 
@@ -134,3 +152,7 @@ let n_records t = t.n_records
 let total_records t = t.t_total_records
 
 let total_pages t = t.t_total_pages
+
+let total_bytes t = t.t_total_bytes
+
+let total_syncs t = t.t_total_syncs

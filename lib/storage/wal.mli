@@ -1,23 +1,26 @@
-(** A logical write-ahead log for refresh batches.
+(** A logical write-ahead log for refresh batches, with group commit.
 
     The log is an append-only sequence of pages charged through the shared
     {!Buffer_pool}, so logging costs surface in {!Iostats} next to the base
-    I/O they protect ([wal_writes]).  Records are {e logical} with before
-    images — [Ins]/[Del]/[Upd] on a numbered durable table — rather than
-    physical page deltas, because the simulated pages hold no bytes; what
-    makes recovery sound is the protocol, which mirrors the classical one:
+    I/O they protect ([wal_writes]; durability barriers in [wal_syncs]).
+    Records are {e logical} with before images — [Ins]/[Del]/[Upd] on a
+    numbered durable table — rather than physical page deltas, because the
+    simulated pages hold no bytes; what makes recovery sound is the
+    protocol, which mirrors the classical one:
 
     - {e log before apply}: a record is appended (and its destination rid
       predicted via [Heap_file.next_rid]) before the data operation runs,
       so the log always covers at least as much as the data;
-    - {e force at commit}: the commit record is appended and then [sync]
-      writes the tail page out — a batch counts as committed only once the
-      force succeeded, so a crash between the two aborts it;
-    - {e checkpoint after commit}: the log truncates once a batch is fully
-      committed, so at most one batch is ever in flight.
+    - {e force at commit}: a batch counts as committed only once a [sync]
+      covered its [Commit] record, so a crash between the two aborts it;
+    - {e checkpoint once durable}: the log truncates only when every record
+      in it is covered by a sync.
 
-    Recovery ({!unfinished}) returns the suffix of records belonging to an
-    uncommitted batch, newest first, for strict LIFO undo. *)
+    Durability is a sequence-number high-water mark ({!n_unsynced} exposes
+    the gap), so several batches can commit back to back and one [sync]
+    makes them all durable — group commit.  {!unfinished} returns every
+    record after the last {e durable} commit, newest first, for strict
+    cross-batch LIFO undo. *)
 
 type record =
   | Begin
@@ -41,24 +44,30 @@ val create : Buffer_pool.t -> page_bytes:int -> t
 val append : t -> record -> unit
 
 (** [sync t] forces the tail page out if dirty (one WAL write) and marks
-    every record appended so far durable.  A [Commit] record decides the
-    batch's fate only once a [sync] has covered it: if the force itself
-    fails, the commit never became durable and {!unfinished} still returns
-    the batch's records for rollback — the classical "commit is the log
-    force" rule. *)
+    every record appended so far durable — including the [Commit] records
+    of every batch appended since the previous sync, which is what makes a
+    sync a {e group} commit.  Counted in [Iostats] [wal_syncs] (only once
+    the force succeeded — the write-back is the fault point). *)
 val sync : t -> unit
 
-(** [checkpoint t] truncates the log after a committed batch: unpins and
-    drops all log pages (they are clean by then — no writes). *)
+(** [checkpoint t] truncates the log: unpins and drops all log pages.
+    Callers only invoke it when every record is durable (after a [sync]) or
+    after rollback has undone the unfinished suffix. *)
 val checkpoint : t -> unit
 
-(** Records of the latest batch iff it lacks a {e forced} [Commit], newest
-    first and without the [Begin]/[Commit] markers; [[]] when the log is
-    empty or the batch durably committed. *)
+(** Every record after the last {e durable} [Commit], newest first and
+    without the [Begin]/[Commit] markers; [[]] when the log is empty or
+    fully committed.  Under group commit this spans all
+    committed-but-unforced batches plus the one in flight — undoing
+    front-to-back is cross-batch LIFO. *)
 val unfinished : t -> record list
 
-(** Whether a [Begin] without a matching forced [Commit] is in the log. *)
+(** Whether any record sits after the last durable [Commit]. *)
 val in_flight : t -> bool
+
+(** Records appended since the last successful [sync] — the group-commit
+    backlog one sync would make durable. *)
+val n_unsynced : t -> int
 
 (** Buffer-pool page ids currently holding the log, newest first — recovery
     touches them to charge its log reads. *)
@@ -72,5 +81,11 @@ val total_records : t -> int
 
 (** Pages allocated to the log over its lifetime. *)
 val total_pages : t -> int
+
+(** Log bytes appended over the log's lifetime. *)
+val total_bytes : t -> int
+
+(** Successful [sync] calls over the log's lifetime. *)
+val total_syncs : t -> int
 
 val record_bytes : record -> int

@@ -112,9 +112,38 @@ let of_string s =
     end
     else fail "invalid literal at %d" !pos
   in
+  (* UTF-8 encode one scalar value (RFC 3629). *)
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
   let parse_string () =
     expect '"';
     let buf = Buffer.create 16 in
+    let read_hex4 () =
+      if !pos + 4 > n then fail "truncated \\u escape at %d" !pos;
+      let hex = String.sub s !pos 4 in
+      let code =
+        try int_of_string ("0x" ^ hex)
+        with _ -> fail "bad \\u escape at %d" !pos
+      in
+      pos := !pos + 4;
+      code
+    in
     let rec go () =
       match peek () with
       | None -> fail "unterminated string at %d" !pos
@@ -132,18 +161,27 @@ let of_string s =
           | Some 'f' -> Buffer.add_char buf '\012'; advance ()
           | Some 'u' ->
               advance ();
-              if !pos + 4 > n then fail "truncated \\u escape at %d" !pos;
-              let hex = String.sub s !pos 4 in
-              let code =
-                try int_of_string ("0x" ^ hex)
-                with _ -> fail "bad \\u escape at %d" !pos
-              in
-              pos := !pos + 4;
-              if code < 0x80 then Buffer.add_char buf (Char.chr code)
-              else
-                (* Out-of-ASCII escapes are preserved verbatim; the
-                   observability output never emits them. *)
-                Buffer.add_string buf (Printf.sprintf "\\u%s" hex)
+              let code = read_hex4 () in
+              if code >= 0xD800 && code <= 0xDBFF then begin
+                (* High surrogate: must pair with a following \u low
+                   surrogate, together encoding one supplementary-plane
+                   character. *)
+                if
+                  not
+                    (!pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u')
+                then fail "unpaired surrogate \\u escape at %d" !pos;
+                pos := !pos + 2;
+                let low = read_hex4 () in
+                if not (low >= 0xDC00 && low <= 0xDFFF) then
+                  fail "unpaired surrogate \\u escape at %d" !pos;
+                add_utf8 buf
+                  (0x10000
+                  + ((code - 0xD800) lsl 10)
+                  + (low - 0xDC00))
+              end
+              else if code >= 0xDC00 && code <= 0xDFFF then
+                fail "unpaired surrogate \\u escape at %d" !pos
+              else add_utf8 buf code
           | _ -> fail "bad escape at %d" !pos);
           go ()
       | Some c ->

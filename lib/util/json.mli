@@ -3,11 +3,12 @@
     [BENCH_vis.json]) and for the test suite to check that output is valid
     JSON, without pulling an external dependency into the core libraries.
 
-    The printer escapes control characters and quotes; non-finite floats
-    (which JSON cannot represent) are emitted as [null].  The parser accepts
-    the standard grammar (RFC 8259) minus the corner it does not need:
-    strings are returned with ["\uXXXX"] escapes decoded only for the ASCII
-    range. *)
+    The printer escapes control characters and quotes (non-ASCII bytes pass
+    through untouched, so UTF-8 strings survive printing verbatim);
+    non-finite floats (which JSON cannot represent) are emitted as [null].
+    The parser accepts the standard grammar (RFC 8259): ["\uXXXX"] escapes
+    decode to UTF-8, including surrogate pairs for supplementary-plane
+    characters; unpaired surrogates are a {!Parse_error}. *)
 
 type t =
   | Null

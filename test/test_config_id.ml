@@ -130,6 +130,7 @@ let test_has_feature_has_view () =
         | Problem.F_view w -> Config.has_view config w
         | Problem.F_index ix ->
             Config.has_index config ix.Element.ix_elem ix.Element.ix_attr
+        | Problem.F_compress e -> Config.has_compress config e
       in
       checkb "has_feature = symbolic membership" expect
         (Config_id.has_feature cid mask b);
@@ -137,7 +138,7 @@ let test_has_feature_has_view () =
       | Problem.F_view w ->
           checkb "has_view = Config.has_view" (Config.has_view config w)
             (Config_id.has_view cid mask w)
-      | Problem.F_index _ -> ()
+      | Problem.F_index _ | Problem.F_compress _ -> ()
     done
   done
 
@@ -178,7 +179,7 @@ let test_applicable_and_drop_closure () =
                 checkb "dropped view gone" false (Config.has_view c' w);
                 checkb "no orphan indexes" true
                   (Config.indexes_on c' (Element.View w) = [])
-            | Problem.F_index _ -> ()
+            | Problem.F_index _ | Problem.F_compress _ -> ()
           end
         done
       done)

@@ -85,7 +85,8 @@ let test_feature_order () =
             when not (Bitset.equal w (Schema.all_relations (schema1 ()))) ->
               checkb "view precedes its indexes" true
                 (Hashtbl.mem seen_views (Bitset.to_int w))
-          | Element.View _ | Element.Base _ -> ()))
+          | Element.View _ | Element.Base _ -> ())
+      | Problem.F_compress _ -> ())
     p.Problem.features;
   checkb "valid empty config" true (Problem.valid_config p Config.empty);
   let bogus = Config.make ~views:[ Schema.all_relations (schema1 ()) ] ~indexes:[] in
@@ -394,6 +395,105 @@ let prop_sweep_matches_bruteforce =
           budgets
       end)
 
+(* ------------------------------------------------------------------ *)
+(* Page-level compression as a search axis. *)
+
+let test_compression_candidates () =
+  (* Off by default: no candidates, no features, every cost bitwise equal
+     to the pre-compression model. *)
+  let p0 = Problem.make (schema1 ()) in
+  checki "no candidates by default" 0
+    (List.length (Problem.compress_candidates p0));
+  let p = Problem.make ~compression:true (schema1 ()) in
+  (* Always-materialized elements: the three bases and the primary view. *)
+  let cands = Problem.compress_candidates p in
+  checki "bases + primary view" 4 (List.length cands);
+  checkb "primary view is a candidate" true
+    (List.exists
+       (function
+         | Element.View w -> Bitset.equal w (Schema.all_relations (schema1 ()))
+         | Element.Base _ -> false)
+       cands);
+  (* Each candidate appears exactly once as an F_compress feature. *)
+  let n_feats =
+    List.length
+      (List.filter
+         (function Problem.F_compress _ -> true | _ -> false)
+         p.Problem.features)
+  in
+  checki "one feature per candidate" 4 n_feats;
+  (* The exhaustive space grows by 2^candidates. *)
+  checkf "state count scales by 2^4"
+    (16. *. Exhaustive.count_states p0)
+    (Exhaustive.count_states p)
+
+let test_compression_extends_the_space () =
+  (* The compression-enabled space is a superset, so its optimum can only
+     improve; with the model's read discount it strictly does here. *)
+  let s = Vis_workload.Schemas.two_relation () in
+  let plain = Exhaustive.search (Problem.make s) in
+  let comp = Exhaustive.search (Problem.make ~compression:true s) in
+  checkb "superset space never hurts" true
+    (comp.Exhaustive.best_cost <= plain.Exhaustive.best_cost +. 1e-9);
+  checkb "the optimum compresses something" true
+    (Config.compress comp.Exhaustive.best <> []);
+  (* Same problem, same evaluator cache: a config that differs only in its
+     compression set must not alias to the uncompressed cost. *)
+  let p = Problem.make ~compression:true s in
+  let base = Config.empty in
+  let target = List.hd (Problem.compress_candidates p) in
+  let compressed = Config.add_compress base target in
+  checkb "memo distinguishes compression" true
+    (Problem.total p base <> Problem.total p compressed)
+
+let test_astar_matches_exhaustive_compression () =
+  List.iter
+    (fun schema ->
+      let p = Problem.make ~compression:true schema in
+      let ex = Exhaustive.search p in
+      let a = Astar.search p in
+      checkb "same optimum with compression" true
+        (Vis_util.Num.approx_equal ~eps:1e-9 ex.Exhaustive.best_cost
+           a.Astar.best_cost))
+    [
+      Vis_workload.Schemas.two_relation ();
+      Vis_workload.Schemas.two_relation ~sel_s:0.5 ~del_frac:0.01 ();
+      Vis_workload.Schemas.two_relation ~card_r:500. ~card_s:2000. ~mem_pages:5 ();
+    ]
+
+let prop_astar_optimal_random_compression =
+  QCheck2.Test.make ~name:"astar: optimal with compression on random schemas"
+    ~count:15
+    QCheck2.Gen.(int_range 1 100_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let schema = Vis_workload.Schemas.random ~rng () in
+      let p = Problem.make ~compression:true schema in
+      if Exhaustive.count_states p > 25_000. then true
+      else begin
+        let ex = Exhaustive.search p in
+        let a = Astar.search p in
+        Vis_util.Num.approx_equal ~eps:1e-9 ex.Exhaustive.best_cost
+          a.Astar.best_cost
+      end)
+
+let test_heuristics_handle_compression () =
+  let p = Problem.make ~compression:true (schema1 ()) in
+  let empty_cost = Problem.total p Config.empty in
+  let a = Astar.search p in
+  let g = Greedy.search p in
+  checkb "greedy valid" true (Problem.valid_config p g.Greedy.best);
+  checkb "greedy between optimal and empty" true
+    (g.Greedy.best_cost >= a.Astar.best_cost -. 1e-6
+    && g.Greedy.best_cost <= empty_cost);
+  let ls = Vis_core.Local_search.search p in
+  checkb "local search valid" true
+    (Problem.valid_config p ls.Vis_core.Local_search.best);
+  checkb "local search no worse than greedy" true
+    (ls.Vis_core.Local_search.best_cost <= g.Greedy.best_cost +. 1e-9);
+  checkb "local search no better than optimal" true
+    (ls.Vis_core.Local_search.best_cost >= a.Astar.best_cost -. 1e-6)
+
 let test_sensitivity () =
   let make rate =
     Vis_workload.Schemas.two_relation ~ins_frac:rate ~del_frac:(rate /. 10.) ()
@@ -453,4 +553,16 @@ let () =
           Alcotest.test_case "sensitivity" `Quick test_sensitivity;
         ]
         @ qt [ prop_sweep_matches_bruteforce ] );
+      ( "compression",
+        [
+          Alcotest.test_case "candidates and state count" `Quick
+            test_compression_candidates;
+          Alcotest.test_case "extends the space" `Quick
+            test_compression_extends_the_space;
+          Alcotest.test_case "astar matches exhaustive" `Quick
+            test_astar_matches_exhaustive_compression;
+          Alcotest.test_case "heuristics handle the axis" `Quick
+            test_heuristics_handle_compression;
+        ]
+        @ qt [ prop_astar_optimal_random_compression ] );
     ]

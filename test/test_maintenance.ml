@@ -155,6 +155,45 @@ let test_build_with_views_and_indexes () =
   | None -> ()
   | Some _ -> Alcotest.fail "unmaterialized view should be absent"
 
+(* Compression on the storage side: compressed tables pack twice the tuples
+   per page, so the durable footprint roughly halves, and refresh stays
+   exact on a compressed design. *)
+let compressed_config () =
+  let elems =
+    Element.Base 0 :: Element.Base 1 :: Element.Base 2
+    :: [ Element.View (Schema.all_relations schema) ]
+  in
+  List.fold_left Config.add_compress Config.empty elems
+
+let test_build_compressed_footprint () =
+  let w_plain, _, _ = build_warehouse () in
+  let w_comp, ds, _ = build_warehouse ~config:(compressed_config ()) () in
+  (* Same logical contents... *)
+  Array.iteri
+    (fun i table ->
+      checki "base loaded"
+        (List.length ds.Datagen.ds_tuples.(i))
+        (Vis_relalg.Table.n_tuples table))
+    w_comp.Warehouse.w_bases;
+  checkb "tables marked compressed" true
+    (Array.for_all Vis_relalg.Table.compressed w_comp.Warehouse.w_bases);
+  checkb "plain tables are not" true
+    (not (Array.exists Vis_relalg.Table.compressed w_plain.Warehouse.w_bases));
+  (* ...in about half the pages (ceilings keep it from exactly 0.5). *)
+  let plain = Warehouse.total_data_pages w_plain
+  and comp = Warehouse.total_data_pages w_comp in
+  let ratio = float_of_int comp /. float_of_int plain in
+  checkb
+    (Printf.sprintf "compressed footprint ~ half (%d/%d = %.2f)" comp plain
+       ratio)
+    true
+    (ratio >= 0.4 && ratio <= 0.6)
+
+let test_refresh_exact_on_compressed_design () =
+  let report, checks = Validate.run_cycle ~seed:7 schema (compressed_config ()) in
+  checkb "views stay exact under compression" true (Validate.all_ok checks);
+  checkb "did I/O" true (Refresh.total_io report > 0)
+
 (* ------------------------------------------------------------------ *)
 (* Refresh correctness across designs and seeds. *)
 
@@ -331,6 +370,10 @@ let () =
         [
           Alcotest.test_case "build counts" `Quick test_build_counts;
           Alcotest.test_case "views and indexes" `Quick test_build_with_views_and_indexes;
+          Alcotest.test_case "compressed footprint" `Quick
+            test_build_compressed_footprint;
+          Alcotest.test_case "refresh exact on compressed design" `Quick
+            test_refresh_exact_on_compressed_design;
         ] );
       ( "refresh",
         [

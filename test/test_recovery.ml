@@ -214,6 +214,118 @@ let test_degradation_recomputes_views () =
     (Warehouse.signature w <> Warehouse.signature w_ref)
 
 (* ------------------------------------------------------------------ *)
+(* Group commit. *)
+
+(* Split one generated batch into [k] conflict-free sub-batches by dealing
+   each per-relation delta list round-robin: inserted keys are
+   predetermined, deleted and updated keys are distinct within the batch,
+   so any partition applies cleanly in stream order. *)
+let split_batch k (b : Datagen.batch) =
+  let deal j l = List.filteri (fun i _ -> i mod k = j) l in
+  List.init k (fun j ->
+      {
+        Datagen.b_ins = Array.map (deal j) b.Datagen.b_ins;
+        b_del = Array.map (deal j) b.Datagen.b_del;
+        b_upd = Array.map (deal j) b.Datagen.b_upd;
+      })
+
+let ok3_exn = function
+  | Ok v -> v
+  | Error (e : Refresh.error) ->
+      Alcotest.failf "group refresh failed: %a" Faults.pp_fault
+        e.Refresh.err_fault
+
+(* Grouping four deferred commits under one sync quarters the durability
+   barriers and leaves the stored state bit-identical to per-batch forcing;
+   the price is commit latency, which the stats must surface. *)
+let test_group_commit_fewer_syncs () =
+  let w1, b1 = world () in
+  let w2, b2 = world () in
+  let batches1 = split_batch 8 b1 and batches2 = split_batch 8 b2 in
+  let per_batch = { Refresh.gp_max_group = 1; gp_window_ms = 1e9 } in
+  let grouped = { Refresh.gp_max_group = 4; gp_window_ms = 1e9 } in
+  let r1, _, g1 = ok3_exn (Refresh.run_protected_many ~policy:per_batch w1 batches1) in
+  let r2, _, g2 = ok3_exn (Refresh.run_protected_many ~policy:grouped w2 batches2) in
+  checki "per-batch forcing: one sync per batch" 8 r1.Refresh.rp_wal_syncs;
+  checki "group commit: one sync per group" 2 r2.Refresh.rp_wal_syncs;
+  checki "group syncs counted" 2 g2.Refresh.gr_group_syncs;
+  checki "largest group is the cap" 4 g2.Refresh.gr_max_group;
+  checki "degenerate groups are singletons" 1 g1.Refresh.gr_max_group;
+  checki "no replays without faults" 0 g2.Refresh.gr_replayed;
+  checks "bit-identical stored state" (Warehouse.signature w1)
+    (Warehouse.signature w2);
+  (* Deferred commits wait for their group's sync: total latency must be
+     strictly positive, while per-batch forcing commits at arrival. *)
+  checkb "grouping trades latency for syncs" true
+    (g2.Refresh.gr_latency_ms_total > g1.Refresh.gr_latency_ms_total);
+  checkb "clock advanced one slot per batch" true
+    (g2.Refresh.gr_clock_ms = 80.);
+  match Warehouse.integrity_check w2 with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+(* The window bound fires a sync when the oldest pending commit has waited
+   long enough, even with the size cap far away: arrivals every 10ms and a
+   25ms window close groups of three. *)
+let test_group_window_forces_sync () =
+  let w, batch = world () in
+  let batches = split_batch 8 batch in
+  let policy = { Refresh.gp_max_group = 100; gp_window_ms = 25. } in
+  let _, _, g = ok3_exn (Refresh.run_protected_many ~policy w batches) in
+  checki "window closes groups of three (plus stream tail)" 3
+    g.Refresh.gr_group_syncs;
+  checki "window-bounded group size" 3 g.Refresh.gr_max_group
+
+(* A crash while a group is open rolls back every non-durable batch and
+   replays them individually; the end state is bit-identical to a
+   fault-free run of the same stream. *)
+let test_group_crash_replays_bit_identical () =
+  let w_ref, batch_ref = world () in
+  let batches_ref = split_batch 8 batch_ref in
+  let _ = ok3_exn (Refresh.run_protected_many w_ref batches_ref) in
+  let reference = Warehouse.signature w_ref in
+  let w, batch = world () in
+  let batches = split_batch 8 batch in
+  let plan =
+    Faults.make
+      [ Faults.Fail_nth { op = Some Faults.Write; n = 25; kind = Faults.Crash } ]
+  in
+  let _, fs, g = ok3_exn (Refresh.run_protected_many ~faults:plan w batches) in
+  checkb "the crash surfaced once" true (fs.Refresh.fs_injected = 1);
+  checkb "cross-batch rollback ran" true (fs.Refresh.fs_rollbacks >= 1);
+  checkb "rolled-back batches replayed individually" true
+    (g.Refresh.gr_replayed >= 1);
+  checks "recovered state bit-identical to the fault-free stream" reference
+    (Warehouse.signature w);
+  match Warehouse.integrity_check w with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+(* The group scheduler runs on a simulated clock, so a seeded fault plan
+   replays the whole stream bit-identically. *)
+let test_group_commit_deterministic () =
+  let outcome () =
+    let w, batch = world () in
+    let batches = split_batch 6 batch in
+    let rng = Random.State.make [| 42; 7 |] in
+    let plan = Faults.random ~rng () in
+    match Refresh.run_protected_many ~faults:plan w batches with
+    | Ok (r, fs, g) ->
+        ( "ok",
+          Warehouse.signature w,
+          r.Refresh.rp_wal_syncs,
+          fs.Refresh.fs_attempts,
+          g.Refresh.gr_replayed )
+    | Error e ->
+        ( Format.asprintf "%a" Faults.pp_fault e.Refresh.err_fault,
+          Warehouse.signature w,
+          0,
+          e.Refresh.err_stats.Refresh.fs_attempts,
+          0 )
+  in
+  checkb "same plan, same stream, same outcome" true (outcome () = outcome ())
+
+(* ------------------------------------------------------------------ *)
 (* Determinism. *)
 
 let test_fault_plans_deterministic () =
@@ -259,5 +371,16 @@ let () =
             test_degradation_recomputes_views;
           Alcotest.test_case "deterministic plans" `Quick
             test_fault_plans_deterministic;
+        ] );
+      ( "group commit",
+        [
+          Alcotest.test_case "fewer syncs, same state" `Quick
+            test_group_commit_fewer_syncs;
+          Alcotest.test_case "window forces sync" `Quick
+            test_group_window_forces_sync;
+          Alcotest.test_case "crash replays bit-identical" `Quick
+            test_group_crash_replays_bit_identical;
+          Alcotest.test_case "deterministic stream" `Quick
+            test_group_commit_deterministic;
         ] );
     ]

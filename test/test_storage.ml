@@ -309,6 +309,76 @@ let test_heap_bad_rid () =
     (fun () ->
       ignore (Heap_file.get h { Heap_file.rid_page = 5; rid_slot = 0 }))
 
+(* A dirty page evicted from a one-frame pool must be written back at the
+   moment of eviction, and its contents must survive the round trip through
+   the arena when the page is faulted back in. *)
+let test_heap_dirty_eviction_write_ordering () =
+  let pool, stats = fresh_pool ~capacity:1 () in
+  let h = Heap_file.create pool ~tuples_per_page:2 in
+  let rids = Array.init 8 (fun i -> Heap_file.append h [| i; 100 + i |]) in
+  (* Four pages were dirtied in sequence through one frame: opening each new
+     page evicts the previous dirty one, which must be flushed right then. *)
+  checki "dirty evictions wrote back" 3 (Iostats.writes stats);
+  checki "evictions counted" 3 (Iostats.pool_evictions stats);
+  checki "appends never read" 0 (Iostats.reads stats);
+  (* Every tuple re-read faults its page back in; the values must be the
+     ones written before eviction, not a stale or zeroed frame. *)
+  Array.iteri
+    (fun i r ->
+      match Heap_file.get h r with
+      | Some t -> checki "value survived eviction" (100 + i) t.(1)
+      | None -> Alcotest.fail "tuple lost across eviction")
+    rids;
+  checkb "re-reads were misses" true (Iostats.pool_misses stats >= 4);
+  (* The tail page is clean after its own eviction/re-read cycle, so a
+     final flush forces only pages dirtied since. *)
+  let w = Iostats.writes stats in
+  Buffer_pool.flush pool;
+  checkb "flush wrote nothing new for clean frames" true
+    (Iostats.writes stats = w)
+
+(* Appends that cross a page boundary: rid arithmetic, page growth, arena
+   growth, and the no-backfill discipline at the edges. *)
+let test_heap_append_across_page_boundary () =
+  let pool, _ = fresh_pool ~capacity:16 () in
+  let h = Heap_file.create pool ~tuples_per_page:3 in
+  let rids = Array.init 7 (fun i -> Heap_file.append h [| i |]) in
+  checki "seven tuples span three pages" 3 (Heap_file.n_pages h);
+  Array.iteri
+    (fun i r ->
+      checki "rid page" (i / 3) r.Heap_file.rid_page;
+      checki "rid slot" (i mod 3) r.Heap_file.rid_slot)
+    rids;
+  checkb "next rid continues on the tail page" true
+    (Heap_file.next_rid h = { Heap_file.rid_page = 2; rid_slot = 1 });
+  (* A hole in a full earlier page is never backfilled: the next append
+     still lands at the tail. *)
+  checkb "delete mid-file" true (Heap_file.delete h rids.(1));
+  let r7 = Heap_file.append h [| 7 |] in
+  checkb "append ignores holes" true
+    (r7 = { Heap_file.rid_page = 2; rid_slot = 1 });
+  checki "no page added for tail append" 3 (Heap_file.n_pages h);
+  (* Filling the tail page does not grow the arena; opening the next page
+     does. *)
+  let words_before = Heap_file.arena_words h in
+  ignore (Heap_file.append h [| 8 |]);
+  checki "tail fill reuses the page block" words_before
+    (Heap_file.arena_words h);
+  ignore (Heap_file.append h [| 9 |]);
+  checki "boundary append opens page four" 4 (Heap_file.n_pages h);
+  checkb "arena grew across the boundary" true
+    (Heap_file.arena_words h > words_before);
+  checkb "first tuple on the new page" true
+    (Heap_file.next_rid h = { Heap_file.rid_page = 3; rid_slot = 1 });
+  (* Truncating the only tuple on the new page drops the page again. *)
+  checkb "truncate boundary tuple" true
+    (Heap_file.truncate_last h { Heap_file.rid_page = 3; rid_slot = 0 });
+  checki "fresh page dropped" 3 (Heap_file.n_pages h);
+  (* Arity was fixed by the first append and boundary crossings keep it. *)
+  Alcotest.check_raises "arity mismatch across boundary"
+    (Invalid_argument "Heap_file: arity mismatch") (fun () ->
+      ignore (Heap_file.append h [| 1; 2 |]))
+
 (* ------------------------------------------------------------------ *)
 (* B+-tree. *)
 
@@ -492,6 +562,10 @@ let () =
           Alcotest.test_case "scan I/O" `Quick test_heap_scan_io;
           Alcotest.test_case "undo primitives" `Quick test_heap_undo_roundtrip;
           Alcotest.test_case "bad rid" `Quick test_heap_bad_rid;
+          Alcotest.test_case "dirty eviction write ordering" `Quick
+            test_heap_dirty_eviction_write_ordering;
+          Alcotest.test_case "append across page boundary" `Quick
+            test_heap_append_across_page_boundary;
         ] );
       ( "btree",
         [

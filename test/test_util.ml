@@ -5,10 +5,13 @@ module Bitset = Vis_util.Bitset
 module Pqueue = Vis_util.Pqueue
 module Toposort = Vis_util.Toposort
 module Num = Vis_util.Num
+module Json = Vis_util.Json
 
 let check = Alcotest.(check bool)
 
 let check_int = Alcotest.(check int)
+
+let check_string = Alcotest.(check string)
 
 (* ------------------------------------------------------------------ *)
 (* Bitset unit tests. *)
@@ -191,6 +194,40 @@ let test_num () =
   check "approx_equal" true (Num.approx_equal 1.0 (1.0 +. 1e-12));
   check "not approx_equal" false (Num.approx_equal 1.0 1.1)
 
+(* ------------------------------------------------------------------ *)
+(* Json: \uXXXX escapes decode to UTF-8 and round-trip through the
+   printer (which passes non-ASCII bytes through verbatim). *)
+
+let test_json_unicode_escapes () =
+  let str s =
+    match Json.of_string s with
+    | Json.String v -> v
+    | _ -> Alcotest.fail "expected a string"
+  in
+  (* ASCII escape decodes to the plain character. *)
+  check_string "ascii" "A" (str {|"A"|});
+  (* 2-byte UTF-8: U+00E9 (e-acute). *)
+  check_string "latin-1 supplement" "\xc3\xa9" (str {|"\u00e9"|});
+  (* 3-byte UTF-8: U+20AC (euro sign). *)
+  check_string "bmp" "\xe2\x82\xac" (str {|"\u20ac"|});
+  (* Surrogate pair: U+1D11E (musical G clef). *)
+  check_string "supplementary plane" "\xf0\x9d\x84\x9e"
+    (str {|"\ud834\udd1e"|});
+  (* Decoded text survives a print/parse round trip (the printer passes
+     the UTF-8 bytes through verbatim). *)
+  let v = Json.Obj [ ("s", Json.String (str {|"caf\u00e9 \ud834\udd1e"|})) ] in
+  check_string "round trip" (Json.to_string v)
+    (Json.to_string (Json.of_string (Json.to_string v)));
+  (* Unpaired surrogates are rejected, not silently mangled. *)
+  let rejects s =
+    match Json.of_string s with
+    | exception Json.Parse_error _ -> true
+    | _ -> false
+  in
+  check "lone high surrogate" true (rejects {|"\ud834"|});
+  check "lone low surrogate" true (rejects {|"\udd1e"|});
+  check "high surrogate + ascii escape" true (rejects {|"\ud834A"|})
+
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "vis_util"
@@ -229,4 +266,6 @@ let () =
           Alcotest.test_case "compact numbers" `Quick test_fmt_compact;
           Alcotest.test_case "numeric helpers" `Quick test_num;
         ] );
+      ( "json",
+        [ Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escapes ] );
     ]
