@@ -18,7 +18,12 @@
    - [wal_syncs] per group-commit row of the storage_engine study — the
      durability barriers one deterministic 8-batch stream pays at group
      sizes 1 and 4; more than 20% above baseline (group commit regressed
-     toward per-batch forcing) fails the build.
+     toward per-batch forcing) fails the build;
+   - [reopts] and [p99_batch_latency_ms] of the service study — the
+     re-optimizations the multi-tenant daemon runs on its fixed drift
+     scenario (churn: a trigger-happy monitor or a leaky sensitivity gate
+     shows up here) and the simulated-clock p99 batch commit latency;
+     more than 20% above baseline fails the build.
 
    Improvements only print; they are recorded by refreshing the
    baseline. *)
@@ -80,6 +85,21 @@ let syncs_by_group json =
               | _ -> None)
             rows
       | _ -> [])
+  | _ -> []
+
+(* The service study's deterministic guard pair: re-optimization churn and
+   simulated-clock p99 batch latency.  Both are exact in (seed, scenario);
+   higher is worse for both. *)
+let service_figures json =
+  match Json.member "service" json with
+  | Json.Obj _ as obj ->
+      List.filter_map
+        (fun key ->
+          match Json.member key obj with
+          | Json.Int _ | Json.Float _ ->
+              Some (key, Json.to_float (Json.member key obj))
+          | _ -> None)
+        [ "reopts"; "p99_batch_latency_ms" ]
   | _ -> []
 
 let () =
@@ -167,6 +187,28 @@ let () =
             Printf.printf "ok   %-34s wal_syncs %.0f (baseline %.0f)\n" name
               got base)
     baseline_syncs;
+  let measured_service = service_figures measured_json in
+  let baseline_service = service_figures baseline_json in
+  if baseline_service = [] then begin
+    prerr_endline "check_perf: baseline has no service figures";
+    exit 2
+  end;
+  List.iter
+    (fun (key, base) ->
+      let name = Printf.sprintf "service %s" key in
+      match List.assoc_opt key measured_service with
+      | None ->
+          Printf.eprintf "FAIL %-34s missing from measured run\n" name;
+          incr failures
+      | Some got ->
+          let limit = tolerance *. base in
+          if got > limit then begin
+            Printf.eprintf "FAIL %-34s %.2f > %.2f (baseline %.2f +20%%)\n"
+              name got limit base;
+            incr failures
+          end
+          else Printf.printf "ok   %-34s %.2f (baseline %.2f)\n" name got base)
+    baseline_service;
   if !failures > 0 then begin
     Printf.eprintf
       "check_perf: %d number(s) regressed; if intentional, refresh \
@@ -175,5 +217,5 @@ let () =
     exit 1
   end;
   print_endline
-    "check_perf: incremental-costing work, parallel scaling and group-commit \
-     syncs within baseline"
+    "check_perf: incremental-costing work, parallel scaling, group-commit \
+     syncs and service figures within baseline"

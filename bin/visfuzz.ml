@@ -163,9 +163,9 @@ let replay config path json =
       config with
       Runner.cf_seed = repro.Repro.r_seed;
       cf_oracles =
-        (match Oracles.find repro.Repro.r_oracle with
-        | Some o -> [ o ]
-        | None -> die "unknown oracle %S in %s" repro.Repro.r_oracle path);
+        (match Oracles.resolve repro.Repro.r_oracle with
+        | Ok o -> [ o ]
+        | Error msg -> die "%s: field %S: %s" path "oracle" msg);
     }
   in
   let outcomes =

@@ -1,0 +1,292 @@
+(* visserve — the multi-tenant advisor daemon on the simulated clock.
+
+   Runs [Vis_service.Service] over N tenants of the executable validation
+   schema: seeded zipfian delta streams, parallel group-commit refreshes,
+   EWMA rate monitoring and sensitivity-gated online re-optimization with
+   warm-started budgeted A*.  Everything is deterministic in
+   (--seed, tenants, ticks): two runs at different --jobs print identical
+   counters and signatures.
+
+     visserve --tenants 3 --ticks 20 --seed 42 --jobs 4
+     visserve --tenants 2 --ticks 12 --drift-tenant 0 --drift-factor 3 \
+              --drift-at 4 --fault-tenant 1 --fault-nth 40 --stats
+
+   Exit status: 0 on a clean run, 1 when any tenant's stream failed
+   (a replayed batch exhausted its attempts), 2 on usage errors. *)
+
+open Cmdliner
+module Json = Vis_util.Json
+module Service = Vis_service.Service
+module Stream = Vis_service.Stream
+module Faults = Vis_storage.Faults
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("visserve: " ^ msg);
+      exit 2)
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Arguments. *)
+
+let tenants_arg =
+  let doc = "Number of tenants to register." in
+  Arg.(value & opt int 3 & info [ "tenants" ] ~docv:"N" ~doc)
+
+let ticks_arg =
+  let doc = "Service ticks to run." in
+  Arg.(value & opt int 20 & info [ "ticks" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Root seed of every stream draw." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
+
+let jobs_arg =
+  let doc = "Domain-pool width for the parallel refresh rounds (and the \
+             re-optimizer)." in
+  Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc)
+
+let rate_arg =
+  let doc = "Mean batches/tick of the heaviest tenant; tenant $(i,k) gets \
+             this weighted by $(i,1/(k+1)^zipf)." in
+  Arg.(value & opt float 3.0 & info [ "rate" ] ~docv:"R" ~doc)
+
+let zipf_arg =
+  let doc = "Zipf exponent skewing per-tenant rates." in
+  Arg.(value & opt float 1.0 & info [ "zipf" ] ~docv:"S" ~doc)
+
+let base_card_arg =
+  let doc = "Base-relation cardinality of the validation schema each \
+             tenant runs." in
+  Arg.(value & opt float 400. & info [ "base-card" ] ~docv:"N" ~doc)
+
+let drift_tenant_arg =
+  let doc = "Tenant whose delta volume drifts (default: none)." in
+  Arg.(value & opt (some int) None & info [ "drift-tenant" ] ~docv:"ID" ~doc)
+
+let drift_factor_arg =
+  let doc = "Step-drift volume factor." in
+  Arg.(value & opt float 3.0 & info [ "drift-factor" ] ~docv:"F" ~doc)
+
+let drift_at_arg =
+  let doc = "Tick the step drift begins at." in
+  Arg.(value & opt int 4 & info [ "drift-at" ] ~docv:"TICK" ~doc)
+
+let fault_tenant_arg =
+  let doc = "Tenant that gets a crash fault plan injected (default: none)." in
+  Arg.(value & opt (some int) None & info [ "fault-tenant" ] ~docv:"ID" ~doc)
+
+let fault_nth_arg =
+  let doc = "The crash fires on this tenant's $(docv)-th page write." in
+  Arg.(value & opt int 40 & info [ "fault-nth" ] ~docv:"N" ~doc)
+
+let budget_arg =
+  let doc = "A* expansion budget per re-optimization." in
+  Arg.(value & opt int 20_000 & info [ "budget" ] ~docv:"N" ~doc)
+
+let band_arg =
+  let doc = "EWMA trigger band (e.g. 1.5 tolerates ±50% rate drift)." in
+  Arg.(value & opt float 1.5 & info [ "band" ] ~docv:"F" ~doc)
+
+let gate_arg =
+  let doc = "Sensitivity-probe gate ratio above which a full \
+             re-optimization runs." in
+  Arg.(value & opt float 1.02 & info [ "gate" ] ~docv:"F" ~doc)
+
+let warmup_arg =
+  let doc = "Ticks before the monitor may trigger." in
+  Arg.(value & opt int 2 & info [ "warmup" ] ~docv:"N" ~doc)
+
+let stats_arg =
+  let doc = "Print the per-tenant counter table." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let json_arg =
+  let doc = "Emit one machine-readable JSON report instead of the tables." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+(* ------------------------------------------------------------------ *)
+
+let tenant_json (s : Service.tenant_stats) signature =
+  Json.Obj
+    [
+      ("id", Json.Int s.Service.ts_id);
+      ("name", Json.String s.Service.ts_name);
+      ("batches", Json.Int s.Service.ts_batches);
+      ("rows", Json.Int s.Service.ts_rows);
+      ("groups", Json.Int s.Service.ts_groups);
+      ("group_syncs", Json.Int s.Service.ts_group_syncs);
+      ("replayed", Json.Int s.Service.ts_replayed);
+      ("failed", Json.Int s.Service.ts_failed);
+      ("injected", Json.Int s.Service.ts_injected);
+      ("rollbacks", Json.Int s.Service.ts_rollbacks);
+      ("degraded", Json.Int s.Service.ts_degraded);
+      ("io", Json.Int s.Service.ts_io);
+      ("checks", Json.Int s.Service.ts_checks);
+      ("gated", Json.Int s.Service.ts_gated);
+      ("reopts", Json.Int s.Service.ts_reopts);
+      ("bounded", Json.Int s.Service.ts_bounded);
+      ("swaps", Json.Int s.Service.ts_swaps);
+      ("opt_factor", Json.Float s.Service.ts_opt_factor);
+      ("ewma_ratio", Json.Float s.Service.ts_ewma_ratio);
+      ( "p99_latency_ms",
+        Json.Float (Service.percentile ~p:0.99 s.Service.ts_latencies_ms) );
+      ("signature", Json.String signature);
+    ]
+
+let serve tenants ticks seed jobs rate zipf base_card drift_tenant
+    drift_factor drift_at fault_tenant fault_nth budget band gate warmup stats
+    json =
+  if tenants < 1 then die "--tenants must be >= 1";
+  if ticks < 0 then die "--ticks must be >= 0";
+  if jobs < 1 then die "--jobs must be >= 1";
+  if band <= 1. then die "--band must be > 1";
+  let schema = Vis_workload.Schemas.validation ~base_card () in
+  let config =
+    {
+      Service.default_config with
+      Service.sv_seed = seed;
+      sv_jobs = jobs;
+      sv_budget = budget;
+      sv_band = band;
+      sv_gate = gate;
+      sv_warmup = warmup;
+    }
+  in
+  let svc = Service.create ~config () in
+  (* Every tenant runs the same schema, so one optimized design serves as
+     every tenant's initial configuration — cheaper than re-searching per
+     tenant and identical to what add_tenant would compute. *)
+  let design =
+    let r, _ =
+      Vis_core.Astar.search_budgeted ~max_expanded:budget ~jobs
+        (Vis_core.Problem.make schema)
+    in
+    r.Vis_core.Astar.best
+  in
+  for k = 0 to tenants - 1 do
+    let drift =
+      match drift_tenant with
+      | Some id when id = k ->
+          Stream.Step { at = drift_at; factor = drift_factor }
+      | _ -> Stream.Constant
+    in
+    let faults =
+      match fault_tenant with
+      | Some id when id = k ->
+          Some
+            (Faults.make
+               [
+                 Faults.Fail_nth
+                   { op = Some Faults.Write; n = fault_nth; kind = Faults.Crash };
+               ])
+      | _ -> None
+    in
+    ignore
+      (Service.add_tenant ~seed:(seed + k)
+         ~rate:(rate *. Stream.zipf_weight ~s:zipf ~rank:k)
+         ~drift ?faults ~config:design svc schema)
+  done;
+  Service.run svc ~ticks;
+  let totals = Service.totals svc in
+  let per_tenant =
+    List.map
+      (fun id -> (Service.stats svc id, Service.signature svc id))
+      (Service.tenant_ids svc)
+  in
+  let seconds = totals.Service.tt_clock_ms /. 1000. in
+  let deltas_per_sec =
+    if seconds > 0. then float_of_int totals.Service.tt_rows /. seconds else 0.
+  in
+  if json then
+    print_endline
+      (Json.to_string ~indent:2
+         (Json.Obj
+            [
+              ("seed", Json.Int seed);
+              ("jobs", Json.Int jobs);
+              ("ticks", Json.Int ticks);
+              ("tenants", Json.Int tenants);
+              ("clock_ms", Json.Float totals.Service.tt_clock_ms);
+              ("batches", Json.Int totals.Service.tt_batches);
+              ("rows", Json.Int totals.Service.tt_rows);
+              ("deltas_per_sec", Json.Float deltas_per_sec);
+              ("failed", Json.Int totals.Service.tt_failed);
+              ("reopts", Json.Int totals.Service.tt_reopts);
+              ("swaps", Json.Int totals.Service.tt_swaps);
+              ( "mean_latency_ms",
+                Json.Float totals.Service.tt_mean_latency_ms );
+              ("p99_latency_ms", Json.Float totals.Service.tt_p99_latency_ms);
+              ( "tenants_detail",
+                Json.List
+                  (List.map (fun (s, sg) -> tenant_json s sg) per_tenant) );
+            ]))
+  else begin
+    Printf.printf
+      "served %d tenants for %d ticks (%.1f simulated s, seed %d, jobs %d)\n"
+      tenants ticks seconds seed jobs;
+    Printf.printf
+      "  %d batches, %d delta rows (%.0f deltas/s), latency mean %.1f ms  \
+       p99 %.1f ms\n"
+      totals.Service.tt_batches totals.Service.tt_rows deltas_per_sec
+      totals.Service.tt_mean_latency_ms totals.Service.tt_p99_latency_ms;
+    Printf.printf "  re-optimizations %d, swaps %d, failed streams %d\n"
+      totals.Service.tt_reopts totals.Service.tt_swaps
+      totals.Service.tt_failed;
+    if stats then begin
+      let t =
+        Vis_util.Tableprint.create
+          [
+            "tenant";
+            "batches";
+            "rows";
+            "syncs";
+            "replayed";
+            "injected";
+            "degraded";
+            "checks";
+            "gated";
+            "reopts";
+            "swaps";
+            "p99 ms";
+            "signature";
+          ]
+      in
+      List.iter
+        (fun ((s : Service.tenant_stats), signature) ->
+          Vis_util.Tableprint.add_row t
+            [
+              s.Service.ts_name;
+              string_of_int s.Service.ts_batches;
+              string_of_int s.Service.ts_rows;
+              string_of_int s.Service.ts_group_syncs;
+              string_of_int s.Service.ts_replayed;
+              string_of_int s.Service.ts_injected;
+              string_of_int s.Service.ts_degraded;
+              string_of_int s.Service.ts_checks;
+              string_of_int s.Service.ts_gated;
+              string_of_int s.Service.ts_reopts;
+              string_of_int s.Service.ts_swaps;
+              Printf.sprintf "%.1f"
+                (Service.percentile ~p:0.99 s.Service.ts_latencies_ms);
+              String.sub signature 0 (min 12 (String.length signature));
+            ])
+        per_tenant;
+      Vis_util.Tableprint.print t
+    end
+  end;
+  Service.shutdown svc;
+  if totals.Service.tt_failed > 0 then exit 1
+
+let cmd =
+  let doc = "multi-tenant advisor daemon with online re-optimization" in
+  let info = Cmd.info "visserve" ~doc in
+  Cmd.v info
+    Term.(
+      const serve $ tenants_arg $ ticks_arg $ seed_arg $ jobs_arg $ rate_arg
+      $ zipf_arg $ base_card_arg $ drift_tenant_arg $ drift_factor_arg
+      $ drift_at_arg $ fault_tenant_arg $ fault_nth_arg $ budget_arg
+      $ band_arg $ gate_arg $ warmup_arg $ stats_arg $ json_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -421,7 +421,7 @@ let shard_quantum = 48
    decisions of the configuration mask. *)
 let shard_prefix_depth = 6
 
-let search_internal ~max_expanded ~beam ~shard ~on_budget ~pool p =
+let search_internal ?warm_start ~max_expanded ~beam ~shard ~on_budget ~pool p =
   let schema = p.Problem.schema in
   let sstats = Search_stats.create ~algorithm:"astar" () in
   let work_before = Parallel.work_counts pool in
@@ -560,6 +560,21 @@ let search_internal ~max_expanded ~beam ~shard ~on_budget ~pool p =
   in
   let upper_bound = ref seed.Greedy.best_cost in
   let incumbent = ref seed.Greedy.best in
+  (* A caller-supplied warm start (e.g. the advisor service re-optimizing
+     from the incumbent design after a rate drift) tightens the initial
+     bound further when it beats the greedy seed.  Invalid configurations —
+     features that are not candidates of [p] — are ignored rather than
+     rejected, so callers may pass a mask optimized for a differently-scaled
+     schema without re-validating it first.  The bound only ever tightens,
+     so optimality and the Bounded certificate's lower bound are unaffected. *)
+  (match warm_start with
+  | Some config when Problem.valid_config p config ->
+      let c = Problem.total p config in
+      if c < !upper_bound then begin
+        upper_bound := c;
+        incumbent := config
+      end
+  | Some _ | None -> ());
   (* Successor handling is split in two: [eval_state] is a pure function of
      the state (the expensive cost-model work, safe to fan out over the
      pool), while [commit] performs every bound check, incumbent update,
@@ -1039,20 +1054,21 @@ let search_internal ~max_expanded ~beam ~shard ~on_budget ~pool p =
             seq_loop ()
           end))
 
-let search ?(max_expanded = 5_000_000) ?jobs ?shard p =
+let search ?(max_expanded = 5_000_000) ?jobs ?shard ?warm_start p =
   Parallel.using ?jobs (fun pool ->
       fst
-        (search_internal ~max_expanded ~beam:None ~shard
+        (search_internal ?warm_start ~max_expanded ~beam:None ~shard
            ~on_budget:(fun r -> raise (Budget_exceeded r.stats))
            ~pool p))
 
-let search_budgeted ?(max_expanded = 5_000_000) ?beam ?jobs ?shard p =
+let search_budgeted ?(max_expanded = 5_000_000) ?beam ?jobs ?shard ?warm_start
+    p =
   (match beam with
   | Some b when b < 1 -> invalid_arg "Astar.search_budgeted: beam must be >= 1"
   | Some _ | None -> ());
   Parallel.using ?jobs (fun pool ->
-      search_internal ~max_expanded ~beam ~shard ~on_budget:(fun _ -> ()) ~pool
-        p)
+      search_internal ?warm_start ~max_expanded ~beam ~shard
+        ~on_budget:(fun _ -> ()) ~pool p)
 
 let search_anytime ?max_expanded ?jobs p =
   let r, cert = search_budgeted ?max_expanded ?jobs p in

@@ -100,8 +100,23 @@ exception Budget_exceeded of stats
     ([Some false]); by default problems with ≥ 32 post-dominance features
     shard and smaller ones use the single-queue loop.  Both modes prove the
     same optimum; they differ in traversal order, so per-rule pruning
-    counts differ {e between} modes (never between pool widths). *)
-val search : ?max_expanded:int -> ?jobs:int -> ?shard:bool -> Problem.t -> result
+    counts differ {e between} modes (never between pool widths).
+
+    [warm_start] supplies a known-good configuration — typically the
+    incumbent design of a running advisor when delta rates have drifted —
+    whose cost seeds the upper bound (and the returned incumbent) when it
+    beats the greedy seed.  A configuration whose features are not all
+    candidates of [p] is silently ignored, so a mask optimized for a
+    differently-scaled {!Vis_catalog.Schema.t} can be passed as-is.  The
+    bound only tightens: the optimum is unchanged, and results stay
+    bit-identical at any [jobs]. *)
+val search :
+  ?max_expanded:int ->
+  ?jobs:int ->
+  ?shard:bool ->
+  ?warm_start:Vis_costmodel.Config.t ->
+  Problem.t ->
+  result
 
 (** [search_budgeted ?max_expanded ?beam ?jobs ?shard p] is the anytime
     variant: instead of raising, it always returns the best configuration
@@ -120,12 +135,18 @@ val search : ?max_expanded:int -> ?jobs:int -> ?shard:bool -> Problem.t -> resul
     [lower_bound].  A finished beam search whose discarded states all had
     [ĉ ≥ best_cost] still earns [Optimal].
 
+    [warm_start] behaves as in {!search}: a valid configuration that beats
+    the greedy seed becomes the initial incumbent, which matters most here —
+    a budget-bounded search can then never return a design worse than the
+    one the caller already runs.
+
     Raises [Invalid_argument] if [beam < 1]. *)
 val search_budgeted :
   ?max_expanded:int ->
   ?beam:int ->
   ?jobs:int ->
   ?shard:bool ->
+  ?warm_start:Vis_costmodel.Config.t ->
   Problem.t ->
   result * certificate
 

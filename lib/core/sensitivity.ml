@@ -24,3 +24,8 @@ let sweep ~make_schema ~values =
       in
       { se_estimate = est; se_config = config; se_ratios = ratios })
     optima
+
+let probe p ~incumbent =
+  let g = Greedy.search ~jobs:1 p in
+  if g.Greedy.best_cost <= 0. then 1.
+  else Problem.total p incumbent /. g.Greedy.best_cost

@@ -21,3 +21,14 @@ type series = {
     configuration chosen under one schema is meaningful under another. *)
 val sweep :
   make_schema:(float -> Vis_catalog.Schema.t) -> values:float list -> series list
+
+(** [probe p ~incumbent] — the Figure-12 ratio at one actual parameter
+    value: the incumbent design's cost under [p] divided by the cost of a
+    cheap re-optimized baseline (the greedy design for [p]).  A value near
+    1.0 means the incumbent is still competitive at the drifted statistics;
+    the advisor service runs the full (budgeted, warm-started) A* only when
+    the probe exceeds its gate threshold.  Greedy is never below the true
+    optimum, so the probe {e underestimates} the exact §6.2 ratio — a
+    conservative gate.  Deterministic and identical at any pool width
+    (the greedy probe runs sequentially). *)
+val probe : Problem.t -> incumbent:Vis_costmodel.Config.t -> float

@@ -18,6 +18,8 @@ module Validate = Vis_maintenance.Validate
 module Refresh = Vis_maintenance.Refresh
 module Warehouse = Vis_maintenance.Warehouse
 module Faults = Vis_storage.Faults
+module Service = Vis_service.Service
+module Stream = Vis_service.Stream
 
 type outcome = Pass | Skip of string | Fail of string
 
@@ -785,6 +787,84 @@ let check_group_commit_recovery cx schema =
                 in
                 go 0))
 
+(* The advisor daemon end-to-end: a 3-tenant service over the generated
+   schema (one tenant drifting, so the monitor/re-optimize/swap path runs)
+   must reach bit-identical end states — physical signatures and every
+   counter — at jobs=1 and jobs=N, fault-free and with a crash plan inside
+   one tenant's refresh stream.  The crash must also leave the other
+   tenants' end states exactly as in the fault-free run: tenants share no
+   storage, so faults cannot leak across them. *)
+let check_service_replay cx schema =
+  match executable_blockers cx schema with
+  | Some reason -> Skip reason
+  | None -> (
+      let data_seed = Random.State.int cx.cx_rng 1_000_000 in
+      let design = (Greedy.search (Problem.make schema)).Greedy.best in
+      let run ~jobs ~fault =
+        let config =
+          {
+            Service.default_config with
+            Service.sv_seed = data_seed;
+            sv_jobs = jobs;
+            sv_budget = min cx.cx_max_expanded 4_000;
+            sv_warmup = 1;
+            sv_band = 1.3;
+          }
+        in
+        let svc = Service.create ~config () in
+        Fun.protect
+          ~finally:(fun () -> Service.shutdown svc)
+          (fun () ->
+            for k = 0 to 2 do
+              let faults =
+                if fault && k = 1 then
+                  Some
+                    (Faults.make
+                       [
+                         Faults.Fail_nth
+                           {
+                             op = Some Faults.Write;
+                             n = 20;
+                             kind = Faults.Crash;
+                           };
+                       ])
+                else None
+              in
+              let drift =
+                if k = 0 then Stream.Step { at = 2; factor = 2.5 }
+                else Stream.Constant
+              in
+              ignore
+                (Service.add_tenant ~seed:(data_seed + k)
+                   ~rate:(2. -. (0.5 *. float_of_int k))
+                   ~drift ?faults ~config:design svc schema)
+            done;
+            Service.run svc ~ticks:4;
+            List.map
+              (fun id ->
+                (id, Service.signature svc id, Service.stats svc id))
+              (Service.tenant_ids svc))
+      in
+      match run ~jobs:1 ~fault:false with
+      | exception Datagen.Unsupported msg -> skip "datagen: %s" msg
+      | base ->
+          if run ~jobs:cx.cx_jobs ~fault:false <> base then
+            fail "service end-state differs between jobs=1 and jobs=%d"
+              cx.cx_jobs
+          else
+            let f1 = run ~jobs:1 ~fault:true in
+            if run ~jobs:cx.cx_jobs ~fault:true <> f1 then
+              fail
+                "faulted service end-state differs between jobs=1 and jobs=%d"
+                cx.cx_jobs
+            else
+              let others l = List.filter (fun (id, _, _) -> id <> 1) l in
+              if others f1 <> others base then
+                fail
+                  "a crash inside tenant 1's refresh stream perturbed other \
+                   tenants' end states"
+              else Pass)
+
 (* ------------------------------------------------------------------ *)
 
 let all =
@@ -854,15 +934,29 @@ let all =
       o_doc = "faulted group-commit stream on a compressed design recovers";
       o_check = check_group_commit_recovery;
     };
+    {
+      o_name = "service-replay";
+      o_doc = "multi-tenant daemon end-state bit-identical at any jobs";
+      o_check = check_service_replay;
+    };
   ]
 
 let find name = List.find_opt (fun o -> o.o_name = name) all
 
-let select names =
-  let unknown = List.find_opt (fun n -> Option.is_none (find n)) names in
-  match unknown with
-  | Some n ->
+let resolve name =
+  match find name with
+  | Some o -> Ok o
+  | None ->
       Error
-        (Printf.sprintf "unknown oracle %S (known: %s)" n
+        (Printf.sprintf "unknown oracle %S (known: %s)" name
            (String.concat ", " (List.map (fun o -> o.o_name) all)))
+
+let select names =
+  let unknown =
+    List.find_map
+      (fun n -> match resolve n with Error e -> Some e | Ok _ -> None)
+      names
+  in
+  match unknown with
+  | Some e -> Error e
   | None -> Ok (List.filter (fun o -> List.mem o.o_name names) all)

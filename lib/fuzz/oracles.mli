@@ -68,6 +68,13 @@ val all : t list
 
 val find : string -> t option
 
+(** [resolve name] finds one oracle; [Error msg] names the unknown oracle
+    {e and} lists every known one — shared by {!select} and
+    [visfuzz --replay]'s repro-JSON diagnostics, so a typo in a saved
+    repro's oracle field gets the same actionable message as one on the
+    command line. *)
+val resolve : string -> (t, string) result
+
 (** [select names] resolves a list of oracle names, preserving registry
     order; [Error msg] names the first unknown oracle. *)
 val select : string list -> (t list, string) result

@@ -547,6 +547,7 @@ type group_stats = {
   gr_replayed : int;
   gr_clock_ms : float;
   gr_latency_ms_total : float;
+  gr_latencies_ms : float list;
 }
 
 let run_protected_many ?faults ?(max_attempts = 2)
@@ -566,7 +567,10 @@ let run_protected_many ?faults ?(max_attempts = 2)
   let sink = logged_sink w in
   let tl = fresh_tallies () in
   let clock = ref 0. in
-  let latency = ref 0. in
+  (* Per-batch commit latency (arrival order), settled at whichever
+     durability point confirmed the batch: the group sync or its individual
+     replay.  [nan] marks a batch the failure path never made durable. *)
+  let latencies = Array.make n Float.nan in
   let group_syncs = ref 0 in
   let max_group = ref 0 in
   let replayed = ref 0 in
@@ -575,6 +579,7 @@ let run_protected_many ?faults ?(max_attempts = 2)
   let pending = ref [] in
   let failure = ref None in
   let arrival i = float_of_int i *. batch_ms in
+  let settle i = latencies.(i) <- !clock -. arrival i in
   (* After a rollback every non-durable batch was undone (cross-batch
      LIFO); replay them oldest-first, each under the immediate-sync
      protocol with its own retry/degrade budget.  The group resumes with
@@ -588,7 +593,7 @@ let run_protected_many ?faults ?(max_attempts = 2)
             protected_one w eval plan ~max_attempts ~sink
               ~staged:staged_arr.(i) ~batch:batch_arr.(i) tl
           with
-          | Ok () -> latency := !latency +. (!clock -. arrival i)
+          | Ok () -> settle i
           | Error f -> failure := Some f
         end)
       idxs
@@ -605,9 +610,7 @@ let run_protected_many ?faults ?(max_attempts = 2)
           Faults.disarm plan;
           incr group_syncs;
           if size > !max_group then max_group := size;
-          List.iter
-            (fun i -> latency := !latency +. (!clock -. arrival i))
-            !pending;
+          List.iter settle !pending;
           pending := []
       | exception Faults.Injected _ ->
           Faults.disarm plan;
@@ -670,7 +673,12 @@ let run_protected_many ?faults ?(max_attempts = 2)
       gr_max_group = !max_group;
       gr_replayed = !replayed;
       gr_clock_ms = !clock;
-      gr_latency_ms_total = !latency;
+      gr_latency_ms_total =
+        Array.fold_left
+          (fun acc l -> if Float.is_nan l then acc else acc +. l)
+          0. latencies;
+      gr_latencies_ms =
+        List.filter (fun l -> not (Float.is_nan l)) (Array.to_list latencies);
     }
   in
   match !failure with

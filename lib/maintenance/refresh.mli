@@ -127,6 +127,10 @@ type group_stats = {
       (** summed commit latency: for each batch, simulated time from its
           arrival to the sync (or replay) that made it durable — the
           latency group commit trades against sync count *)
+  gr_latencies_ms : float list;
+      (** the per-batch commit latencies behind that sum, in arrival order
+          (only durable batches appear).  The service layer feeds these
+          into its p99 figure. *)
 }
 
 (** [run_protected_many ?faults ?max_attempts ?policy w batches] — the

@@ -1,0 +1,33 @@
+type t = {
+  alpha : float;
+  mutable reference : float;
+  mutable ewma : float;
+  mutable observations : int;
+}
+
+let create ~alpha ~reference =
+  if not (alpha > 0. && alpha <= 1.) then
+    invalid_arg "Monitor.create: alpha must be in (0, 1]";
+  if not (reference > 0.) then
+    invalid_arg "Monitor.create: reference must be positive";
+  { alpha; reference; ewma = 0.; observations = 0 }
+
+let observe m rows =
+  if m.observations = 0 then m.ewma <- rows
+  else m.ewma <- (m.alpha *. rows) +. ((1. -. m.alpha) *. m.ewma);
+  m.observations <- m.observations + 1
+
+let ewma m = m.ewma
+let reference m = m.reference
+let observations m = m.observations
+let ratio m = if m.observations = 0 then 1. else m.ewma /. m.reference
+
+let drifted m ~band =
+  if band <= 1. then invalid_arg "Monitor.drifted: band must be > 1";
+  let r = ratio m in
+  r > band || r < 1. /. band
+
+let rebase m ~reference =
+  if not (reference > 0.) then
+    invalid_arg "Monitor.rebase: reference must be positive";
+  m.reference <- reference

@@ -1,0 +1,41 @@
+(** Per-tenant delta-rate monitor: an exponentially weighted moving average
+    of observed delta rows per tick, compared against the rate the
+    incumbent configuration was optimized for (the {e reference}).
+
+    The monitor is the trigger side of the service's re-optimization loop:
+    when {!ratio} leaves the band [[1/band, band]] the observed load has
+    drifted far enough from the optimized-for load that the §6.2
+    sensitivity probe is worth running.  Pure single-threaded state — each
+    tenant owns one monitor, updated on the coordinating domain only. *)
+
+type t
+
+(** [create ~alpha ~reference] — [alpha ∈ (0, 1]] is the EWMA weight of the
+    newest observation; [reference] the expected rows/tick of the incumbent
+    design.  Raises [Invalid_argument] outside those ranges
+    ([reference] must be positive). *)
+val create : alpha:float -> reference:float -> t
+
+(** [observe m rows] feeds one tick's observed delta rows.  The first
+    observation initializes the average directly (no zero-bias). *)
+val observe : t -> float -> unit
+
+(** The current moving average (0 before any observation). *)
+val ewma : t -> float
+
+val reference : t -> float
+
+(** Observed/optimized-for rate: [ewma m /. reference m]; 1.0 before any
+    observation. *)
+val ratio : t -> float
+
+val observations : t -> int
+
+(** [drifted m ~band] — whether {!ratio} lies strictly outside
+    [[1/band, band]] ([band > 1]; e.g. 1.5 tolerates ±50%). *)
+val drifted : t -> band:float -> bool
+
+(** [rebase m ~reference] resets the reference after a configuration swap
+    (the new design is optimized for the drifted rate), keeping the
+    average and observation count. *)
+val rebase : t -> reference:float -> unit

@@ -1,0 +1,181 @@
+(** The multi-tenant advisor daemon: many {!Vis_maintenance.Warehouse}
+    instances, each fed a seeded delta stream, refreshed in parallel
+    refresh groups on a {!Vis_util.Parallel} domain pool, and watched by a
+    per-tenant {!Monitor} that triggers {!Vis_core.Sensitivity}-gated
+    re-optimization — warm-started from the incumbent mask via
+    {!Vis_core.Astar.search_budgeted} — when the observed delta rates
+    drift away from the rates the incumbent configuration was optimized
+    for.
+
+    {2 The tick loop}
+
+    Time advances in {e ticks} of the simulated clock.  Each {!tick} runs
+    three phases:
+
+    + {b Arrivals} (coordinator, sequential in tenant order): for every
+      tenant, draw the tick's batch count from {!Stream.arrivals} and the
+      batch contents from the tenant's private RNG with
+      {!Vis_workload.Datagen.deltas_evolving}, scaled by the tenant's
+      {!Stream.drift} profile.  The tenant's logical dataset mirror
+      advances with {!Vis_workload.Datagen.apply}.
+    + {b Refresh} (parallel): every tenant with arrivals runs its batches
+      as one {!Vis_maintenance.Refresh.run_protected_many} group-commit
+      stream.  Tenants share {e no} storage state — each owns its pool,
+      arena, WAL and counters — so one pool task per tenant
+      ({!Vis_util.Parallel.run_tasks}) mutates disjoint state and the
+      round is deterministic at any pool width.
+    + {b Monitor & re-optimize} (coordinator, sequential in tenant
+      order): feed each tenant's observed delta rows into its EWMA
+      monitor; when the rate has {!Monitor.drifted} outside the band
+      (after [sv_warmup] ticks), run the {!Vis_core.Sensitivity.probe} at
+      the estimated drifted rates, and only if the incumbent's ratio
+      exceeds [sv_gate] run the budgeted warm-started A*.  A strictly
+      better design is swapped in {e between} refresh groups: the tenant's
+      warehouse is rebuilt from its logical mirror under the new
+      configuration, so no batch ever sees half a configuration and no
+      delta is lost or applied twice.  A budget-bounded search
+      ([Bounded] certificate) that fails to improve keeps the incumbent —
+      the degradation path: the service never swaps to a worse design.
+
+    Every phase is a pure function of [(seed, registered tenants, tick)];
+    the pool only ever executes tenant-disjoint work, so the entire daemon
+    end-state — physical signatures, every counter, every latency — is
+    bit-identical at any [sv_jobs].  Injected faults (per-tenant
+    {!Vis_storage.Faults} plans) ride the same refresh protocol and stay
+    contained: a crash inside one tenant's group perturbs no other
+    tenant's state or counters. *)
+
+type config = {
+  sv_seed : int;  (** root seed of every stream draw *)
+  sv_jobs : int;  (** refresh-pool width (and re-optimizer [jobs]) *)
+  sv_tick_ms : float;  (** simulated wall time one tick represents *)
+  sv_group : Vis_maintenance.Refresh.group_policy;
+      (** group-commit policy of each tenant's per-tick stream *)
+  sv_max_attempts : int;  (** per-batch retry budget under faults *)
+  sv_alpha : float;  (** EWMA weight of the newest rate observation *)
+  sv_band : float;  (** re-optimization trigger band (e.g. 1.5 = ±50%) *)
+  sv_gate : float;
+      (** sensitivity-probe threshold: re-optimize only when the incumbent
+          costs more than [sv_gate ×] the greedy design at the drifted
+          rates *)
+  sv_warmup : int;  (** ticks before the monitor may trigger *)
+  sv_budget : int;  (** A* expansion budget per re-optimization *)
+  sv_beam : int option;  (** beam width for the budgeted search *)
+  sv_min_gain : float;
+      (** minimum relative cost improvement required to swap (0.01 = 1%) *)
+}
+
+(** Seed 0, jobs 1, 100 ms ticks, the refresh default group policy,
+    2 attempts, α 0.3, band 1.5, gate 1.02, warmup 2, budget 20,000,
+    beam 64, min gain 1%. *)
+val default_config : config
+
+(** A snapshot of one tenant's counters.  All simulated-clock derived;
+    comparable with [=] across runs (the service-replay oracle does
+    exactly that). *)
+type tenant_stats = {
+  ts_id : int;
+  ts_name : string;
+  ts_ticks : int;  (** ticks while registered *)
+  ts_batches : int;  (** delta batches arrived *)
+  ts_rows : int;  (** delta rows arrived *)
+  ts_groups : int;  (** refresh-group runs (ticks with work) *)
+  ts_group_syncs : int;
+  ts_replayed : int;  (** batches replayed individually after faults *)
+  ts_failed : int;  (** group runs that ended in [Error] *)
+  ts_injected : int;  (** faults surfaced past retry *)
+  ts_rollbacks : int;
+  ts_degraded : int;  (** runs that degraded to view recomputation *)
+  ts_io : int;  (** measured page I/O across all runs *)
+  ts_wal_syncs : int;
+  ts_checks : int;  (** drift triggers examined *)
+  ts_gated : int;  (** triggers dismissed by the sensitivity probe *)
+  ts_reopts : int;  (** full budgeted A* runs *)
+  ts_bounded : int;  (** re-optimizations with a [Bounded] certificate *)
+  ts_swaps : int;  (** configuration swaps applied *)
+  ts_opt_factor : float;
+      (** delta-scale factor the incumbent is optimized for (1.0 at
+          registration) *)
+  ts_ewma_ratio : float;  (** monitor ratio at snapshot time *)
+  ts_latencies_ms : float list;
+      (** per-batch commit latencies, oldest first *)
+}
+
+(** Aggregate figures across live and retired tenants. *)
+type totals = {
+  tt_tenants : int;  (** tenants ever registered *)
+  tt_ticks : int;
+  tt_clock_ms : float;  (** simulated time served *)
+  tt_batches : int;
+  tt_rows : int;
+  tt_failed : int;
+  tt_reopts : int;
+  tt_swaps : int;
+  tt_mean_latency_ms : float;  (** 0 when no batch committed *)
+  tt_p99_latency_ms : float;
+}
+
+type t
+
+val create : ?config:config -> unit -> t
+val config : t -> config
+
+(** [add_tenant t schema] registers a tenant over [schema] (which must be
+    executable — raises {!Vis_workload.Datagen.Unsupported} otherwise) and
+    returns its id.  The initial dataset realizes the schema's statistics
+    from [seed] (default: the tenant id); [rate] (default 2.0) is the mean
+    batches per tick; [drift] (default {!Stream.Constant}) scales the
+    stream's delta volume over time; [faults] installs a per-tenant fault
+    plan for every refresh run; [config] overrides the initial design
+    (default: a fresh budgeted A* design at the declared rates). *)
+val add_tenant :
+  ?name:string ->
+  ?seed:int ->
+  ?rate:float ->
+  ?drift:Stream.drift ->
+  ?faults:Vis_storage.Faults.t ->
+  ?config:Vis_costmodel.Config.t ->
+  t ->
+  Vis_catalog.Schema.t ->
+  int
+
+(** [remove_tenant t id] tears the tenant down and returns its final
+    counters (also kept for {!totals}).  Raises [Not_found] on an unknown
+    or already-removed id. *)
+val remove_tenant : t -> int -> tenant_stats
+
+val n_tenants : t -> int
+val tenant_ids : t -> int list
+
+(** One tick of the three-phase loop described above. *)
+val tick : t -> unit
+
+(** [run t ~ticks] — [tick] that many times. *)
+val run : t -> ticks:int -> unit
+
+val stats : t -> int -> tenant_stats
+
+(** The tenant's current configuration. *)
+val incumbent : t -> int -> Vis_costmodel.Config.t
+
+(** Physical digest of the tenant's warehouse
+    ({!Vis_maintenance.Warehouse.signature}) — scans the storage, so call
+    it at comparison points, not mid-measurement. *)
+val signature : t -> int -> string
+
+(** Logical digest ({!Vis_maintenance.Warehouse.logical_signature}). *)
+val logical_signature : t -> int -> string
+
+(** Configuration-independent digest of the tenant's base replicas and
+    primary view contents — invariant across a swap (supporting views and
+    indexes change; the data they serve must not). *)
+val core_digest : t -> int -> string
+
+val totals : t -> totals
+
+(** [percentile ~p xs] — the p-th percentile (nearest-rank, [p ∈ [0,1]])
+    of [xs]; 0 on the empty list. *)
+val percentile : p:float -> float list -> float
+
+(** Shuts the domain pool down.  The service must not be ticked after. *)
+val shutdown : t -> unit

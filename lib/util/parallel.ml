@@ -208,6 +208,8 @@ let map_init ?chunk pool ~init f arr = map_into pool ~chunk ~init f arr
 
 let map_list pool f l = Array.to_list (map_array pool f (Array.of_list l))
 
+let run_tasks pool tasks = map_array ~chunk:1 pool (fun f -> f ()) tasks
+
 (* Deterministic model of [run]'s claim-in-order schedule: task [i] goes to
    the worker that frees up first (ties to the lowest slot), exactly what
    dynamic chunk claiming converges to when every worker is equally fast.

@@ -91,6 +91,16 @@ val map_array : ?chunk:int -> pool -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_list pool f l] is [List.map f l] computed in parallel. *)
 val map_list : pool -> ('a -> 'b) -> 'a list -> 'b list
 
+(** [run_tasks pool tasks] runs each thunk once with one chunk per thunk
+    and returns their results in task order.  Because no chunk ever holds
+    two tasks, a thunk may freely mutate state that no other thunk touches
+    (e.g. the advisor service refreshing disjoint per-tenant warehouses in
+    one round); results and the propagated exception (lowest task index)
+    are deterministic at any pool width.  The usual pool rules apply:
+    submit only from the pool's creating domain, and tasks must not submit
+    to the same pool. *)
+val run_tasks : pool -> (unit -> 'a) array -> 'a array
+
 (** [map_init ?chunk pool ~init f a] is {!map_array} where each chunk first
     builds a private context [ctx = init ()] and maps its elements with
     [f ctx].  Used to give every worker its own evaluator (memoizers with

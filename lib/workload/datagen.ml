@@ -189,3 +189,97 @@ let deltas ~rng schema dataset =
         end)
   in
   { b_ins; b_del; b_upd }
+
+let key_pos schema rel =
+  Schema.attr_pos schema rel (Schema.relation schema rel).Schema.key_attr
+
+let apply schema dataset batch =
+  let n = Array.length dataset.ds_tuples in
+  let ds_tuples =
+    Array.init n (fun rel ->
+        let kp = key_pos schema rel in
+        let dels = Hashtbl.create 16 in
+        List.iter (fun k -> Hashtbl.replace dels k ()) batch.b_del.(rel);
+        let upds = Hashtbl.create 16 in
+        List.iter
+          (fun (k, tuple) -> Hashtbl.replace upds k tuple)
+          batch.b_upd.(rel);
+        let kept =
+          List.filter_map
+            (fun tuple ->
+              let k = tuple.(kp) in
+              if Hashtbl.mem dels k then None
+              else
+                match Hashtbl.find_opt upds k with
+                | Some replacement -> Some replacement
+                | None -> Some tuple)
+            dataset.ds_tuples.(rel)
+        in
+        (* Inserted keys start at [ds_next_key] and ascend, so appending
+           preserves the key-sorted invariant. *)
+        kept @ batch.b_ins.(rel))
+  in
+  let ds_next_key =
+    Array.init n (fun rel ->
+        dataset.ds_next_key.(rel) + List.length batch.b_ins.(rel))
+  in
+  { ds_tuples; ds_next_key }
+
+let deltas_evolving ~rng schema dataset =
+  let n = Schema.n_relations schema in
+  let b_ins =
+    Array.init n (fun rel ->
+        let d = Schema.delta schema rel in
+        let count = int_of_float (Float.round d.Schema.n_ins) in
+        let base = dataset.ds_next_key.(rel) in
+        List.init count (fun i -> draw_tuple ~rng schema rel ~key:(base + i)))
+  in
+  (* Deletes and updates are drawn as positions into the current tuple list
+     (not raw keys as in {!deltas}): after earlier batches removed tuples
+     the key space is sparse, and only positions are guaranteed to name
+     live tuples. *)
+  let tuples = Array.map Array.of_list dataset.ds_tuples in
+  let del_pos =
+    Array.init n (fun rel ->
+        let d = Schema.delta schema rel in
+        let count = int_of_float (Float.round d.Schema.n_del) in
+        let bound = Array.length tuples.(rel) in
+        if bound = 0 || count = 0 then []
+        else sample_distinct ~rng ~count:(min count bound) ~bound [])
+  in
+  let b_del =
+    Array.init n (fun rel ->
+        let kp = key_pos schema rel in
+        List.map (fun i -> tuples.(rel).(i).(kp)) del_pos.(rel))
+  in
+  let b_upd =
+    Array.init n (fun rel ->
+        let d = Schema.delta schema rel in
+        let count = int_of_float (Float.round d.Schema.n_upd) in
+        let prot = protected_attrs schema rel in
+        let bound = Array.length tuples.(rel) in
+        let avail = bound - List.length del_pos.(rel) in
+        if prot = [] || count = 0 || avail <= 0 then []
+        else begin
+          let kp = key_pos schema rel in
+          let poss =
+            sample_distinct ~rng ~count:(min count avail) ~bound
+              del_pos.(rel)
+          in
+          List.map
+            (fun i ->
+              let tuple = Array.copy tuples.(rel).(i) in
+              List.iter
+                (fun attr ->
+                  let pos = Schema.attr_pos schema rel attr in
+                  tuple.(pos) <- Random.State.int rng 1_000_000)
+                prot;
+              (tuple.(kp), tuple))
+            poss
+        end)
+  in
+  { b_ins; b_del; b_upd }
+
+let batch_rows batch =
+  let count per = Array.fold_left (fun acc l -> acc + List.length l) 0 per in
+  count batch.b_ins + count batch.b_del + count batch.b_upd

@@ -42,6 +42,28 @@ val generate : rng:Random.State.t -> Vis_catalog.Schema.t -> dataset
     distinct existing keys. *)
 val deltas : rng:Random.State.t -> Vis_catalog.Schema.t -> dataset -> batch
 
+(** [apply schema dataset batch] — the dataset after the engine applies
+    [batch]: tuples with deleted keys removed, updated keys replaced by
+    their replacement tuples, inserts appended (their keys continue from
+    [ds_next_key], so the key-sorted invariant holds).  This is the logical
+    mirror the advisor service keeps per tenant so a configuration swap can
+    rebuild a warehouse at the stream's current contents. *)
+val apply : Vis_catalog.Schema.t -> dataset -> batch -> dataset
+
+(** [deltas_evolving ~rng schema dataset] is {!deltas} for long-running
+    streams: deleted and updated keys are sampled from the tuples actually
+    present (by position, not by raw key), so it stays correct after
+    earlier batches have made the key space sparse — where {!deltas} would
+    draw dangling keys.  Counts still follow the schema's delta statistics,
+    capped by the live population.  Draws a disjoint delete/update set per
+    relation; deterministic in [rng]. *)
+val deltas_evolving :
+  rng:Random.State.t -> Vis_catalog.Schema.t -> dataset -> batch
+
+(** [batch_rows b] — total delta rows (inserts + deletes + updates) across
+    all relations, the unit of the service's rate monitoring. *)
+val batch_rows : batch -> int
+
 (** [passes_selections schema ~rel tuple] — whether the tuple satisfies every
     local selection of its relation. *)
 val passes_selections : Vis_catalog.Schema.t -> rel:int -> int array -> bool

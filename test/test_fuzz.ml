@@ -129,6 +129,33 @@ let test_registry () =
   | Ok _ -> Alcotest.fail "select accepted an unknown oracle"
   | Error msg -> checkb "the error names the oracle" true (msg <> "")
 
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_resolve_diagnostics () =
+  (* [resolve] backs both [--oracles] and the repro-JSON replay path: an
+     unknown name must produce one message that names the typo and lists
+     every known oracle, so a stale saved repro is self-diagnosing. *)
+  (match Oracles.resolve "service-replay" with
+  | Ok o ->
+      Alcotest.(check string)
+        "the daemon oracle is registered" "service-replay" o.Oracles.o_name
+  | Error msg -> Alcotest.fail msg);
+  match Oracles.resolve "service-reply" with
+  | Ok _ -> Alcotest.fail "resolve accepted a misspelled oracle"
+  | Error msg ->
+      checkb "the error quotes the unknown name" true
+        (contains ~needle:"service-reply" msg);
+      List.iter
+        (fun (o : Oracles.t) ->
+          checkb
+            (Printf.sprintf "the error lists known oracle %s" o.Oracles.o_name)
+            true
+            (contains ~needle:o.Oracles.o_name msg))
+        Oracles.all
+
 (* ------------------------------------------------------------------ *)
 (* Runner. *)
 
@@ -250,7 +277,12 @@ let () =
           Alcotest.test_case "malformed rejected" `Quick
             test_malformed_repro_rejected;
         ] );
-      ("oracles", [ Alcotest.test_case "registry" `Quick test_registry ]);
+      ( "oracles",
+        [
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "resolve diagnostics" `Quick
+            test_resolve_diagnostics;
+        ] );
       ( "runner",
         [
           Alcotest.test_case "smoke" `Quick test_runner_smoke;

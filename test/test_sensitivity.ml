@@ -89,6 +89,53 @@ let test_underestimate_hurts_monotonically () =
       checkb "ratios are finite" true (Float.is_finite ratio))
     lowest.Sensitivity.se_ratios
 
+let test_single_value_sweep () =
+  (* The degenerate sweep: one swept value gives one series whose only
+     ratio sits on the Figure-12 diagonal — exactly 1, not merely close. *)
+  let make f = Schema.scale_deltas (base ()) f in
+  match Sensitivity.sweep ~make_schema:make ~values:[ 1.0 ] with
+  | [ s ] ->
+      checkf "the single estimate is the swept value" 1.0
+        s.Sensitivity.se_estimate;
+      (match s.Sensitivity.se_ratios with
+      | [ (actual, ratio) ] ->
+          checkf "the single actual is the swept value" 1.0 actual;
+          Alcotest.(check (float 0.))
+            "ratio at the estimate is exactly 1.0, bit for bit" 1.0 ratio
+      | rs ->
+          Alcotest.failf "expected one ratio, got %d" (List.length rs));
+      checkb "the chosen design is valid" true
+        (Problem.valid_config (Problem.make (make 1.0)) s.Sensitivity.se_config)
+  | series -> Alcotest.failf "expected one series, got %d" (List.length series)
+
+let test_ratio_exact_on_diagonal () =
+  (* Along the whole diagonal of the delta sweep, the design costed under
+     the schema it was optimized for divides its own optimal cost: the
+     ratio must be 1.0 to the last bit, not within a tolerance. *)
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (actual, ratio) ->
+          if actual = s.Sensitivity.se_estimate then
+            Alcotest.(check (float 0.))
+              (Printf.sprintf "diagonal ratio at estimate %g is bitwise 1.0"
+                 s.Sensitivity.se_estimate)
+              1.0 ratio)
+        s.Sensitivity.se_ratios)
+    (Lazy.force delta_sweep)
+
+let test_probe () =
+  (* The greedy probe of the problem's own greedy design is exactly 1;
+     probing a deliberately mismatched incumbent can only read >= 1 up to
+     greedy's underestimate of the optimum — and is >= the true ratio gate
+     would ever be fooled by on this instance. *)
+  let p = Problem.make (base ()) in
+  let g = (Vis_core.Greedy.search p).Vis_core.Greedy.best in
+  Alcotest.(check (float 0.)) "probing the greedy design reads exactly 1.0" 1.0
+    (Sensitivity.probe p ~incumbent:g);
+  checkb "probing the empty configuration reads a penalty" true
+    (Sensitivity.probe p ~incumbent:Config.empty >= 1.)
+
 let () =
   Alcotest.run "sensitivity"
     [
@@ -98,5 +145,10 @@ let () =
           Alcotest.test_case "selectivity sweep" `Quick test_selectivity_sweep;
           Alcotest.test_case "low-estimate curve" `Quick
             test_underestimate_hurts_monotonically;
+          Alcotest.test_case "single-value sweep" `Quick
+            test_single_value_sweep;
+          Alcotest.test_case "exact diagonal" `Quick
+            test_ratio_exact_on_diagonal;
+          Alcotest.test_case "greedy probe" `Quick test_probe;
         ] );
     ]
