@@ -23,7 +23,18 @@
      re-optimizations the multi-tenant daemon runs on its fixed drift
      scenario (churn: a trigger-happy monitor or a leaky sensitivity gate
      shows up here) and the simulated-clock p99 batch commit latency;
-     more than 20% above baseline fails the build.
+   - [cost_evaluations_mined] and [reduction_factor] per mined_candidates
+     star case — the states the workload-pruned search costs and its
+     advantage over the identically-budgeted unpruned search; mined work
+     more than 20% above baseline, or a reduction more than 20% below,
+     fails the build (the pruning stopped pruning).
+
+   Integer counters use the fixed 20% tolerance.  Float metrics —
+   today only [p99_batch_latency_ms], a simulated-clock figure that
+   shifts with any legitimate cost-model retune — use the explicit
+   [float_tolerance] the baseline file itself declares, so the slack
+   given to float gates is visible and versioned next to the numbers it
+   guards rather than buried here.
 
    Improvements only print; they are recorded by refreshing the
    baseline. *)
@@ -90,6 +101,45 @@ let syncs_by_group json =
 (* The service study's deterministic guard pair: re-optimization churn and
    simulated-clock p99 batch latency.  Both are exact in (seed, scenario);
    higher is worse for both. *)
+(* The explicit relative tolerance the baseline declares for float
+   metrics.  Mandatory: a baseline without it fails loudly rather than
+   silently borrowing the integer tolerance. *)
+let float_tolerance json =
+  match Json.member "float_tolerance" json with
+  | Json.Float f when f >= 1. -> f
+  | Json.Int i when i >= 1 -> float_of_int i
+  | _ ->
+      prerr_endline
+        "check_perf: baseline lacks a float_tolerance >= 1 for its float \
+         metrics";
+      exit 2
+
+(* The mined_candidates study's per-case guard pair: the states the
+   workload-pruned search costs (lower is better) and its reduction factor
+   over the identically-budgeted unpruned search (higher is better). *)
+let mined_by_case json =
+  match Json.member "mined_candidates" json with
+  | Json.Obj _ as obj -> (
+      match Json.member "reduction" obj with
+      | Json.List rows ->
+          List.filter_map
+            (fun row ->
+              match
+                ( Json.member "case" row,
+                  Json.member "cost_evaluations_mined" row,
+                  Json.member "reduction_factor" row )
+              with
+              | Json.String name, Json.Int evals, (Json.Float _ | Json.Int _)
+                ->
+                  Some
+                    ( name,
+                      ( float_of_int evals,
+                        Json.to_float (Json.member "reduction_factor" row) ) )
+              | _ -> None)
+            rows
+      | _ -> [])
+  | _ -> []
+
 let service_figures json =
   match Json.member "service" json with
   | Json.Obj _ as obj ->
@@ -193,22 +243,65 @@ let () =
     prerr_endline "check_perf: baseline has no service figures";
     exit 2
   end;
+  let ftol = float_tolerance baseline_json in
   List.iter
     (fun (key, base) ->
       let name = Printf.sprintf "service %s" key in
+      (* p99 is a float metric: simulated-clock milliseconds, not a count.
+         It gets the baseline's explicit float_tolerance; the integer
+         reopts counter keeps the fixed 20%. *)
+      let tol = if key = "p99_batch_latency_ms" then ftol else tolerance in
       match List.assoc_opt key measured_service with
       | None ->
           Printf.eprintf "FAIL %-34s missing from measured run\n" name;
           incr failures
       | Some got ->
-          let limit = tolerance *. base in
+          let limit = tol *. base in
           if got > limit then begin
-            Printf.eprintf "FAIL %-34s %.2f > %.2f (baseline %.2f +20%%)\n"
-              name got limit base;
+            Printf.eprintf "FAIL %-34s %.2f > %.2f (baseline %.2f +%.0f%%)\n"
+              name got limit base ((tol -. 1.) *. 100.);
             incr failures
           end
           else Printf.printf "ok   %-34s %.2f (baseline %.2f)\n" name got base)
     baseline_service;
+  let measured_mined = mined_by_case measured_json in
+  let baseline_mined = mined_by_case baseline_json in
+  if baseline_mined = [] then begin
+    prerr_endline "check_perf: baseline has no mined_candidates rows";
+    exit 2
+  end;
+  List.iter
+    (fun (case, (base_evals, base_red)) ->
+      let name = Printf.sprintf "mined %s" case in
+      match List.assoc_opt case measured_mined with
+      | None ->
+          Printf.eprintf "FAIL %-34s missing from measured run\n" name;
+          incr failures
+      | Some (got_evals, got_red) ->
+          let limit = tolerance *. base_evals in
+          if got_evals > limit then begin
+            Printf.eprintf
+              "FAIL %-34s cost_evaluations_mined %.0f > %.0f (baseline %.0f \
+               +20%%)\n"
+              name got_evals limit base_evals;
+            incr failures
+          end
+          else
+            Printf.printf
+              "ok   %-34s cost_evaluations_mined %.0f (baseline %.0f)\n" name
+              got_evals base_evals;
+          let floor = base_red /. tolerance in
+          if got_red < floor then begin
+            Printf.eprintf
+              "FAIL %-34s reduction_factor %.2fx < %.2fx (baseline %.2fx \
+               -20%%)\n"
+              name got_red floor base_red;
+            incr failures
+          end
+          else
+            Printf.printf "ok   %-34s reduction_factor %.2fx (baseline %.2fx)\n"
+              name got_red base_red)
+    baseline_mined;
   if !failures > 0 then begin
     Printf.eprintf
       "check_perf: %d number(s) regressed; if intentional, refresh \
@@ -218,4 +311,4 @@ let () =
   end;
   print_endline
     "check_perf: incremental-costing work, parallel scaling, group-commit \
-     syncs and service figures within baseline"
+     syncs, service figures and mined-candidate pruning within baseline"

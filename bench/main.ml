@@ -1316,6 +1316,158 @@ let extra12 () =
      and guarded by check_perf."
 
 (* ------------------------------------------------------------------ *)
+(* [Extra 13] Workload-driven candidate mining: a seeded synthetic query
+   log (zipf 2.0 — a heavily skewed workload) is mined for frequent
+   access patterns at minsup 0.1, and the budgeted A* runs on the pruned
+   candidate set.  Both sides of each star case get the same beam and the
+   same 20,000-expansion budget; the mined search drains its
+   workload-proportional space and terminates early, while the unpruned
+   search is still budget-bound — [cost_evaluations] counts the states
+   the search actually costed ([Search_stats.evaluated], exact and
+   identical at every jobs setting), so the reduction is the
+   machine-independent work saved by mining, gated in check_perf like the
+   incremental_costing counters.  Small schemas run the exact
+   (unbudgeted) A* on both sides to measure true optimality loss;
+   minsup=0 must reproduce the unpruned problem bit for bit. *)
+
+let mined_candidates () =
+  section "[Extra 13] Workload-driven candidate mining";
+  let module Querygen = Vis_workload.Querygen in
+  let module Miner = Vis_workload.Miner in
+  let module Search_stats = Vis_core.Search_stats in
+  let tbl =
+    T.create
+      [ "case"; "features"; "mined"; "views"; "mined"; "evals"; "mined";
+        "reduction"; "wall"; "cost ratio" ]
+  in
+  let reduction_rows = ref [] in
+  List.iter
+    (fun (name, n_dims, must_reduce) ->
+      let schema = Schemas.star ~n_dims () in
+      let log = Querygen.generate ~seed:42 ~n:400 ~zipf:2.0 schema in
+      let m = Miner.mine ~minsup:0.1 schema log in
+      let run ?candidates jobs =
+        let p =
+          Problem.make ~connected_only:true ~max_view_rels:2 ?candidates
+            schema
+        in
+        let t0 = Unix.gettimeofday () in
+        let r, _cert = Astar.search_budgeted ~max_expanded:20_000 ~beam:64 ~jobs p in
+        let dt = Unix.gettimeofday () -. t0 in
+        (p, r, Search_stats.evaluated r.Astar.search_stats, dt)
+      in
+      let p_full, r_full, e_full, dt_full = run 1 in
+      let p_mined, r_mined, e_mined, dt_mined =
+        run ~candidates:m.Miner.m_candidates 1
+      in
+      (* Determinism of the mined-space search across pool widths. *)
+      let _, r4, e4, _ = run ~candidates:m.Miner.m_candidates 4 in
+      assert (Config.equal r_mined.Astar.best r4.Astar.best);
+      assert (r_mined.Astar.best_cost = r4.Astar.best_cost);
+      assert (r_mined.Astar.stats.Astar.expanded = r4.Astar.stats.Astar.expanded);
+      assert (e_mined = e4);
+      let reduction = float_of_int e_full /. float_of_int (max 1 e_mined) in
+      if must_reduce then assert (reduction >= 5.);
+      let cost_ratio = r_mined.Astar.best_cost /. r_full.Astar.best_cost in
+      T.add_row tbl
+        [
+          name;
+          string_of_int (List.length p_full.Problem.features);
+          string_of_int (List.length p_mined.Problem.features);
+          string_of_int (List.length p_full.Problem.candidate_views);
+          string_of_int (List.length p_mined.Problem.candidate_views);
+          string_of_int e_full;
+          string_of_int e_mined;
+          Printf.sprintf "%.1fx" reduction;
+          Printf.sprintf "%.1fx" (dt_full /. Float.max dt_mined 1e-9);
+          Printf.sprintf "%.3f" cost_ratio;
+        ];
+      reduction_rows :=
+        Json.Obj
+          [
+            ("case", Json.String name);
+            ("minsup", Json.Float 0.1);
+            ("zipf", Json.Float 2.0);
+            ("log_queries", Json.Int 400);
+            ("features_full", Json.Int (List.length p_full.Problem.features));
+            ("features_mined", Json.Int (List.length p_mined.Problem.features));
+            ("views_full", Json.Int (List.length p_full.Problem.candidate_views));
+            ("views_mined", Json.Int (List.length p_mined.Problem.candidate_views));
+            ("cost_evaluations_full", Json.Int e_full);
+            ("cost_evaluations_mined", Json.Int e_mined);
+            ("reduction_factor", Json.Float reduction);
+            ("wall_s_full", Json.Float dt_full);
+            ("wall_s_mined", Json.Float dt_mined);
+            ("budgeted_cost_ratio", Json.Float cost_ratio);
+          ]
+        :: !reduction_rows)
+    [ ("star-8", 7, false); ("star-10", 9, true); ("star-12", 11, true) ];
+  T.print tbl;
+  (* Exact optimality loss where the unbudgeted A* is tractable. *)
+  let loss_tbl = T.create [ "schema"; "minsup"; "mined cost"; "loss" ] in
+  let loss_rows = ref [] in
+  List.iter
+    (fun (name, schema) ->
+      let full = Astar.search (Problem.make schema) in
+      List.iter
+        (fun minsup ->
+          let log = Querygen.generate ~seed:42 ~n:400 schema in
+          let m = Miner.mine ~minsup schema log in
+          let p = Problem.make ~candidates:m.Miner.m_candidates schema in
+          let r = Astar.search p in
+          let loss =
+            (r.Astar.best_cost -. full.Astar.best_cost) /. full.Astar.best_cost
+          in
+          if minsup = 0. then begin
+            (* Full coverage: the problem, and hence the optimum, must be
+               bit-identical to the unpruned run. *)
+            assert (Config.equal r.Astar.best full.Astar.best);
+            assert (r.Astar.best_cost = full.Astar.best_cost)
+          end;
+          assert (loss >= -1e-9);
+          loss_tbl
+          |> fun t ->
+          T.add_row t
+            [
+              name;
+              Printf.sprintf "%.1f" minsup;
+              Printf.sprintf "%.1f" r.Astar.best_cost;
+              pct loss;
+            ];
+          loss_rows :=
+            Json.Obj
+              [
+                ("schema", Json.String name);
+                ("minsup", Json.Float minsup);
+                ("full_cost", Json.Float full.Astar.best_cost);
+                ("mined_cost", Json.Float r.Astar.best_cost);
+                ("optimality_loss", Json.Float loss);
+              ]
+            :: !loss_rows)
+        [ 0.; 0.1; 0.3 ])
+    [
+      ("3 rel Schema 1", Schemas.schema1 ());
+      ("4 rel chain", Schemas.chain ~n:4 ());
+    ];
+  T.print loss_tbl;
+  record "mined_candidates"
+    (Json.Obj
+       [
+         ("reduction", Json.List (List.rev !reduction_rows));
+         ("optimality_loss", Json.List (List.rev !loss_rows));
+       ]);
+  print_endline
+    "Reduction compares identical budgeted searches (20,000 expansions,\n\
+     beam 64): the mined search drains its workload-proportional space and\n\
+     stops, the unpruned search is still budget-bound.  \"evals\" counts\n\
+     states costed (Search_stats.evaluated) — exact and identical at any\n\
+     jobs; the mined optimum was re-run at jobs=4 and matched bit for bit.\n\
+     Loss is the exact penalty vs. the unpruned optimum on schemas where\n\
+     the unbudgeted A* is tractable; minsup=0 reproduces the unpruned\n\
+     problem bit-identically (asserted).  The mined-side counters and\n\
+     reductions gate the CI perf smoke."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the optimizer components. *)
 
 let bechamel_benches () =
@@ -1406,6 +1558,7 @@ let () =
   extra10 ();
   extra11 ();
   extra12 ();
+  mined_candidates ();
   bechamel_benches ();
   let oc = open_out "BENCH_vis.json" in
   output_string oc

@@ -170,6 +170,42 @@ let shard_arg =
   in
   Arg.(value & opt (some bool) None & info [ "shard" ] ~docv:"BOOL" ~doc)
 
+let mine_arg =
+  let doc =
+    "Workload-driven mode: generate a seeded synthetic query log over the \
+     schema, mine frequent access patterns (closed itemsets), and run the \
+     search on the pruned, workload-proportional candidate set instead of \
+     the exhaustive enumeration."
+  in
+  Arg.(value & flag & info [ "mine" ] ~doc)
+
+let minsup_arg =
+  let doc =
+    "Minimum support for the miner, as a fraction of the log in [0, 1]: \
+     an access pattern must appear in at least this share of queries to \
+     yield candidates.  0 keeps full coverage (bit-identical to the \
+     unpruned enumeration).  Implies $(b,--mine)."
+  in
+  Arg.(value & opt (some float) None & info [ "minsup" ] ~docv:"F" ~doc)
+
+let log_queries_arg =
+  let doc =
+    "Number of synthetic queries to generate for mining.  Implies \
+     $(b,--mine)."
+  in
+  Arg.(value & opt (some int) None & info [ "log-queries" ] ~docv:"N" ~doc)
+
+let log_seed_arg =
+  let doc = "Seed of the synthetic query log (mining is deterministic)." in
+  Arg.(value & opt int 42 & info [ "log-seed" ] ~docv:"SEED" ~doc)
+
+let log_zipf_arg =
+  let doc =
+    "Zipf skew of attribute popularity in the generated log; 0 makes \
+     every query-relevant attribute equally popular."
+  in
+  Arg.(value & opt float 1.2 & info [ "log-zipf" ] ~docv:"S" ~doc)
+
 let report_config schema config cost =
   Printf.printf "total maintenance cost: %.1f page I/Os\n" cost;
   Printf.printf "%s\n" (Config.describe schema config)
@@ -256,10 +292,32 @@ let print_certificate = function
         lower_bound (100. *. gap)
 
 let run_optimize file builtin stats trace json jobs cap_views connected_only
-    compression budget beam shard =
+    compression budget beam shard mine minsup log_queries log_seed log_zipf =
   let schema = load_schema file builtin in
-  let p =
-    Problem.make ~connected_only ~compression ?max_view_rels:cap_views schema
+  let mine = mine || minsup <> None || log_queries <> None in
+  let make ?candidates () =
+    Problem.make ~connected_only ~compression ?max_view_rels:cap_views
+      ?candidates schema
+  in
+  (* Workload-driven mode: the unpruned problem is still enumerated (its
+     feature count is the reduction baseline) but only the mined one is
+     searched. *)
+  let p, mining =
+    if not mine then (make (), None)
+    else begin
+      let minsup = Option.value ~default:0.1 minsup in
+      if minsup < 0. || minsup > 1. then
+        die "--minsup must be in [0,1] (got %g)" minsup;
+      let n = Option.value ~default:400 log_queries in
+      if n < 1 then die "--log-queries must be >= 1 (got %d)" n;
+      let log =
+        Vis_workload.Querygen.generate ~seed:log_seed ~n ~zipf:log_zipf schema
+      in
+      let m = Vis_workload.Miner.mine ~minsup schema log in
+      let p_full = make () in
+      let p = make ~candidates:m.Vis_workload.Miner.m_candidates () in
+      (p, Some (m, p_full))
+    end
   in
   let budgeted = budget <> None || beam <> None in
   let r, certificate =
@@ -273,17 +331,53 @@ let run_optimize file builtin stats trace json jobs cap_views connected_only
   in
   let sstats = r.Vis_core.Astar.search_stats in
   let ex_states = r.Vis_core.Astar.stats.Vis_core.Astar.exhaustive_states in
+  let mining_json =
+    match mining with
+    | None -> []
+    | Some (m, p_full) ->
+        let st = m.Vis_workload.Miner.m_stats in
+        [
+          ( "mining",
+            Json.Obj
+              [
+                ("queries", Json.Int st.Vis_workload.Miner.mn_queries);
+                ("support_threshold", Json.Int st.Vis_workload.Miner.mn_threshold);
+                ("attr_universe", Json.Int st.Vis_workload.Miner.mn_universe);
+                ("frequent_attrs", Json.Int st.Vis_workload.Miner.mn_frequent_attrs);
+                ("closed_itemsets", Json.Int st.Vis_workload.Miner.mn_itemsets);
+                ("views_full", Json.Int (List.length p_full.Problem.candidate_views));
+                ("views_mined", Json.Int (List.length p.Problem.candidate_views));
+                ("features_full", Json.Int (List.length p_full.Problem.features));
+                ("features_mined", Json.Int (List.length p.Problem.features));
+              ] );
+        ]
+  in
   if json then
     emit_json ~schema_name:(schema_name file builtin) ~algorithm:"astar"
       ~schema ~p ~config:r.Vis_core.Astar.best ~cost:r.Vis_core.Astar.best_cost
       ~search_stats:sstats
       ~extra:
         (("exhaustive_states", Json.Float ex_states)
-        ::
-        (match certificate with
-        | Some c -> [ ("certificate", certificate_json c) ]
-        | None -> []))
+        :: (mining_json
+           @
+           match certificate with
+           | Some c -> [ ("certificate", certificate_json c) ]
+           | None -> []))
   else begin
+    (match mining with
+    | None -> ()
+    | Some (m, p_full) ->
+        let st = m.Vis_workload.Miner.m_stats in
+        Printf.printf
+          "mined %d queries at support >= %d: %d/%d frequent attributes, %d \
+           closed itemsets; candidates %d -> %d views, %d -> %d features\n"
+          st.Vis_workload.Miner.mn_queries st.Vis_workload.Miner.mn_threshold
+          st.Vis_workload.Miner.mn_frequent_attrs
+          st.Vis_workload.Miner.mn_universe st.Vis_workload.Miner.mn_itemsets
+          (List.length p_full.Problem.candidate_views)
+          (List.length p.Problem.candidate_views)
+          (List.length p_full.Problem.features)
+          (List.length p.Problem.features));
     Printf.printf
       "A* expanded %d states (exhaustive space: %.0f, pruning %.2f%%)\n"
       r.Vis_core.Astar.stats.Vis_core.Astar.expanded ex_states
@@ -301,7 +395,8 @@ let optimize_term =
   Term.(
     const run_optimize $ file_arg $ builtin_arg $ stats_arg $ trace_arg
     $ json_arg $ jobs_arg $ cap_views_arg $ connected_only_arg
-    $ compression_arg $ budget_arg $ beam_arg $ shard_arg)
+    $ compression_arg $ budget_arg $ beam_arg $ shard_arg $ mine_arg
+    $ minsup_arg $ log_queries_arg $ log_seed_arg $ log_zipf_arg)
 
 let optimize_cmd =
   Cmd.v (Cmd.info "optimize" ~doc:"Optimal view/index selection with A*")

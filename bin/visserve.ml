@@ -98,6 +98,23 @@ let warmup_arg =
   let doc = "Ticks before the monitor may trigger." in
   Arg.(value & opt int 2 & info [ "warmup" ] ~docv:"N" ~doc)
 
+let minsup_arg =
+  let doc =
+    "Enable workload-driven re-optimization: before each budgeted search, \
+     mine the tenant's recent synthetic query history at this minimum \
+     support and restrict the candidate space to the mined features.  \
+     Omitted: exhaustive enumeration (the pre-mining daemon, bit for bit)."
+  in
+  Arg.(value & opt (some float) None & info [ "minsup" ] ~docv:"F" ~doc)
+
+let mine_arg =
+  let doc = "Shorthand for $(b,--minsup) 0.1." in
+  Arg.(value & flag & info [ "mine" ] ~doc)
+
+let log_queries_arg =
+  let doc = "Queries per mined tenant history (with $(b,--minsup))." in
+  Arg.(value & opt int 256 & info [ "log-queries" ] ~docv:"N" ~doc)
+
 let stats_arg =
   let doc = "Print the per-tenant counter table." in
   Arg.(value & flag & info [ "stats" ] ~doc)
@@ -136,12 +153,19 @@ let tenant_json (s : Service.tenant_stats) signature =
     ]
 
 let serve tenants ticks seed jobs rate zipf base_card drift_tenant
-    drift_factor drift_at fault_tenant fault_nth budget band gate warmup stats
-    json =
+    drift_factor drift_at fault_tenant fault_nth budget band gate warmup
+    minsup mine log_queries stats json =
   if tenants < 1 then die "--tenants must be >= 1";
   if ticks < 0 then die "--ticks must be >= 0";
   if jobs < 1 then die "--jobs must be >= 1";
   if band <= 1. then die "--band must be > 1";
+  let minsup =
+    match minsup with
+    | Some s when s < 0. || s > 1. -> die "--minsup must be in [0,1]"
+    | Some _ as s -> s
+    | None -> if mine then Some 0.1 else None
+  in
+  if log_queries < 1 then die "--log-queries must be >= 1";
   let schema = Vis_workload.Schemas.validation ~base_card () in
   let config =
     {
@@ -152,6 +176,8 @@ let serve tenants ticks seed jobs rate zipf base_card drift_tenant
       sv_band = band;
       sv_gate = gate;
       sv_warmup = warmup;
+      sv_minsup = minsup;
+      sv_log_queries = log_queries;
     }
   in
   let svc = Service.create ~config () in
@@ -287,6 +313,7 @@ let cmd =
       const serve $ tenants_arg $ ticks_arg $ seed_arg $ jobs_arg $ rate_arg
       $ zipf_arg $ base_card_arg $ drift_tenant_arg $ drift_factor_arg
       $ drift_at_arg $ fault_tenant_arg $ fault_nth_arg $ budget_arg
-      $ band_arg $ gate_arg $ warmup_arg $ stats_arg $ json_arg)
+      $ band_arg $ gate_arg $ warmup_arg $ minsup_arg $ mine_arg
+      $ log_queries_arg $ stats_arg $ json_arg)
 
 let () = exit (Cmd.eval cmd)

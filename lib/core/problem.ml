@@ -10,6 +10,11 @@ type feature = Config.feature =
   | F_index of Element.index
   | F_compress of Element.t
 
+type candidates = {
+  cand_views : Bitset.t list;
+  cand_attrs : (int * string) list;
+}
+
 type t = {
   schema : Schema.t;
   derived : Derived.t;
@@ -19,18 +24,37 @@ type t = {
   compress_elems : Element.t list;
   features : feature list;
   encoding : Cost.encoding option;
+  restricted : candidates option;
 }
 
 let receives_delupd schema i =
   let d = Schema.delta schema i in
   d.Schema.n_del +. d.Schema.n_upd > 0.
 
+(* When a mined candidate set restricts the problem, query-driven index
+   attributes (join and selection predicates) outside it are dropped;
+   maintenance-driven key attributes of relations receiving deletions or
+   updates are always kept — pruning them would break refresh, not just
+   lose queries the log never saw. *)
+let attr_allowed restrict =
+  match restrict with
+  | None -> fun _ -> true
+  | Some c ->
+      let set : (int * string, unit) Hashtbl.t =
+        Hashtbl.create (1 + List.length c.cand_attrs)
+      in
+      List.iter (fun k -> Hashtbl.replace set k ()) c.cand_attrs;
+      fun key -> Hashtbl.mem set key
+
 (* Candidate index attributes for an element, per FST88 / Section 3.1.
    Dedup via a hash set keyed on (relation, attribute name): join-heavy
    schemas repeat the same attribute across many joins, and the linear
    [List.exists] rescans made this quadratic.  Prepend order (and hence the
-   final reversed order) is identical to the original scan-based version. *)
-let candidate_attrs schema elem =
+   final reversed order) is identical to the original scan-based version —
+   and the [restrict] filter preserves order too, so a full-coverage
+   candidate set reproduces the unrestricted list bit for bit. *)
+let candidate_attrs ?restrict schema elem =
+  let allowed = attr_allowed restrict in
   let seen : (int * string, unit) Hashtbl.t = Hashtbl.create 16 in
   let add acc (a : Element.attr) =
     let key = (a.Element.a_rel, a.Element.a_name) in
@@ -48,15 +72,12 @@ let candidate_attrs schema elem =
             add [] { Element.a_rel = i; a_name = (Schema.relation schema i).Schema.key_attr }
           else []
         in
-        let acc =
-          List.fold_left
-            (fun acc name -> add acc { Element.a_rel = i; a_name = name })
-            acc (Schema.join_attrs schema i)
+        let add_query acc name =
+          if allowed (i, name) then add acc { Element.a_rel = i; a_name = name }
+          else acc
         in
-        List.fold_left
-          (fun acc name -> add acc { Element.a_rel = i; a_name = name })
-          acc
-          (Schema.selection_attrs schema i)
+        let acc = List.fold_left add_query acc (Schema.join_attrs schema i) in
+        List.fold_left add_query acc (Schema.selection_attrs schema i)
     | Element.View w ->
         let acc =
           Bitset.fold
@@ -67,13 +88,17 @@ let candidate_attrs schema elem =
               else acc)
             w []
         in
+        let add_query acc rel name =
+          if allowed (rel, name) then add acc { Element.a_rel = rel; a_name = name }
+          else acc
+        in
         List.fold_left
           (fun acc (j : Schema.join) ->
             if Bitset.mem j.Schema.left_rel w && not (Bitset.mem j.Schema.right_rel w)
-            then add acc { Element.a_rel = j.Schema.left_rel; a_name = j.Schema.left_attr }
+            then add_query acc j.Schema.left_rel j.Schema.left_attr
             else if
               Bitset.mem j.Schema.right_rel w && not (Bitset.mem j.Schema.left_rel w)
-            then add acc { Element.a_rel = j.Schema.right_rel; a_name = j.Schema.right_attr }
+            then add_query acc j.Schema.right_rel j.Schema.right_attr
             else acc)
           acc schema.Schema.joins
   in
@@ -102,16 +127,31 @@ let slow_cost_env () =
   | Some _ -> true
 
 let make ?(connected_only = false) ?max_view_rels ?(share_cache = true)
-    ?slow_cost ?(compression = false) schema =
+    ?slow_cost ?(compression = false) ?candidates schema =
   (match max_view_rels with
   | Some k when k < 1 -> invalid_arg "Problem.make: max_view_rels must be >= 1"
   | Some _ | None -> ());
   let derived = Derived.create schema in
   let candidate_views = candidate_views_of schema ~connected_only ~max_view_rels in
+  (* A mined candidate set narrows — never widens — the structural
+     enumeration: views outside the lattice (or outside [max_view_rels] /
+     [connected_only]) stay excluded even if the miner proposed them.  The
+     order-preserving filter keeps a full-coverage candidate set
+     bit-identical to the unrestricted problem. *)
+  let candidate_views =
+    match candidates with
+    | None -> candidate_views
+    | Some c ->
+        let keep : (int, unit) Hashtbl.t =
+          Hashtbl.create (1 + List.length c.cand_views)
+        in
+        List.iter (fun w -> Hashtbl.replace keep (Bitset.to_int w) ()) c.cand_views;
+        List.filter (fun w -> Hashtbl.mem keep (Bitset.to_int w)) candidate_views
+  in
   let indexes_of elem =
     List.map
       (fun a -> { Element.ix_elem = elem; ix_attr = a })
-      (candidate_attrs schema elem)
+      (candidate_attrs ?restrict:candidates schema elem)
   in
   let n = Schema.n_relations schema in
   let base_ix = List.concat_map (fun i -> indexes_of (Element.Base i)) (List.init n Fun.id) in
@@ -158,12 +198,13 @@ let make ?(connected_only = false) ?max_view_rels ?(share_cache = true)
     compress_elems;
     features;
     encoding;
+    restricted = candidates;
   }
 
 let candidate_indexes_on p elem =
   List.map
     (fun a -> { Element.ix_elem = elem; ix_attr = a })
-    (candidate_attrs p.schema elem)
+    (candidate_attrs ?restrict:p.restricted p.schema elem)
 
 let always_on_indexes p =
   let n = Schema.n_relations p.schema in

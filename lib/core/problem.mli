@@ -22,6 +22,22 @@ type feature = Vis_costmodel.Config.feature =
   | F_index of Vis_costmodel.Element.index
   | F_compress of Vis_costmodel.Element.t
 
+(** A workload-mined restriction of the candidate space (see
+    {!Vis_workload.Miner}): the supporting views and the query-driven index
+    attributes the workload justifies.  [make ?candidates] intersects the
+    structural enumeration with this set — it never adds candidates the
+    schema would not generate — and maintenance-driven key attributes
+    (relations receiving deletions or updates) are always kept regardless,
+    since they serve refresh rather than queries.  A candidate set covering
+    the full enumeration yields a problem bit-identical to the
+    unrestricted one. *)
+type candidates = {
+  cand_views : Vis_util.Bitset.t list;
+      (** allowed supporting-view relation sets *)
+  cand_attrs : (int * string) list;
+      (** allowed query-driven index attributes, as [(relation, attr)] *)
+}
+
 type t = {
   schema : Vis_catalog.Schema.t;
   derived : Vis_catalog.Derived.t;
@@ -44,6 +60,10 @@ type t = {
           62 features and neither [slow_cost] nor the no-sharing ablation
           disabled it; searches use it via {!Config_id} for packed states
           and incremental delta-costing *)
+  restricted : candidates option;
+      (** the mined candidate restriction [make] was given, if any; consulted
+          by {!candidate_indexes_on} so index enumeration and validation stay
+          consistent with the restricted feature list *)
 }
 
 (** [make schema] enumerates the candidates.  [max_view_rels] caps candidate
@@ -64,13 +84,16 @@ type t = {
     roughly half the I/Os but a CPU surcharge per page (see
     {!Vis_costmodel.Cost.compress_page_ratio}); the default keeps the
     search space and every cost bitwise identical to a compression-free
-    problem. *)
+    problem.  [candidates] (default [None] — exhaustive enumeration)
+    restricts the space to a workload-mined {!candidates} set; all searches,
+    the packed encoding, and [Config_id] then run on the pruned universe. *)
 val make :
   ?connected_only:bool ->
   ?max_view_rels:int ->
   ?share_cache:bool ->
   ?slow_cost:bool ->
   ?compression:bool ->
+  ?candidates:candidates ->
   Vis_catalog.Schema.t ->
   t
 

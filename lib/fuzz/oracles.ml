@@ -14,6 +14,8 @@ module Space = Vis_core.Space
 module Sensitivity = Vis_core.Sensitivity
 module Search_stats = Vis_core.Search_stats
 module Datagen = Vis_workload.Datagen
+module Querygen = Vis_workload.Querygen
+module Miner = Vis_workload.Miner
 module Validate = Vis_maintenance.Validate
 module Refresh = Vis_maintenance.Refresh
 module Warehouse = Vis_maintenance.Warehouse
@@ -787,6 +789,110 @@ let check_group_commit_recovery cx schema =
                 in
                 go 0))
 
+(* ------------------------------------------------------------------ *)
+(* Workload-driven candidate mining (the querygen → miner → restricted
+   Problem pipeline): the mined feature universe must be a subset of the
+   exhaustive one, the mined optimum must be a valid configuration of both
+   problems whose cost re-evaluates structurally and never beats the
+   exhaustive optimum, and mining at minsup 0 must reproduce the
+   unrestricted problem bit for bit — features, optimum, cost and search
+   counters. *)
+
+let check_mined_candidates cx schema =
+  let seed = Random.State.int cx.cx_rng 1_000_000 in
+  let minsup = 0.02 +. Random.State.float cx.cx_rng 0.38 in
+  let log = Querygen.generate ~seed schema in
+  let m = Miner.mine ~minsup schema log in
+  let p_full = Problem.make schema in
+  let p_mined = Problem.make ~candidates:m.Miner.m_candidates schema in
+  let subset_of big small =
+    List.for_all
+      (fun f -> List.exists (Problem.equal_feature f) big.Problem.features)
+      small.Problem.features
+  in
+  if not (subset_of p_full p_mined) then
+    fail "minsup %.3f mined a feature outside the exhaustive enumeration"
+      minsup
+  else
+    (* minsup 0 keeps every query-driven candidate: the restricted problem
+       must equal the unrestricted one feature for feature, and the searches
+       on both must be indistinguishable. *)
+    let m0 = Miner.mine ~minsup:0. schema log in
+    let p0 = Problem.make ~candidates:m0.Miner.m_candidates schema in
+    if
+      List.length p0.Problem.features <> List.length p_full.Problem.features
+      || not
+           (List.for_all2 Problem.equal_feature p0.Problem.features
+              p_full.Problem.features)
+    then
+      fail "minsup 0 feature universe differs: %d features vs %d exhaustive"
+        (List.length p0.Problem.features)
+        (List.length p_full.Problem.features)
+    else
+      match astar_capped cx p_full with
+      | None -> skip "A* expansion budget exceeded (%d)" cx.cx_max_expanded
+      | Some full -> (
+          match astar_capped cx p0 with
+          | None ->
+              Fail
+                "minsup 0 search exceeded the budget the exhaustive search \
+                 finished under"
+          | Some a0 ->
+              if
+                a0.Astar.best_cost <> full.Astar.best_cost
+                || not (Config.equal a0.Astar.best full.Astar.best)
+                || a0.Astar.stats.Astar.expanded
+                   <> full.Astar.stats.Astar.expanded
+                || a0.Astar.stats.Astar.generated
+                   <> full.Astar.stats.Astar.generated
+              then
+                fail
+                  "minsup 0 search differs from exhaustive: cost %.17g/%.17g \
+                   counters %d/%d vs %d/%d"
+                  a0.Astar.best_cost full.Astar.best_cost
+                  a0.Astar.stats.Astar.expanded
+                  a0.Astar.stats.Astar.generated
+                  full.Astar.stats.Astar.expanded
+                  full.Astar.stats.Astar.generated
+              else (
+                match astar_capped cx p_mined with
+                | None ->
+                    skip "mined A* expansion budget exceeded (%d)"
+                      cx.cx_max_expanded
+                | Some mined ->
+                    let eps =
+                      1e-6 *. Float.max 1. full.Astar.best_cost
+                    in
+                    if not (Problem.valid_config p_mined mined.Astar.best)
+                    then
+                      Fail
+                        "mined optimum is not a valid configuration of the \
+                         mined problem"
+                    else if not (Problem.valid_config p_full mined.Astar.best)
+                    then
+                      Fail
+                        "mined optimum is not a valid configuration of the \
+                         exhaustive problem"
+                    else if
+                      not
+                        (close
+                           (Problem.total p_full mined.Astar.best)
+                           mined.Astar.best_cost)
+                    then
+                      fail
+                        "mined best_cost %.9f does not re-evaluate \
+                         structurally (%.9f)"
+                        mined.Astar.best_cost
+                        (Problem.total p_full mined.Astar.best)
+                    else if
+                      mined.Astar.best_cost < full.Astar.best_cost -. eps
+                    then
+                      fail
+                        "mined optimum %.9f beats the exhaustive optimum \
+                         %.9f on a subset space"
+                        mined.Astar.best_cost full.Astar.best_cost
+                    else Pass))
+
 (* The advisor daemon end-to-end: a 3-tenant service over the generated
    schema (one tenant drifting, so the monitor/re-optimize/swap path runs)
    must reach bit-identical end states — physical signatures and every
@@ -938,6 +1044,12 @@ let all =
       o_name = "service-replay";
       o_doc = "multi-tenant daemon end-state bit-identical at any jobs";
       o_check = check_service_replay;
+    };
+    (* Appended last — see the note above. *)
+    {
+      o_name = "mined-candidates";
+      o_doc = "mined candidate space is sound; minsup 0 is bit-identical";
+      o_check = check_mined_candidates;
     };
   ]
 

@@ -22,6 +22,8 @@ type config = {
   sv_budget : int;
   sv_beam : int option;
   sv_min_gain : float;
+  sv_minsup : float option;
+  sv_log_queries : int;
 }
 
 let default_config =
@@ -38,6 +40,8 @@ let default_config =
     sv_budget = 20_000;
     sv_beam = Some 64;
     sv_min_gain = 0.01;
+    sv_minsup = None;
+    sv_log_queries = 256;
   }
 
 type tenant_stats = {
@@ -347,7 +351,28 @@ let reoptimize t tn =
       (Float.max 0.05 (Monitor.ratio tn.tn_monitor *. tn.tn_opt_factor))
   in
   let drifted = Schema.scale_deltas tn.tn_schema est in
-  let p = Problem.make drifted in
+  (* Workload-driven rung of the ladder: before the budgeted search, mine
+     the tenant's recent query history (a deterministic synthetic log keyed
+     by seed, tenant and current tick — the same determinism contract as
+     the arrival stream) so re-optimization searches a
+     workload-proportional candidate set.  Off ([sv_minsup = None]) the
+     problem is the exhaustive one, bit-identical to the pre-mining
+     daemon.  An incumbent using features outside the mined space simply
+     fails [valid_config] and falls through to the search, where the
+     invalid warm start is ignored — still deterministic in (seed, jobs). *)
+  let p =
+    match cfg.sv_minsup with
+    | None -> Problem.make drifted
+    | Some minsup ->
+        let seed =
+          (cfg.sv_seed * 1_000_003) + (tn.tn_id * 1_009) + t.ticks
+        in
+        let log =
+          Vis_workload.Querygen.generate ~seed ~n:cfg.sv_log_queries drifted
+        in
+        let m = Vis_workload.Miner.mine ~minsup drifted log in
+        Problem.make ~candidates:m.Vis_workload.Miner.m_candidates drifted
+  in
   if
     Problem.valid_config p tn.tn_config
     && Sensitivity.probe p ~incumbent:tn.tn_config <= cfg.sv_gate

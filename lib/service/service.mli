@@ -63,11 +63,21 @@ type config = {
   sv_beam : int option;  (** beam width for the budgeted search *)
   sv_min_gain : float;
       (** minimum relative cost improvement required to swap (0.01 = 1%) *)
+  sv_minsup : float option;
+      (** when set, each re-optimization first mines the tenant's recent
+          query history ({!Vis_workload.Miner}, at this minimum support)
+          and searches the workload-proportional candidate set; [None]
+          (the default) keeps the exhaustive enumeration, bit-identical to
+          the pre-mining daemon *)
+  sv_log_queries : int;
+      (** queries per mined tenant history (deterministic in seed, tenant
+          and tick); only read when [sv_minsup] is set *)
 }
 
 (** Seed 0, jobs 1, 100 ms ticks, the refresh default group policy,
     2 attempts, α 0.3, band 1.5, gate 1.02, warmup 2, budget 20,000,
-    beam 64, min gain 1%. *)
+    beam 64, min gain 1%, no mining (256 queries per history when
+    enabled). *)
 val default_config : config
 
 (** A snapshot of one tenant's counters.  All simulated-clock derived;

@@ -1,31 +1,16 @@
-(** Seeded tenant load processes for the advisor service.
+(** Re-export of {!Vis_workload.Stream} under its historical path.
 
-    A tenant's traffic is described by a mean batch-arrival rate (batches
-    per service tick) and a {!drift} profile scaling its delta volume over
-    time.  Both are pure functions of their arguments: the number of
-    batches arriving for tenant [t] at tick [k] depends only on
-    [(seed, t, k, mean)], never on pool width, other tenants, or host
-    timing — the root of the daemon's [(seed, jobs)] determinism. *)
+    The seeded load processes started life inside the service daemon; the
+    query-log generator ({!Vis_workload.Querygen}) reuses the same drift
+    profiles and zipfian weights, so the implementation now lives in
+    [vismat.workload].  The type equations below keep every
+    [Vis_service.Stream] call site source- and behaviour-compatible. *)
 
-(** How a tenant's delta volume evolves over the run, as a multiplicative
-    factor on the schema's declared delta statistics. *)
-type drift =
-  | Constant  (** the rates the design was optimized for *)
+type drift = Vis_workload.Stream.drift =
+  | Constant
   | Step of { at : int; factor : float }
-      (** [factor] from tick [at] onwards — a regime change *)
   | Ramp of { from_tick : int; over : int; factor : float }
-      (** linear from 1.0 at [from_tick] to [factor] over [over] ticks *)
 
-(** [drift_factor d ~tick] — the volume multiplier at [tick] (1.0 before
-    any drift begins; never negative). *)
 val drift_factor : drift -> tick:int -> float
-
-(** [zipf_weight ~s ~rank] is [1 / (rank + 1)^s] — the classical zipfian
-    weight used to skew per-tenant rates (rank 0 is the heaviest
-    tenant). *)
 val zipf_weight : s:float -> rank:int -> float
-
-(** [arrivals ~seed ~tenant ~tick ~mean] — how many delta batches arrive
-    for [tenant] during [tick]: a Poisson draw with the given mean,
-    deterministic in the four arguments.  [mean] is clamped to [0, 50]. *)
 val arrivals : seed:int -> tenant:int -> tick:int -> mean:float -> int

@@ -1,0 +1,223 @@
+module Bitset = Vis_util.Bitset
+module Schema = Vis_catalog.Schema
+module Problem = Vis_core.Problem
+
+type itemset = { items : (int * string) list; support : int }
+
+type stats = {
+  mn_queries : int;
+  mn_threshold : int;
+  mn_universe : int;
+  mn_frequent_attrs : int;
+  mn_itemsets : int;
+  mn_views : int;
+}
+
+type result = {
+  m_candidates : Problem.candidates;
+  m_itemsets : itemset list;
+  m_stats : stats;
+}
+
+let compare_attr (r1, n1) (r2, n2) =
+  match Int.compare r1 r2 with 0 -> String.compare n1 n2 | c -> c
+
+let compare_items = List.compare compare_attr
+
+(* Supporting views may be any sub-join of a frequently co-accessed
+   relation group; expanding a group into its full subset lattice is the
+   paper's DAG restricted to that group.  Groups are small (a star-join
+   template touches at most four relations), but guard against a
+   pathological log where one observed group covers most of the schema. *)
+let subset_cap = 6
+
+let views_of_rel_set all s =
+  let proper w = Bitset.proper_subset w all in
+  if Bitset.cardinal s <= subset_cap then
+    List.filter proper (Bitset.nonempty_subsets s)
+  else
+    List.filter proper
+      (s :: List.map Bitset.singleton (Bitset.elements s))
+
+let sort_views views =
+  List.sort_uniq
+    (fun a b ->
+      match Int.compare (Bitset.cardinal a) (Bitset.cardinal b) with
+      | 0 -> Bitset.compare a b
+      | c -> c)
+    views
+
+(* Exhaustive fallback: a candidate set covering the complete structural
+   enumeration, so [Problem.make ~candidates] is bit-identical to the
+   unrestricted problem.  Used when the support threshold is zero (minsup
+   0, or an empty log). *)
+let full_coverage schema =
+  let all = Schema.all_relations schema in
+  {
+    Problem.cand_views = Bitset.proper_nonempty_subsets all;
+    cand_attrs = Array.to_list (Querygen.attr_universe schema);
+  }
+
+let mine ?(minsup = 0.1) ?(affinity = 0.5) schema (log : Querygen.log) =
+  if minsup < 0. || minsup > 1. then
+    invalid_arg "Miner.mine: minsup must be in [0, 1]";
+  let n_queries = List.length log in
+  let threshold = int_of_float (Float.ceil (minsup *. float_of_int n_queries)) in
+  let universe = Querygen.attr_universe schema in
+  let stats ~frequent ~itemsets ~views =
+    {
+      mn_queries = n_queries;
+      mn_threshold = threshold;
+      mn_universe = Array.length universe;
+      mn_frequent_attrs = frequent;
+      mn_itemsets = itemsets;
+      mn_views = views;
+    }
+  in
+  if threshold = 0 then
+    let c = full_coverage schema in
+    {
+      m_candidates = c;
+      m_itemsets = [];
+      m_stats =
+        stats
+          ~frequent:(List.length c.Problem.cand_attrs)
+          ~itemsets:0
+          ~views:(List.length c.Problem.cand_views);
+    }
+  else begin
+    (* 1. Frequent single attributes.  Transactions are sets: an attribute
+       counts once per query however often the query references it. *)
+    let attr_support : (int * string, int) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun (q : Querygen.query) ->
+        List.iter
+          (fun a ->
+            Hashtbl.replace attr_support a
+              (1 + Option.value ~default:0 (Hashtbl.find_opt attr_support a)))
+          q.Querygen.q_attrs)
+      log;
+    let frequent a =
+      Option.value ~default:0 (Hashtbl.find_opt attr_support a) >= threshold
+    in
+    let cand_attrs = List.filter frequent (Array.to_list universe) in
+    (* 2. Closed frequent itemsets.  Project every transaction onto the
+       frequent attributes; for each distinct projection P, support(P) is
+       the number of transactions whose projection contains P, and its
+       closure is the intersection of all such projections.  Closures of
+       observed transactions are exactly the closed itemsets reachable
+       from the log, and distinct-projection counts keep this quadratic in
+       the (small) number of distinct access shapes, not in the log. *)
+    let projections : ((int * string) list, int) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun (q : Querygen.query) ->
+        let p =
+          List.sort_uniq compare_attr (List.filter frequent q.Querygen.q_attrs)
+        in
+        if p <> [] then
+          Hashtbl.replace projections p
+            (1 + Option.value ~default:0 (Hashtbl.find_opt projections p)))
+      log;
+    let distinct =
+      Hashtbl.fold (fun p c acc -> (p, c) :: acc) projections []
+      |> List.sort (fun (p1, _) (p2, _) -> compare_items p1 p2)
+    in
+    let contains sup sub = List.for_all (fun a -> List.mem a sup) sub in
+    let inter a b = List.filter (fun x -> List.mem x b) a in
+    let itemsets =
+      List.filter_map
+        (fun (p, _) ->
+          let supers = List.filter (fun (q, _) -> contains q p) distinct in
+          let support = List.fold_left (fun acc (_, c) -> acc + c) 0 supers in
+          if support < threshold then None
+          else
+            let closure =
+              List.fold_left (fun acc (q, _) -> inter acc q) p supers
+            in
+            Some { items = closure; support })
+        distinct
+      |> List.sort_uniq (fun a b ->
+             match compare_items a.items b.items with
+             | 0 -> Int.compare a.support b.support
+             | c -> c)
+      |> List.sort (fun a b ->
+             match Int.compare b.support a.support with
+             | 0 -> compare_items a.items b.items
+             | c -> c)
+    in
+    (* 3. Candidate views: frequent relation groups.  A query supports
+       every relation set it covers, so group support is counted by
+       containment over the distinct observed rel-sets.  Groups come from
+       two sources: the relations a closed itemset touches (0707.1548's
+       itemset → view mapping) and the observed per-query rel-sets
+       themselves. *)
+    let rel_sets : (int, int) Hashtbl.t = Hashtbl.create 32 in
+    List.iter
+      (fun (q : Querygen.query) ->
+        if not (Bitset.is_empty q.Querygen.q_rels) then
+          let key = Bitset.to_int q.Querygen.q_rels in
+          Hashtbl.replace rel_sets key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt rel_sets key)))
+      log;
+    let observed =
+      Hashtbl.fold (fun k c acc -> (Bitset.of_int k, c) :: acc) rel_sets []
+      |> List.sort (fun (a, _) (b, _) -> Bitset.compare a b)
+    in
+    let group_support s =
+      List.fold_left
+        (fun acc (o, c) -> if Bitset.subset s o then acc + c else acc)
+        0 observed
+    in
+    let from_itemsets =
+      List.map
+        (fun is -> Bitset.of_list (List.map fst is.items))
+        itemsets
+    in
+    let from_queries =
+      List.filter_map
+        (fun (s, _) -> if group_support s >= threshold then Some s else None)
+        observed
+    in
+    let groups = sort_views (from_itemsets @ from_queries) in
+    (* 4. Clause-affinity merging: two frequent groups whose union is
+       nearly as frequent as the rarer of the two describe one composite
+       clause — merge them so the sub-join covering both becomes a
+       candidate. *)
+    let merged =
+      let rec pairs acc = function
+        | [] -> acc
+        | s :: rest ->
+            let acc =
+              List.fold_left
+                (fun acc s' ->
+                  let u = Bitset.union s s' in
+                  if Bitset.equal u s || Bitset.equal u s' then acc
+                  else
+                    let m = Int.min (group_support s) (group_support s') in
+                    if
+                      m > 0
+                      && float_of_int (group_support u) /. float_of_int m
+                         >= affinity
+                    then u :: acc
+                    else acc)
+                acc rest
+            in
+            pairs acc rest
+      in
+      pairs [] groups
+    in
+    let all = Schema.all_relations schema in
+    let cand_views =
+      sort_views
+        (List.concat_map (views_of_rel_set all) (groups @ merged))
+    in
+    {
+      m_candidates = { Problem.cand_views; cand_attrs };
+      m_itemsets = itemsets;
+      m_stats =
+        stats
+          ~frequent:(List.length cand_attrs)
+          ~itemsets:(List.length itemsets)
+          ~views:(List.length cand_views);
+    }
+  end

@@ -1,0 +1,59 @@
+(** Frequent-access-pattern mining over a query log, after Aouiche &
+    Darmont (arXiv 0707.1548): the candidate features fed to the optimizer
+    are made proportional to the {e workload} instead of the schema.
+
+    Each query contributes one transaction — the set of [(relation,
+    attribute)] pairs it accesses — plus the set of relations it touches.
+    Mining proceeds in four steps:
+
+    + {b frequent attributes}: attributes appearing in at least
+      [minsup × |log|] transactions become the allowed query-driven index
+      attributes;
+    + {b closed frequent itemsets}: transactions are projected onto the
+      frequent attributes; the closure (intersection of all containing
+      transactions) of each distinct projection with sufficient support is
+      reported — the compact lattice of co-access patterns;
+    + {b candidate views}: relation groups supported by enough queries
+      (counted by containment), seeded from both the itemsets' touched
+      relations and the observed per-query relation sets, are expanded
+      into their sub-join lattices;
+    + {b clause-affinity merging}: two frequent groups whose union retains
+      at least [affinity] of the rarer group's support are merged, so one
+      composite sub-join can serve both clauses.
+
+    At [minsup = 0] (or an empty log) the miner falls back to full
+    coverage: the returned candidates span the complete structural
+    enumeration and {!Vis_core.Problem.make}[ ~candidates] is bit-identical
+    to the unrestricted problem. *)
+
+type itemset = {
+  items : (int * string) list;  (** sorted by (relation, attribute) *)
+  support : int;  (** number of supporting transactions *)
+}
+
+type stats = {
+  mn_queries : int;
+  mn_threshold : int;  (** absolute support threshold, [ceil (minsup·N)] *)
+  mn_universe : int;  (** query-driven attributes in the schema *)
+  mn_frequent_attrs : int;
+  mn_itemsets : int;  (** closed frequent itemsets reported *)
+  mn_views : int;  (** candidate views after expansion and merging *)
+}
+
+type result = {
+  m_candidates : Vis_core.Problem.candidates;
+  m_itemsets : itemset list;
+      (** closed frequent itemsets, most supported first; empty in the
+          full-coverage fallback *)
+  m_stats : stats;
+}
+
+(** [mine schema log] mines candidates at [minsup] (default 0.1, must be
+    in [0, 1]) and clause-affinity threshold [affinity] (default 0.5).
+    Deterministic: the result is a pure function of the arguments. *)
+val mine :
+  ?minsup:float ->
+  ?affinity:float ->
+  Vis_catalog.Schema.t ->
+  Querygen.log ->
+  result

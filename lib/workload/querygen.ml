@@ -1,0 +1,186 @@
+module Bitset = Vis_util.Bitset
+module Schema = Vis_catalog.Schema
+
+type template = Point | Range | Star_join | Aggregate
+
+let template_name = function
+  | Point -> "point"
+  | Range -> "range"
+  | Star_join -> "star_join"
+  | Aggregate -> "aggregate"
+
+type query = {
+  q_tick : int;
+  q_template : template;
+  q_rels : Bitset.t;
+  q_attrs : (int * string) list;
+}
+
+type log = query list
+
+(* The query-driven attribute universe, in deterministic schema order:
+   per relation, join attributes then local-selection attributes.  These
+   are exactly the attributes the candidate-index enumeration draws on
+   (FST88 / Section 3.1 minus the maintenance-driven keys), so a query
+   only ever "accesses" attributes the optimizer could index. *)
+let attr_universe schema =
+  let n = Schema.n_relations schema in
+  let seen : (int * string, unit) Hashtbl.t = Hashtbl.create 32 in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun name ->
+        if not (Hashtbl.mem seen (i, name)) then begin
+          Hashtbl.add seen (i, name) ();
+          acc := (i, name) :: !acc
+        end)
+      (Schema.join_attrs schema i @ Schema.selection_attrs schema i)
+  done;
+  Array.of_list (List.rev !acc)
+
+(* Weighted draw over [weights]; total is strictly positive because every
+   zipf weight is. *)
+let weighted_pick rng weights =
+  let total = Array.fold_left ( +. ) 0. weights in
+  let x = Random.State.float rng total in
+  let n = Array.length weights in
+  let rec go i acc =
+    if i >= n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if x < acc then i else go (i + 1) acc
+  in
+  go 0 0.
+
+let dedup_attrs attrs =
+  let seen : (int * string, unit) Hashtbl.t = Hashtbl.create 8 in
+  List.filter
+    (fun a ->
+      if Hashtbl.mem seen a then false
+      else begin
+        Hashtbl.add seen a ();
+        true
+      end)
+    attrs
+
+let generate ?(n = 512) ?(zipf = 1.2) ?(drift = Stream.Constant) ~seed schema =
+  if n < 0 then invalid_arg "Querygen.generate: n must be >= 0";
+  let universe = attr_universe schema in
+  let n_attrs = Array.length universe in
+  if n_attrs = 0 then []
+  else begin
+    let rng = Random.State.make [| seed; 0x9e7109 |] in
+    let joins = Array.of_list schema.Schema.joins in
+    let n_joins = Array.length joins in
+    (* Rank of each attribute in the popularity order = its universe
+       position; drift flattens (factor > 1) or sharpens (factor < 1) the
+       zipf skew over time, shifting which attribute sets are frequent. *)
+    let weights_at tick =
+      let f = Float.max 0.05 (Stream.drift_factor drift ~tick) in
+      let s = zipf /. f in
+      Array.init n_attrs (fun rank -> Stream.zipf_weight ~s ~rank)
+    in
+    (* A join's popularity is its more-popular endpoint attribute's. *)
+    let attr_rank : (int * string, int) Hashtbl.t = Hashtbl.create n_attrs in
+    Array.iteri (fun rank a -> Hashtbl.replace attr_rank a rank) universe;
+    let join_weight weights (j : Schema.join) =
+      let w_of rel name =
+        match Hashtbl.find_opt attr_rank (rel, name) with
+        | Some rank -> weights.(rank)
+        | None -> 0.
+      in
+      Float.max
+        (w_of j.Schema.left_rel j.Schema.left_attr)
+        (w_of j.Schema.right_rel j.Schema.right_attr)
+    in
+    let pick_attr weights = universe.(weighted_pick rng weights) in
+    (* Weighted pick restricted to attributes satisfying [p]; None when no
+       attribute does. *)
+    let pick_attr_where weights p =
+      let masked =
+        Array.mapi (fun i w -> if p universe.(i) then w else 0.) weights
+      in
+      if Array.for_all (fun w -> w = 0.) masked then None
+      else Some universe.(weighted_pick rng masked)
+    in
+    let sel_attrs : (int * string, unit) Hashtbl.t = Hashtbl.create 16 in
+    for i = 0 to Schema.n_relations schema - 1 do
+      List.iter
+        (fun name -> Hashtbl.replace sel_attrs (i, name) ())
+        (Schema.selection_attrs schema i)
+    done;
+    let is_sel a = Hashtbl.mem sel_attrs a in
+    let ticks = 64 in
+    let query i =
+      let tick = if n <= 1 then 0 else i * ticks / n in
+      let weights = weights_at tick in
+      let u = Random.State.float rng 1. in
+      let template =
+        if n_joins = 0 then (if u < 0.6 then Point else Range)
+        else if u < 0.25 then Point
+        else if u < 0.45 then Range
+        else if u < 0.8 then Star_join
+        else Aggregate
+      in
+      let single_rel_query t =
+        let (rel, name) =
+          match
+            if t = Range then pick_attr_where weights is_sel else None
+          with
+          | Some a -> a
+          | None -> pick_attr weights
+        in
+        {
+          q_tick = tick;
+          q_template = t;
+          q_rels = Bitset.singleton rel;
+          q_attrs = [ (rel, name) ];
+        }
+      in
+      match template with
+      | Point -> single_rel_query Point
+      | Range -> single_rel_query Range
+      | Star_join | Aggregate ->
+          let k = 1 + Random.State.int rng (Int.min 3 n_joins) in
+          let jw = Array.map (join_weight weights) joins in
+          let chosen : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+          for _ = 1 to k do
+            Hashtbl.replace chosen (weighted_pick rng jw) ()
+          done;
+          let rels, attrs =
+            Array.to_list joins
+            |> List.mapi (fun idx j -> (idx, j))
+            |> List.filter (fun (idx, _) -> Hashtbl.mem chosen idx)
+            |> List.fold_left
+                 (fun (rels, attrs) (_, (j : Schema.join)) ->
+                   ( Bitset.add j.Schema.left_rel
+                       (Bitset.add j.Schema.right_rel rels),
+                     (j.Schema.right_rel, j.Schema.right_attr)
+                     :: (j.Schema.left_rel, j.Schema.left_attr)
+                     :: attrs ))
+                 (Bitset.empty, [])
+          in
+          let involved a = Bitset.mem (fst a) rels in
+          let attrs =
+            (* A restriction (star-join) or grouping (aggregate) on one of
+               the joined relations, when the schema offers one. *)
+            let want_extra =
+              template = Aggregate || Random.State.float rng 1. < 0.5
+            in
+            if not want_extra then attrs
+            else
+              match
+                pick_attr_where weights (fun a -> is_sel a && involved a)
+              with
+              | Some a -> a :: attrs
+              | None -> attrs
+          in
+          {
+            q_tick = tick;
+            q_template = template;
+            q_rels = rels;
+            q_attrs = dedup_attrs (List.rev attrs);
+          }
+    in
+    List.init n query
+  end

@@ -1,0 +1,49 @@
+(** Seeded synthetic query-log generation.
+
+    A warehouse's workload is modelled as a stream of queries drawn from
+    four templates — point lookups, range restrictions, star joins, and
+    grouped aggregates — over a {!Vis_catalog.Schema.t}.  Attribute
+    popularity is zipf-weighted over the schema's query-driven attributes
+    (join and local-selection predicates, the same universe the
+    candidate-index enumeration draws on), and a {!Stream.drift} profile
+    evolves the skew over the log's 64 logical ticks: a drift factor above
+    1 flattens the zipf exponent (the workload spreads onto the tail), one
+    below 1 sharpens it.
+
+    Generation is a pure function of [(seed, n, zipf, drift, schema)] —
+    the same determinism contract as {!Stream.arrivals} — so mined
+    candidate sets, and therefore the whole optimizer pipeline, replay
+    bit-identically. *)
+
+type template = Point | Range | Star_join | Aggregate
+
+val template_name : template -> string
+
+type query = {
+  q_tick : int;  (** logical tick in [0, 64) the query arrived at *)
+  q_template : template;
+  q_rels : Vis_util.Bitset.t;  (** base relations the query touches *)
+  q_attrs : (int * string) list;
+      (** accessed [(relation, attribute)] pairs — join, restriction and
+          grouping attributes, deduplicated, in access order *)
+}
+
+type log = query list
+
+(** [generate ~seed schema] draws [n] queries (default 512).  [zipf]
+    (default 1.2) is the popularity skew [s]; 0 makes every attribute
+    equally likely.  [drift] (default [Constant]) evolves the skew over
+    the log.  The empty list is returned when the schema has no join or
+    selection attributes (nothing to access, nothing to mine). *)
+val generate :
+  ?n:int ->
+  ?zipf:float ->
+  ?drift:Stream.drift ->
+  seed:int ->
+  Vis_catalog.Schema.t ->
+  log
+
+(** The query-driven attribute universe of a schema, in the deterministic
+    rank order the generator uses (per relation: join attributes then
+    selection attributes). *)
+val attr_universe : Vis_catalog.Schema.t -> (int * string) array

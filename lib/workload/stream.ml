@@ -1,0 +1,34 @@
+type drift =
+  | Constant
+  | Step of { at : int; factor : float }
+  | Ramp of { from_tick : int; over : int; factor : float }
+
+let drift_factor d ~tick =
+  match d with
+  | Constant -> 1.
+  | Step { at; factor } -> if tick >= at then Float.max 0. factor else 1.
+  | Ramp { from_tick; over; factor } ->
+      if tick <= from_tick then 1.
+      else if over <= 0 || tick >= from_tick + over then Float.max 0. factor
+      else
+        let frac = float_of_int (tick - from_tick) /. float_of_int over in
+        Float.max 0. (1. +. ((factor -. 1.) *. frac))
+
+let zipf_weight ~s ~rank = 1. /. (float_of_int (rank + 1) ** s)
+
+(* Knuth's product-of-uniforms Poisson sampler: exact for the small means a
+   service tick sees (the clamp keeps [exp (-mean)] well away from
+   underflow).  The RNG is keyed by every argument, so the draw is a pure
+   function — two runs at different pool widths see identical arrivals. *)
+let arrivals ~seed ~tenant ~tick ~mean =
+  let mean = Float.min 50. (Float.max 0. mean) in
+  if mean = 0. then 0
+  else begin
+    let rng = Random.State.make [| seed; tenant; tick; 0x5ca1ab1e |] in
+    let limit = Float.exp (-.mean) in
+    let rec draw k p =
+      let p = p *. Random.State.float rng 1. in
+      if p <= limit then k else draw (k + 1) p
+    in
+    draw 0 1.
+  end

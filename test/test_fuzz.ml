@@ -143,6 +143,16 @@ let test_resolve_diagnostics () =
       Alcotest.(check string)
         "the daemon oracle is registered" "service-replay" o.Oracles.o_name
   | Error msg -> Alcotest.fail msg);
+  (match Oracles.resolve "mined-candidates" with
+  | Ok o ->
+      Alcotest.(check string)
+        "the mining oracle is registered" "mined-candidates" o.Oracles.o_name
+  | Error msg -> Alcotest.fail msg);
+  (match Oracles.resolve "mined-candidate" with
+  | Ok _ -> Alcotest.fail "resolve accepted a misspelled mining oracle"
+  | Error msg ->
+      checkb "the error quotes the unknown mining name" true
+        (contains ~needle:"mined-candidate" msg));
   match Oracles.resolve "service-reply" with
   | Ok _ -> Alcotest.fail "resolve accepted a misspelled oracle"
   | Error msg ->

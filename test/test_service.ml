@@ -232,6 +232,60 @@ let test_stream_determinism () =
   checkb "zipf weights decrease with rank" true
     (Stream.zipf_weight ~s:1. ~rank:0 > Stream.zipf_weight ~s:1. ~rank:3)
 
+let test_stream_edge_cases () =
+  let ramp = Stream.Ramp { from_tick = 2; over = 4; factor = 3. } in
+  checkf "ramp is flat at tick 0" 1. (Stream.drift_factor ramp ~tick:0);
+  checkf "ramp is still flat at its own start tick" 1.
+    (Stream.drift_factor ramp ~tick:2);
+  checkf "ramp reaches the factor exactly at the endpoint" 3.
+    (Stream.drift_factor ramp ~tick:6);
+  checkf "ramp holds the factor past the endpoint" 3.
+    (Stream.drift_factor ramp ~tick:60);
+  checkf "a degenerate ramp (over = 0) steps straight to the factor" 3.
+    (Stream.drift_factor
+       (Stream.Ramp { from_tick = 2; over = 0; factor = 3. })
+       ~tick:3);
+  checkf "a negative-length ramp behaves like the degenerate one" 3.
+    (Stream.drift_factor
+       (Stream.Ramp { from_tick = 2; over = -4; factor = 3. })
+       ~tick:3);
+  (* Volume factors are clamped at 0 — a negative factor cannot make the
+     stream emit negative arrivals, mid-ramp or saturated. *)
+  checkf "negative factor clamps to zero mid-ramp" 0.
+    (Stream.drift_factor
+       (Stream.Ramp { from_tick = 0; over = 2; factor = -9. })
+       ~tick:1);
+  checkf "negative factor clamps to zero once saturated" 0.
+    (Stream.drift_factor
+       (Stream.Ramp { from_tick = 2; over = 4; factor = -2. })
+       ~tick:100);
+  (* s = 0 is the uniform edge of the zipf family: every rank weighs 1, so
+     tenant rates degrade to equal shares with no renormalization. *)
+  checkf "zipf s=0 flattens rank 0 to weight 1" 1.
+    (Stream.zipf_weight ~s:0. ~rank:0);
+  checkf "zipf s=0 flattens rank 7 to weight 1" 1.
+    (Stream.zipf_weight ~s:0. ~rank:7)
+
+let test_monitor_empty_ticks () =
+  (* Empty-arrival ticks feed the monitor literal 0-row observations: the
+     EWMA decays toward zero, the low band edge triggers, and a rebase
+     onto the collapsed rate calms it again — the same rebase the service
+     performs after a swap. *)
+  let m = Monitor.create ~alpha:0.5 ~reference:100. in
+  Monitor.observe m 100.;
+  Monitor.observe m 0.;
+  checkf "one empty tick halves the ewma" 50. (Monitor.ewma m);
+  checkb "a single empty tick already reads as drift at band 1.5" true
+    (Monitor.drifted m ~band:1.5);
+  Monitor.observe m 0.;
+  Monitor.observe m 0.;
+  checkb "sustained empty ticks keep the ewma collapsing" true
+    (Monitor.ewma m < 15.);
+  Monitor.rebase m ~reference:(Monitor.ewma m);
+  checkf "rebase onto the collapsed rate resets the ratio" 1.
+    (Monitor.ratio m);
+  checkb "the rebased monitor is calm" false (Monitor.drifted m ~band:1.5)
+
 let test_datagen_apply_and_evolving () =
   let rng = Random.State.make [| 11 |] in
   let ds = Datagen.generate ~rng schema in
@@ -323,6 +377,51 @@ let test_swap_happens_and_preserves_content () =
             (Service.tenant_ids a);
           checkb "swapped design differs from the seed design" false
             (Config.equal (Service.incumbent a 0) (Lazy.force design))))
+
+let test_rebase_after_swap () =
+  (* The swap rebases the monitor onto the rate the new design was
+     optimized for, so a tenant that swapped under a sustained 4x step
+     must end with its optimized-for factor tracking the drift and its
+     EWMA ratio pulled back toward 1 — far below the raw 4x the
+     un-rebased reference would report. *)
+  with_scenario (fun svc ->
+      let s = Service.stats svc 0 in
+      checkb "drifted tenant swapped" true (s.Service.ts_swaps >= 1);
+      checkb "swap recorded the drifted optimized-for factor" true
+        (s.Service.ts_opt_factor > 1.5);
+      checkb "rebased ratio is far below the raw drift factor" true
+        (s.Service.ts_ewma_ratio < 2.))
+
+let test_mined_reoptimization () =
+  (* The workload-driven rung of the ladder: with [sv_minsup] set the
+     drifted tenant still re-optimizes over the mined candidate space, the
+     whole end state stays bit-identical across pool widths, and the core
+     contents match the exhaustive run — mining restricts the search
+     space, never the data. *)
+  let mined jobs =
+    {
+      base_config with
+      Service.sv_jobs = jobs;
+      sv_minsup = Some 0.1;
+      sv_log_queries = 128;
+    }
+  in
+  let exhaustive_cores =
+    with_scenario (fun svc ->
+        List.map (fun id -> Service.core_digest svc id)
+          (Service.tenant_ids svc))
+  in
+  let a = with_scenario ~config:(mined 1) end_state in
+  with_scenario ~config:(mined 4) (fun svc ->
+      checkb "mined end state bit-identical at jobs 1 vs 4" true
+        (end_state svc = a);
+      let s = Service.stats svc 0 in
+      checkb "drifted tenant re-optimized under mining" true
+        (s.Service.ts_reopts >= 1);
+      Alcotest.(check (list string))
+        "core contents identical to the exhaustive run" exhaustive_cores
+        (List.map (fun id -> Service.core_digest svc id)
+           (Service.tenant_ids svc)))
 
 let test_budget_bounded_degradation () =
   (* A starving optimizer budget with an impossible swap threshold: every
@@ -426,12 +525,14 @@ let () =
         [
           Alcotest.test_case "ewma" `Quick test_monitor_ewma;
           Alcotest.test_case "band thresholds" `Quick test_monitor_thresholds;
+          Alcotest.test_case "empty ticks" `Quick test_monitor_empty_ticks;
           Alcotest.test_case "service trigger" `Quick test_trigger_in_service;
         ] );
       ( "streams",
         [
           Alcotest.test_case "stream determinism" `Quick
             test_stream_determinism;
+          Alcotest.test_case "drift edge cases" `Quick test_stream_edge_cases;
           Alcotest.test_case "apply + evolving deltas" `Quick
             test_datagen_apply_and_evolving;
         ] );
@@ -440,6 +541,9 @@ let () =
           Alcotest.test_case "warm start" `Quick test_warm_start;
           Alcotest.test_case "swap preserves content" `Quick
             test_swap_happens_and_preserves_content;
+          Alcotest.test_case "rebase after swap" `Quick test_rebase_after_swap;
+          Alcotest.test_case "mined re-optimization" `Quick
+            test_mined_reoptimization;
           Alcotest.test_case "budget-bounded degradation" `Quick
             test_budget_bounded_degradation;
         ] );
