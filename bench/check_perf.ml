@@ -27,7 +27,13 @@
      star case — the states the workload-pruned search costs and its
      advantage over the identically-budgeted unpruned search; mined work
      more than 20% above baseline, or a reduction more than 20% below,
-     fails the build (the pruning stopped pruning).
+     fails the build (the pruning stopped pruning);
+   - the corruption study's [checksummed_refresh_io] and [scrub_io] (exact
+     page counts of the fault-free checksummed refresh and of one clean
+     scrub pass), its [read_overhead_frac] (a float ratio under the
+     baseline's float_tolerance), and detection completeness — the
+     measured run's [convicted] must equal its [injected], whatever the
+     baseline says.
 
    Integer counters use the fixed 20% tolerance.  Float metrics —
    today only [p99_batch_latency_ms], a simulated-clock figure that
@@ -138,6 +144,29 @@ let mined_by_case json =
               | _ -> None)
             rows
       | _ -> [])
+  | _ -> []
+
+(* The corruption study's guard set: the fault-free checksummed refresh
+   I/O and the clean-scrub I/O (both exact page counts, higher is worse),
+   the fault-free read-overhead fraction (a float ratio, gated by the
+   baseline's float_tolerance), and detection completeness — convicted
+   must equal injected within the measured run itself. *)
+let corruption_figures json =
+  match Json.member "corruption" json with
+  | Json.Obj _ as obj ->
+      List.filter_map
+        (fun key ->
+          match Json.member key obj with
+          | Json.Int _ | Json.Float _ ->
+              Some (key, Json.to_float (Json.member key obj))
+          | _ -> None)
+        [
+          "checksummed_refresh_io";
+          "scrub_io";
+          "read_overhead_frac";
+          "injected";
+          "convicted";
+        ]
   | _ -> []
 
 let service_figures json =
@@ -302,6 +331,49 @@ let () =
             Printf.printf "ok   %-34s reduction_factor %.2fx (baseline %.2fx)\n"
               name got_red base_red)
     baseline_mined;
+  let measured_corruption = corruption_figures measured_json in
+  let baseline_corruption = corruption_figures baseline_json in
+  if baseline_corruption = [] then begin
+    prerr_endline "check_perf: baseline has no corruption figures";
+    exit 2
+  end;
+  List.iter
+    (fun (key, base) ->
+      (* injected/convicted are compared against each other below, not
+         against the baseline — the damage plan size is a choice, the
+         detection of all of it is the invariant. *)
+      if key <> "injected" && key <> "convicted" then begin
+        let name = Printf.sprintf "corruption %s" key in
+        let tol = if key = "read_overhead_frac" then ftol else tolerance in
+        match List.assoc_opt key measured_corruption with
+        | None ->
+            Printf.eprintf "FAIL %-34s missing from measured run\n" name;
+            incr failures
+        | Some got ->
+            let limit = tol *. base in
+            if got > limit then begin
+              Printf.eprintf "FAIL %-34s %.3f > %.3f (baseline %.3f +%.0f%%)\n"
+                name got limit base ((tol -. 1.) *. 100.);
+              incr failures
+            end
+            else Printf.printf "ok   %-34s %.3f (baseline %.3f)\n" name got base
+      end)
+    baseline_corruption;
+  (match
+     ( List.assoc_opt "injected" measured_corruption,
+       List.assoc_opt "convicted" measured_corruption )
+   with
+  | Some inj, Some conv when inj > 0. && conv = inj ->
+      Printf.printf "ok   %-34s convicted %.0f of %.0f injected\n"
+        "corruption detection" conv inj
+  | Some inj, Some conv ->
+      Printf.eprintf
+        "FAIL %-34s convicted %.0f of %.0f injected (must detect all)\n"
+        "corruption detection" conv inj;
+      incr failures
+  | _ ->
+      prerr_endline "FAIL corruption detection: injected/convicted missing";
+      incr failures);
   if !failures > 0 then begin
     Printf.eprintf
       "check_perf: %d number(s) regressed; if intentional, refresh \
@@ -311,4 +383,5 @@ let () =
   end;
   print_endline
     "check_perf: incremental-costing work, parallel scaling, group-commit \
-     syncs, service figures and mined-candidate pruning within baseline"
+     syncs, service figures, mined-candidate pruning and corruption \
+     detection within baseline"

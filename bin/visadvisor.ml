@@ -291,8 +291,16 @@ let print_certificate = function
         "certificate: best found (optimum is >= %.1f, gap <= %.1f%%)\n"
         lower_bound (100. *. gap)
 
+(* Fail fast on nonsense worker counts instead of handing them to the
+   domain pool downstream. *)
+let check_jobs jobs =
+  match jobs with
+  | Some j when j < 1 -> die "--jobs must be >= 1 (got %d)" j
+  | _ -> ()
+
 let run_optimize file builtin stats trace json jobs cap_views connected_only
     compression budget beam shard mine minsup log_queries log_seed log_zipf =
+  check_jobs jobs;
   let schema = load_schema file builtin in
   let mine = mine || minsup <> None || log_queries <> None in
   let make ?candidates () =
@@ -404,6 +412,7 @@ let optimize_cmd =
 
 let exhaustive_cmd =
   let run file builtin stats trace json jobs =
+    check_jobs jobs;
     let schema = load_schema file builtin in
     let p = Problem.make schema in
     let r = Vis_core.Exhaustive.search ?jobs p in
@@ -429,6 +438,7 @@ let exhaustive_cmd =
 
 let greedy_cmd =
   let run file builtin stats trace json jobs =
+    check_jobs jobs;
     let schema = load_schema file builtin in
     let p = Problem.make schema in
     let r = Vis_core.Greedy.search ?jobs p in
@@ -560,7 +570,9 @@ let sensitivity_cmd =
     Term.(const run $ const ())
 
 let validate_cmd =
-  let run seed faults fault_seed stats json =
+  let run seed faults fault_seed scrub damage stats json =
+    if faults < 0 then die "--faults must be >= 0 (got %d)" faults;
+    if damage < 1 then die "--damage must be >= 1 (got %d)" damage;
     let schema = Vis_workload.Schemas.validation () in
     let p = Problem.make schema in
     let r = Vis_core.Astar.search p in
@@ -687,6 +699,37 @@ let validate_cmd =
           stats.Refresh.fs_wal_records stats.Refresh.fs_wal_pages verdict
       done
     end;
+    if scrub then begin
+      let module W = Vis_maintenance.Warehouse in
+      let c = Vis_maintenance.Validate.scrub_cycle ~seed ~damage schema best in
+      let r = c.Vis_maintenance.Validate.sk_report in
+      let detected_all = r.W.sc_corrupt = c.Vis_maintenance.Validate.sk_injected in
+      Printf.printf
+        "scrub: injected %d, scanned %d, convicted %d, views rebuilt %d, \
+         indexes rebuilt %d, unrecoverable %d — %s\n"
+        c.Vis_maintenance.Validate.sk_injected r.W.sc_scanned r.W.sc_corrupt
+        r.W.sc_views_rebuilt r.W.sc_indexes_rebuilt
+        (List.length r.W.sc_unrecoverable)
+        (if
+           detected_all
+           && c.Vis_maintenance.Validate.sk_views_ok
+           && c.Vis_maintenance.Validate.sk_integrity_ok
+         then "repaired, views exact"
+         else "SCRUB FAILURE");
+      if not detected_all then begin
+        ok := false;
+        Printf.printf "scrub: DETECTION MISS (%d of %d damaged pages)\n"
+          r.W.sc_corrupt c.Vis_maintenance.Validate.sk_injected
+      end;
+      if not c.Vis_maintenance.Validate.sk_views_ok then begin
+        ok := false;
+        print_endline "scrub: POST-REPAIR VIEW MISMATCH"
+      end;
+      if not c.Vis_maintenance.Validate.sk_integrity_ok then begin
+        ok := false;
+        print_endline "scrub: POST-REPAIR INTEGRITY FAILURE"
+      end
+    end;
     if not !ok then exit 1
   in
   let seed =
@@ -706,10 +749,27 @@ let validate_cmd =
       & info [ "fault-seed" ] ~docv:"S"
           ~doc:"Seed for the injected fault plans.")
   in
+  let scrub =
+    Arg.(
+      value & flag
+      & info [ "scrub" ]
+          ~doc:
+            "Additionally run the corruption-recovery cycle: build \
+             checksum-protected, inject seeded bit-flips/torn-writes into \
+             rebuildable pages, scrub, and re-verify every view and index.")
+  in
+  let damage =
+    Arg.(
+      value & opt int 3
+      & info [ "damage" ] ~docv:"N"
+          ~doc:"Pages to damage in the $(b,--scrub) cycle.")
+  in
   Cmd.v
     (Cmd.info "validate"
        ~doc:"Execute one refresh on the storage engine and check correctness")
-    Term.(const run $ seed $ faults $ fault_seed $ stats_arg $ json_arg)
+    Term.(
+      const run $ seed $ faults $ fault_seed $ scrub $ damage $ stats_arg
+      $ json_arg)
 
 let dag_cmd =
   let run file builtin =

@@ -232,6 +232,10 @@ let fuzz seed trials budget oracles stats json out max_states io_band
     exec_tuples jobs faults fault_seed no_shrink max_failures list replay_file
     =
   if list then (list_oracles (); exit 0);
+  if trials < 1 then die "--trials must be >= 1 (got %d)" trials;
+  if jobs < 1 then die "--jobs must be >= 1 (got %d)" jobs;
+  if faults < 0 then die "--faults must be >= 0 (got %d)" faults;
+  if max_failures < 1 then die "--max-failures must be >= 1 (got %d)" max_failures;
   let config =
     {
       Runner.cf_seed = seed;

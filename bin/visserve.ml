@@ -115,6 +115,14 @@ let log_queries_arg =
   let doc = "Queries per mined tenant history (with $(b,--minsup))." in
   Arg.(value & opt int 256 & info [ "log-queries" ] ~docv:"N" ~doc)
 
+let scrub_every_arg =
+  let doc =
+    "Build every tenant checksum-protected and run a scrub (detect, \
+     quarantine, rebuild) pass over each tenant every $(docv) ticks.  \
+     0 disables checksums and scrubbing."
+  in
+  Arg.(value & opt int 0 & info [ "scrub-every" ] ~docv:"N" ~doc)
+
 let stats_arg =
   let doc = "Print the per-tenant counter table." in
   Arg.(value & flag & info [ "stats" ] ~doc)
@@ -145,6 +153,10 @@ let tenant_json (s : Service.tenant_stats) signature =
       ("reopts", Json.Int s.Service.ts_reopts);
       ("bounded", Json.Int s.Service.ts_bounded);
       ("swaps", Json.Int s.Service.ts_swaps);
+      ("scrubs", Json.Int s.Service.ts_scrubs);
+      ("scrub_corrupt", Json.Int s.Service.ts_scrub_corrupt);
+      ("scrub_rebuilt", Json.Int s.Service.ts_scrub_rebuilt);
+      ("unrecoverable", Json.Int s.Service.ts_unrecoverable);
       ("opt_factor", Json.Float s.Service.ts_opt_factor);
       ("ewma_ratio", Json.Float s.Service.ts_ewma_ratio);
       ( "p99_latency_ms",
@@ -154,11 +166,12 @@ let tenant_json (s : Service.tenant_stats) signature =
 
 let serve tenants ticks seed jobs rate zipf base_card drift_tenant
     drift_factor drift_at fault_tenant fault_nth budget band gate warmup
-    minsup mine log_queries stats json =
+    minsup mine log_queries scrub_every stats json =
   if tenants < 1 then die "--tenants must be >= 1";
-  if ticks < 0 then die "--ticks must be >= 0";
+  if ticks < 1 then die "--ticks must be >= 1";
   if jobs < 1 then die "--jobs must be >= 1";
   if band <= 1. then die "--band must be > 1";
+  if scrub_every < 0 then die "--scrub-every must be >= 0";
   let minsup =
     match minsup with
     | Some s when s < 0. || s > 1. -> die "--minsup must be in [0,1]"
@@ -178,6 +191,7 @@ let serve tenants ticks seed jobs rate zipf base_card drift_tenant
       sv_warmup = warmup;
       sv_minsup = minsup;
       sv_log_queries = log_queries;
+      sv_scrub_every = scrub_every;
     }
   in
   let svc = Service.create ~config () in
@@ -241,6 +255,9 @@ let serve tenants ticks seed jobs rate zipf base_card drift_tenant
               ("failed", Json.Int totals.Service.tt_failed);
               ("reopts", Json.Int totals.Service.tt_reopts);
               ("swaps", Json.Int totals.Service.tt_swaps);
+              ("scrubs", Json.Int totals.Service.tt_scrubs);
+              ("scrub_corrupt", Json.Int totals.Service.tt_scrub_corrupt);
+              ("scrub_rebuilt", Json.Int totals.Service.tt_scrub_rebuilt);
               ( "mean_latency_ms",
                 Json.Float totals.Service.tt_mean_latency_ms );
               ("p99_latency_ms", Json.Float totals.Service.tt_p99_latency_ms);
@@ -260,6 +277,11 @@ let serve tenants ticks seed jobs rate zipf base_card drift_tenant
     Printf.printf "  re-optimizations %d, swaps %d, failed streams %d\n"
       totals.Service.tt_reopts totals.Service.tt_swaps
       totals.Service.tt_failed;
+    if scrub_every > 0 then
+      Printf.printf
+        "  scrub passes %d, pages convicted %d, structures rebuilt %d\n"
+        totals.Service.tt_scrubs totals.Service.tt_scrub_corrupt
+        totals.Service.tt_scrub_rebuilt;
     if stats then begin
       let t =
         Vis_util.Tableprint.create
@@ -314,6 +336,6 @@ let cmd =
       $ zipf_arg $ base_card_arg $ drift_tenant_arg $ drift_factor_arg
       $ drift_at_arg $ fault_tenant_arg $ fault_nth_arg $ budget_arg
       $ band_arg $ gate_arg $ warmup_arg $ minsup_arg $ mine_arg
-      $ log_queries_arg $ stats_arg $ json_arg)
+      $ log_queries_arg $ scrub_every_arg $ stats_arg $ json_arg)
 
 let () = exit (Cmd.eval cmd)

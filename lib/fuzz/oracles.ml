@@ -20,6 +20,12 @@ module Validate = Vis_maintenance.Validate
 module Refresh = Vis_maintenance.Refresh
 module Warehouse = Vis_maintenance.Warehouse
 module Faults = Vis_storage.Faults
+module Buffer_pool = Vis_storage.Buffer_pool
+module Heap_file = Vis_storage.Heap_file
+module Btree = Vis_storage.Btree
+module Wal = Vis_storage.Wal
+module Scrub = Vis_storage.Scrub
+module Table = Vis_relalg.Table
 module Service = Vis_service.Service
 module Stream = Vis_service.Stream
 
@@ -972,6 +978,277 @@ let check_service_replay cx schema =
               else Pass)
 
 (* ------------------------------------------------------------------ *)
+(* Silent corruption and self-healing (checksums + scrub + WAL CRCs):
+   build the warehouse checksum-protected, refresh it fault-free, inject
+   seeded bit-flips and torn writes into protected pages, and require
+
+   - {e detection}: a scrub sweep convicts exactly the damaged pages —
+     every one of them (100% detection) and nothing else (no false
+     positives on clean pages);
+   - {e classification}: damaged base-relation heap pages — which have no
+     redundant source — are reported unrecoverable, never "repaired";
+   - {e repair}: with only rebuildable damage (view heaps, index nodes),
+     the post-scrub warehouse is logically identical to the fault-free
+     run, passes the integrity check, and is {e bit-identical} to a
+     fault-free reference performing the same canonical rebuilds;
+   - {e replay}: the whole damage→scrub→rebuild episode is a pure
+     function of (seed, trial) — running it twice gives bit-identical
+     signatures and reports, which is what makes corruption schedules
+     reproducible at any --jobs.
+
+   A separate WAL leg exercises the record-CRC envelope on a live batch:
+   a torn tail must be truncated (recovery proceeds and restores the
+   pre-batch state), while mid-log corruption must raise the typed
+   [Wal.Corrupt_record] naming the first bad record. *)
+
+let check_corruption_recovery cx schema =
+  match executable_blockers cx schema with
+  | Some reason -> Skip reason
+  | None -> (
+      let p = Problem.make schema in
+      let config = (Greedy.search p).Greedy.best in
+      let data_seed = Random.State.int cx.cx_rng 1_000_000 in
+      let world () =
+        let rng = Random.State.make [| data_seed |] in
+        let ds = Datagen.generate ~rng schema in
+        let w = Warehouse.build ~checksums:true schema config ds in
+        let batch = Datagen.deltas ~rng schema ds in
+        (w, batch)
+      in
+      match world () with
+      | exception Datagen.Unsupported msg -> skip "datagen: %s" msg
+      | w_ref0, batch_ref0 ->
+          ignore (Refresh.run w_ref0 batch_ref0);
+          let logical_ref = Warehouse.logical_signature w_ref0 in
+          let heap_gids tbl =
+            let h = Table.heap tbl in
+            List.init (Heap_file.n_pages h) (Heap_file.page_gid h)
+          in
+          (* Ownership map of one world's damaged gids, expressed in
+             durable-table positions (bases first, then views — the WAL's
+             own table ids).  Worlds are pure in [data_seed], so a
+             classification computed on the damaged warehouse applies
+             verbatim to the reference world. *)
+          let classify w gid =
+            let tables = Warehouse.durable_tables w in
+            let n_bases = Array.length w.Warehouse.w_bases in
+            let in_heap tbl = List.mem gid (heap_gids tbl) in
+            let in_index tbl =
+              List.find_opt
+                (fun (_, ix) -> List.mem gid (Btree.page_gids ix))
+                (Table.indexes tbl)
+            in
+            let rec walk ti =
+              if ti >= Array.length tables then `Unowned
+              else if in_heap tables.(ti) then
+                if ti < n_bases then `Base else `View ti
+              else
+                match in_index tables.(ti) with
+                | Some (off, _) -> `Index (ti, off)
+                | None -> walk (ti + 1)
+            in
+            walk 0
+          in
+          (* The Bitset key of the view stored at durable-table position
+             [ti] — what [Warehouse.rebuild_view] takes. *)
+          let view_set w ti =
+            let n_bases = Array.length w.Warehouse.w_bases in
+            fst (List.nth w.Warehouse.w_views (ti - n_bases))
+          in
+          (* One full damage→scrub→rebuild episode, pure in [seeds]. *)
+          let episode seeds =
+            let w, batch = world () in
+            ignore (Refresh.run w batch);
+            Buffer_pool.flush w.Warehouse.w_pool;
+            let targets =
+              Array.of_list (Buffer_pool.protected_gids w.Warehouse.w_pool)
+            in
+            let hits =
+              Faults.random_damage ~n:3 ~rng:(Random.State.make seeds)
+                ~targets:(Array.length targets) ()
+            in
+            let damaged =
+              List.sort_uniq compare
+                (List.map (fun (_, pick, _) -> targets.(pick)) hits)
+            in
+            List.iter
+              (fun (way, pick, sel) ->
+                Buffer_pool.corrupt_page w.Warehouse.w_pool targets.(pick) way
+                  sel)
+              hits;
+            (* Classify before the scrub: repair swaps rebuilt tables in,
+               orphaning the damaged pages' gids. *)
+            let kinds = List.map (fun g -> (g, classify w g)) damaged in
+            let sweep = Scrub.sweep w.Warehouse.w_pool in
+            let report = Warehouse.scrub ~fail_unrecoverable:false w in
+            (w, damaged, kinds, sweep.Scrub.sr_corrupt, report)
+          in
+          let one round =
+            let seeds =
+              [| Random.State.bits cx.cx_rng; cx.cx_fault_seed; round; 13 |]
+            in
+            let w, damaged, kinds, convicted, report = episode seeds in
+            let w2, _, _, convicted2, report2 = episode seeds in
+            if convicted <> damaged then
+              fail
+                "round %d: scrub convicted pages [%s], damaged were [%s]"
+                round
+                (String.concat ";" (List.map string_of_int convicted))
+                (String.concat ";" (List.map string_of_int damaged))
+            else if
+              convicted2 <> convicted || report2 <> report
+              || Warehouse.signature w2 <> Warehouse.signature w
+            then
+              fail
+                "round %d: the damage/scrub episode is not a pure function \
+                 of (seed, trial)"
+                round
+            else
+              let expect_unrec =
+                List.filter_map
+                  (fun (g, k) -> if k = `Base then Some g else None)
+                  kinds
+              in
+              let got_unrec =
+                List.sort_uniq compare
+                  (List.map fst report.Warehouse.sc_unrecoverable)
+              in
+              if got_unrec <> expect_unrec then
+                fail
+                  "round %d: unrecoverable pages [%s], damaged base pages \
+                   [%s]"
+                  round
+                  (String.concat ";" (List.map string_of_int got_unrec))
+                  (String.concat ";" (List.map string_of_int expect_unrec))
+              else if expect_unrec <> [] then Pass
+                (* base damage has no redundant source; classification is
+                   the whole guarantee *)
+              else if Warehouse.logical_signature w <> logical_ref then
+                fail
+                  "round %d: repaired warehouse is not logically identical \
+                   to the fault-free run"
+                  round
+              else begin
+                match Warehouse.integrity_check w with
+                | Error m ->
+                    fail "round %d: integrity broken after repair: %s" round m
+                | Ok () ->
+                    (* Fresh fault-free reference performing the same
+                       canonical rebuilds: physical signatures exclude page
+                       ids, so the repaired state must match it bit for
+                       bit. *)
+                    let w_ref, batch_ref = world () in
+                    ignore (Refresh.run w_ref batch_ref);
+                    let tables_ref = Warehouse.durable_tables w_ref in
+                    let view_tis =
+                      List.sort_uniq compare
+                        (List.filter_map
+                           (fun (_, k) ->
+                             match k with `View ti -> Some ti | _ -> None)
+                           kinds)
+                    in
+                    List.iter
+                      (fun (_, k) ->
+                        match k with
+                        | `Index (ti, off) when not (List.mem ti view_tis) ->
+                            ignore
+                              (Table.rebuild_index tables_ref.(ti) ~offset:off)
+                        | _ -> ())
+                      kinds;
+                    List.iter
+                      (fun ti ->
+                        ignore
+                          (Warehouse.rebuild_view w_ref (view_set w_ref ti)))
+                      view_tis;
+                    if Warehouse.signature w <> Warehouse.signature w_ref then
+                      fail
+                        "round %d: repaired state differs bit-for-bit from \
+                         the fault-free reference with identical rebuilds \
+                         (damage: %s; report: views %d indexes %d)"
+                        round
+                        (String.concat ", "
+                           (List.map
+                              (fun (g, k) ->
+                                Printf.sprintf "%d=%s" g
+                                  (match k with
+                                  | `Base -> "base"
+                                  | `View ti -> Printf.sprintf "view@%d" ti
+                                  | `Index (ti, off) ->
+                                      Printf.sprintf "ix@%d.%d" ti off
+                                  | `Unowned -> "unowned"))
+                              kinds))
+                        report.Warehouse.sc_views_rebuilt
+                        report.Warehouse.sc_indexes_rebuilt
+                    else Pass
+              end
+          in
+          let rec go round =
+            if round >= cx.cx_fault_rounds then Pass
+            else match one round with Pass -> go (round + 1) | r -> r
+          in
+          (* The WAL's record-CRC envelope, on a live uncommitted batch. *)
+          let wal_legs () =
+            (* Torn tail: the newest appends never reached the disk image;
+               recovery must truncate them, proceed, and restore the
+               pre-batch state. *)
+            let w, _ = world () in
+            let pre = Warehouse.signature w in
+            let tbl = (Warehouse.durable_tables w).(0) in
+            let arity = Vis_relalg.Reldesc.arity (Table.desc tbl) in
+            Warehouse.begin_batch w;
+            for i = 1 to 6 do
+              ignore (Warehouse.logged_insert w tbl (Array.make arity (9_000 + i)))
+            done;
+            let torn = Wal.tear_tail w.Warehouse.w_wal ~keep:3 in
+            match Wal.verify_scan w.Warehouse.w_wal with
+            | Wal.Torn { torn = t; _ } when t = torn -> (
+                ignore (Warehouse.recover w);
+                if Warehouse.signature w <> pre then
+                  Fail
+                    "torn-tail recovery did not restore the pre-batch state"
+                else
+                  (* Mid-log corruption: a bad CRC with intact records after
+                     it is not a torn tail; recovery must stop with the
+                     typed error naming the record, not replay past it. *)
+                  let w2, _ = world () in
+                  let tbl2 = (Warehouse.durable_tables w2).(0) in
+                  Warehouse.begin_batch w2;
+                  for i = 1 to 6 do
+                    ignore
+                      (Warehouse.logged_insert w2 tbl2 (Array.make arity i))
+                  done;
+                  let wal = w2.Warehouse.w_wal in
+                  let seq =
+                    Wal.total_records wal - Wal.n_records wal + 2
+                  in
+                  if not (Wal.corrupt_record wal ~seq) then
+                    fail "no WAL record with seq %d to corrupt" seq
+                  else (
+                    match Wal.verify_scan wal with
+                    | Wal.Corrupt { seq = s } when s = seq -> (
+                        match Warehouse.recover w2 with
+                        | exception Wal.Corrupt_record s when s = seq -> Pass
+                        | exception Wal.Corrupt_record s ->
+                            fail
+                              "mid-log corruption named record %d, expected \
+                               %d"
+                              s seq
+                        | _ ->
+                            Fail
+                              "recovery replayed past mid-log corruption \
+                               without a typed error")
+                    | _ ->
+                        fail
+                          "verify_scan did not classify a bad CRC at seq %d \
+                           as mid-log corruption"
+                          seq))
+            | _ ->
+                fail "verify_scan did not report the torn tail (%d entries)"
+                  torn
+          in
+          (match go 0 with Pass -> wal_legs () | r -> r))
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -1050,6 +1327,12 @@ let all =
       o_name = "mined-candidates";
       o_doc = "mined candidate space is sound; minsup 0 is bit-identical";
       o_check = check_mined_candidates;
+    };
+    (* Appended last — see the note above. *)
+    {
+      o_name = "corruption-recovery";
+      o_doc = "scrub convicts all injected corruption; rebuilds bit-identical";
+      o_check = check_corruption_recovery;
     };
   ]
 

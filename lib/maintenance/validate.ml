@@ -55,3 +55,59 @@ let run_cycle ?(seed = 42) schema config =
   let report = Refresh.run warehouse batch in
   let checks = check_views warehouse in
   (report, checks)
+
+type scrub_check = {
+  sk_injected : int;  (* distinct pages damaged *)
+  sk_report : Warehouse.scrub_report;
+  sk_views_ok : bool;  (* post-repair view contents re-verified *)
+  sk_integrity_ok : bool;
+}
+
+(* Every page rebuildable from base relations: view heap pages plus every
+   index node (indexes on bases rebuild from their heaps).  Base heap
+   pages are excluded — damaging those is unrecoverable by design. *)
+let rebuildable_gids w =
+  let module Heap_file = Vis_storage.Heap_file in
+  let module Btree = Vis_storage.Btree in
+  let heap_gids tbl =
+    let h = Table.heap tbl in
+    List.init (Heap_file.n_pages h) (Heap_file.page_gid h)
+  in
+  let index_gids tbl =
+    List.concat_map (fun (_, ix) -> Btree.page_gids ix) (Table.indexes tbl)
+  in
+  let base_ix =
+    List.concat_map index_gids (Array.to_list w.Warehouse.w_bases)
+  in
+  let views =
+    List.concat_map
+      (fun (_, tbl) -> heap_gids tbl @ index_gids tbl)
+      w.Warehouse.w_views
+  in
+  List.sort_uniq compare (base_ix @ views)
+
+let scrub_cycle ?(seed = 42) ?(damage = 3) schema config =
+  let rng = Random.State.make [| seed |] in
+  let dataset = Datagen.generate ~rng schema in
+  let w = Warehouse.build ~checksums:true schema config dataset in
+  let batch = Datagen.deltas ~rng schema dataset in
+  ignore (Refresh.run w batch);
+  let targets = Array.of_list (rebuildable_gids w) in
+  let hits =
+    Vis_storage.Faults.random_damage ~n:damage
+      ~rng:(Random.State.make [| seed; 0x5c2b |])
+      ~targets:(Array.length targets) ()
+  in
+  List.iter
+    (fun (way, pick, sel) ->
+      Vis_storage.Buffer_pool.corrupt_page w.Warehouse.w_pool targets.(pick)
+        way sel)
+    hits;
+  let report = Warehouse.scrub ~fail_unrecoverable:false w in
+  let checks = check_views w in
+  {
+    sk_injected = List.length hits;
+    sk_report = report;
+    sk_views_ok = all_ok checks;
+    sk_integrity_ok = Result.is_ok (Warehouse.integrity_check w);
+  }

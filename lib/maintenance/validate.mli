@@ -28,3 +28,25 @@ val run_cycle :
   Vis_catalog.Schema.t ->
   Vis_costmodel.Config.t ->
   Refresh.report * view_check list
+
+type scrub_check = {
+  sk_injected : int;  (** distinct rebuildable pages damaged *)
+  sk_report : Warehouse.scrub_report;
+  sk_views_ok : bool;  (** post-repair view contents re-verified *)
+  sk_integrity_ok : bool;  (** {!Warehouse.integrity_check} after repair *)
+}
+
+(** [scrub_cycle ?seed ?damage schema config] — the corruption-recovery
+    validation experiment: build the warehouse checksum-protected, refresh
+    once, inject [damage] (default 3) seeded bit-flips/torn-writes into
+    rebuildable pages (view heaps and index nodes — never base heaps),
+    scrub with [fail_unrecoverable:false], and re-verify every view and
+    index against the base replicas.  The cycle passes when the scrub
+    convicted every damaged page ([sk_report.sc_corrupt = sk_injected])
+    and both [sk_views_ok] and [sk_integrity_ok] hold. *)
+val scrub_cycle :
+  ?seed:int ->
+  ?damage:int ->
+  Vis_catalog.Schema.t ->
+  Vis_costmodel.Config.t ->
+  scrub_check

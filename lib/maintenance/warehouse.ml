@@ -20,7 +20,7 @@ type t = {
   w_pool : Vis_storage.Buffer_pool.t;
   w_stats : Vis_storage.Iostats.t;
   w_bases : Table.t array;
-  w_views : (Bitset.t * Table.t) list;
+  mutable w_views : (Bitset.t * Table.t) list;
   w_wal : Wal.t;
 }
 
@@ -102,26 +102,25 @@ let compute_view_in_memory schema ~tuples set =
       let _, rows = List.fold_left step init rest in
       rows
 
-let build schema config dataset =
+(* Elements the configuration compresses are stored page-compressed with
+   the cost model's page ratio, so measured page counts line up with the
+   modeled I/O savings. *)
+let compress_ratio_of config e =
+  if Config.has_compress config e then Some Vis_costmodel.Cost.compress_page_ratio
+  else None
+
+let build ?(checksums = false) schema config dataset =
   let stats = Vis_storage.Iostats.create () in
   let pool =
     Vis_storage.Buffer_pool.create ~capacity:schema.Schema.mem_pages ~stats
   in
   let n = Schema.n_relations schema in
-  (* Elements the configuration compresses are stored page-compressed with
-     the cost model's page ratio, so measured page counts line up with the
-     modeled I/O savings. *)
-  let compress_ratio_of e =
-    if Config.has_compress config e then
-      Some Vis_costmodel.Cost.compress_page_ratio
-    else None
-  in
   let bases =
     Array.init n (fun i ->
         let table =
           Table.create
-            ?compress_ratio:(compress_ratio_of (Element.Base i))
-            pool
+            ?compress_ratio:(compress_ratio_of config (Element.Base i))
+            ~protect:checksums pool
             ~desc:(Reldesc.of_relation schema i)
             ~page_bytes:schema.Schema.page_bytes ~attr_bytes
         in
@@ -142,8 +141,9 @@ let build schema config dataset =
       (fun set ->
         let table =
           Table.create
-            ?compress_ratio:(compress_ratio_of (Element.View set))
-            pool ~desc:(view_desc schema set)
+            ?compress_ratio:(compress_ratio_of config (Element.View set))
+            ~protect:checksums pool
+            ~desc:(view_desc schema set)
             ~page_bytes:schema.Schema.page_bytes ~attr_bytes
         in
         List.iter
@@ -262,8 +262,18 @@ let sync_batches w =
 (* Roll back the unfinished batch (if any) by undoing its log records in
    strict LIFO order.  Runs with faults disarmed — recovery models a clean
    restart — and charges one read per log page so the recovery cost shows
-   up in the counters.  Returns the number of records undone. *)
+   up in the counters.  Returns the number of records undone.
+
+   Recovery trusts the log only after {!Wal.verify_scan} re-derived every
+   record CRC: a torn tail (half-persisted, never-acknowledged suffix) is
+   truncated once undo has consumed the records, and recovery proceeds;
+   mid-log corruption means the durable history itself is rotten, so
+   recovery stops immediately with {!Wal.Corrupt_record} naming the first
+   bad record — there is no sound state to roll back to. *)
 let recover w =
+  (match Wal.verify_scan w.w_wal with
+  | Wal.Clean | Wal.Torn _ -> ()
+  | Wal.Corrupt { seq } -> raise (Wal.Corrupt_record seq));
   let plan = Buffer_pool.faults w.w_pool in
   let was_armed = Faults.armed plan in
   Faults.disarm plan;
@@ -283,9 +293,147 @@ let recover w =
           ignore (Table.unapply_update tables.(table) rid before)
       | Wal.Begin | Wal.Commit -> ())
     undo;
+  ignore (Wal.truncate_torn w.w_wal);
   Wal.checkpoint w.w_wal;
   if was_armed then Faults.arm plan;
   List.length undo
+
+(* ------------------------------------------------------------------ *)
+(* Scrub, quarantine and self-healing rebuild. *)
+
+exception Unrecoverable of { u_gid : int; u_table : int }
+
+type scrub_report = {
+  sc_scanned : int;
+  sc_corrupt : int;
+  sc_views_rebuilt : int;
+  sc_indexes_rebuilt : int;
+  sc_unrecoverable : (int * int) list;  (* (gid, durable table id) *)
+}
+
+let heap_gids table =
+  let h = Table.heap table in
+  List.init (Heap_file.n_pages h) (Heap_file.page_gid h)
+
+let find_view w set =
+  match List.find_opt (fun (s, _) -> Bitset.equal s set) w.w_views with
+  | Some (_, table) -> table
+  | None -> invalid_arg "Warehouse: no such view"
+
+(* Canonical rebuild of one view from the current base replicas: scan the
+   bases (trusted — base damage is unrecoverable), join in memory, and
+   load a fresh table with the same compression, protection and index set
+   as the old one.  The old table's pages are discarded and unregistered;
+   the rebuilt table takes the old one's position in [w_views], so WAL
+   table ids never move.  All scans and loads run through the pool —
+   repair I/O is charged like any other.  Returns the rebuilt row
+   count. *)
+let rebuild_view w set =
+  let schema = w.w_schema in
+  let old = find_view w set in
+  let tuples =
+    Array.init (Schema.n_relations schema) (fun r ->
+        let acc = ref [] in
+        Heap_file.scan (Table.heap w.w_bases.(r)) ~f:(fun _ t ->
+            acc := Array.copy t :: !acc);
+        List.rev !acc)
+  in
+  let rows = compute_view_in_memory schema ~tuples set in
+  let offsets = List.map fst (Table.indexes old) in
+  List.iter
+    (fun gid ->
+      Buffer_pool.discard w.w_pool gid;
+      Buffer_pool.unprotect w.w_pool gid)
+    (heap_gids old
+    @ List.concat_map (fun (_, ix) -> Btree.page_gids ix) (Table.indexes old));
+  let fresh =
+    Table.create
+      ?compress_ratio:(compress_ratio_of w.w_config (Element.View set))
+      ~protect:(Table.protected old) w.w_pool ~desc:(view_desc schema set)
+      ~page_bytes:schema.Schema.page_bytes ~attr_bytes
+  in
+  List.iter (fun row -> ignore (Table.insert fresh row)) rows;
+  List.iter (fun offset -> ignore (Table.add_index fresh ~offset)) offsets;
+  w.w_views <-
+    List.map
+      (fun (s, t) -> if Bitset.equal s set then (s, fresh) else (s, t))
+      w.w_views;
+  List.length rows
+
+(* One scrub pass: sweep every protected page, quarantine convictions, then
+   repair what can be rebuilt from base relations — a corrupt view page
+   costs the whole view (its heap layout cannot be reconstructed
+   piecemeal), a corrupt index node costs one index rebuild from its heap.
+   Base-relation heap damage has no redundant source to rebuild from: it is
+   collected in [sc_unrecoverable] and, with [fail_unrecoverable] (the
+   default), raised as the typed error {!Unrecoverable}. *)
+let scrub ?(fail_unrecoverable = true) w =
+  let rep = Vis_storage.Scrub.sweep w.w_pool in
+  let corrupt = rep.Vis_storage.Scrub.sr_corrupt in
+  let n_bases = Array.length w.w_bases in
+  (* Decide every repair before mutating anything: rebuilds change the
+     page-ownership map the classification reads. *)
+  let views_to_rebuild = ref [] in
+  let index_rebuilds = ref [] in  (* (durable table id, attribute offset) *)
+  let unrecoverable = ref [] in
+  let classify gid =
+    let tables = durable_tables w in
+    let owner = ref None in
+    Array.iteri
+      (fun ti table ->
+        if !owner = None then
+          if List.mem gid (heap_gids table) then owner := Some (ti, None)
+          else
+            List.iter
+              (fun (offset, ix) ->
+                if !owner = None && List.mem gid (Btree.page_gids ix) then
+                  owner := Some (ti, Some offset))
+              (Table.indexes table))
+      tables;
+    match !owner with
+    | None ->
+        (* A page no structure owns (stale quarantine survivor): nothing to
+           rebuild, nothing lost. *)
+        ()
+    | Some (ti, Some offset) ->
+        if not (List.mem (ti, offset) !index_rebuilds) then
+          index_rebuilds := (ti, offset) :: !index_rebuilds
+    | Some (ti, None) ->
+        if ti < n_bases then unrecoverable := (gid, ti) :: !unrecoverable
+        else
+          let set, _ = List.nth w.w_views (ti - n_bases) in
+          if not (List.exists (Bitset.equal set) !views_to_rebuild) then
+            views_to_rebuild := set :: !views_to_rebuild
+  in
+  List.iter classify corrupt;
+  (* A rebuilt view recreates its indexes too — drop subsumed index
+     rebuilds. *)
+  let subsumed ti =
+    ti >= n_bases
+    && List.exists
+         (Bitset.equal (fst (List.nth w.w_views (ti - n_bases))))
+         !views_to_rebuild
+  in
+  let index_rebuilds = List.filter (fun (ti, _) -> not (subsumed ti)) !index_rebuilds in
+  List.iter
+    (fun (ti, offset) ->
+      let tables = durable_tables w in
+      ignore (Table.rebuild_index tables.(ti) ~offset))
+    (List.rev index_rebuilds);
+  List.iter (fun set -> ignore (rebuild_view w set)) (List.rev !views_to_rebuild);
+  let report =
+    {
+      sc_scanned = rep.Vis_storage.Scrub.sr_scanned;
+      sc_corrupt = List.length corrupt;
+      sc_views_rebuilt = List.length !views_to_rebuild;
+      sc_indexes_rebuilt = List.length index_rebuilds;
+      sc_unrecoverable = List.rev !unrecoverable;
+    }
+  in
+  (match (fail_unrecoverable, report.sc_unrecoverable) with
+  | true, (gid, ti) :: _ -> raise (Unrecoverable { u_gid = gid; u_table = ti })
+  | _ -> ());
+  report
 
 (* ------------------------------------------------------------------ *)
 (* State digests and integrity checks used by tests and the crash-recovery

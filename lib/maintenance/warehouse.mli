@@ -11,8 +11,10 @@ type t = {
   w_pool : Vis_storage.Buffer_pool.t;
   w_stats : Vis_storage.Iostats.t;
   w_bases : Vis_relalg.Table.t array;
-  w_views : (Vis_util.Bitset.t * Vis_relalg.Table.t) list;
-      (** supporting views and the primary view, by increasing size *)
+  mutable w_views : (Vis_util.Bitset.t * Vis_relalg.Table.t) list;
+      (** supporting views and the primary view, by increasing size;
+          mutable because {!scrub} swaps in rebuilt view tables in place
+          (positions — and with them WAL table ids — never change) *)
   w_wal : Vis_storage.Wal.t;
       (** the refresh write-ahead log, sharing the warehouse's pool *)
 }
@@ -26,9 +28,13 @@ val attr_bytes : int
     ascending index order, each with its declared attributes. *)
 val view_desc : Vis_catalog.Schema.t -> Vis_util.Bitset.t -> Vis_relalg.Reldesc.t
 
-(** [build schema config dataset] loads and materializes everything, flushes
-    the pool and resets the counters. *)
+(** [build ?checksums schema config dataset] loads and materializes
+    everything, flushes the pool and resets the counters.  With
+    [~checksums:true] (default false) every base, view and index page is
+    checksum-registered with the pool, so reads verify and {!scrub} can
+    convict silent corruption — at a small, measured read-I/O cost. *)
 val build :
+  ?checksums:bool ->
   Vis_catalog.Schema.t -> Vis_costmodel.Config.t -> Vis_workload.Datagen.dataset -> t
 
 (** [element_table w elem] — the stored table of a base relation or
@@ -94,8 +100,45 @@ val sync_batches : t -> unit
     newest-first (tolerant of partially applied operations), charging one
     read per log page.  Runs with the fault plan disarmed (recovery models
     a clean restart); re-arms it afterwards if it was armed.  Returns the
-    number of records undone — [0] when the log was empty or committed. *)
+    number of records undone — [0] when the log was empty or committed.
+
+    Recovery first verifies the log ({!Vis_storage.Wal.verify_scan}): a
+    torn tail is truncated and recovery proceeds; mid-log corruption
+    raises {!Vis_storage.Wal.Corrupt_record} with the sequence number of
+    the first bad record, before anything is undone. *)
 val recover : t -> int
+
+(** {1 Scrub, quarantine and self-healing rebuild} *)
+
+(** Raised by {!scrub} (under [fail_unrecoverable]) when a base-relation
+    heap page is corrupt: base replicas have no redundant source to
+    rebuild from.  [u_table] is the durable-table id. *)
+exception Unrecoverable of { u_gid : int; u_table : int }
+
+type scrub_report = {
+  sc_scanned : int;  (** protected pages probed *)
+  sc_corrupt : int;  (** pages convicted (checksum mismatch) *)
+  sc_views_rebuilt : int;
+  sc_indexes_rebuilt : int;  (** index rebuilds not subsumed by a view rebuild *)
+  sc_unrecoverable : (int * int) list;  (** corrupt base pages: (gid, table id) *)
+}
+
+(** [rebuild_view w set] rebuilds one view canonically from the current
+    base replicas (scan, in-memory join, fresh table with the same
+    compression/protection/indexes), discarding and unregistering the old
+    table's pages.  The rebuilt table takes the old position in
+    [w_views], keeping WAL table ids stable.  Repair I/O is charged to
+    the warehouse counters.  Returns the rebuilt row count. *)
+val rebuild_view : t -> Vis_util.Bitset.t -> int
+
+(** [scrub w] runs one detect-quarantine-repair pass: sweeps every
+    checksum-protected page ({!Vis_storage.Scrub.sweep}), then rebuilds
+    every view with a convicted heap page and every index with a convicted
+    node (from its heap; subsumed by the view rebuild when both).  Corrupt
+    base-relation pages cannot be rebuilt: they are reported in
+    [sc_unrecoverable] and — with [fail_unrecoverable], the default —
+    raised as {!Unrecoverable} after all possible repairs ran. *)
+val scrub : ?fail_unrecoverable:bool -> t -> scrub_report
 
 (** {1 State digests and integrity}
 

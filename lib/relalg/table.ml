@@ -12,7 +12,7 @@ type t = {
 
 let index_entry_bytes = 16
 
-let create ?compress_ratio pool ~desc ~page_bytes ~attr_bytes =
+let create ?compress_ratio ?(protect = false) pool ~desc ~page_bytes ~attr_bytes =
   let tuple_bytes = max 1 (Reldesc.arity desc) * attr_bytes in
   let tpp = max 1 (page_bytes / tuple_bytes) in
   let tpp, compressed =
@@ -25,10 +25,12 @@ let create ?compress_ratio pool ~desc ~page_bytes ~attr_bytes =
            keep their fanout (indexes are never compressed). *)
         (max 1 (int_of_float (Float.ceil (float_of_int tpp /. r))), true)
   in
+  let theap = Heap_file.create pool ~tuples_per_page:tpp in
+  if protect then Heap_file.protect theap;
   {
     pool;
     tdesc = desc;
-    theap = Heap_file.create pool ~tuples_per_page:tpp;
+    theap;
     ix_fanout = max 4 (page_bytes / index_entry_bytes);
     tcompressed = compressed;
     tindexes = [];
@@ -97,11 +99,38 @@ let add_index t ~offset =
   match List.assoc_opt offset t.tindexes with
   | Some ix -> ix
   | None ->
-      let ix = Btree.create t.pool ~fanout:t.ix_fanout in
+      (* Indexes inherit the heap's protection: a checksummed table keeps
+         its whole access-path surface verifiable. *)
+      let ix =
+        Btree.create ~protect:(Heap_file.protected t.theap) t.pool
+          ~fanout:t.ix_fanout
+      in
       Heap_file.scan t.theap ~f:(fun rid tuple ->
           Btree.insert ix ~key:tuple.(offset) rid);
       t.tindexes <- (offset, ix) :: t.tindexes;
       ix
+
+(* Self-healing repair for a corrupt index: unregister and abandon every
+   node page of the old tree, then rebuild from the (trusted) heap by a
+   fresh scan.  The rebuilt tree has new gids, which is fine — physical
+   signatures cover entry sequences, not page identifiers. *)
+let rebuild_index t ~offset =
+  match List.assoc_opt offset t.tindexes with
+  | None -> invalid_arg "Table.rebuild_index: no index on this attribute"
+  | Some old ->
+      List.iter
+        (fun gid ->
+          Vis_storage.Buffer_pool.discard t.pool gid;
+          Vis_storage.Buffer_pool.unprotect t.pool gid)
+        (Btree.page_gids old);
+      t.tindexes <- List.remove_assoc offset t.tindexes;
+      add_index t ~offset
+
+let protect t =
+  Heap_file.protect t.theap;
+  List.iter (fun (_, ix) -> Btree.protect ix) t.tindexes
+
+let protected t = Heap_file.protected t.theap
 
 let index_on t ~offset = List.assoc_opt offset t.tindexes
 

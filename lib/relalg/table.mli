@@ -9,9 +9,12 @@ type t
     tuple per page).  [?compress_ratio] (in [(0, 1]]) stores the heap
     page-compressed: each page holds [1/ratio] times as many tuples, so the
     table occupies roughly [ratio] of the uncompressed page count.  Indexes
-    are never compressed. *)
+    are never compressed.  [?protect] (default false) checksum-registers
+    every heap page — and, via {!add_index}, every index node — with the
+    pool so silent corruption is convicted on read or scrub. *)
 val create :
   ?compress_ratio:float ->
+  ?protect:bool ->
   Vis_storage.Buffer_pool.t ->
   desc:Reldesc.t ->
   page_bytes:int ->
@@ -58,6 +61,18 @@ val unapply_update : t -> Vis_storage.Heap_file.rid -> int array -> bool
     bytes per entry.  Returns the existing index if one is already
     attached. *)
 val add_index : t -> offset:int -> Vis_storage.Btree.t
+
+(** [rebuild_index t ~offset] repairs a corrupt index: discards and
+    unregisters every node page of the existing tree, then rebuilds it
+    from the heap by a fresh scan (same I/O shape as {!add_index}).
+    Raises [Invalid_argument] when no index exists on that attribute. *)
+val rebuild_index : t -> offset:int -> Vis_storage.Btree.t
+
+(** Enable checksum protection on the heap and every attached index (new
+    indexes inherit it).  Idempotent. *)
+val protect : t -> unit
+
+val protected : t -> bool
 
 (** [index_on t ~offset] — the index on that attribute, if any. *)
 val index_on : t -> offset:int -> Vis_storage.Btree.t option

@@ -24,6 +24,7 @@ type config = {
   sv_min_gain : float;
   sv_minsup : float option;
   sv_log_queries : int;
+  sv_scrub_every : int;
 }
 
 let default_config =
@@ -42,6 +43,7 @@ let default_config =
     sv_min_gain = 0.01;
     sv_minsup = None;
     sv_log_queries = 256;
+    sv_scrub_every = 0;
   }
 
 type tenant_stats = {
@@ -64,6 +66,10 @@ type tenant_stats = {
   ts_reopts : int;
   ts_bounded : int;
   ts_swaps : int;
+  ts_scrubs : int;
+  ts_scrub_corrupt : int;
+  ts_scrub_rebuilt : int;
+  ts_unrecoverable : int;
   ts_opt_factor : float;
   ts_ewma_ratio : float;
   ts_latencies_ms : float list;
@@ -78,6 +84,9 @@ type totals = {
   tt_failed : int;
   tt_reopts : int;
   tt_swaps : int;
+  tt_scrubs : int;
+  tt_scrub_corrupt : int;
+  tt_scrub_rebuilt : int;
   tt_mean_latency_ms : float;
   tt_p99_latency_ms : float;
 }
@@ -117,6 +126,10 @@ type tenant = {
   mutable c_reopts : int;
   mutable c_bounded : int;
   mutable c_swaps : int;
+  mutable c_scrubs : int;
+  mutable c_scrub_corrupt : int;
+  mutable c_scrub_rebuilt : int;
+  mutable c_unrecoverable : int;
   mutable c_latencies : float list;  (* newest first *)
 }
 
@@ -132,6 +145,8 @@ type t = {
 let create ?(config = default_config) () =
   if config.sv_jobs < 1 then invalid_arg "Service.create: sv_jobs < 1";
   if config.sv_band <= 1. then invalid_arg "Service.create: sv_band <= 1";
+  if config.sv_scrub_every < 0 then
+    invalid_arg "Service.create: sv_scrub_every < 0";
   {
     cfg = config;
     pool = Parallel.create ~jobs:config.sv_jobs ();
@@ -185,7 +200,9 @@ let add_tenant ?name ?seed ?(rate = 2.0) ?(drift = Stream.Constant) ?faults
         in
         r.Astar.best
   in
-  let warehouse = Warehouse.build schema design dataset in
+  let warehouse =
+    Warehouse.build ~checksums:(t.cfg.sv_scrub_every > 0) schema design dataset
+  in
   let base_rows = rate *. rows_per_batch schema in
   let tn =
     {
@@ -222,6 +239,10 @@ let add_tenant ?name ?seed ?(rate = 2.0) ?(drift = Stream.Constant) ?faults
       c_reopts = 0;
       c_bounded = 0;
       c_swaps = 0;
+      c_scrubs = 0;
+      c_scrub_corrupt = 0;
+      c_scrub_rebuilt = 0;
+      c_unrecoverable = 0;
       c_latencies = [];
     }
   in
@@ -249,6 +270,10 @@ let snapshot tn =
     ts_reopts = tn.c_reopts;
     ts_bounded = tn.c_bounded;
     ts_swaps = tn.c_swaps;
+    ts_scrubs = tn.c_scrubs;
+    ts_scrub_corrupt = tn.c_scrub_corrupt;
+    ts_scrub_rebuilt = tn.c_scrub_rebuilt;
+    ts_unrecoverable = tn.c_unrecoverable;
     ts_opt_factor = tn.tn_opt_factor;
     ts_ewma_ratio = Monitor.ratio tn.tn_monitor;
     ts_latencies_ms = List.rev tn.c_latencies;
@@ -396,7 +421,9 @@ let reoptimize t tn =
          (phase 2 finished), so no batch ever runs against a half-swapped
          configuration, and the mirror guarantees the bases and primary
          view carry exactly the stream's contents across the swap. *)
-      tn.tn_warehouse <- Warehouse.build drifted r.Astar.best tn.tn_dataset;
+      tn.tn_warehouse <-
+        Warehouse.build ~checksums:(cfg.sv_scrub_every > 0) drifted
+          r.Astar.best tn.tn_dataset;
       tn.tn_config <- r.Astar.best;
       tn.tn_opt_factor <- est;
       Monitor.rebase tn.tn_monitor
@@ -469,7 +496,24 @@ let tick t =
         tn.c_ticks > t.cfg.sv_warmup
         && Monitor.drifted tn.tn_monitor ~band:t.cfg.sv_band
       then reoptimize t tn)
-    t.tenants
+    t.tenants;
+  (* Phase 4 — scrub rung, sequential in tenant order every
+     [sv_scrub_every] ticks.  The daemon never dies on damage it cannot
+     repair: unrecoverable base pages are counted and left quarantined
+     (reads of those pages no longer raise), so healthy tenants keep
+     being served. *)
+  if t.cfg.sv_scrub_every > 0 && tick_no mod t.cfg.sv_scrub_every = 0 then
+    List.iter
+      (fun tn ->
+        let r = Warehouse.scrub ~fail_unrecoverable:false tn.tn_warehouse in
+        tn.c_scrubs <- tn.c_scrubs + 1;
+        tn.c_scrub_corrupt <- tn.c_scrub_corrupt + r.Warehouse.sc_corrupt;
+        tn.c_scrub_rebuilt <-
+          tn.c_scrub_rebuilt + r.Warehouse.sc_views_rebuilt
+          + r.Warehouse.sc_indexes_rebuilt;
+        tn.c_unrecoverable <-
+          tn.c_unrecoverable + List.length r.Warehouse.sc_unrecoverable)
+      t.tenants
 
 let run t ~ticks =
   for _ = 1 to ticks do
@@ -505,6 +549,9 @@ let totals t =
     tt_failed = sum (fun s -> s.ts_failed);
     tt_reopts = sum (fun s -> s.ts_reopts);
     tt_swaps = sum (fun s -> s.ts_swaps);
+    tt_scrubs = sum (fun s -> s.ts_scrubs);
+    tt_scrub_corrupt = sum (fun s -> s.ts_scrub_corrupt);
+    tt_scrub_rebuilt = sum (fun s -> s.ts_scrub_rebuilt);
     tt_mean_latency_ms =
       (if n_lat = 0 then 0.
        else List.fold_left ( +. ) 0. latencies /. float_of_int n_lat);

@@ -72,12 +72,20 @@ type config = {
   sv_log_queries : int;
       (** queries per mined tenant history (deterministic in seed, tenant
           and tick); only read when [sv_minsup] is set *)
+  sv_scrub_every : int;
+      (** when positive, build every tenant warehouse checksum-protected
+          and run a {!Vis_maintenance.Warehouse.scrub} pass over each
+          tenant every this-many ticks (a fourth, sequential phase after
+          re-optimization).  The daemon scrubs with
+          [fail_unrecoverable:false]: corrupt base pages are counted, left
+          quarantined, and never kill the tick loop.  [0] (the default)
+          disables both checksums and scrubbing. *)
 }
 
 (** Seed 0, jobs 1, 100 ms ticks, the refresh default group policy,
     2 attempts, α 0.3, band 1.5, gate 1.02, warmup 2, budget 20,000,
     beam 64, min gain 1%, no mining (256 queries per history when
-    enabled). *)
+    enabled), no scrubbing. *)
 val default_config : config
 
 (** A snapshot of one tenant's counters.  All simulated-clock derived;
@@ -103,6 +111,10 @@ type tenant_stats = {
   ts_reopts : int;  (** full budgeted A* runs *)
   ts_bounded : int;  (** re-optimizations with a [Bounded] certificate *)
   ts_swaps : int;  (** configuration swaps applied *)
+  ts_scrubs : int;  (** scrub passes run over this tenant *)
+  ts_scrub_corrupt : int;  (** pages convicted across all passes *)
+  ts_scrub_rebuilt : int;  (** views + indexes rebuilt by scrubbing *)
+  ts_unrecoverable : int;  (** corrupt base pages (quarantined, not fatal) *)
   ts_opt_factor : float;
       (** delta-scale factor the incumbent is optimized for (1.0 at
           registration) *)
@@ -121,6 +133,9 @@ type totals = {
   tt_failed : int;
   tt_reopts : int;
   tt_swaps : int;
+  tt_scrubs : int;
+  tt_scrub_corrupt : int;
+  tt_scrub_rebuilt : int;
   tt_mean_latency_ms : float;  (** 0 when no batch committed *)
   tt_p99_latency_ms : float;
 }

@@ -36,19 +36,91 @@ type t = {
   mutable root : node;
   mutable count : int;
   mutable pages : int;
+  mutable prot : bool;  (* checksum-protect nodes as they are created *)
 }
 
+(* --- Corruption protection.
 
-let create pool ~fanout =
+   Node payloads are OCaml values, so each registered page checksums its
+   entry (or separator) array plus a per-node damage mask.  Injected damage
+   never mutates tree *structure* (array lengths, kid pointers): a bit flip
+   xors one bit of one entry field, a torn write replaces a suffix of
+   entries with zeroed stale fields — the tree stays safe to traverse while
+   damaged, and the scrub pass convicts it by checksum.  Every damage also
+   flips a mask bit, so even damage that lands on an empty node or an
+   already-zero suffix is guaranteed detectable. *)
+
+let fold_entries h entries =
+  let h = ref (Checksum.add h (Array.length entries)) in
+  Array.iter
+    (fun (k, r) ->
+      h := Checksum.add !h k;
+      h := Checksum.add !h r.Heap_file.rid_page;
+      h := Checksum.add !h r.Heap_file.rid_slot)
+    entries;
+  !h
+
+let zero_rid = { Heap_file.rid_page = 0; rid_slot = 0 }
+
+let damage_entries entries way sel =
+  let n = Array.length entries in
+  if n = 0 then entries
+  else
+    match way with
+    | Faults.Bit_flip ->
+        let field = sel mod (3 * n) in
+        let i = field / 3 and bit = 1 lsl (sel / (3 * n) mod 62) in
+        let k, r = entries.(i) in
+        let e' =
+          match field mod 3 with
+          | 0 -> (k lxor bit, r)
+          | 1 -> (k, { r with Heap_file.rid_page = r.Heap_file.rid_page lxor bit })
+          | _ -> (k, { r with Heap_file.rid_slot = r.Heap_file.rid_slot lxor bit })
+        in
+        let out = Array.copy entries in
+        out.(i) <- e';
+        out
+    | Faults.Torn_write ->
+        let keep = sel mod n in
+        Array.mapi (fun i e -> if i < keep then e else (0, zero_rid)) entries
+
+let register_leaf pool l =
+  let dmg = ref 0 in
+  Buffer_pool.protect pool l.lgid
+    {
+      Buffer_pool.hk_checksum =
+        Some (fun () -> Checksum.finish (fold_entries (Checksum.add Checksum.empty !dmg) l.entries));
+      hk_corrupt =
+        (fun way sel ->
+          dmg := !dmg lxor (1 lsl (sel mod 62));
+          l.entries <- damage_entries l.entries way sel);
+    }
+
+let register_inner pool nd =
+  let dmg = ref 0 in
+  Buffer_pool.protect pool nd.igid
+    {
+      Buffer_pool.hk_checksum =
+        Some (fun () -> Checksum.finish (fold_entries (Checksum.add Checksum.empty !dmg) nd.seps));
+      hk_corrupt =
+        (fun way sel ->
+          dmg := !dmg lxor (1 lsl (sel mod 62));
+          nd.seps <- damage_entries nd.seps way sel);
+    }
+
+let create ?(protect = false) pool ~fanout =
   if fanout < 4 then invalid_arg "Btree.create: fanout < 4";
   let gid = Buffer_pool.fresh_page pool in
   Buffer_pool.touch_new pool gid;
+  let root = { lgid = gid; entries = [||]; next = None } in
+  if protect then register_leaf pool root;
   {
     pool;
     fanout;
-    root = Leaf { lgid = gid; entries = [||]; next = None };
+    root = Leaf root;
     count = 0;
     pages = 1;
+    prot = protect;
   }
 
 let length t = t.count
@@ -154,6 +226,9 @@ let insert t ~key rid =
           let mid = n / 2 in
           let right_entries = Array.sub l.entries mid (n - mid) in
           let right = { lgid = take (); entries = right_entries; next = l.next } in
+          (* Registration is side-table only (no pool I/O), so it is safe
+             inside the no-pool-calls mutation phase. *)
+          if t.prot then register_leaf t.pool right;
           l.entries <- Array.sub l.entries 0 mid;
           l.next <- Some right;
           Some (right.entries.(0), Leaf right)
@@ -179,6 +254,7 @@ let insert t ~key rid =
                   kids = Array.sub nd.kids mid (k - mid);
                 }
               in
+              if t.prot then register_inner t.pool right;
               nd.seps <- Array.sub nd.seps 0 (mid - 1);
               nd.kids <- Array.sub nd.kids 0 mid;
               Some (up, Inner right)
@@ -188,7 +264,9 @@ let insert t ~key rid =
   (match ins t.root with
   | None -> ()
   | Some (sep, right) ->
-      t.root <- Inner { igid = take (); seps = [| sep |]; kids = [| t.root; right |] });
+      let root = { igid = take (); seps = [| sep |]; kids = [| t.root; right |] } in
+      if t.prot then register_inner t.pool root;
+      t.root <- Inner root);
   assert (!pages = []);
   t.count <- t.count + 1
 
@@ -276,6 +354,29 @@ let iter t ~f =
     | None -> ()
   in
   walk (leftmost t.root)
+
+(* All node gids, root first — the unprotect list when an index is rebuilt
+   away, and the scrub sweep's view of the index. *)
+let page_gids t =
+  let rec walk acc = function
+    | Leaf l -> l.lgid :: acc
+    | Inner nd -> Array.fold_left walk (nd.igid :: acc) nd.kids
+  in
+  List.rev (walk [] t.root)
+
+let protect t =
+  if not t.prot then begin
+    t.prot <- true;
+    let rec walk = function
+      | Leaf l -> register_leaf t.pool l
+      | Inner nd ->
+          register_inner t.pool nd;
+          Array.iter walk nd.kids
+    in
+    walk t.root
+  end
+
+let protected t = t.prot
 
 exception Check_failed of string
 

@@ -9,9 +9,13 @@
 
 type t
 
-(** [create pool ~fanout] — [fanout] is the maximum number of entries (or
-    children) per node; at least 4. *)
-val create : Buffer_pool.t -> fanout:int -> t
+(** [create ?protect pool ~fanout] — [fanout] is the maximum number of
+    entries (or children) per node; at least 4.  With [~protect:true]
+    (default false) every node page — current and future splits — is
+    checksum-registered with the pool ({!Buffer_pool.protect}), so silent
+    damage to an index page is convicted on the next miss-read or scrub
+    probe. *)
+val create : ?protect:bool -> Buffer_pool.t -> fanout:int -> t
 
 (** Raises [Invalid_argument] when the exact (key, rid) entry is already
     present — an index holds one entry per stored tuple. *)
@@ -49,3 +53,13 @@ val iter : t -> f:(int -> Heap_file.rid -> unit) -> unit
 (** [check t] verifies structural invariants; [Error description] when one
     is violated (used by property tests and the crash-recovery oracle). *)
 val check : t -> (unit, string) result
+
+(** All node gids, root first — the unprotect list when an index is
+    rebuilt away. *)
+val page_gids : t -> int list
+
+(** Enable checksum protection on an existing tree (registers every
+    current node; splits keep new nodes registered).  Idempotent. *)
+val protect : t -> unit
+
+val protected : t -> bool

@@ -15,6 +15,27 @@ type frame = {
   mutable next : frame option;  (* towards least recently used *)
 }
 
+(* The pool holds no page contents, so checksums and corruption are
+   delegated to the structure that owns each page's payload: it registers
+   [hk_checksum] (recompute the payload's checksum now) and [hk_corrupt]
+   (apply a given damage to the payload).  Pages registered with
+   [hk_checksum = None] (WAL pages, whose records carry their own CRCs)
+   are damageable but not pool-verified. *)
+type page_hooks = {
+  hk_checksum : (unit -> int) option;
+  hk_corrupt : Faults.corruption -> int -> unit;
+}
+
+exception Corruption of int
+
+(* Protected pages' stored checksums live on dedicated checksum pages, one
+   per [cs_span]-gid bucket; read-path verification touches the bucket page
+   so the detection overhead shows up in I/O counts, machine-independently.
+   The span models 8-byte checksums packed into a 4 KB page: 512 seals per
+   bucket page, so whole-warehouse protection needs only a handful of
+   them. *)
+let cs_span = 512
+
 type t = {
   cap : int;
   io : Iostats.t;
@@ -23,6 +44,10 @@ type t = {
   mutable lru : frame option;
   mutable next_page : int;
   mutable plan : Faults.t;
+  hooks : (int, page_hooks) Hashtbl.t;
+  sealed : (int, int) Hashtbl.t;  (* gid -> checksum stored at last write-out *)
+  quarantine : (int, unit) Hashtbl.t;
+  cs_pages : (int, int) Hashtbl.t;  (* gid / cs_span -> checksum-page gid *)
 }
 
 let create ~capacity ~stats =
@@ -35,6 +60,10 @@ let create ~capacity ~stats =
     lru = None;
     next_page = 0;
     plan = Faults.none ();
+    hooks = Hashtbl.create 64;
+    sealed = Hashtbl.create 64;
+    quarantine = Hashtbl.create 8;
+    cs_pages = Hashtbl.create 8;
   }
 
 let capacity t = t.cap
@@ -79,11 +108,47 @@ let victim t =
   in
   up t.lru
 
+(* Update the stored checksum from the payload about to hit the device.
+   Side-table only: the checksum piggybacks on the page write itself, so
+   resealing never issues I/O of its own (and never re-enters the pool
+   from inside an eviction). *)
+let reseal t page =
+  match Hashtbl.find_opt t.hooks page with
+  | Some { hk_checksum = Some cs; _ } -> Hashtbl.replace t.sealed page (cs ())
+  | _ -> ()
+
+(* A physical write of [page] just succeeded: reseal, then poll the fault
+   plan for silent damage.  Damage lands *after* the reseal, so the stored
+   checksum was computed from the intact payload and convicts the damaged
+   one at the next verification.  A torn write additionally surfaces as
+   the crash that interrupted the transfer. *)
+let wrote t page =
+  reseal t page;
+  match Faults.damage t.plan Faults.Write ~page with
+  | None -> ()
+  | Some (way, sel) ->
+      (match Hashtbl.find_opt t.hooks page with
+      | Some h -> h.hk_corrupt way sel
+      | None -> ());
+      if way = Faults.Torn_write then
+        raise
+          (Faults.Injected
+             {
+               f_op = Faults.Write;
+               f_kind = Faults.Crash;
+               f_page = page;
+               f_seq = Faults.seq t.plan;
+               f_retries = 0;
+             })
+
 let evict t f =
   unlink t f;
   Hashtbl.remove t.frames f.page;
   Iostats.record_pool_eviction t.io;
-  if f.dirty then Iostats.record_write t.io
+  if f.dirty then begin
+    Iostats.record_write t.io;
+    wrote t f.page
+  end
 
 let insert_resident t page ~dirty ~count_read =
   (* Pick the eviction victim first so its write fault (if any) fires before
@@ -105,7 +170,41 @@ let insert_resident t page ~dirty ~count_read =
   Hashtbl.replace t.frames page f;
   push_front t f
 
-let touch t page ~dirty =
+(* Read-path verification of a protected page that was just miss-read.
+   Recomputes the payload checksum, compares against the seal stored at the
+   last write-out, and touches the page's checksum bucket page — that touch
+   is the (small, machine-independent) I/O cost of detection.  Checksum
+   pages are never themselves protected, so the recursion through [touch]
+   is one level deep.  Mismatches quarantine the page and count a failure;
+   [verify_seal]'s caller decides whether to raise. *)
+let rec verify_seal t page cs =
+  Iostats.record_checksum_verification t.io;
+  (match Hashtbl.find_opt t.cs_pages (page / cs_span) with
+  | Some g ->
+      (* Checksum pages are hot, tiny metadata: pin the bucket page on its
+         first admission so capacity pressure cannot thrash it — one read
+         per residency burst, hits thereafter.  (A flush still drops it;
+         the next verification re-reads and re-pins.) *)
+      if Hashtbl.mem t.frames g then touch t g ~dirty:false else pin t g
+  | None -> ());
+  let ok = Hashtbl.find_opt t.sealed page = Some (cs ()) in
+  if not ok then begin
+    Iostats.record_checksum_failure t.io;
+    Hashtbl.replace t.quarantine page ()
+  end;
+  ok
+
+(* Quarantined pages are fenced by the scrub pipeline — re-reading one does
+   not re-raise, so rebuild passes can run without tripping over the page
+   they are replacing. *)
+and verify_on_read t page =
+  if not (Hashtbl.mem t.quarantine page) then
+    match Hashtbl.find_opt t.hooks page with
+    | Some { hk_checksum = Some cs; _ } ->
+        if not (verify_seal t page cs) then raise (Corruption page)
+    | _ -> ()
+
+and touch t page ~dirty =
   Iostats.record_access t.io;
   match Hashtbl.find_opt t.frames page with
   | Some f ->
@@ -113,7 +212,20 @@ let touch t page ~dirty =
       unlink t f;
       push_front t f;
       if dirty then f.dirty <- true
-  | None -> insert_resident t page ~dirty ~count_read:true
+  | None ->
+      insert_resident t page ~dirty ~count_read:true;
+      verify_on_read t page
+
+and pin t page =
+  let missed = not (Hashtbl.mem t.frames page) in
+  (match Hashtbl.find_opt t.frames page with
+  | Some _ -> Iostats.record_pool_hit t.io
+  | None -> insert_resident t page ~dirty:false ~count_read:true);
+  let f = Hashtbl.find t.frames page in
+  f.pins <- f.pins + 1;
+  (* Verify after the pin so the checksum-page touch cannot evict the frame
+     we just admitted (it is pinned now). *)
+  if missed then verify_on_read t page
 
 let touch_new t page =
   Iostats.record_access t.io;
@@ -124,13 +236,6 @@ let touch_new t page =
       push_front t f;
       f.dirty <- true
   | None -> insert_resident t page ~dirty:true ~count_read:false
-
-let pin t page =
-  (match Hashtbl.find_opt t.frames page with
-  | Some _ -> Iostats.record_pool_hit t.io
-  | None -> insert_resident t page ~dirty:false ~count_read:true);
-  let f = Hashtbl.find t.frames page in
-  f.pins <- f.pins + 1
 
 let unpin t page =
   match Hashtbl.find_opt t.frames page with
@@ -148,7 +253,8 @@ let write_back t page =
   | Some f when f.dirty ->
       Faults.check t.plan Faults.Write ~page;
       Iostats.record_wal_write t.io;
-      f.dirty <- false
+      f.dirty <- false;
+      wrote t page
   | _ -> ()
 
 let discard t page =
@@ -168,7 +274,68 @@ let flush t =
     | Some f ->
         unlink t f;
         Hashtbl.remove t.frames f.page;
-        if f.dirty then Iostats.record_write t.io
+        if f.dirty then begin
+          Iostats.record_write t.io;
+          (* Orderly shutdown still reseals (the write is real), but polls
+             no damage — flush runs outside the faulted region. *)
+          reseal t f.page
+        end
   done
 
 let resident t page = Hashtbl.mem t.frames page
+
+(* --- Corruption protection ------------------------------------------- *)
+
+let protect t page hooks =
+  Hashtbl.replace t.hooks page hooks;
+  Hashtbl.remove t.quarantine page;
+  match hooks.hk_checksum with
+  | Some cs ->
+      (* Lazily allocate the bucket's checksum page.  Not via [fresh_page]:
+         checksum pages are pool metadata, and [protect] runs inside
+         callers' no-pool-calls mutation phases (a B+-tree split registers
+         its new sibling mid-mutation), so it must not hit a fault point. *)
+      let bucket = page / cs_span in
+      if not (Hashtbl.mem t.cs_pages bucket) then begin
+        let gid = t.next_page in
+        t.next_page <- t.next_page + 1;
+        Hashtbl.add t.cs_pages bucket gid
+      end;
+      Hashtbl.replace t.sealed page (cs ())
+  | None -> ()
+
+let unprotect t page =
+  Hashtbl.remove t.hooks page;
+  Hashtbl.remove t.sealed page;
+  Hashtbl.remove t.quarantine page
+
+let protected t page = Hashtbl.mem t.hooks page
+
+(* Non-raising verification probe for the scrub pass.  Unverifiable pages
+   (unprotected, or registered without a checksum hook) report clean. *)
+let verify t page =
+  if Hashtbl.mem t.quarantine page then false
+  else
+    match Hashtbl.find_opt t.hooks page with
+    | Some { hk_checksum = Some cs; _ } -> verify_seal t page cs
+    | _ -> true
+
+let quarantined t page = Hashtbl.mem t.quarantine page
+
+let quarantine t page = Hashtbl.replace t.quarantine page ()
+
+(* At-rest damage injection for oracles and benches: mutate the payload
+   directly, bypassing the device write path, so the stored seal (computed
+   at the last write-out) convicts the page.  No-op on pages that own no
+   payload. *)
+let corrupt_page t page way sel =
+  match Hashtbl.find_opt t.hooks page with
+  | Some h -> h.hk_corrupt way sel
+  | None -> ()
+
+(* Sorted, so damage plans indexing into it replay identically. *)
+let protected_gids t =
+  Hashtbl.fold
+    (fun g h acc -> if h.hk_checksum <> None then g :: acc else acc)
+    t.hooks []
+  |> List.sort compare

@@ -14,9 +14,41 @@
     Residency traffic is tallied in {!Iostats}: hits ({!touch}/{!touch_new}/
     {!pin} on a resident frame), misses (every admission), evictions under
     capacity pressure, and overflow admissions when every frame is pinned.
-    {!flush} models orderly shutdown and does not count evictions. *)
+    {!flush} models orderly shutdown and does not count evictions.
+
+    {2 Corruption detection}
+
+    Because the pool holds no contents, checksum protection is a
+    collaboration: the structure owning a page's payload registers
+    {!page_hooks} via {!protect}.  The pool then maintains a stored
+    checksum per protected page, {e resealed} from the payload at every
+    physical write-out (dirty eviction, {!write_back}, {!flush}) and
+    {e verified} on every miss-read — a mismatch counts a checksum failure
+    in {!Iostats}, quarantines the page and raises {!Corruption}.  Silent
+    damage (injected via the fault plan's corruption schedules, or at rest
+    via {!corrupt_page}) mutates the payload {e after} the reseal, which is
+    exactly why the stored checksum convicts it.  Stored checksums live on
+    dedicated checksum pages (one per 512-gid bucket) that verification
+    touches, so detection has a real, machine-independent I/O cost; being
+    hot, tiny metadata, a bucket page is pinned from its first admission,
+    so the cost is one read per residency burst rather than one per
+    capacity-pressure round trip. *)
 
 type t
+
+(** Payload callbacks registered by the structure that owns a page:
+    [hk_checksum] recomputes the payload checksum now ([None] for pages
+    that self-verify, e.g. WAL pages whose records carry their own CRCs);
+    [hk_corrupt way sel] applies the given damage, mapping the seeded
+    selector onto a damage site. *)
+type page_hooks = {
+  hk_checksum : (unit -> int) option;
+  hk_corrupt : Faults.corruption -> int -> unit;
+}
+
+(** Raised by a read-path verification that caught a corrupt page (the
+    payload's recomputed checksum disagreed with the stored seal). *)
+exception Corruption of int
 
 (** [create ~capacity ~stats] — [capacity] pages; raises [Invalid_argument]
     when [capacity < 1]. *)
@@ -77,3 +109,37 @@ val flush : t -> unit
 
 (** [resident t page] — whether the page is currently buffered. *)
 val resident : t -> int -> bool
+
+(** [protect t page hooks] registers [page] for corruption detection and,
+    when [hooks.hk_checksum] is present, seals its current payload
+    checksum (allocating the bucket's checksum page on first use).
+    Re-protecting replaces the hooks and clears any quarantine. *)
+val protect : t -> int -> page_hooks -> unit
+
+(** Drops hooks, stored checksum and quarantine state for [page] (for
+    deallocated or rebuilt-away pages). *)
+val unprotect : t -> int -> unit
+
+val protected : t -> int -> bool
+
+(** [verify t page] — non-raising verification probe for the scrub pass:
+    [false] when the page is quarantined or its checksum mismatches (the
+    mismatch is counted and the page quarantined), [true] for clean or
+    unverifiable pages. *)
+val verify : t -> int -> bool
+
+val quarantined : t -> int -> bool
+
+(** Fence a page manually (scrub uses this for pages convicted by
+    evidence other than their own checksum). *)
+val quarantine : t -> int -> unit
+
+(** [corrupt_page t page way sel] applies at-rest damage directly to the
+    page's payload, bypassing the device write path: the stored seal is
+    left stale, so the next verification convicts the page.  No-op for
+    pages without hooks. *)
+val corrupt_page : t -> int -> Faults.corruption -> int -> unit
+
+(** Gids of all checksum-protected pages, sorted ascending — the scrub
+    sweep order, and the target list damage plans index into. *)
+val protected_gids : t -> int list

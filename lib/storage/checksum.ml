@@ -1,0 +1,27 @@
+(* FNV-1a over native words.  The simulated device stores whole words, so
+   the checksum folds each word in directly instead of byte-splitting; the
+   multiply wraps in native int arithmetic, which is deterministic across
+   hosts (OCaml ints are 63-bit everywhere this repo builds). *)
+
+(* FNV-1a offset basis, truncated to OCaml's 63-bit int range.  Only
+   consistency matters here, not the exact FNV constants. *)
+let fnv_offset = 0x3bf29ce484222325
+let fnv_prime = 0x100000001b3
+
+let mix h w = (h lxor w) * fnv_prime
+
+let empty = fnv_offset
+
+let add = mix
+
+let finish h = h land max_int
+
+let array ?(init = empty) a =
+  finish (Array.fold_left mix init a)
+
+let arena ?(init = empty) arena ~off ~len =
+  let h = ref init in
+  for i = off to off + len - 1 do
+    h := mix !h (Arena.get arena i)
+  done;
+  finish !h

@@ -17,10 +17,21 @@ type fault = {
 
 exception Injected of fault
 
+(* Silent-corruption fault kinds.  Unlike the fail-stop kinds above they do
+   not raise at the injection site: a Bit_flip damages the payload the
+   device just "wrote" and returns normally, a Torn_write persists only a
+   prefix of it and then surfaces as a crash.  Both are polled on a
+   separate [damage] pass so their counters and RNG draws never perturb a
+   fail-stop plan's stream. *)
+type corruption = Bit_flip | Torn_write
+
 type schedule =
   | Fail_nth of { op : op option; n : int; kind : kind }
   | Fail_page of { op : op option; page : int; kind : kind }
   | Fail_prob of { op : op option; p : float; kind : kind }
+  | Corrupt_nth of { op : op option; n : int; way : corruption }
+  | Corrupt_page of { op : op option; page : int; way : corruption }
+  | Corrupt_prob of { op : op option; p : float; way : corruption }
 
 type policy = {
   max_retries : int;
@@ -113,7 +124,8 @@ let op_matches filter op =
 (* Decide whether [slot] fires for this operation.  Must be called for every
    matching operation even when a fault from an earlier slot already fired,
    so counters and the probability stream stay aligned with the fault-free
-   replay of the same plan. *)
+   replay of the same plan.  Corruption slots never fire here — they are
+   polled by [damage] after the operation succeeded. *)
 let slot_fires t slot op ~page =
   match slot.sched with
   | Fail_nth s ->
@@ -130,6 +142,7 @@ let slot_fires t slot op ~page =
         (not slot.s_spent) && draw < s.p
       end
       else false
+  | Corrupt_nth _ | Corrupt_page _ | Corrupt_prob _ -> false
 
 let kind_rank = function Transient -> 0 | Crash -> 1 | Permanent -> 2
 
@@ -153,6 +166,8 @@ let poll t op ~page =
           | Fail_nth s -> s.kind
           | Fail_page s -> s.kind
           | Fail_prob s -> s.kind
+          | Corrupt_nth _ | Corrupt_page _ | Corrupt_prob _ ->
+              assert false (* corruption slots never fire in slot_fires *)
         in
         match !fired with
         | Some k when kind_rank k >= kind_rank kind -> ()
@@ -160,6 +175,85 @@ let poll t op ~page =
       end)
     t.slots;
   !fired
+
+(* Corruption counterpart of [slot_fires]: consulted once per *successful*
+   write-class operation, with its own hit counters, so fail-stop and
+   corruption schedules in one plan keep independent, replayable streams.
+   Every firing corruption slot is spent — the device damages a given
+   target once. *)
+let damage_fires t slot op ~page =
+  match slot.sched with
+  | Fail_nth _ | Fail_page _ | Fail_prob _ -> false
+  | Corrupt_nth s ->
+      if op_matches s.op op then begin
+        slot.s_hits <- slot.s_hits + 1;
+        (not slot.s_spent) && slot.s_hits = s.n
+      end
+      else false
+  | Corrupt_page s -> op_matches s.op op && page = s.page && not slot.s_spent
+  | Corrupt_prob s ->
+      if op_matches s.op op then begin
+        let draw = Random.State.float t.rng 1.0 in
+        (not slot.s_spent) && draw < s.p
+      end
+      else false
+
+(* [damage t op ~page] — polled by the buffer pool after a write-class
+   operation succeeded.  Returns the corruption to apply to the page's
+   payload plus a seeded selector (which bit to flip / where to tear),
+   drawn from the plan's private RNG so the damage site replays with the
+   plan.  A Torn_write shadows a Bit_flip when both fire on one op. *)
+let damage t op ~page =
+  if not (t.t_armed && t.slots <> []) then None
+  else begin
+    let fired = ref None in
+    List.iter
+      (fun slot ->
+        if damage_fires t slot op ~page then begin
+          slot.s_spent <- true;
+          let way =
+            match slot.sched with
+            | Corrupt_nth s -> s.way
+            | Corrupt_page s -> s.way
+            | Corrupt_prob s -> s.way
+            | Fail_nth _ | Fail_page _ | Fail_prob _ -> assert false
+          in
+          match (!fired, way) with
+          | None, _ | Some (Bit_flip, _), Torn_write ->
+              fired := Some (way, Random.State.bits t.rng)
+          | Some _, _ -> ()
+        end)
+      t.slots;
+    if !fired <> None then t.t_injected <- t.t_injected + 1;
+    !fired
+  end
+
+(* A pure at-rest damage plan: [n] (way, target pick, selector) triples
+   drawn entirely from [rng], for callers that corrupt a quiesced store
+   directly (the corruption-recovery oracle, [visadvisor validate
+   --scrub]).  [pick] indexes the caller's deterministic target-page list;
+   two draws never pick the same target. *)
+let random_damage ?(n = 2) ~rng ~targets () =
+  if targets <= 0 then []
+  else begin
+    let n = min n targets in
+    let picked = Hashtbl.create 8 in
+    let rec fresh_pick () =
+      let p = Random.State.int rng targets in
+      if Hashtbl.mem picked p then fresh_pick ()
+      else begin
+        Hashtbl.replace picked p ();
+        p
+      end
+    in
+    List.init n (fun _ ->
+        let way =
+          if Random.State.int rng 3 = 0 then Torn_write else Bit_flip
+        in
+        let pick = fresh_pick () in
+        let sel = Random.State.bits rng in
+        (way, pick, sel))
+  end
 
 let check t op ~page =
   t.t_seq <- t.t_seq + 1;
@@ -230,6 +324,10 @@ let kind_name = function
   | Transient -> "transient"
   | Crash -> "crash"
   | Permanent -> "permanent"
+
+let corruption_name = function
+  | Bit_flip -> "bit-flip"
+  | Torn_write -> "torn-write"
 
 let pp_fault ppf f =
   Format.fprintf ppf "%s %s on page %d at op #%d (%d retries)"

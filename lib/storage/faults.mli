@@ -26,7 +26,40 @@
     All surfaced faults are raised as the single typed exception
     {!Injected}, which the maintenance layer catches at its API boundary
     and converts to a [result] — no other exception ever crosses the
-    storage API because of an injected fault. *)
+    storage API because of an injected fault.
+
+    {2 Silent corruption}
+
+    A fourth and fifth failure mode damage data instead of refusing
+    operations: {!corruption} faults ([Bit_flip], [Torn_write]) fire on the
+    {e successful} completion of a write-class operation and mutate the
+    page payload the device just accepted.  A bit flip is entirely silent —
+    the operation reports success and only a later checksum verification
+    (read-path or scrub) can convict the page.  A torn write persists a
+    prefix of the payload and then surfaces as a {!Crash} (the process died
+    mid-transfer), so recovery runs against a half-written page or log
+    tail.  Corruption schedules are polled on a separate {!damage} pass
+    with their own hit counters, so adding them to a plan never perturbs
+    the fail-stop schedules' counting or probability stream.
+
+    {2 Schedule edge cases and precedence (pinned behavior)}
+
+    - [Fail_nth]/[Corrupt_nth] with [n <= 0] never fires: hit counters are
+      1-based, so no operation count ever equals a non-positive [n].
+    - [Fail_prob] with [p = 0.0] never fires (draws are in [[0, 1)] and the
+      test is strict [draw < p]); with [p = 1.0] it fires on {e every}
+      matching operation — under kind [Transient] the in-place retries all
+      fail too, so the fault escalates after the retry budget.
+    - When several schedules fire on the same operation (e.g. a [Fail_page]
+      and a [Fail_nth] both matching it), every firing slot still advances
+      its own counters, then the {e most severe} kind wins —
+      [Transient < Crash < Permanent] — with ties going to the earliest
+      slot in the plan's list.  Firing [Crash] slots are spent even when a
+      more severe fault shadows them, so the shadowed crash does not fire
+      again later.
+    - When a [Bit_flip] and a [Torn_write] corruption both fire on one
+      write, the torn write wins (it subsumes the flip: the payload is
+      already half-gone); every firing corruption slot is spent. *)
 
 type op = Read | Write | Alloc
 
@@ -45,6 +78,11 @@ type fault = {
 
 exception Injected of fault
 
+type corruption =
+  | Bit_flip  (** flip one payload bit post-write; fully silent *)
+  | Torn_write
+      (** persist only a payload prefix, then surface as a {!Crash} *)
+
 type schedule =
   | Fail_nth of { op : op option; n : int; kind : kind }
       (** fail the [n]-th (1-based) operation of type [op] ([None] = any) *)
@@ -53,6 +91,13 @@ type schedule =
   | Fail_prob of { op : op option; p : float; kind : kind }
       (** fail each matching operation with probability [p], drawn from the
           plan's private seeded RNG *)
+  | Corrupt_nth of { op : op option; n : int; way : corruption }
+      (** damage the payload of the [n]-th successful matching write-class
+          operation (own 1-based counter, independent of [Fail_nth]) *)
+  | Corrupt_page of { op : op option; page : int; way : corruption }
+      (** damage [page]'s payload on its next successful matching write *)
+  | Corrupt_prob of { op : op option; p : float; way : corruption }
+      (** damage each successful matching write with probability [p] *)
 
 type policy = {
   max_retries : int;  (** transient attempts before escalating *)
@@ -93,6 +138,26 @@ val armed : t -> bool
     after internal transient retries), raises {!Injected} when it fails. *)
 val check : t -> op -> page:int -> unit
 
+(** [damage t op ~page] — polled by the buffer pool after a write-class
+    operation {e succeeded}: [Some (way, selector)] means the device
+    damaged the payload it just accepted.  The selector is a non-negative
+    seeded draw the payload owner maps onto a damage site (which bit,
+    where to tear), so the whole event is a pure function of the plan.
+    Corruption slots are spent once fired; a disarmed plan never returns
+    damage.  Does not advance the fail-stop operation sequence. *)
+val damage : t -> op -> page:int -> (corruption * int) option
+
+(** [random_damage ?n ~rng ~targets ()] draws a pure {e at-rest} damage
+    plan: up to [n] (default 2) [(way, pick, selector)] triples with
+    distinct [pick]s in [[0, targets)], entirely from [rng].  Callers map
+    [pick] onto a deterministic target-page list and apply the damage
+    directly to a quiesced store ([Buffer_pool.corrupt_page]) — this is
+    how the corruption-recovery oracle injects media rot that no write
+    triggered. *)
+val random_damage :
+  ?n:int -> rng:Random.State.t -> targets:int -> unit ->
+  (corruption * int * int) list
+
 (** Operations consulted so far (including while disarmed). *)
 val seq : t -> int
 
@@ -110,3 +175,5 @@ val pp_fault : Format.formatter -> fault -> unit
 val op_name : op -> string
 
 val kind_name : kind -> string
+
+val corruption_name : corruption -> string

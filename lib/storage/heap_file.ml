@@ -15,6 +15,7 @@ type t = {
   mutable n_pages : int;
   mutable n_tuples : int;
   mutable tail_used : int;  (* slots handed out on the last page *)
+  mutable prot : bool;  (* checksum-protect pages as they are created *)
 }
 
 let create ?arity pool ~tuples_per_page =
@@ -31,6 +32,7 @@ let create ?arity pool ~tuples_per_page =
     n_pages = 0;
     n_tuples = 0;
     tail_used = 0;
+    prot = false;
   }
 
 let slot_words t = 1 + t.arity
@@ -44,6 +46,33 @@ let fix_arity t tuple =
   if t.arity = -1 then t.arity <- a
   else if a <> t.arity then invalid_arg "Heap_file: arity mismatch"
 
+(* Register a page's arena window with the pool's corruption machinery.
+   The checksum covers the whole block (presence flags included), so any
+   damaged word convicts the page.  Damage selectors map onto the block
+   deterministically: a bit flip picks a word and one of its low 62 bits, a
+   torn write keeps a word prefix and zeroes the rest. *)
+let protect_page t page =
+  Buffer_pool.protect t.pool page.gid
+    {
+      Buffer_pool.hk_checksum =
+        Some (fun () -> Checksum.arena t.arena ~off:page.off ~len:(page_words t));
+      hk_corrupt =
+        (fun way sel ->
+          let words = page_words t in
+          match way with
+          | Faults.Bit_flip ->
+              let w = page.off + (sel mod words) in
+              let b = sel / words mod 62 in
+              Arena.set t.arena w (Arena.get t.arena w lxor (1 lsl b))
+          | Faults.Torn_write ->
+              (* The unwritten tail holds stale device garbage, marked with
+                 a high bit no real attribute carries — so a tear is
+                 detectably wrong even over a run of empty slots. *)
+              for w = sel mod words to words - 1 do
+                Arena.set t.arena (page.off + w) ((sel + w) lor (1 lsl 60))
+              done);
+    }
+
 let grow t =
   (* Both fault points (the allocation, and the eviction a touch_new may
      force) fire before any heap mutation, so a failed grow leaves the file
@@ -53,6 +82,7 @@ let grow t =
   Buffer_pool.touch_new t.pool gid;
   let off = Arena.alloc t.arena (page_words t) in
   let page = { gid; off; live = 0 } in
+  if t.prot then protect_page t page;
   if t.n_pages = Array.length t.pages then begin
     let ncap = max 8 (2 * Array.length t.pages) in
     let npages = Array.make ncap page in
@@ -167,6 +197,7 @@ let truncate_last t rid =
          page's block is the arena's tail) and restoring the pre-append
          page count. *)
       Buffer_pool.discard t.pool page.gid;
+      if t.prot then Buffer_pool.unprotect t.pool page.gid;
       Arena.release t.arena (page_words t);
       t.n_pages <- t.n_pages - 1;
       t.tail_used <- (if t.n_pages = 0 then 0 else t.tpp)
@@ -209,3 +240,13 @@ let arena_words t = Arena.used_words t.arena
 let page_gid t i =
   if i < 0 || i >= t.n_pages then invalid_arg "Heap_file.page_gid";
   t.pages.(i).gid
+
+let protect t =
+  if not t.prot then begin
+    t.prot <- true;
+    for i = 0 to t.n_pages - 1 do
+      protect_page t t.pages.(i)
+    done
+  end
+
+let protected t = t.prot

@@ -76,3 +76,11 @@ val arena_words : t -> int
 (** [page_gid t i] is the buffer-pool page identifier of the file's [i]-th
     page (for tests). *)
 val page_gid : t -> int -> int
+
+(** [protect t] enables checksum protection: every current and future page
+    is registered with the pool ({!Buffer_pool.protect}) using a checksum
+    over its whole arena block, so silent damage is convicted on the next
+    miss-read or scrub probe.  Idempotent. *)
+val protect : t -> unit
+
+val protected : t -> bool

@@ -8,6 +8,8 @@ type t = {
   mutable n_pool_misses : int;
   mutable n_pool_evictions : int;
   mutable n_pool_overflows : int;
+  mutable n_checksum_verifications : int;
+  mutable n_checksum_failures : int;
 }
 
 let create () =
@@ -21,6 +23,8 @@ let create () =
     n_pool_misses = 0;
     n_pool_evictions = 0;
     n_pool_overflows = 0;
+    n_checksum_verifications = 0;
+    n_checksum_failures = 0;
   }
 
 let reads t = t.n_reads
@@ -40,6 +44,10 @@ let pool_misses t = t.n_pool_misses
 let pool_evictions t = t.n_pool_evictions
 
 let pool_overflows t = t.n_pool_overflows
+
+let checksum_verifications t = t.n_checksum_verifications
+
+let checksum_failures t = t.n_checksum_failures
 
 let total_io t = t.n_reads + t.n_writes
 
@@ -68,6 +76,13 @@ let record_pool_eviction t = t.n_pool_evictions <- t.n_pool_evictions + 1
 
 let record_pool_overflow t = t.n_pool_overflows <- t.n_pool_overflows + 1
 
+let record_checksum_verification t =
+  t.n_checksum_verifications <- t.n_checksum_verifications + 1
+
+(* A failure is counted on top of its verification. *)
+let record_checksum_failure t =
+  t.n_checksum_failures <- t.n_checksum_failures + 1
+
 let reset t =
   t.n_reads <- 0;
   t.n_writes <- 0;
@@ -77,11 +92,14 @@ let reset t =
   t.n_pool_hits <- 0;
   t.n_pool_misses <- 0;
   t.n_pool_evictions <- 0;
-  t.n_pool_overflows <- 0
+  t.n_pool_overflows <- 0;
+  t.n_checksum_verifications <- 0;
+  t.n_checksum_failures <- 0
 
 let pp ppf t =
   Format.fprintf ppf
     "reads=%d writes=%d (wal=%d, syncs=%d) accesses=%d pool(hit=%d miss=%d \
-     evict=%d overflow=%d)"
+     evict=%d overflow=%d) checksum(verify=%d fail=%d)"
     t.n_reads t.n_writes t.n_wal_writes t.n_wal_syncs t.n_accesses
     t.n_pool_hits t.n_pool_misses t.n_pool_evictions t.n_pool_overflows
+    t.n_checksum_verifications t.n_checksum_failures

@@ -36,6 +36,14 @@ val pool_evictions : t -> int
     was pinned — a sizing red flag surfaced by [visadvisor --stats]. *)
 val pool_overflows : t -> int
 
+(** Page checksum verifications performed (every miss-read of a protected
+    page, plus every scrub probe). *)
+val checksum_verifications : t -> int
+
+(** Verifications whose recomputed checksum disagreed with the stored one —
+    detected silent corruption. *)
+val checksum_failures : t -> int
+
 val total_io : t -> int
 
 val record_read : t -> unit
@@ -57,6 +65,11 @@ val record_pool_miss : t -> unit
 val record_pool_eviction : t -> unit
 
 val record_pool_overflow : t -> unit
+
+val record_checksum_verification : t -> unit
+
+(** Counted on top of the verification that uncovered it. *)
+val record_checksum_failure : t -> unit
 
 val reset : t -> unit
 

@@ -33,9 +33,24 @@ type record =
 
 type t
 
+(** Result of {!verify_scan}: each logged record carries a sequence/length
+    header and a CRC over header plus payload, so a post-crash scan can
+    classify damage positionally.  [Torn] — a contiguous suffix of
+    half-persisted records, all strictly after the last durable commit
+    (never acknowledged; truncate via {!truncate_torn} and proceed).
+    [Corrupt] — a CRC mismatch anywhere, or a tear reaching into the
+    durable history: recovery must stop with {!Corrupt_record}. *)
+type scan = Clean | Torn of { first_seq : int; torn : int } | Corrupt of { seq : int }
+
+(** Raised by recovery when {!verify_scan} reports mid-log corruption; the
+    payload is the sequence number of the first bad record. *)
+exception Corrupt_record of int
+
 (** [create pool ~page_bytes] — an empty log writing [page_bytes]-sized
     pages through [pool].  The current tail page stays pinned so data-page
-    pressure can never evict it mid-batch. *)
+    pressure can never evict it mid-batch.  Log pages register with the
+    pool's corruption machinery (no page checksum — records self-verify via
+    their CRCs), so injected write damage rots record envelopes. *)
 val create : Buffer_pool.t -> page_bytes:int -> t
 
 (** [append t r] logs a record: the tail page is touched dirty; when the
@@ -89,3 +104,21 @@ val total_bytes : t -> int
 val total_syncs : t -> int
 
 val record_bytes : record -> int
+
+(** Re-derive every record's CRC and classify any damage (see {!scan}).
+    Pure: performs no I/O and never mutates the log. *)
+val verify_scan : t -> scan
+
+(** Drop all torn records (recovery calls this after undo consumed the
+    in-memory records, when {!verify_scan} reported [Torn]).  Returns the
+    number of records dropped. *)
+val truncate_torn : t -> int
+
+(** Test hook: flip a bit in the stored CRC of the record with this
+    lifetime sequence number.  [false] when no such record is in the
+    log. *)
+val corrupt_record : t -> seq:int -> bool
+
+(** Test hook: mark every record but the oldest [keep] as half-persisted
+    (a torn tail).  Returns the number of records torn. *)
+val tear_tail : t -> keep:int -> int

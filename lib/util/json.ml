@@ -86,6 +86,10 @@ exception Parse_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
 
+(* Containers may nest at most this deep.  A typed [Parse_error], not a
+   stack overflow, is the contract for adversarial inputs like ["[[[[…"]. *)
+let max_depth = 512
+
 let of_string s =
   let n = String.length s in
   let pos = ref 0 in
@@ -207,10 +211,17 @@ let of_string s =
     | Some i -> Int i
     | None -> (
         match float_of_string_opt text with
-        | Some x -> Float x
+        | Some x ->
+            (* "1e999" parses to infinity; JSON has no non-finite numbers
+               and silently admitting one would round-trip as null. *)
+            if not (Float.is_finite x) then
+              fail "non-finite number %S at %d" text start;
+            Float x
         | None -> fail "invalid number %S at %d" text start)
   in
-  let rec parse_value () =
+  (* [depth] counts enclosing containers; opening one at [max_depth] is
+     the typed error. *)
+  let rec parse_value depth =
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -219,6 +230,8 @@ let of_string s =
     | Some 'f' -> literal "false" (Bool false)
     | Some '"' -> String (parse_string ())
     | Some '[' ->
+        if depth >= max_depth then
+          fail "nesting deeper than %d levels at %d" max_depth !pos;
         advance ();
         skip_ws ();
         if peek () = Some ']' then begin
@@ -226,17 +239,19 @@ let of_string s =
           List []
         end
         else begin
-          let items = ref [ parse_value () ] in
+          let items = ref [ parse_value (depth + 1) ] in
           skip_ws ();
           while peek () = Some ',' do
             advance ();
-            items := parse_value () :: !items;
+            items := parse_value (depth + 1) :: !items;
             skip_ws ()
           done;
           expect ']';
           List (List.rev !items)
         end
     | Some '{' ->
+        if depth >= max_depth then
+          fail "nesting deeper than %d levels at %d" max_depth !pos;
         advance ();
         skip_ws ();
         if peek () = Some '}' then begin
@@ -249,7 +264,7 @@ let of_string s =
             let name = parse_string () in
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             (name, v)
           in
           let fields = ref [ field () ] in
@@ -265,7 +280,7 @@ let of_string s =
     | Some c -> if c = '-' || (c >= '0' && c <= '9') then parse_number ()
         else fail "unexpected character '%c' at %d" c !pos
   in
-  let v = parse_value () in
+  let v = parse_value 0 in
   skip_ws ();
   if !pos <> n then fail "trailing characters at %d" !pos;
   v

@@ -25,8 +25,16 @@ val to_string : ?indent:int -> t -> string
 
 exception Parse_error of string
 
+(** Containers may nest at most this deep ([512]); deeper input is a
+    {!Parse_error}, not a stack overflow. *)
+val max_depth : int
+
 (** [of_string s] parses one JSON value, requiring that only whitespace
-    follows it.  Raises {!Parse_error}. *)
+    follows it.  Raises {!Parse_error} — also on containers nested deeper
+    than {!max_depth} and on numeric literals that would produce a
+    non-finite float (e.g. ["1e999"]), both of which the grammar-level
+    checks turn into typed errors instead of undefined downstream
+    behavior. *)
 val of_string : string -> t
 
 (** [member name v] is the field [name] of object [v], or [Null] when

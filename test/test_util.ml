@@ -228,6 +228,45 @@ let test_json_unicode_escapes () =
   check "lone low surrogate" true (rejects {|"\udd1e"|});
   check "high surrogate + ascii escape" true (rejects {|"\ud834A"|})
 
+(* Adversarial inputs: deep nesting and non-finite numeric literals must
+   raise the typed [Parse_error] — never a stack overflow or a silent
+   infinity that the printer would then round-trip as null. *)
+
+let test_json_hardening () =
+  let rejects s =
+    match Json.of_string s with
+    | exception Json.Parse_error _ -> true
+    | _ -> false
+  in
+  (* Nesting right at the limit parses. *)
+  let nested d = String.make d '[' ^ String.make d ']' in
+  (match Json.of_string (nested Json.max_depth) with
+  | Json.List _ -> ()
+  | _ -> Alcotest.fail "expected a list");
+  (* One level past the limit is a typed error. *)
+  check "lists beyond max_depth" true (rejects (nested (Json.max_depth + 1)));
+  (* Far past the limit must not blow the stack either. *)
+  check "pathological list nesting" true (rejects (String.make 100_000 '['));
+  let objs d =
+    String.concat "" (List.init d (fun _ -> {|{"k":|}))
+    ^ "0" ^ String.make d '}'
+  in
+  check "objects beyond max_depth" true (rejects (objs (Json.max_depth + 1)));
+  (* Mixed-container nesting counts every level. *)
+  check "mixed nesting" true
+    (rejects (String.concat "" (List.init 300 (fun _ -> {|[{"k":|}))));
+  (* Overflowing exponents would parse to infinity; reject them. *)
+  check "positive overflow" true (rejects "1e999");
+  check "negative overflow" true (rejects "-1e999");
+  check "overflow in a field" true (rejects {|{"x": 1e999}|});
+  (* Large-but-finite literals still parse. *)
+  (match Json.of_string "1e308" with
+  | Json.Float x -> check "finite float" true (Float.is_finite x)
+  | _ -> Alcotest.fail "expected a float");
+  (* The bare words nan/inf are not in the JSON grammar at all. *)
+  check "nan literal" true (rejects "nan");
+  check "inf literal" true (rejects "inf")
+
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "vis_util"
@@ -267,5 +306,8 @@ let () =
           Alcotest.test_case "numeric helpers" `Quick test_num;
         ] );
       ( "json",
-        [ Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escapes ] );
+        [
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escapes;
+          Alcotest.test_case "adversarial inputs" `Quick test_json_hardening;
+        ] );
     ]
